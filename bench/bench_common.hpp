@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared command-line handling for the figure/table benches.
+//
+// Every bench accepts:
+//   --fast           quarter-size sweep (config stride 4) for smoke runs
+//   --programs a,b   restrict to a comma-separated program subset
+//   --threads N      worker threads (default: hardware concurrency)
+//   --csv            also emit machine-readable CSV rows after the table
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+
+namespace ucp::bench {
+
+struct BenchArgs {
+  bool fast = false;
+  bool csv = false;
+  std::vector<std::string> programs;
+  std::uint32_t threads = 0;
+
+  exp::SweepOptions sweep() const {
+    exp::SweepOptions options;
+    options.programs = programs;
+    options.config_stride = fast ? 4 : 1;
+    options.threads = threads;
+    // Full default sweeps are deterministic; memoize them so the figure
+    // benches share one computation (delete the file to force a re-run).
+    if (programs.empty() && !fast) options.cache_path = "ucp_sweep_cache.csv";
+    return options;
+  }
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--fast") {
+      args.fast = true;
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (a == "--programs" && i + 1 < argc) {
+      std::stringstream ss(argv[++i]);
+      std::string item;
+      while (std::getline(ss, item, ',')) args.programs.push_back(item);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n"
+                << "usage: " << argv[0]
+                << " [--fast] [--csv] [--threads N] [--programs a,b,c]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline std::string pct_improvement(double ratio) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << (1.0 - ratio) * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace ucp::bench

@@ -1,0 +1,64 @@
+// Figure 4 — impact on miss rate: average instruction-cache miss rate per
+// cache size, before and after the optimization (trace simulation).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ucp;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  std::cout << "Figure 4: average miss rate per cache size, original vs "
+               "optimized\n\n";
+  const auto results = exp::run_sweep(args.sweep());
+  const auto by_size = exp::aggregate_by_size(results);
+
+  TextTable table({"cache size", "cases", "miss rate (orig)",
+                   "miss rate (opt)", "relative reduction"});
+  for (const exp::SizeAggregate& agg : by_size) {
+    const double rel = agg.mean_missrate_orig == 0.0
+                           ? 0.0
+                           : 1.0 - agg.mean_missrate_opt /
+                                       agg.mean_missrate_orig;
+    table.add_row({std::to_string(agg.capacity_bytes) + " B",
+                   std::to_string(agg.cases),
+                   format_double(100.0 * agg.mean_missrate_orig, 2) + "%",
+                   format_double(100.0 * agg.mean_missrate_opt, 2) + "%",
+                   format_double(100.0 * rel, 1) + "%"});
+  }
+  table.print(std::cout);
+
+  // Restricted to the paper's regime (pre-optimization miss rate 1%..10%).
+  const auto regime = exp::paper_regime(results);
+  const auto regime_by_size = exp::aggregate_by_size(regime);
+  TextTable rt({"cache size", "cases", "miss rate (orig)", "miss rate (opt)",
+                "relative reduction"});
+  for (const exp::SizeAggregate& agg : regime_by_size) {
+    const double rel =
+        agg.mean_missrate_orig == 0.0
+            ? 0.0
+            : 1.0 - agg.mean_missrate_opt / agg.mean_missrate_orig;
+    rt.add_row({std::to_string(agg.capacity_bytes) + " B",
+                std::to_string(agg.cases),
+                format_double(100.0 * agg.mean_missrate_orig, 2) + "%",
+                format_double(100.0 * agg.mean_missrate_opt, 2) + "%",
+                format_double(100.0 * rel, 1) + "%"});
+  }
+  std::cout << "\npaper regime (pre-optimization miss rate 1%..10%, as the "
+               "paper's capacity selection ensured):\n";
+  rt.print(std::cout);
+
+  if (args.csv) {
+    std::cout << "\ncsv:\nsize_bytes,cases,missrate_orig,missrate_opt\n";
+    CsvWriter csv(std::cout);
+    for (const exp::SizeAggregate& agg : by_size) {
+      csv.write_row({std::to_string(agg.capacity_bytes),
+                     std::to_string(agg.cases),
+                     format_double(agg.mean_missrate_orig, 6),
+                     format_double(agg.mean_missrate_opt, 6)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark): throughput of the individual
+// analysis components — concrete cache simulation, must/may abstract
+// interpretation, VIVU expansion, IPET/ILP solving, and the end-to-end
+// optimizer — over representative suite programs.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "cache/cache_sim.hpp"
+#include "core/optimizer.hpp"
+#include "energy/model.hpp"
+#include "ir/layout.hpp"
+#include "sim/interpreter.hpp"
+#include "suite/suite.hpp"
+#include "wcet/ipet.hpp"
+
+namespace {
+
+using namespace ucp;
+
+const cache::CacheConfig kConfig{2, 16, 1024};
+const cache::MemTiming kTiming =
+    energy::derive_timing(kConfig, energy::TechNode::k45nm);
+
+void BM_CacheSimFetch(benchmark::State& state) {
+  cache::CacheSim sim(kConfig, kTiming);
+  std::uint64_t now = 0;
+  cache::MemBlockId block = 0;
+  for (auto _ : state) {
+    const auto r = sim.fetch(block, now);
+    now += r.cycles;
+    block = (block * 1664525u + 1013904223u) % 256;
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimFetch);
+
+void BM_Interpreter(benchmark::State& state, const char* name) {
+  const ir::Program program = suite::build_benchmark(name);
+  for (auto _ : state) {
+    const sim::RunMetrics m = sim::run_program(program, kConfig, kTiming);
+    benchmark::DoNotOptimize(m.total_cycles);
+  }
+}
+BENCHMARK_CAPTURE(BM_Interpreter, crc, "crc");
+BENCHMARK_CAPTURE(BM_Interpreter, matmult, "matmult");
+BENCHMARK_CAPTURE(BM_Interpreter, nsichneu, "nsichneu");
+
+void BM_ContextGraph(benchmark::State& state, const char* name) {
+  const ir::Program program = suite::build_benchmark(name);
+  for (auto _ : state) {
+    const analysis::ContextGraph graph(program);
+    benchmark::DoNotOptimize(graph.num_nodes());
+  }
+}
+BENCHMARK_CAPTURE(BM_ContextGraph, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_ContextGraph, nsichneu, "nsichneu");
+
+void BM_MustMayAnalysis(benchmark::State& state, const char* name) {
+  const ir::Program program = suite::build_benchmark(name);
+  const ir::Layout layout(program, kConfig.block_bytes);
+  const analysis::ContextGraph graph(program);
+  for (auto _ : state) {
+    const auto cls = analysis::analyze_cache(graph, layout, kConfig);
+    benchmark::DoNotOptimize(cls.per_node.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_MustMayAnalysis, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_MustMayAnalysis, statemate, "statemate");
+
+void BM_Ipet(benchmark::State& state, const char* name) {
+  const ir::Program program = suite::build_benchmark(name);
+  const ir::Layout layout(program, kConfig.block_bytes);
+  const analysis::ContextGraph graph(program);
+  const auto cls = analysis::analyze_cache(graph, layout, kConfig);
+  for (auto _ : state) {
+    const auto wcet = wcet::compute_wcet(graph, cls, kTiming);
+    benchmark::DoNotOptimize(wcet.tau_mem);
+  }
+}
+BENCHMARK_CAPTURE(BM_Ipet, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_Ipet, statemate, "statemate");
+
+void BM_Optimizer(benchmark::State& state, const char* name) {
+  const ir::Program program = suite::build_benchmark(name);
+  for (auto _ : state) {
+    const auto result =
+        core::optimize_prefetches(program, kConfig, kTiming);
+    benchmark::DoNotOptimize(result.report.insertions.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_Optimizer, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_Optimizer, adpcm, "adpcm");
+
+}  // namespace
+
+BENCHMARK_MAIN();

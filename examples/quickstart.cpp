@@ -1,0 +1,64 @@
+// Quickstart: optimize one program for one cache configuration and print
+// every metric the paper reports for a use case.
+//
+//   ./quickstart [program] [config-id] [tech]
+//   e.g. ./quickstart crc k7 32nm
+
+#include <iostream>
+#include <string>
+
+#include "cache/config.hpp"
+#include "energy/model.hpp"
+#include "exp/harness.hpp"
+#include "suite/suite.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ucp;
+
+  const std::string program_name = argc > 1 ? argv[1] : "crc";
+  const std::string config_id = argc > 2 ? argv[2] : "k7";
+  const std::string tech_name = argc > 3 ? argv[3] : "32nm";
+  const energy::TechNode tech =
+      tech_name == "45nm" ? energy::TechNode::k45nm : energy::TechNode::k32nm;
+
+  const ir::Program program = suite::build_benchmark(program_name);
+  const cache::NamedCacheConfig& config = cache::paper_cache_config(config_id);
+
+  std::cout << "program: " << program_name << "  cache " << config.id << " "
+            << config.config.to_string() << "  tech " << tech_name << "\n\n";
+
+  const exp::UseCaseResult r =
+      exp::run_use_case(program, program_name, config, tech);
+
+  TextTable table({"metric", "original", "optimized", "ratio"});
+  auto row = [&](const std::string& name, double o, double p) {
+    table.add_row({name, format_double(o, 1), format_double(p, 1),
+                   format_double(o == 0 ? 1.0 : p / o, 4)});
+  };
+  row("WCET mem cycles (tau_w)", static_cast<double>(r.original.tau_wcet),
+      static_cast<double>(r.optimized.tau_wcet));
+  row("ACET mem cycles (tau_a)",
+      static_cast<double>(r.original.run.mem_cycles),
+      static_cast<double>(r.optimized.run.mem_cycles));
+  row("memory energy (nJ)", r.original.energy.total_nj(),
+      r.optimized.energy.total_nj());
+  row("miss rate (%)", 100.0 * r.original.miss_rate(),
+      100.0 * r.optimized.miss_rate());
+  row("instructions executed",
+      static_cast<double>(r.original.run.instructions),
+      static_cast<double>(r.optimized.run.instructions));
+  row("code bytes", r.original.code_bytes, r.optimized.code_bytes);
+  table.print(std::cout);
+
+  std::cout << "\nprefetches inserted: " << r.report.insertions.size()
+            << " (candidates " << r.report.candidates_found << ", rejected "
+            << r.report.rejected_ineffective << " ineffective / "
+            << r.report.rejected_cannot_survive << " cannot-survive / "
+            << r.report.rejected_unprofitable << " unprofitable, passes "
+            << r.report.passes << ")\n";
+  std::cout << "Theorem 1 (tau_w must not increase): ratio = "
+            << format_double(r.wcet_ratio(), 4)
+            << (r.wcet_ratio() <= 1.0 + 1e-9 ? "  OK" : "  VIOLATED") << "\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "analysis/cache_analysis.hpp"
+
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace ucp::analysis {
+
+std::string classification_name(Classification c) {
+  switch (c) {
+    case Classification::kAlwaysHit:
+      return "always-hit";
+    case Classification::kAlwaysMiss:
+      return "always-miss";
+    case Classification::kNotClassified:
+      return "not-classified";
+  }
+  UCP_CHECK_MSG(false, "unknown classification");
+}
+
+Classification CacheAnalysisResult::classify(NodeId node,
+                                             std::size_t instr_index) const {
+  UCP_REQUIRE(node < per_node.size(), "node id out of range");
+  UCP_REQUIRE(instr_index < per_node[node].size(),
+              "instruction index out of range");
+  return per_node[node][instr_index];
+}
+
+const MustMay& CacheAnalysisResult::state_in(NodeId node) const {
+  UCP_REQUIRE(node < in_states.size(), "node id out of range");
+  return in_states[node];
+}
+
+const MustMay& CacheAnalysisResult::state_out(NodeId node) const {
+  UCP_REQUIRE(node < out_states.size(), "node id out of range");
+  return out_states[node];
+}
+
+std::uint64_t CacheAnalysisResult::count(Classification c) const {
+  std::uint64_t n = 0;
+  for (const auto& block : per_node)
+    for (Classification cls : block)
+      if (cls == c) ++n;
+  return n;
+}
+
+void apply_instruction(MustMay& state, const ir::Instruction& instr,
+                       const ir::Layout& layout) {
+  const MemBlockId own = layout.mem_block(instr.id);
+  state.must.update_must(own);
+  state.may.update_may(own);
+  if (instr.is_prefetch()) {
+    const MemBlockId target = layout.mem_block(instr.pf_target);
+    state.must.update_must(target);
+    state.may.update_may(target);
+  }
+}
+
+namespace {
+
+MustMay transfer_block(const MustMay& in, const ir::BasicBlock& bb,
+                       const ir::Layout& layout) {
+  MustMay out = in;
+  for (const ir::Instruction& instr : bb.instrs)
+    apply_instruction(out, instr, layout);
+  return out;
+}
+
+MustMay join(const MustMay& a, const MustMay& b) {
+  return MustMay{AbstractCache::join_must(a.must, b.must),
+                 AbstractCache::join_may(a.may, b.may)};
+}
+
+}  // namespace
+
+CacheAnalysisResult analyze_cache(const ContextGraph& graph,
+                                  const ir::Layout& layout,
+                                  const cache::CacheConfig& config) {
+  return analyze_cache(graph, graph.program(), layout, config);
+}
+
+CacheAnalysisResult analyze_cache(const ContextGraph& graph,
+                                  const ir::Program& program,
+                                  const ir::Layout& layout,
+                                  const cache::CacheConfig& config) {
+  UCP_REQUIRE(program.num_blocks() == graph.program().num_blocks(),
+              "program CFG does not match the context graph");
+  const std::size_t n = graph.num_nodes();
+
+  CacheAnalysisResult result;
+  const MustMay empty{AbstractCache(config), AbstractCache(config)};
+  result.in_states.assign(n, empty);
+  result.out_states.assign(n, empty);
+
+  std::vector<bool> has_in(n, false);
+  has_in[graph.entry_node()] = true;  // cold cache at program start
+
+  // Worklist fixpoint in topological order (only REST back edges iterate).
+  std::deque<NodeId> work;
+  std::vector<bool> queued(n, false);
+  for (NodeId id : graph.topo_order()) {
+    work.push_back(id);
+    queued[id] = true;
+  }
+
+  while (!work.empty()) {
+    const NodeId id = work.front();
+    work.pop_front();
+    queued[id] = false;
+    if (!has_in[id]) continue;  // no predecessor state yet
+
+    const ir::BasicBlock& bb = program.block(graph.node(id).block);
+    MustMay out = transfer_block(result.in_states[id], bb, layout);
+    // Any non-empty block caches its own memory blocks, so a freshly
+    // computed out-state never equals the empty initializer; an unchanged
+    // out-state therefore means successors already merged it.
+    const bool out_changed = !(out == result.out_states[id]);
+    result.out_states[id] = std::move(out);
+    if (!out_changed) continue;
+
+    for (std::uint32_t ei : graph.out_edges(id)) {
+      const CgEdge& e = graph.edges()[ei];
+      MustMay merged = has_in[e.to]
+                           ? join(result.in_states[e.to],
+                                  result.out_states[id])
+                           : result.out_states[id];
+      if (!has_in[e.to] || !(merged == result.in_states[e.to])) {
+        result.in_states[e.to] = std::move(merged);
+        has_in[e.to] = true;
+        if (!queued[e.to]) {
+          work.push_back(e.to);
+          queued[e.to] = true;
+        }
+      }
+    }
+  }
+
+  // Final classification pass with the converged states.
+  result.per_node.assign(n, {});
+  for (NodeId id = 0; id < n; ++id) {
+    const ir::BasicBlock& bb = program.block(graph.node(id).block);
+    MustMay state = result.in_states[id];
+    auto& cls = result.per_node[id];
+    cls.reserve(bb.instrs.size());
+    for (const ir::Instruction& instr : bb.instrs) {
+      const MemBlockId own = layout.mem_block(instr.id);
+      Classification c = Classification::kNotClassified;
+      if (state.must.must_contain(own)) {
+        c = Classification::kAlwaysHit;
+      } else if (!state.may.may_contain(own)) {
+        c = Classification::kAlwaysMiss;
+      }
+      cls.push_back(c);
+      apply_instruction(state, instr, layout);
+    }
+  }
+  return result;
+}
+
+}  // namespace ucp::analysis

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/context_graph.hpp"
+#include "analysis/domain.hpp"
+#include "ir/layout.hpp"
+
+namespace ucp::analysis {
+
+/// Outcome of abstract interpretation for one instruction fetch in one
+/// context. WCET accounting charges hit time to kAlwaysHit and miss time to
+/// everything else (the sound over-approximation).
+enum class Classification : std::uint8_t {
+  kAlwaysHit,
+  kAlwaysMiss,
+  kNotClassified,
+};
+
+std::string classification_name(Classification c);
+
+/// Joint must/may cache state.
+struct MustMay {
+  AbstractCache must;
+  AbstractCache may;
+
+  friend bool operator==(const MustMay&, const MustMay&) = default;
+};
+
+/// Result of the must/may analysis over a VIVU context graph: the abstract
+/// state entering every node, and a classification for every instruction
+/// fetch (per context).
+///
+/// Prefetch semantics: a kPrefetch instruction is itself a fetched
+/// instruction (classified like any other reference); its *effect* installs
+/// the target block at MRU in both domains. Treating the install as
+/// immediate is sound for WCET only when every prefetch is *effective*
+/// (Definition 10) — the optimizer guarantees that for the prefetches it
+/// inserts, and the concrete simulator models late prefetches exactly so
+/// tests can audit the assumption.
+class CacheAnalysisResult {
+ public:
+  Classification classify(NodeId node, std::size_t instr_index) const;
+  const MustMay& state_in(NodeId node) const;
+  /// State after executing the whole block of `node`.
+  const MustMay& state_out(NodeId node) const;
+
+  /// Counts per classification across all nodes (diagnostics).
+  std::uint64_t count(Classification c) const;
+
+  std::vector<std::vector<Classification>> per_node;  // [node][instr index]
+  std::vector<MustMay> in_states;                     // [node]
+  std::vector<MustMay> out_states;                    // [node]
+};
+
+/// Runs the must+may fixpoint over `graph` with instruction addresses taken
+/// from `layout`, for cache geometry `config`.
+///
+/// `program` may differ from `graph.program()` as long as it has the same
+/// CFG structure (same blocks and successors); the optimizer exploits this
+/// to evaluate prefetch-equivalent candidate programs (Definition 5) against
+/// one context graph — inserting straight-line instructions never changes
+/// the VIVU expansion.
+CacheAnalysisResult analyze_cache(const ContextGraph& graph,
+                                  const ir::Program& program,
+                                  const ir::Layout& layout,
+                                  const cache::CacheConfig& config);
+
+/// Convenience overload using the graph's own program.
+CacheAnalysisResult analyze_cache(const ContextGraph& graph,
+                                  const ir::Layout& layout,
+                                  const cache::CacheConfig& config);
+
+/// Applies one instruction's effect (its own fetch, plus the prefetch
+/// install if it is a kPrefetch) to a MustMay state. Shared by the fixpoint
+/// and by the optimizer's incremental re-evaluation.
+void apply_instruction(MustMay& state, const ir::Instruction& instr,
+                       const ir::Layout& layout);
+
+}  // namespace ucp::analysis

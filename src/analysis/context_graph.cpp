@@ -1,0 +1,208 @@
+#include "analysis/context_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ucp::analysis {
+
+std::string context_to_string(const Context& ctx) {
+  if (ctx.empty()) return "[]";
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (i) os << ",";
+    os << "L" << ctx[i].header << (ctx[i].rest ? ".rest" : ".first");
+  }
+  os << "]";
+  return os.str();
+}
+
+ContextGraph::ContextGraph(const ir::Program& program) : program_(&program) {
+  loops_ = ir::loops_outermost_first(program);
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    loop_by_header_[loops_[i].header] = i;
+
+  nest_chain_.assign(program.num_blocks(), {});
+  // loops_ is ordered outermost-first, so appending containing loops in
+  // order yields the outer->inner chain.
+  for (const ir::NaturalLoop& loop : loops_) {
+    for (ir::BlockId b : loop.blocks) nest_chain_[b].push_back(loop.header);
+  }
+
+  build();
+  compute_topo_order();
+}
+
+NodeId ContextGraph::intern(ir::BlockId block, const Context& ctx) {
+  const auto key = std::make_pair(block, ctx);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(CgNode{block, ctx});
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  index_.emplace(key, id);
+  return id;
+}
+
+void ContextGraph::build() {
+  const ir::Program& p = *program_;
+  UCP_REQUIRE(p.entry() != ir::kInvalidBlock, "program has no entry");
+  UCP_REQUIRE(nest_chain_[p.entry()].empty(),
+              "entry block must not be inside a loop");
+
+  entry_ = intern(p.entry(), {});
+  std::vector<NodeId> work{entry_};
+  std::vector<bool> expanded;
+
+  auto add_edge = [&](NodeId from, NodeId to, bool back) {
+    const auto idx = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(CgEdge{from, to, back});
+    out_edges_[from].push_back(idx);
+    in_edges_[to].push_back(idx);
+  };
+
+  while (!work.empty()) {
+    const NodeId nid = work.back();
+    work.pop_back();
+    if (nid < expanded.size() && expanded[nid]) continue;
+    if (nid >= expanded.size()) expanded.resize(nodes_.size(), false);
+    if (expanded[nid]) continue;
+    expanded[nid] = true;
+
+    // Copy, not reference: intern() may reallocate nodes_.
+    const CgNode node = nodes_[nid];
+    const ir::BasicBlock& bb = p.block(node.block);
+    if (!bb.instrs.empty() && bb.instrs.back().op == ir::Opcode::kHalt) {
+      exits_.push_back(nid);
+      continue;
+    }
+
+    for (ir::BlockId succ : bb.succs) {
+      const auto& chain_from = nest_chain_[node.block];
+      const auto& chain_to = nest_chain_[succ];
+
+      const bool is_back_edge =
+          loop_by_header_.count(succ) != 0 &&
+          loops_[loop_by_header_.at(succ)].contains(node.block);
+
+      // Common prefix of the two nest chains keeps its flags.
+      Context next_ctx;
+      std::size_t common = 0;
+      while (common < chain_from.size() && common < chain_to.size() &&
+             chain_from[common] == chain_to[common]) {
+        next_ctx.push_back(node.ctx[common]);
+        ++common;
+      }
+      // Newly entered loops start in FIRST context.
+      for (std::size_t i = common; i < chain_to.size(); ++i)
+        next_ctx.push_back(ContextEntry{chain_to[i], false});
+
+      bool skip = false;
+      bool rest_to_rest = false;
+      if (is_back_edge) {
+        // The back edge's target loop is in the common prefix (the header
+        // belongs to its own loop); flip its entry to REST.
+        UCP_CHECK(!next_ctx.empty());
+        std::size_t li = next_ctx.size();
+        for (std::size_t i = 0; i < next_ctx.size(); ++i) {
+          if (next_ctx[i].header == succ) li = i;
+        }
+        UCP_CHECK_MSG(li < next_ctx.size(),
+                      "back edge target not in successor context");
+        const std::uint32_t bound = p.loop_bound(succ);
+        const bool from_rest = node.ctx[li].rest;
+        // A header executing at most `bound` times per entry reaches REST
+        // only if bound >= 2, and REST re-executes only if bound >= 3.
+        if (!from_rest && bound < 2) skip = true;
+        if (from_rest && bound < 3) skip = true;
+        rest_to_rest = from_rest;
+        next_ctx[li].rest = true;
+        // Inner contexts (loops inside the target loop) were already cut:
+        // the successor is the header, whose chain ends at its own loop.
+      }
+      if (skip) continue;
+
+      const NodeId to = intern(succ, next_ctx);
+      if (to >= expanded.size() || !expanded[to]) work.push_back(to);
+      add_edge(nid, to, rest_to_rest);
+    }
+  }
+
+  // Enumerate loop instances: group header nodes by (header, parent ctx).
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const CgNode& node = nodes_[id];
+    if (loop_by_header_.count(node.block) == 0) continue;
+    UCP_CHECK(!node.ctx.empty());
+    if (node.ctx.back().header != node.block) continue;  // not its own header
+    if (node.ctx.back().rest) continue;                  // handled via FIRST
+    LoopInstance inst;
+    inst.header = node.block;
+    inst.parent_ctx = Context(node.ctx.begin(), node.ctx.end() - 1);
+    inst.first_node = id;
+    inst.bound = program_->loop_bound(node.block);
+    Context rest_ctx = node.ctx;
+    rest_ctx.back().rest = true;
+    const auto it = index_.find(std::make_pair(node.block, rest_ctx));
+    if (it != index_.end()) inst.rest_node = it->second;
+    loop_instances_.push_back(std::move(inst));
+  }
+}
+
+void ContextGraph::compute_topo_order() {
+  // Kahn's algorithm ignoring back edges.
+  std::vector<std::uint32_t> in_degree(nodes_.size(), 0);
+  for (const CgEdge& e : edges_) {
+    if (!e.back) ++in_degree[e.to];
+  }
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (in_degree[id] == 0) ready.push_back(id);
+
+  topo_.clear();
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    topo_.push_back(id);
+    for (std::uint32_t ei : out_edges_[id]) {
+      const CgEdge& e = edges_[ei];
+      if (e.back) continue;
+      if (--in_degree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  UCP_CHECK_MSG(topo_.size() == nodes_.size(),
+                "context graph is cyclic beyond REST back edges");
+}
+
+const CgNode& ContextGraph::node(NodeId id) const {
+  UCP_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const std::vector<std::uint32_t>& ContextGraph::out_edges(NodeId id) const {
+  UCP_REQUIRE(id < out_edges_.size(), "node id out of range");
+  return out_edges_[id];
+}
+
+const std::vector<std::uint32_t>& ContextGraph::in_edges(NodeId id) const {
+  UCP_REQUIRE(id < in_edges_.size(), "node id out of range");
+  return in_edges_[id];
+}
+
+std::string ContextGraph::to_string() const {
+  std::ostringstream os;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    os << "n" << id << " = bb" << nodes_[id].block << " "
+       << context_to_string(nodes_[id].ctx) << " ->";
+    for (std::uint32_t ei : out_edges_[id]) {
+      os << " n" << edges_[ei].to;
+      if (edges_[ei].back) os << "(back)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ucp::analysis

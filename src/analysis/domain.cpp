@@ -1,0 +1,154 @@
+#include "analysis/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ucp::analysis {
+
+int AbstractSet::age_of(MemBlockId block) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), block,
+      [](const AgedBlock& e, MemBlockId b) { return e.block < b; });
+  if (it != entries_.end() && it->block == block) return it->age;
+  return -1;
+}
+
+void AbstractSet::insert_at_zero_aging(MemBlockId block, int old_age,
+                                       bool may_domain) {
+  // Blocks with age strictly below the threshold are pushed one step older;
+  // in the may domain blocks sharing the accessed block's age move too.
+  const int threshold =
+      old_age < 0 ? assoc_ : (may_domain ? old_age + 1 : old_age);
+
+  for (AgedBlock& e : entries_) {
+    if (e.block == block) continue;
+    if (e.age < threshold) ++e.age;
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const AgedBlock& e) {
+                                  return e.block != block &&
+                                         e.age >= assoc_;
+                                }),
+                 entries_.end());
+
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), block,
+      [](const AgedBlock& e, MemBlockId b) { return e.block < b; });
+  if (it != entries_.end() && it->block == block) {
+    it->age = 0;
+  } else {
+    entries_.insert(it, AgedBlock{block, 0});
+  }
+}
+
+void AbstractSet::update_must(MemBlockId block) {
+  insert_at_zero_aging(block, age_of(block), /*may_domain=*/false);
+}
+
+void AbstractSet::update_may(MemBlockId block) {
+  insert_at_zero_aging(block, age_of(block), /*may_domain=*/true);
+}
+
+AbstractSet AbstractSet::join_must(const AbstractSet& a, const AbstractSet& b) {
+  UCP_REQUIRE(a.assoc_ == b.assoc_, "joining sets of different associativity");
+  AbstractSet out(a.assoc_);
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() && ib != b.entries_.end()) {
+    if (ia->block < ib->block) {
+      ++ia;
+    } else if (ib->block < ia->block) {
+      ++ib;
+    } else {
+      out.entries_.push_back(
+          AgedBlock{ia->block, std::max(ia->age, ib->age)});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+AbstractSet AbstractSet::join_may(const AbstractSet& a, const AbstractSet& b) {
+  UCP_REQUIRE(a.assoc_ == b.assoc_, "joining sets of different associativity");
+  AbstractSet out(a.assoc_);
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() || ib != b.entries_.end()) {
+    if (ib == b.entries_.end() ||
+        (ia != a.entries_.end() && ia->block < ib->block)) {
+      out.entries_.push_back(*ia++);
+    } else if (ia == a.entries_.end() || ib->block < ia->block) {
+      out.entries_.push_back(*ib++);
+    } else {
+      out.entries_.push_back(
+          AgedBlock{ia->block, std::min(ia->age, ib->age)});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+std::string AbstractSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << ", ";
+    os << "s" << entries_[i].block << "@" << int(entries_[i].age);
+  }
+  os << "}";
+  return os.str();
+}
+
+AbstractCache::AbstractCache(const cache::CacheConfig& config)
+    : config_(config) {
+  config_.validate();
+  UCP_REQUIRE(config_.assoc <= 255, "associativity too large for age domain");
+  sets_.assign(config_.num_sets(),
+               AbstractSet(static_cast<std::uint8_t>(config_.assoc)));
+}
+
+AbstractSet& AbstractCache::set_for_block(MemBlockId block) {
+  return sets_[config_.set_of(block)];
+}
+
+const AbstractSet& AbstractCache::set_for_block(MemBlockId block) const {
+  return sets_[config_.set_of(block)];
+}
+
+const AbstractSet& AbstractCache::set_at(std::uint32_t index) const {
+  UCP_REQUIRE(index < sets_.size(), "set index out of range");
+  return sets_[index];
+}
+
+AbstractCache AbstractCache::join_must(const AbstractCache& a,
+                                       const AbstractCache& b) {
+  UCP_REQUIRE(a.config_ == b.config_, "joining caches of different geometry");
+  AbstractCache out(a.config_);
+  for (std::size_t i = 0; i < out.sets_.size(); ++i)
+    out.sets_[i] = AbstractSet::join_must(a.sets_[i], b.sets_[i]);
+  return out;
+}
+
+AbstractCache AbstractCache::join_may(const AbstractCache& a,
+                                      const AbstractCache& b) {
+  UCP_REQUIRE(a.config_ == b.config_, "joining caches of different geometry");
+  AbstractCache out(a.config_);
+  for (std::size_t i = 0; i < out.sets_.size(); ++i)
+    out.sets_[i] = AbstractSet::join_may(a.sets_[i], b.sets_[i]);
+  return out;
+}
+
+std::string AbstractCache::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    if (sets_[i].size() == 0) continue;
+    os << "set" << i << " " << sets_[i].to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ucp::analysis

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+
+namespace ucp::analysis {
+
+using cache::MemBlockId;
+
+/// Abstract LRU age of a block inside one cache set. In the must domain an
+/// age is an *upper* bound (block guaranteed resident with age <= h); in the
+/// may domain it is a *lower* bound (block possibly resident, earliest age h).
+/// These are the abstract cache states of Ferdinand's analysis, reviewed in
+/// Section 3.1 of the paper (Definitions 1-2).
+struct AgedBlock {
+  MemBlockId block;
+  std::uint8_t age;
+
+  friend bool operator==(const AgedBlock&, const AgedBlock&) = default;
+};
+
+/// One abstract cache set: blocks sorted by id, each with an abstract age in
+/// [0, assoc). Blocks aged past assoc-1 are dropped (abstractly evicted).
+class AbstractSet {
+ public:
+  explicit AbstractSet(std::uint8_t assoc) : assoc_(assoc) {}
+
+  /// Age of `block`, or -1 if absent.
+  int age_of(MemBlockId block) const;
+  bool contains(MemBlockId block) const { return age_of(block) >= 0; }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<AgedBlock>& entries() const { return entries_; }
+  std::uint8_t assoc() const { return assoc_; }
+
+  /// Must-domain LRU update on access to `block` (Ferdinand's U-hat).
+  void update_must(MemBlockId block);
+  /// May-domain LRU update on access to `block`.
+  void update_may(MemBlockId block);
+
+  /// Must join: intersection, maximal age. The result is what is guaranteed
+  /// cached no matter which path executed.
+  static AbstractSet join_must(const AbstractSet& a, const AbstractSet& b);
+  /// May join: union, minimal age. The result is what may be cached on some
+  /// path.
+  static AbstractSet join_may(const AbstractSet& a, const AbstractSet& b);
+
+  friend bool operator==(const AbstractSet&, const AbstractSet&) = default;
+
+  std::string to_string() const;
+
+ private:
+  void insert_at_zero_aging(MemBlockId block, int old_age, bool may_domain);
+
+  std::uint8_t assoc_;
+  std::vector<AgedBlock> entries_;  // sorted by block id
+};
+
+/// A whole abstract cache state: one AbstractSet per cache set. The paper's
+/// c-hat : L -> P(S).
+class AbstractCache {
+ public:
+  explicit AbstractCache(const cache::CacheConfig& config);
+
+  const cache::CacheConfig& config() const { return config_; }
+  AbstractSet& set_for_block(MemBlockId block);
+  const AbstractSet& set_for_block(MemBlockId block) const;
+  const AbstractSet& set_at(std::uint32_t index) const;
+
+  void update_must(MemBlockId block) { set_for_block(block).update_must(block); }
+  void update_may(MemBlockId block) { set_for_block(block).update_may(block); }
+  bool must_contain(MemBlockId block) const {
+    return set_for_block(block).contains(block);
+  }
+  bool may_contain(MemBlockId block) const {
+    return set_for_block(block).contains(block);
+  }
+
+  static AbstractCache join_must(const AbstractCache& a,
+                                 const AbstractCache& b);
+  static AbstractCache join_may(const AbstractCache& a, const AbstractCache& b);
+
+  friend bool operator==(const AbstractCache&, const AbstractCache&) = default;
+
+  std::string to_string() const;
+
+ private:
+  cache::CacheConfig config_;
+  std::vector<AbstractSet> sets_;
+};
+
+}  // namespace ucp::analysis

@@ -1,0 +1,198 @@
+#include "analysis/persistence.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "analysis/cache_analysis.hpp"
+#include "support/check.hpp"
+
+namespace ucp::analysis {
+
+namespace {
+
+/// One cache set in the persistence domain: blocks with a saturating age in
+/// [0, assoc]; age == assoc means "may have been evicted at some point".
+class PersistSet {
+ public:
+  explicit PersistSet(std::uint8_t assoc) : assoc_(assoc) {}
+
+  int age_of(MemBlockId block) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), block,
+        [](const AgedBlock& e, MemBlockId b) { return e.block < b; });
+    if (it != entries_.end() && it->block == block) return it->age;
+    return -1;
+  }
+
+  void update(MemBlockId block) {
+    const int old_age = age_of(block);
+    const int threshold = old_age < 0 ? assoc_ : old_age;
+    for (AgedBlock& e : entries_) {
+      if (e.block == block) continue;
+      if (e.age < threshold && e.age < assoc_) ++e.age;  // saturate
+    }
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), block,
+        [](const AgedBlock& e, MemBlockId b) { return e.block < b; });
+    if (it != entries_.end() && it->block == block) {
+      it->age = 0;
+    } else {
+      entries_.insert(it, AgedBlock{block, 0});
+    }
+  }
+
+  static PersistSet join(const PersistSet& a, const PersistSet& b) {
+    UCP_CHECK(a.assoc_ == b.assoc_);
+    PersistSet out(a.assoc_);
+    auto ia = a.entries_.begin();
+    auto ib = b.entries_.begin();
+    while (ia != a.entries_.end() || ib != b.entries_.end()) {
+      if (ib == b.entries_.end() ||
+          (ia != a.entries_.end() && ia->block < ib->block)) {
+        out.entries_.push_back(*ia++);
+      } else if (ia == a.entries_.end() || ib->block < ia->block) {
+        out.entries_.push_back(*ib++);
+      } else {
+        out.entries_.push_back(
+            AgedBlock{ia->block, std::max(ia->age, ib->age)});
+        ++ia;
+        ++ib;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const PersistSet&, const PersistSet&) = default;
+
+ private:
+  std::uint8_t assoc_;
+  std::vector<AgedBlock> entries_;  // sorted by block id
+};
+
+struct PersistCache {
+  explicit PersistCache(const cache::CacheConfig& config)
+      : config(config),
+        sets(config.num_sets(),
+             PersistSet(static_cast<std::uint8_t>(config.assoc))) {}
+
+  void update(MemBlockId block) { sets[config.set_of(block)].update(block); }
+  const PersistSet& set_for(MemBlockId block) const {
+    return sets[config.set_of(block)];
+  }
+
+  static PersistCache join(const PersistCache& a, const PersistCache& b) {
+    PersistCache out(a.config);
+    for (std::size_t i = 0; i < out.sets.size(); ++i)
+      out.sets[i] = PersistSet::join(a.sets[i], b.sets[i]);
+    return out;
+  }
+
+  friend bool operator==(const PersistCache& x, const PersistCache& y) {
+    return x.sets == y.sets;
+  }
+
+  cache::CacheConfig config;
+  std::vector<PersistSet> sets;
+};
+
+}  // namespace
+
+bool PersistenceResult::persistent(NodeId node,
+                                   std::size_t instr_index) const {
+  UCP_REQUIRE(node < per_node.size(), "node id out of range");
+  UCP_REQUIRE(instr_index < per_node[node].size(),
+              "instruction index out of range");
+  return per_node[node][instr_index];
+}
+
+PersistenceResult analyze_persistence(const ContextGraph& graph,
+                                      const ir::Program& program,
+                                      const ir::Layout& layout,
+                                      const cache::CacheConfig& config) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<PersistCache> in_states(n, PersistCache(config));
+  std::vector<PersistCache> out_states(n, PersistCache(config));
+  std::vector<bool> has_in(n, false);
+  has_in[graph.entry_node()] = true;
+
+  std::deque<NodeId> work;
+  std::vector<bool> queued(n, false);
+  for (NodeId id : graph.topo_order()) {
+    work.push_back(id);
+    queued[id] = true;
+  }
+
+  while (!work.empty()) {
+    const NodeId id = work.front();
+    work.pop_front();
+    queued[id] = false;
+    if (!has_in[id]) continue;
+
+    PersistCache out = in_states[id];
+    const ir::BasicBlock& bb = program.block(graph.node(id).block);
+    for (const ir::Instruction& in : bb.instrs) {
+      out.update(layout.mem_block(in.id));
+      if (in.is_prefetch()) out.update(layout.mem_block(in.pf_target));
+    }
+    const bool changed = !(out == out_states[id]);
+    out_states[id] = std::move(out);
+    if (!changed) continue;
+
+    for (std::uint32_t ei : graph.out_edges(id)) {
+      const CgEdge& e = graph.edges()[ei];
+      PersistCache merged =
+          has_in[e.to] ? PersistCache::join(in_states[e.to], out_states[id])
+                       : out_states[id];
+      if (!has_in[e.to] || !(merged == in_states[e.to])) {
+        in_states[e.to] = std::move(merged);
+        has_in[e.to] = true;
+        if (!queued[e.to]) {
+          work.push_back(e.to);
+          queued[e.to] = true;
+        }
+      }
+    }
+  }
+
+  PersistenceResult result;
+  result.per_node.assign(n, {});
+  const int evicted_age = static_cast<int>(config.assoc);
+  for (NodeId id = 0; id < n; ++id) {
+    PersistCache state = in_states[id];
+    const ir::BasicBlock& bb = program.block(graph.node(id).block);
+    auto& flags = result.per_node[id];
+    flags.reserve(bb.instrs.size());
+    for (const ir::Instruction& in : bb.instrs) {
+      const MemBlockId block = layout.mem_block(in.id);
+      const int age = state.set_for(block).age_of(block);
+      // Persistent: the block may be absent (not yet loaded: the one
+      // allowed first miss) but must never have reached the eviction age.
+      flags.push_back(age < evicted_age);
+      state.update(block);
+      if (in.is_prefetch()) state.update(layout.mem_block(in.pf_target));
+    }
+  }
+  return result;
+}
+
+std::size_t persistence_gain(const ContextGraph& graph,
+                             const ir::Program& program,
+                             const ir::Layout& layout,
+                             const cache::CacheConfig& config) {
+  const CacheAnalysisResult must_may =
+      analyze_cache(graph, program, layout, config);
+  const PersistenceResult persist =
+      analyze_persistence(graph, program, layout, config);
+
+  std::size_t gain = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (std::size_t i = 0; i < must_may.per_node[v].size(); ++i) {
+      if (must_may.per_node[v][i] == Classification::kNotClassified &&
+          persist.persistent(v, i))
+        ++gain;
+    }
+  }
+  return gain;
+}
+
+}  // namespace ucp::analysis

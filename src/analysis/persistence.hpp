@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/context_graph.hpp"
+#include "cache/config.hpp"
+#include "ir/layout.hpp"
+
+namespace ucp::analysis {
+
+/// Persistence analysis — the third classical cache analysis of [8]
+/// (alongside must and may): a memory block is *persistent* if, once
+/// loaded, it can never be evicted again. A reference to a persistent
+/// block is "first-miss": it contributes at most one miss over the whole
+/// execution, no matter how often it runs.
+///
+/// The domain extends must-ages with a saturating eviction age: blocks age
+/// under conflicting accesses as in the must domain but are retained at
+/// the virtual age `assoc` ("possibly evicted") instead of being dropped;
+/// joins take the union with maximal age. A block whose age never reaches
+/// `assoc` at its reference point is persistent.
+///
+/// In this codebase VIVU's FIRST/REST peeling already separates cold
+/// misses from steady-state behaviour, so persistence mostly confirms the
+/// VIVU classification; `persistence_gain` reports how many references
+/// only persistence can promote — the precision comparison the analysis
+/// literature discusses.
+class PersistenceResult {
+ public:
+  /// True if the fetch of instruction `instr_index` of `node` is
+  /// first-miss (persistent block).
+  bool persistent(NodeId node, std::size_t instr_index) const;
+
+  std::vector<std::vector<bool>> per_node;  // [node][instr index]
+};
+
+PersistenceResult analyze_persistence(const ContextGraph& graph,
+                                      const ir::Program& program,
+                                      const ir::Layout& layout,
+                                      const cache::CacheConfig& config);
+
+/// Number of references that are neither always-hit under must analysis
+/// (in any context) nor always-miss, but are persistent — i.e. the extra
+/// precision persistence buys on top of the must/may classification.
+std::size_t persistence_gain(const ContextGraph& graph,
+                             const ir::Program& program,
+                             const ir::Layout& layout,
+                             const cache::CacheConfig& config);
+
+}  // namespace ucp::analysis

@@ -1,0 +1,210 @@
+#include "cache/cache_sim.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ucp::cache {
+
+std::string hw_prefetch_policy_name(HwPrefetchPolicy policy) {
+  switch (policy) {
+    case HwPrefetchPolicy::kNone:
+      return "on-demand";
+    case HwPrefetchPolicy::kNextLineAlways:
+      return "next-line-always";
+    case HwPrefetchPolicy::kNextLineOnMiss:
+      return "next-line-on-miss";
+    case HwPrefetchPolicy::kNextLineTagged:
+      return "next-line-tagged";
+  }
+  UCP_CHECK_MSG(false, "unknown hardware prefetch policy");
+}
+
+CacheSim::CacheSim(const CacheConfig& config, const MemTiming& timing,
+                   HwPrefetchPolicy hw_policy)
+    : config_(config), timing_(timing), hw_policy_(hw_policy) {
+  config_.validate();
+  timing_.validate();
+  sets_.resize(config_.num_sets());
+  for (Set& s : sets_) s.ways.resize(config_.assoc);
+}
+
+void CacheSim::lock_block(MemBlockId block) {
+  UCP_REQUIRE(find(block) == nullptr, "block already resident");
+  auto& ways = sets_[config_.set_of(block)].ways;
+  for (auto it = ways.rbegin(); it != ways.rend(); ++it) {
+    if (it->valid) continue;
+    it->valid = true;
+    it->locked = true;
+    it->block = block;
+    it->ready_at = 0;
+    return;
+  }
+  throw InvalidArgument("no free way left to lock block " +
+                        std::to_string(block));
+}
+
+std::uint32_t CacheSim::locked_ways(std::uint32_t set_index) const {
+  UCP_REQUIRE(set_index < sets_.size(), "set index out of range");
+  std::uint32_t n = 0;
+  for (const Way& w : sets_[set_index].ways)
+    if (w.valid && w.locked) ++n;
+  return n;
+}
+
+CacheSim::Way* CacheSim::find(MemBlockId block) {
+  Set& set = sets_[config_.set_of(block)];
+  for (Way& w : set.ways) {
+    if (w.valid && w.block == block) return &w;
+  }
+  return nullptr;
+}
+
+const CacheSim::Way* CacheSim::find(MemBlockId block) const {
+  const Set& set = sets_[config_.set_of(block)];
+  for (const Way& w : set.ways) {
+    if (w.valid && w.block == block) return &w;
+  }
+  return nullptr;
+}
+
+void CacheSim::touch(std::uint32_t set_index, std::size_t way_index) {
+  auto& ways = sets_[set_index].ways;
+  UCP_CHECK(way_index < ways.size());
+  const Way moved = ways[way_index];
+  ways.erase(ways.begin() + static_cast<std::ptrdiff_t>(way_index));
+  ways.insert(ways.begin(), moved);
+}
+
+CacheSim::Way* CacheSim::install(MemBlockId block, std::uint64_t ready_at,
+                                 bool from_prefetch) {
+  auto& ways = sets_[config_.set_of(block)].ways;
+  // Victim: least recently used way that is not locked.
+  std::ptrdiff_t victim = -1;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(ways.size()) - 1;
+       i >= 0; --i) {
+    if (!ways[static_cast<std::size_t>(i)].locked) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim < 0) return nullptr;  // fully locked set: bypass
+  if (ways[static_cast<std::size_t>(victim)].valid) ++stats_.evictions;
+  ways.erase(ways.begin() + victim);
+  Way w;
+  w.valid = true;
+  w.block = block;
+  w.ready_at = ready_at;
+  w.from_prefetch = from_prefetch;
+  w.prefetch_used = false;
+  ways.insert(ways.begin(), w);
+  return &ways.front();
+}
+
+FetchResult CacheSim::fetch(MemBlockId block, std::uint64_t now) {
+  ++stats_.fetches;
+  const std::uint32_t set_index = config_.set_of(block);
+  auto& ways = sets_[set_index].ways;
+
+  const bool first_touch = touched_.insert(block).second;
+
+  for (std::size_t i = 0; i < ways.size(); ++i) {
+    Way& w = ways[i];
+    if (!w.valid || w.block != block) continue;
+    FetchResult result;
+    if (w.ready_at > now) {
+      // In flight: stall for the remainder, then serve like a hit.
+      const std::uint64_t stall = w.ready_at - now;
+      result.kind = FetchKind::kLatePrefetch;
+      result.cycles = stall + timing_.hit_cycles;
+      stats_.stall_cycles += stall;
+      ++stats_.late_prefetch_hits;
+      ++stats_.hits;
+    } else {
+      result.kind = FetchKind::kHit;
+      result.cycles = timing_.hit_cycles;
+      ++stats_.hits;
+    }
+    if (w.from_prefetch && !w.prefetch_used) {
+      w.prefetch_used = true;
+      ++stats_.useful_prefetch_hits;
+    }
+    touch(set_index, i);
+    hw_prefetch_after(block, /*was_miss=*/false, first_touch, now);
+    return result;
+  }
+
+  // Demand miss: fetch from level-two memory, install as MRU, serve. The
+  // fetched word is forwarded as the fill completes, so the block is usable
+  // right after the charged miss service time (ready_at = 0).
+  ++stats_.misses;
+  if (Way* w = install(block, 0, /*from_prefetch=*/false)) {
+    (void)w;
+  }
+  hw_prefetch_after(block, /*was_miss=*/true, first_touch,
+                    now + timing_.miss_cycles);
+  return FetchResult{FetchKind::kMiss, timing_.miss_cycles};
+}
+
+void CacheSim::prefetch(MemBlockId block, std::uint64_t now) {
+  ++stats_.prefetches_issued;
+  if (Way* w = find(block)) {
+    // Already resident (possibly still in flight): refresh recency only.
+    ++stats_.prefetches_redundant;
+    auto& ways = sets_[config_.set_of(block)].ways;
+    const auto idx = static_cast<std::size_t>(w - ways.data());
+    touch(config_.set_of(block), idx);
+    return;
+  }
+  if (install(block, now + timing_.prefetch_latency, true) != nullptr) {
+    ++stats_.prefetch_fills;
+  }
+}
+
+void CacheSim::hw_prefetch_after(MemBlockId block, bool was_miss,
+                                 bool first_touch, std::uint64_t now) {
+  bool fire = false;
+  switch (hw_policy_) {
+    case HwPrefetchPolicy::kNone:
+      break;
+    case HwPrefetchPolicy::kNextLineAlways:
+      fire = true;
+      break;
+    case HwPrefetchPolicy::kNextLineOnMiss:
+      fire = was_miss;
+      break;
+    case HwPrefetchPolicy::kNextLineTagged:
+      fire = first_touch;
+      break;
+  }
+  if (fire) prefetch(block + 1, now);
+}
+
+bool CacheSim::contains(MemBlockId block) const {
+  return find(block) != nullptr;
+}
+
+std::optional<std::uint64_t> CacheSim::ready_at(MemBlockId block) const {
+  const Way* w = find(block);
+  if (w == nullptr) return std::nullopt;
+  return w->ready_at;
+}
+
+std::vector<MemBlockId> CacheSim::set_contents(std::uint32_t set_index) const {
+  UCP_REQUIRE(set_index < sets_.size(), "set index out of range");
+  std::vector<MemBlockId> out;
+  for (const Way& w : sets_[set_index].ways) {
+    if (w.valid) out.push_back(w.block);
+  }
+  return out;
+}
+
+void CacheSim::reset() {
+  for (Set& s : sets_) {
+    s.ways.assign(config_.assoc, Way{});
+  }
+  stats_ = CacheStats{};
+  touched_.clear();
+}
+
+}  // namespace ucp::cache

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+
+namespace ucp::cache {
+
+/// What happened on a demand fetch.
+enum class FetchKind : std::uint8_t {
+  kHit,           ///< block resident and ready
+  kMiss,          ///< block absent; fetched from level-two memory
+  kLatePrefetch,  ///< block in flight from a prefetch; stalled for remainder
+};
+
+struct FetchResult {
+  FetchKind kind = FetchKind::kHit;
+  std::uint64_t cycles = 0;  ///< service time charged to this fetch
+};
+
+/// Counters exposed for ACET/energy accounting and the Figure 4 miss-rate
+/// experiment.
+struct CacheStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t late_prefetch_hits = 0;  ///< subset of hits with stall > 0
+  std::uint64_t stall_cycles = 0;        ///< cycles lost to late prefetches
+  std::uint64_t evictions = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetches_redundant = 0;  ///< target already resident
+  std::uint64_t prefetch_fills = 0;        ///< level-two fills from prefetch
+  std::uint64_t useful_prefetch_hits = 0;  ///< demand hits on prefetched data
+
+  double miss_rate() const {
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(misses) /
+                              static_cast<double>(fetches);
+  }
+  /// Level-two accesses = demand misses + prefetch fills.
+  std::uint64_t level2_accesses() const { return misses + prefetch_fills; }
+};
+
+/// Hardware sequential-prefetch policies of Section 2 (Smith's next-line
+/// schemes), used as baselines against the paper's software prefetching.
+enum class HwPrefetchPolicy : std::uint8_t {
+  kNone,            ///< on-demand fetching only (the paper's baseline)
+  kNextLineAlways,  ///< prefetch block+1 on every demand fetch
+  kNextLineOnMiss,  ///< prefetch block+1 on every demand miss
+  kNextLineTagged,  ///< prefetch block+1 on first touch of a block
+};
+
+std::string hw_prefetch_policy_name(HwPrefetchPolicy policy);
+
+/// Concrete set-associative LRU instruction cache with a non-blocking
+/// software-prefetch port, as assumed by the paper: `prefetch()` starts
+/// loading a block without stalling the processor; the block becomes usable
+/// Λ cycles later. A demand fetch that arrives early stalls only for the
+/// remaining latency (the "prefetch buffer" behaviour of Section 1).
+///
+/// Optionally emulates the hardware next-line prefetchers of Section 2
+/// (`HwPrefetchPolicy`) so the related-work baselines can be measured, and
+/// supports way-locking (`lock_block`) for the cache-locking comparison the
+/// paper's conclusions call for: locked blocks are never evicted or aged
+/// out by fills.
+///
+/// Simplifications (documented in DESIGN.md): a prefetch allocates its way
+/// immediately (evicting the LRU block at issue time), and at most one fill
+/// per block is in flight (re-prefetching an in-flight block is a no-op).
+class CacheSim {
+ public:
+  CacheSim(const CacheConfig& config, const MemTiming& timing,
+           HwPrefetchPolicy hw_policy = HwPrefetchPolicy::kNone);
+
+  /// Pre-loads `block` and pins it: it will never be evicted. Must be
+  /// called before the run; fails if the set has no unlocked way left.
+  /// Models static instruction-cache locking (no fetch cost charged — the
+  /// lock-down happens at system start, as in the locking literature).
+  void lock_block(MemBlockId block);
+  std::uint32_t locked_ways(std::uint32_t set_index) const;
+
+  /// Demand-fetches `block` at absolute time `now`; returns the outcome and
+  /// the cycles this fetch takes (hit time, miss time, or remaining stall).
+  FetchResult fetch(MemBlockId block, std::uint64_t now);
+
+  /// Issues a software prefetch for `block` at time `now`. Never stalls.
+  void prefetch(MemBlockId block, std::uint64_t now);
+
+  /// True if `block` is resident (regardless of readiness).
+  bool contains(MemBlockId block) const;
+  /// Ready time if the block is resident and still in flight.
+  std::optional<std::uint64_t> ready_at(MemBlockId block) const;
+
+  /// Blocks of one set from most- to least-recently used (tests/debugging).
+  std::vector<MemBlockId> set_contents(std::uint32_t set_index) const;
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+  const MemTiming& timing() const { return timing_; }
+
+  /// Empties the cache and clears statistics.
+  void reset();
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool locked = false;
+    MemBlockId block = 0;
+    std::uint64_t ready_at = 0;
+    bool from_prefetch = false;
+    bool prefetch_used = false;
+  };
+
+  /// Ways of one set ordered MRU-first.
+  struct Set {
+    std::vector<Way> ways;
+  };
+
+  Way* find(MemBlockId block);
+  const Way* find(MemBlockId block) const;
+  /// Moves the way holding `block` to MRU position within its set.
+  void touch(std::uint32_t set_index, std::size_t way_index);
+  /// Victimizes the LRU *unlocked* way of the set and installs `block` as
+  /// MRU; returns nullptr when every way is locked (fetch bypass).
+  Way* install(MemBlockId block, std::uint64_t ready_at, bool from_prefetch);
+
+  /// Fires the configured hardware next-line policy after a demand fetch.
+  void hw_prefetch_after(MemBlockId block, bool was_miss, bool first_touch,
+                         std::uint64_t now);
+
+  CacheConfig config_;
+  MemTiming timing_;
+  HwPrefetchPolicy hw_policy_;
+  std::vector<Set> sets_;
+  CacheStats stats_;
+  /// Blocks demand-fetched at least once (for the tagged next-line policy).
+  std::set<MemBlockId> touched_;
+};
+
+}  // namespace ucp::cache

@@ -1,0 +1,61 @@
+#include "cache/config.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ucp::cache {
+
+namespace {
+bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+void CacheConfig::validate() const {
+  UCP_REQUIRE(is_pow2(assoc), "associativity must be a power of two");
+  UCP_REQUIRE(is_pow2(block_bytes), "block size must be a power of two");
+  UCP_REQUIRE(is_pow2(capacity_bytes), "capacity must be a power of two");
+  UCP_REQUIRE(capacity_bytes % (assoc * block_bytes) == 0,
+              "capacity must be a multiple of assoc * block size");
+  UCP_REQUIRE(num_sets() >= 1, "cache must have at least one set");
+}
+
+std::string CacheConfig::to_string() const {
+  std::ostringstream os;
+  os << "(" << assoc << ", " << block_bytes << ", " << capacity_bytes << ")";
+  return os.str();
+}
+
+const std::vector<NamedCacheConfig>& paper_cache_configs() {
+  static const std::vector<NamedCacheConfig> configs = [] {
+    std::vector<NamedCacheConfig> v;
+    int next_id = 1;
+    for (std::uint32_t capacity : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+      for (std::uint32_t block : {16u, 32u}) {
+        for (std::uint32_t assoc : {1u, 2u, 4u}) {
+          NamedCacheConfig named;
+          named.id = std::string("k") + std::to_string(next_id++);
+          named.config = CacheConfig{assoc, block, capacity};
+          named.config.validate();
+          v.push_back(std::move(named));
+        }
+      }
+    }
+    return v;
+  }();
+  return configs;
+}
+
+const NamedCacheConfig& paper_cache_config(const std::string& id) {
+  for (const NamedCacheConfig& named : paper_cache_configs()) {
+    if (named.id == id) return named;
+  }
+  throw InvalidArgument("unknown cache configuration id: " + id);
+}
+
+void MemTiming::validate() const {
+  UCP_REQUIRE(hit_cycles >= 1, "hit time must be at least one cycle");
+  UCP_REQUIRE(miss_cycles > hit_cycles, "miss must be slower than hit");
+  UCP_REQUIRE(prefetch_latency >= 1, "prefetch latency must be positive");
+}
+
+}  // namespace ucp::cache

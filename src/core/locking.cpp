@@ -1,0 +1,120 @@
+#include "core/locking.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "ir/layout.hpp"
+#include "support/check.hpp"
+#include "wcet/ipet.hpp"
+
+namespace ucp::core {
+
+namespace {
+
+/// Builds the frozen-cache classification: locked block -> always-hit,
+/// anything else -> always-miss. The in/out abstract states are irrelevant
+/// to IPET, so only per_node is populated.
+analysis::CacheAnalysisResult frozen_classification(
+    const analysis::ContextGraph& graph, const ir::Program& program,
+    const ir::Layout& layout,
+    const std::set<cache::MemBlockId>& locked) {
+  analysis::CacheAnalysisResult cls;
+  cls.per_node.resize(graph.num_nodes());
+  for (analysis::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const ir::BasicBlock& bb = program.block(graph.node(v).block);
+    auto& out = cls.per_node[v];
+    out.reserve(bb.instrs.size());
+    for (const ir::Instruction& in : bb.instrs) {
+      const bool hit = locked.count(layout.mem_block(in.id)) != 0;
+      out.push_back(hit ? analysis::Classification::kAlwaysHit
+                        : analysis::Classification::kAlwaysMiss);
+    }
+  }
+  return cls;
+}
+
+}  // namespace
+
+std::uint64_t locked_tau(const ir::Program& program,
+                         const cache::CacheConfig& config,
+                         const cache::MemTiming& timing,
+                         const std::vector<cache::MemBlockId>& locked) {
+  const ir::Layout layout(program, config.block_bytes);
+  const analysis::ContextGraph graph(program);
+  const std::set<cache::MemBlockId> locked_set(locked.begin(), locked.end());
+  const analysis::CacheAnalysisResult cls =
+      frozen_classification(graph, program, layout, locked_set);
+  const wcet::WcetResult w = wcet::compute_wcet(graph, cls, timing);
+  UCP_CHECK_MSG(w.ok(), "IPET failed under locking");
+  return w.tau_mem;
+}
+
+LockingResult optimize_locking(const ir::Program& program,
+                               const cache::CacheConfig& config,
+                               const cache::MemTiming& timing,
+                               std::uint32_t max_rounds) {
+  config.validate();
+  timing.validate();
+
+  const ir::Layout layout(program, config.block_bytes);
+  const analysis::ContextGraph graph(program);
+
+  LockingResult result;
+  {
+    // Reference point: ordinary unlocked analysis.
+    const analysis::CacheAnalysisResult cls =
+        analysis::analyze_cache(graph, layout, config);
+    const wcet::WcetResult w = wcet::compute_wcet(graph, cls, timing);
+    UCP_CHECK_MSG(w.ok(), "IPET failed for unlocked reference");
+    result.tau_unlocked = w.tau_mem;
+  }
+
+  std::set<cache::MemBlockId> locked;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    ++result.rounds;
+    // Worst-case counts under the current selection.
+    const analysis::CacheAnalysisResult cls =
+        frozen_classification(graph, program, layout, locked);
+    const wcet::WcetResult w = wcet::compute_wcet(graph, cls, timing);
+    UCP_CHECK_MSG(w.ok(), "IPET failed during locking selection");
+
+    // Weight of a block = the miss cycles it would save if locked, summed
+    // over every reference to it in the worst-case scenario.
+    std::map<cache::MemBlockId, std::uint64_t> weight;
+    for (analysis::NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (w.node_counts[v] == 0) continue;
+      const ir::BasicBlock& bb = program.block(graph.node(v).block);
+      for (const ir::Instruction& in : bb.instrs) {
+        weight[layout.mem_block(in.id)] +=
+            (timing.miss_cycles - timing.hit_cycles) * w.node_counts[v];
+      }
+    }
+
+    // Greedy per-set selection: heaviest blocks first, at most assoc per
+    // set.
+    std::vector<std::pair<std::uint64_t, cache::MemBlockId>> ranked;
+    ranked.reserve(weight.size());
+    for (const auto& [block, wgt] : weight) ranked.push_back({wgt, block});
+    std::sort(ranked.rbegin(), ranked.rend());
+
+    std::set<cache::MemBlockId> next;
+    std::map<std::uint32_t, std::uint32_t> used;  // set -> locked ways
+    for (const auto& [wgt, block] : ranked) {
+      auto& n = used[config.set_of(block)];
+      if (n >= config.assoc) continue;
+      ++n;
+      next.insert(block);
+    }
+    if (next == locked) break;  // selection stabilized
+    locked = std::move(next);
+  }
+
+  result.locked.assign(locked.begin(), locked.end());
+  result.tau_locked = locked_tau(program, config, timing, result.locked);
+  return result;
+}
+
+}  // namespace ucp::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "ir/program.hpp"
+
+namespace ucp::core {
+
+/// Static instruction-cache locking baseline — the *other* school of
+/// real-time cache management the paper argues against (Section 2.2-2.3).
+/// The cache is pre-loaded with a fixed set of memory blocks at system
+/// start and never changes afterwards: locked references always hit, every
+/// other reference always misses. Perfectly predictable, but it trades
+/// performance (and, as technology scales, energy) for that predictability
+/// — the trade-off the paper's Figure 3 premise builds on and its
+/// conclusions promise to quantify. `bench_locking_vs_prefetch` does.
+struct LockingResult {
+  /// Blocks chosen for lock-down (at most assoc per cache set).
+  std::vector<cache::MemBlockId> locked;
+  /// τ_w of the program under this lock-down.
+  std::uint64_t tau_locked = 0;
+  /// τ_w under pure on-demand fetching (for comparison).
+  std::uint64_t tau_unlocked = 0;
+  /// Greedy refinement rounds actually run.
+  std::uint32_t rounds = 0;
+};
+
+/// Greedy WCET-driven content selection (Puaut/Decotigny style): rank
+/// memory blocks by their miss contribution to τ_w under the current
+/// selection, lock the top blocks per set, recompute the worst-case counts,
+/// and repeat until the selection stabilizes (or `max_rounds`).
+LockingResult optimize_locking(const ir::Program& program,
+                               const cache::CacheConfig& config,
+                               const cache::MemTiming& timing,
+                               std::uint32_t max_rounds = 3);
+
+/// τ_w of `program` when exactly `locked` is resident and the cache is
+/// frozen (locked refs hit, everything else misses).
+std::uint64_t locked_tau(const ir::Program& program,
+                         const cache::CacheConfig& config,
+                         const cache::MemTiming& timing,
+                         const std::vector<cache::MemBlockId>& locked);
+
+}  // namespace ucp::core

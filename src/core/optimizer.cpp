@@ -1,0 +1,261 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "core/wcet_path.hpp"
+#include "ir/layout.hpp"
+#include "ir/verify.hpp"
+#include "sim/interpreter.hpp"
+#include "support/check.hpp"
+#include "wcet/ipet.hpp"
+
+namespace ucp::core {
+
+using analysis::CacheAnalysisResult;
+using analysis::ContextGraph;
+
+ir::Instruction make_prefetch(ir::InstrId target) {
+  ir::Instruction in;
+  in.op = ir::Opcode::kPrefetch;
+  in.pf_target = target;
+  return in;
+}
+
+namespace {
+
+/// Evaluates τ_w of `program` under the frozen worst-case counts.
+std::uint64_t fixed_tau(const ContextGraph& graph, const ir::Program& program,
+                        const cache::CacheConfig& config,
+                        const cache::MemTiming& timing,
+                        const std::vector<std::uint64_t>& counts) {
+  const ir::Layout layout(program, config.block_bytes);
+  const CacheAnalysisResult cls =
+      analysis::analyze_cache(graph, program, layout, config);
+  return wcet::tau_with_fixed_counts(graph, cls, timing, counts);
+}
+
+struct Candidate {
+  ir::InstrId evictor = ir::kInvalidInstr;  ///< insert right after this
+  ir::InstrId target = ir::kInvalidInstr;   ///< r_j whose miss to preclude
+  cache::MemBlockId target_block = 0;       ///< s': block to prefetch
+  std::uint64_t slack = 0;                  ///< t_w between insertion and use
+  std::uint64_t miss_weight = 0;            ///< t_w(r_j) * n_w(r_j)
+  bool can_survive = true;                  ///< path-local survival check
+};
+
+/// Necessary condition for any gain: between the insertion point and the
+/// use, fewer than `assoc` distinct other blocks of the same cache set may
+/// be fetched, or the prefetched block is evicted again before its use even
+/// along the WCET path. Saves a full re-analysis on hopeless (thrashing)
+/// candidates.
+bool prefetch_can_survive(const WcetPath& path, std::size_t evictor_pos,
+                          std::size_t use_pos, cache::MemBlockId target,
+                          const cache::CacheConfig& config) {
+  const std::uint32_t set = config.set_of(target);
+  std::set<cache::MemBlockId> conflicting;
+  for (std::size_t k = evictor_pos + 1; k < use_pos; ++k) {
+    const cache::MemBlockId blk = path.refs[k].block;
+    if (blk != target && config.set_of(blk) == set) conflicting.insert(blk);
+    if (conflicting.size() >= config.assoc) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OptimizationResult optimize_prefetches(const ir::Program& input,
+                                       const cache::CacheConfig& config,
+                                       const cache::MemTiming& timing,
+                                       const OptimizerOptions& options) {
+  config.validate();
+  timing.validate();
+  ir::verify_or_throw(input);
+
+  OptimizationResult result{input, {}};
+  OptimizationReport& report = result.report;
+  ir::Program& p = result.program;
+
+  // The CFG never changes during optimization (prefetches are straight-line
+  // insertions), so one context graph serves every candidate evaluation.
+  const ContextGraph graph(input);
+
+  // Preliminary WCET analysis: classifications, τ_w, and the frozen
+  // worst-case counts n_w the whole profit arithmetic runs against.
+  const ir::Layout layout0(input, config.block_bytes);
+  const CacheAnalysisResult cls0 = analysis::analyze_cache(graph, layout0, config);
+  const wcet::WcetResult wcet0 = wcet::compute_wcet(graph, cls0, timing);
+  if (!wcet0.ok()) {
+    report.wcet_failed = true;
+    return result;
+  }
+  report.tau_original = wcet0.tau_mem;
+  const std::vector<std::uint64_t>& n_w = wcet0.node_counts;
+
+  std::uint64_t tau_current = wcet0.tau_mem;
+  // One candidate evaluation costs a full must/may pass over the graph, so
+  // the effective budget shrinks with graph size to keep per-program
+  // optimization time roughly constant.
+  const std::size_t eval_budget = std::min(
+      options.max_evaluations,
+      std::max<std::size_t>(48, 160000 / std::max<std::size_t>(
+                                             1, graph.num_nodes())));
+  // Candidates already tried (accepted or rejected), keyed by
+  // (evictor, target) — identical physical insertions are not retried.
+  std::set<std::pair<ir::InstrId, ir::InstrId>> tried;
+
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    ++report.passes;
+
+    // Re-derive the WCET path against the current program.
+    const ir::Layout layout(p, config.block_bytes);
+    const CacheAnalysisResult cls =
+        analysis::analyze_cache(graph, p, layout, config);
+    const WcetPath path =
+        build_wcet_path(graph, p, layout, config, timing, cls, wcet0);
+
+    // Collect candidates: replaced-block misses on the WCET path, visited
+    // in reverse execution order as Algorithm 3 prescribes.
+    std::vector<Candidate> candidates;
+    for (std::size_t k = path.refs.size(); k-- > 0;) {
+      const PathRef& ref = path.refs[k];
+      if (!ref.path_miss || ref.is_prefetch || ref.evictor < 0) continue;
+      if (ref.n_w == 0) continue;  // off the worst-case path: no τ gain
+      Candidate c;
+      const auto epos = static_cast<std::size_t>(ref.evictor);
+      c.evictor = path.refs[epos].instr;
+      c.target = ref.instr;
+      c.target_block = ref.block;
+      c.slack = path.slack_between(epos, k);
+      c.miss_weight = static_cast<std::uint64_t>(ref.t_w) * ref.n_w;
+      c.can_survive =
+          prefetch_can_survive(path, epos, k, ref.block, config);
+      candidates.push_back(c);
+    }
+    report.candidates_found += candidates.size();
+
+    bool accepted_any = false;
+    for (const Candidate& c : candidates) {
+      if (report.insertions.size() >= options.max_prefetches) break;
+      if (report.candidates_evaluated >= eval_budget) break;
+      // Identical physical insertions (same point, same target block) are
+      // tried once; contexts share code, so they produce the same program.
+      if (!tried.insert({c.evictor, c.target_block}).second) continue;
+
+      if (options.require_effectiveness &&
+          c.slack < timing.prefetch_latency) {
+        ++report.rejected_ineffective;
+        continue;
+      }
+      if (!c.can_survive) {
+        ++report.rejected_cannot_survive;
+        continue;
+      }
+
+      // Tentative insertion: right after the displacing access. Because a
+      // 4-byte insertion relocates all downstream code, its Δτ is highly
+      // alignment-sensitive; when the bare insertion loses, retry with one
+      // alignment nop (an 8-byte shift), the padding a real compiler/linker
+      // uses to keep hot loop bodies within their cache blocks.
+      ir::Program best_trial("unset");
+      std::int64_t profit = std::numeric_limits<std::int64_t>::min();
+      ir::InstrId pf = ir::kInvalidInstr;
+      for (int variant = 0; variant < 2; ++variant) {
+        ir::Program trial = p;
+        const ir::Program::InstrLocation loc = trial.locate(c.evictor);
+        const ir::InstrId inserted =
+            trial.insert(loc.block, loc.index + 1, make_prefetch(c.target));
+        if (variant == 1) {
+          ir::Instruction nop;
+          nop.op = ir::Opcode::kNop;
+          trial.insert(loc.block, loc.index + 2, nop);
+        }
+        ++report.candidates_evaluated;
+        const std::uint64_t tau_trial =
+            fixed_tau(graph, trial, config, timing, n_w);
+        const auto delta = static_cast<std::int64_t>(tau_current) -
+                           static_cast<std::int64_t>(tau_trial);
+        if (delta > profit) {
+          profit = delta;
+          best_trial = std::move(trial);
+          pf = inserted;
+        }
+        if (profit > 0 && variant == 0) break;  // bare insertion suffices
+      }
+
+      bool accept = false;
+      switch (options.accept_rule) {
+        case AcceptRule::kProfit:
+          accept = profit > 0;
+          break;
+        case AcceptRule::kAnyNonIncrease:
+          accept = profit >= 0;
+          break;
+        case AcceptRule::kAlways:
+          accept = true;
+          break;
+      }
+      if (!accept) {
+        ++report.rejected_unprofitable;
+        continue;
+      }
+
+      // Condition 3 (Section 2.3): the average case may not get slower.
+      // Cheap here — candidates reaching this point are rare and the
+      // concrete runs take microseconds.
+      if (options.require_acet_non_increase) {
+        const std::uint64_t acet_before =
+            sim::run_program(p, config, timing).mem_cycles;
+        const std::uint64_t acet_after =
+            sim::run_program(best_trial, config, timing).mem_cycles;
+        if (acet_after > acet_before) {
+          ++report.rejected_acet;
+          continue;
+        }
+      }
+
+      p = std::move(best_trial);
+      tau_current = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(tau_current) - profit);
+      accepted_any = true;
+      PrefetchRecord record;
+      record.prefetch_instr = pf;
+      record.target_instr = c.target;
+      record.block = p.locate(pf).block;
+      record.profit_tau = profit;
+      record.slack = c.slack;
+      report.insertions.push_back(record);
+    }
+
+    if (!accepted_any) break;
+  }
+
+  report.tau_fixed_final = tau_current;
+
+  // Final audit: fresh IPET on the optimized program. The frozen-counts
+  // profit test matches the paper's Theorem 1 arithmetic; the audit guards
+  // the remaining gap (the true WCET path may differ after insertion).
+  {
+    const ir::Layout layout(p, config.block_bytes);
+    const CacheAnalysisResult cls =
+        analysis::analyze_cache(graph, p, layout, config);
+    const wcet::WcetResult wcet_final = wcet::compute_wcet(graph, cls, timing);
+    UCP_CHECK_MSG(wcet_final.ok(), "final IPET failed on optimized program");
+    report.tau_optimized = wcet_final.tau_mem;
+  }
+  if (options.final_audit && report.tau_optimized > report.tau_original &&
+      !report.insertions.empty()) {
+    result.program = input;
+    report.reverted = true;
+    report.insertions.clear();
+    report.tau_optimized = report.tau_original;
+    report.tau_fixed_final = report.tau_original;
+  }
+  return result;
+}
+
+}  // namespace ucp::core

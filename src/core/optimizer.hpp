@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "ir/program.hpp"
+
+namespace ucp::core {
+
+/// How candidate prefetches are accepted — the joint improvement criterion
+/// of Section 4.3 and two ablation variants for bench_ablation_criterion.
+enum class AcceptRule : std::uint8_t {
+  /// Paper criterion: accept only if τ_w (fixed worst-case counts) strictly
+  /// decreases — this folds mcost/pcost gain and rcost relocation into one
+  /// exact Δτ test (see DESIGN.md §3 interpretation notes).
+  kProfit,
+  /// Accept if τ_w does not increase (drops the strict-gain requirement).
+  kAnyNonIncrease,
+  /// Accept every effective candidate (shows why the criterion matters).
+  kAlways,
+};
+
+struct OptimizerOptions {
+  /// Maximum optimize-analyze passes (each pass rescans the WCET path).
+  std::uint32_t max_passes = 6;
+  /// Enforce Definition 10 (Λ must fit in the slack before the use).
+  bool require_effectiveness = true;
+  /// Enforce Condition 3 of Section 2.3 directly: a candidate that
+  /// increases the *simulated* memory ACET is rejected. The paper relies
+  /// on the WCET-ACET correlation instead of measuring; checking the
+  /// trace costs us microseconds and upholds the paper's "energy savings
+  /// for all use cases without increasing the ACET" observation even
+  /// where the worst-case and average paths diverge.
+  bool require_acet_non_increase = true;
+  AcceptRule accept_rule = AcceptRule::kProfit;
+  /// Re-run the full IPET on the result and revert everything if the true
+  /// WCET regressed (guards the fixed-counts approximation; see DESIGN.md).
+  bool final_audit = true;
+  std::uint64_t max_prefetches = 4096;
+  /// Budget on full candidate re-analyses per optimization run. Each
+  /// evaluation costs one must/may pass over the whole VIVU graph, which
+  /// dominates runtime on the largest kernels (nsichneu-class); candidates
+  /// beyond the budget are left untried (reported in the rejection stats).
+  std::size_t max_evaluations = 320;
+};
+
+/// One accepted insertion.
+struct PrefetchRecord {
+  ir::InstrId prefetch_instr = ir::kInvalidInstr;
+  ir::InstrId target_instr = ir::kInvalidInstr;  ///< r_j: the miss precluded
+  ir::BlockId block = ir::kInvalidBlock;         ///< physical insertion block
+  std::int64_t profit_tau = 0;                   ///< Δτ_w at acceptance
+  std::uint64_t slack = 0;                       ///< Definition-10 slack
+};
+
+struct OptimizationReport {
+  bool wcet_failed = false;       ///< initial IPET unsolved; program untouched
+  bool reverted = false;          ///< final audit failed; original returned
+  std::uint64_t tau_original = 0;   ///< fresh-IPET τ_w of the input
+  std::uint64_t tau_optimized = 0;  ///< fresh-IPET τ_w of the output
+  std::uint64_t tau_fixed_final = 0;  ///< fixed-counts τ_w after optimization
+  std::size_t candidates_found = 0;
+  std::size_t candidates_evaluated = 0;
+  std::size_t rejected_ineffective = 0;
+  std::size_t rejected_unprofitable = 0;
+  /// Δτ_w-profitable but increased the simulated ACET (Condition 3).
+  std::size_t rejected_acet = 0;
+  /// Skipped without re-analysis: >= assoc conflicting blocks are fetched
+  /// between the insertion point and the use, so the prefetched block
+  /// cannot survive to its use even on the WCET path itself.
+  std::size_t rejected_cannot_survive = 0;
+  std::size_t passes = 0;
+  std::vector<PrefetchRecord> insertions;
+
+  double wcet_ratio() const {
+    return tau_original == 0
+               ? 1.0
+               : static_cast<double>(tau_optimized) /
+                     static_cast<double>(tau_original);
+  }
+};
+
+struct OptimizationResult {
+  ir::Program program;
+  OptimizationReport report;
+};
+
+/// The paper's optimization (Algorithm 3): identifies, along the WCET path,
+/// every cache miss whose block was displaced by an earlier access, and
+/// inserts a software prefetch right after the displacing access whenever
+/// the joint improvement criterion holds. The returned program is
+/// prefetch-equivalent to the input (Definition 5) and its memory
+/// contribution to the WCET never exceeds the input's (Theorem 1; enforced
+/// by construction plus the final audit).
+OptimizationResult optimize_prefetches(const ir::Program& input,
+                                       const cache::CacheConfig& config,
+                                       const cache::MemTiming& timing,
+                                       const OptimizerOptions& options = {});
+
+/// Builds a kPrefetch instruction for the block containing `target`.
+ir::Instruction make_prefetch(ir::InstrId target);
+
+}  // namespace ucp::core

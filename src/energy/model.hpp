@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/config.hpp"
+#include "sim/interpreter.hpp"
+
+namespace ucp::energy {
+
+/// Process technologies evaluated in the paper.
+enum class TechNode : std::uint8_t { k45nm, k32nm };
+
+std::string tech_name(TechNode node);
+
+/// Analytical SRAM cache power/latency model standing in for CACTI 6.5
+/// (documented substitution; see DESIGN.md §3). The trends CACTI exhibits
+/// and the paper relies on are preserved:
+///  - dynamic read energy grows sublinearly with capacity and associativity;
+///  - leakage power grows ~linearly with capacity;
+///  - 32nm has slightly lower dynamic energy but substantially *higher*
+///    leakage share than 45nm — the effect that makes cache locking (longer
+///    ACET) increasingly energy-hostile and motivates this paper.
+struct CacheEnergyModel {
+  double read_energy_nj = 0.0;   ///< per lookup (hit or miss probe)
+  double fill_energy_nj = 0.0;   ///< per block fill (miss or prefetch)
+  double leakage_mw = 0.0;       ///< static power of the SRAM array
+  double access_time_ns = 0.0;   ///< lookup latency
+};
+
+/// Level-two memory (the paper's 128 MB DRAM).
+struct DramModel {
+  double access_energy_nj = 0.0;  ///< per block transfer
+  double background_mw = 0.0;     ///< refresh + standby power
+  double access_time_ns = 0.0;    ///< block fetch latency
+};
+
+CacheEnergyModel cache_model(const cache::CacheConfig& config, TechNode node);
+DramModel dram_model(TechNode node, std::uint32_t block_bytes);
+
+/// Processor clock assumed for both technologies (cycle <-> ns bridge).
+inline constexpr double kClockGhz = 1.0;
+
+/// Derives the simulator/WCET timing parameters from the physical model:
+/// hit time from the cache lookup latency, miss time and prefetch latency Λ
+/// from lookup + DRAM block fetch.
+cache::MemTiming derive_timing(const cache::CacheConfig& config,
+                               TechNode node);
+
+/// Memory-system energy of one concrete run, split by component. This is
+/// the quantity behind Inequation 10 / Figure 3.
+struct EnergyBreakdown {
+  double cache_dynamic_nj = 0.0;
+  double dram_dynamic_nj = 0.0;
+  double cache_static_nj = 0.0;
+  double dram_static_nj = 0.0;
+
+  double total_nj() const {
+    return cache_dynamic_nj + dram_dynamic_nj + cache_static_nj +
+           dram_static_nj;
+  }
+  double static_nj() const { return cache_static_nj + dram_static_nj; }
+  double dynamic_nj() const { return cache_dynamic_nj + dram_dynamic_nj; }
+};
+
+/// Combines run counters with the physical model. Static power integrates
+/// over the whole run (the cache leaks while the core computes too).
+EnergyBreakdown memory_energy(const sim::RunMetrics& metrics,
+                              const cache::CacheConfig& config, TechNode node);
+
+}  // namespace ucp::energy

@@ -1,0 +1,335 @@
+#include "exp/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "ir/layout.hpp"
+#include "suite/suite.hpp"
+#include "support/check.hpp"
+#include "wcet/ipet.hpp"
+
+namespace ucp::exp {
+
+namespace {
+
+double ratio(double num, double den) { return den == 0.0 ? 1.0 : num / den; }
+
+}  // namespace
+
+Metrics measure(const ir::Program& program, const cache::CacheConfig& config,
+                energy::TechNode tech) {
+  const cache::MemTiming timing = energy::derive_timing(config, tech);
+
+  Metrics m;
+  // Static side: VIVU + must/may + IPET.
+  const ir::Layout layout(program, config.block_bytes);
+  m.code_bytes = layout.code_bytes();
+  const analysis::ContextGraph graph(program);
+  const analysis::CacheAnalysisResult cls =
+      analysis::analyze_cache(graph, layout, config);
+  const wcet::WcetResult wcet = wcet::compute_wcet(graph, cls, timing);
+  UCP_CHECK_MSG(wcet.ok(), "IPET failed for program " + program.name());
+  m.tau_wcet = wcet.tau_mem;
+
+  // Dynamic side: trace simulation + energy model.
+  m.run = sim::run_program(program, config, timing);
+  m.energy = energy::memory_energy(m.run, config, tech);
+  return m;
+}
+
+double UseCaseResult::wcet_ratio() const {
+  return ratio(static_cast<double>(optimized.tau_wcet),
+               static_cast<double>(original.tau_wcet));
+}
+
+double UseCaseResult::acet_ratio() const {
+  return ratio(static_cast<double>(optimized.run.mem_cycles),
+               static_cast<double>(original.run.mem_cycles));
+}
+
+double UseCaseResult::energy_ratio() const {
+  return ratio(optimized.energy.total_nj(), original.energy.total_nj());
+}
+
+double UseCaseResult::instr_ratio() const {
+  return ratio(static_cast<double>(optimized.run.instructions),
+               static_cast<double>(original.run.instructions));
+}
+
+UseCaseResult run_use_case(const ir::Program& program,
+                           const std::string& program_name,
+                           const cache::NamedCacheConfig& config,
+                           energy::TechNode tech,
+                           const core::OptimizerOptions& options) {
+  UseCaseResult result;
+  result.program = program_name;
+  result.config_id = config.id;
+  result.config = config.config;
+  result.tech = tech;
+
+  const cache::MemTiming timing = energy::derive_timing(config.config, tech);
+  core::OptimizationResult opt =
+      core::optimize_prefetches(program, config.config, timing, options);
+  result.report = opt.report;
+
+  result.original = measure(program, config.config, tech);
+  result.optimized = measure(opt.program, config.config, tech);
+  return result;
+}
+
+namespace {
+
+/// Fields of one memoized use case, in file column order. Only the
+/// quantities the figure aggregations consume are persisted.
+void save_cache(const std::string& path,
+                const std::vector<UseCaseResult>& results) {
+  std::ofstream os(path);
+  if (!os) return;
+  os << "program,config,tech,o_tau,o_mem,o_instr,o_energy,o_fetches,"
+        "o_misses,o_cycles,p_tau,p_mem,p_instr,p_energy,p_fetches,p_misses,"
+        "p_cycles,prefetches,candidates\n";
+  os.precision(12);
+  for (const UseCaseResult& r : results) {
+    os << r.program << ',' << r.config_id << ','
+       << energy::tech_name(r.tech) << ',' << r.original.tau_wcet << ','
+       << r.original.run.mem_cycles << ',' << r.original.run.instructions
+       << ',' << r.original.energy.total_nj() << ','
+       << r.original.run.cache.fetches << ',' << r.original.run.cache.misses
+       << ',' << r.original.run.total_cycles << ',' << r.optimized.tau_wcet
+       << ',' << r.optimized.run.mem_cycles << ','
+       << r.optimized.run.instructions << ','
+       << r.optimized.energy.total_nj() << ','
+       << r.optimized.run.cache.fetches << ','
+       << r.optimized.run.cache.misses << ','
+       << r.optimized.run.total_cycles << ','
+       << r.report.insertions.size() << ',' << r.report.candidates_found
+       << '\n';
+  }
+}
+
+bool load_cache(const std::string& path, std::vector<UseCaseResult>& out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  if (!std::getline(is, line)) return false;  // header
+  while (std::getline(is, line)) {
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (cells.size() != 19) return false;
+    UseCaseResult r;
+    r.program = cells[0];
+    r.config_id = cells[1];
+    r.config = cache::paper_cache_config(r.config_id).config;
+    r.tech = cells[2] == "45nm" ? energy::TechNode::k45nm
+                                : energy::TechNode::k32nm;
+    auto u = [&](int i) { return std::stoull(cells[static_cast<std::size_t>(i)]); };
+    auto d = [&](int i) { return std::stod(cells[static_cast<std::size_t>(i)]); };
+    r.original.tau_wcet = u(3);
+    r.original.run.mem_cycles = u(4);
+    r.original.run.instructions = u(5);
+    // Only the total matters downstream; park it in one component.
+    r.original.energy.cache_dynamic_nj = d(6);
+    r.original.run.cache.fetches = u(7);
+    r.original.run.cache.misses = u(8);
+    r.original.run.total_cycles = u(9);
+    r.optimized.tau_wcet = u(10);
+    r.optimized.run.mem_cycles = u(11);
+    r.optimized.run.instructions = u(12);
+    r.optimized.energy.cache_dynamic_nj = d(13);
+    r.optimized.run.cache.fetches = u(14);
+    r.optimized.run.cache.misses = u(15);
+    r.optimized.run.total_cycles = u(16);
+    r.report.insertions.resize(static_cast<std::size_t>(u(17)));
+    r.report.candidates_found = static_cast<std::size_t>(u(18));
+    out.push_back(std::move(r));
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+std::vector<UseCaseResult> run_sweep(const SweepOptions& options) {
+  // Serve (a filtered view of) the memoized full sweep when available.
+  if (!options.cache_path.empty()) {
+    std::vector<UseCaseResult> cached;
+    if (load_cache(options.cache_path, cached)) {
+      std::vector<UseCaseResult> filtered;
+      const bool all_programs = options.programs.empty();
+      for (UseCaseResult& r : cached) {
+        if (!all_programs &&
+            std::find(options.programs.begin(), options.programs.end(),
+                      r.program) == options.programs.end())
+          continue;
+        if (std::find(options.techs.begin(), options.techs.end(), r.tech) ==
+            options.techs.end())
+          continue;
+        filtered.push_back(std::move(r));
+      }
+      std::cerr << "  [sweep] loaded " << filtered.size()
+                << " memoized use cases from " << options.cache_path << "\n";
+      return filtered;
+    }
+  }
+
+  // Materialize the grid.
+  struct Case {
+    std::string program;
+    const cache::NamedCacheConfig* config;
+    energy::TechNode tech;
+  };
+  std::vector<Case> grid;
+  std::vector<std::string> names = options.programs;
+  if (names.empty()) {
+    for (const suite::BenchmarkInfo& info : suite::all_benchmarks())
+      names.push_back(info.name);
+  }
+  const auto& configs = cache::paper_cache_configs();
+  for (const std::string& name : names) {
+    for (std::size_t c = 0; c < configs.size(); c += options.config_stride) {
+      for (energy::TechNode tech : options.techs)
+        grid.push_back(Case{name, &configs[c], tech});
+    }
+  }
+
+  std::vector<UseCaseResult> results(grid.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  const std::uint32_t threads =
+      options.threads != 0
+          ? options.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= grid.size()) return;
+      const Case& c = grid[idx];
+      const ir::Program program = suite::build_benchmark(c.program);
+      results[idx] =
+          run_use_case(program, c.program, *c.config, c.tech,
+                       options.optimizer);
+      const std::size_t d = done.fetch_add(1) + 1;
+      if (options.progress_every != 0 && d % options.progress_every == 0) {
+        std::cerr << "  [sweep] " << d << "/" << grid.size()
+                  << " use cases done\n";
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (std::uint32_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  // Persist only full default grids; partial sweeps would poison the memo
+  // for the other figure benches.
+  if (!options.cache_path.empty() && options.programs.empty() &&
+      options.config_stride == 1 && options.techs.size() == 2) {
+    save_cache(options.cache_path, results);
+  }
+  return results;
+}
+
+void parallel_for_index(std::size_t n, std::uint32_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  std::atomic<std::size_t> next{0};
+  const std::uint32_t workers =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= n) return;
+      fn(idx);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::uint32_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<SizeAggregate> aggregate_by_size(
+    const std::vector<UseCaseResult>& results) {
+  std::vector<SizeAggregate> out;
+  for (std::uint32_t capacity : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    SizeAggregate agg;
+    agg.capacity_bytes = capacity;
+    double e = 0, a = 0, w = 0, mo = 0, mp = 0, ir = 0, pf = 0;
+    for (const UseCaseResult& r : results) {
+      if (r.config.capacity_bytes != capacity) continue;
+      ++agg.cases;
+      e += r.energy_ratio();
+      a += r.acet_ratio();
+      w += r.wcet_ratio();
+      mo += r.original.miss_rate();
+      mp += r.optimized.miss_rate();
+      ir += r.instr_ratio();
+      pf += static_cast<double>(r.report.insertions.size());
+      agg.max_wcet_ratio = std::max(agg.max_wcet_ratio, r.wcet_ratio());
+    }
+    if (agg.cases == 0) continue;
+    const auto n = static_cast<double>(agg.cases);
+    agg.mean_energy_ratio = e / n;
+    agg.mean_acet_ratio = a / n;
+    agg.mean_wcet_ratio = w / n;
+    agg.mean_missrate_orig = mo / n;
+    agg.mean_missrate_opt = mp / n;
+    agg.mean_instr_ratio = ir / n;
+    agg.mean_prefetches = pf / n;
+    out.push_back(agg);
+  }
+  return out;
+}
+
+std::vector<UseCaseResult> paper_regime(
+    const std::vector<UseCaseResult>& results, double lo, double hi) {
+  std::vector<UseCaseResult> out;
+  for (const UseCaseResult& r : results) {
+    const double mr = r.original.miss_rate();
+    if (mr >= lo && mr <= hi) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<UseCaseResult> reuse_regime(
+    const std::vector<UseCaseResult>& results) {
+  std::vector<UseCaseResult> out;
+  for (const UseCaseResult& r : results) {
+    if (r.report.candidates_found > 0) out.push_back(r);
+  }
+  return out;
+}
+
+GrandAggregate aggregate_all(const std::vector<UseCaseResult>& results) {
+  GrandAggregate g;
+  if (results.empty()) return g;
+  double e = 0, a = 0, w = 0, ir = 0;
+  for (const UseCaseResult& r : results) {
+    ++g.cases;
+    e += r.energy_ratio();
+    a += r.acet_ratio();
+    w += r.wcet_ratio();
+    ir += r.instr_ratio();
+    g.max_instr_ratio = std::max(g.max_instr_ratio, r.instr_ratio());
+    g.max_wcet_ratio = std::max(g.max_wcet_ratio, r.wcet_ratio());
+    if (r.wcet_ratio() > 1.0 + 1e-9) ++g.wcet_regressions;
+  }
+  const auto n = static_cast<double>(g.cases);
+  g.mean_energy_ratio = e / n;
+  g.mean_acet_ratio = a / n;
+  g.mean_wcet_ratio = w / n;
+  g.mean_instr_ratio = ir / n;
+  return g;
+}
+
+}  // namespace ucp::exp

@@ -1,0 +1,93 @@
+#include "ilp/model.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ucp::ilp {
+
+VarId Model::add_var(std::string name, double lower, double upper,
+                     bool integer) {
+  UCP_REQUIRE(lower <= upper, "variable bounds inverted");
+  UCP_REQUIRE(lower >= 0.0,
+              "this solver handles non-negative variables only (IPET counts)");
+  vars_.push_back(Var{std::move(name), lower, upper, integer});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void Model::add_constraint(std::vector<Term> terms, Rel rel, double rhs) {
+  for (const Term& t : terms)
+    UCP_REQUIRE(t.var >= 0 && static_cast<std::size_t>(t.var) < vars_.size(),
+                "constraint references unknown variable");
+  constraints_.push_back(Constraint{std::move(terms), rel, rhs});
+}
+
+void Model::set_objective(std::vector<Term> terms, bool maximize) {
+  for (const Term& t : terms)
+    UCP_REQUIRE(t.var >= 0 && static_cast<std::size_t>(t.var) < vars_.size(),
+                "objective references unknown variable");
+  objective_ = std::move(terms);
+  maximize_ = maximize;
+}
+
+const Model::Var& Model::var(VarId id) const {
+  UCP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < vars_.size(),
+              "variable id out of range");
+  return vars_[static_cast<std::size_t>(id)];
+}
+
+std::string Model::to_string() const {
+  std::ostringstream os;
+  os << (maximize_ ? "maximize" : "minimize") << ":";
+  for (const Term& t : objective_)
+    os << " " << (t.coeff >= 0 ? "+" : "") << t.coeff << "*"
+       << vars_[static_cast<std::size_t>(t.var)].name;
+  os << "\nsubject to:\n";
+  for (const Constraint& c : constraints_) {
+    os << " ";
+    for (const Term& t : c.terms)
+      os << " " << (t.coeff >= 0 ? "+" : "") << t.coeff << "*"
+         << vars_[static_cast<std::size_t>(t.var)].name;
+    switch (c.rel) {
+      case Rel::kLe:
+        os << " <= ";
+        break;
+      case Rel::kGe:
+        os << " >= ";
+        break;
+      case Rel::kEq:
+        os << " = ";
+        break;
+    }
+    os << c.rhs << "\n";
+  }
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    os << "  " << vars_[i].lower << " <= " << vars_[i].name;
+    if (vars_[i].upper != kInfinity) os << " <= " << vars_[i].upper;
+    if (vars_[i].integer) os << "  (int)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  UCP_CHECK_MSG(false, "unknown status");
+}
+
+double Solution::value(VarId id) const {
+  UCP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < values.size(),
+              "variable id out of range in solution");
+  return values[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ucp::ilp

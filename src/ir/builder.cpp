@@ -1,0 +1,492 @@
+#include "ir/builder.hpp"
+
+#include "ir/verify.hpp"
+
+namespace ucp::ir {
+
+IrBuilder::IrBuilder(std::string name) : program_(std::move(name)) {
+  current_ = new_block("entry");
+  program_.set_entry(current_);
+}
+
+BlockId IrBuilder::new_block(const std::string& label) {
+  return program_.add_block(label + "." + std::to_string(label_counter_++));
+}
+
+void IrBuilder::ensure_open() const {
+  UCP_REQUIRE(!taken_, "builder already consumed by take()");
+  UCP_REQUIRE(!current_terminated_,
+              "emitting into a terminated block (code after halt/break?)");
+}
+
+void IrBuilder::emit(Instruction in) {
+  ensure_open();
+  last_instr_ = program_.append(current_, in);
+  if (is_terminator(in.op)) current_terminated_ = true;
+}
+
+void IrBuilder::movi(Reg rd, std::int64_t imm) {
+  Instruction in;
+  in.op = Opcode::kMovImm;
+  in.rd = rd.index;
+  in.imm = imm;
+  emit(in);
+}
+
+void IrBuilder::mov(Reg rd, Reg rs) {
+  Instruction in;
+  in.op = Opcode::kMov;
+  in.rd = rd.index;
+  in.rs1 = rs.index;
+  emit(in);
+}
+
+namespace {
+Instruction make_binop(Opcode op, Reg rd, Reg a, Reg b) {
+  Instruction in;
+  in.op = op;
+  in.rd = rd.index;
+  in.rs1 = a.index;
+  in.rs2 = b.index;
+  return in;
+}
+}  // namespace
+
+void IrBuilder::add(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kAdd, rd, a, b));
+}
+void IrBuilder::sub(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kSub, rd, a, b));
+}
+void IrBuilder::mul(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kMul, rd, a, b));
+}
+void IrBuilder::div(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kDiv, rd, a, b));
+}
+void IrBuilder::rem(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kRem, rd, a, b));
+}
+void IrBuilder::and_(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kAnd, rd, a, b));
+}
+void IrBuilder::or_(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kOr, rd, a, b));
+}
+void IrBuilder::xor_(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kXor, rd, a, b));
+}
+void IrBuilder::shl(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kShl, rd, a, b));
+}
+void IrBuilder::shr(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kShr, rd, a, b));
+}
+void IrBuilder::sar(Reg rd, Reg a, Reg b) {
+  emit(make_binop(Opcode::kSar, rd, a, b));
+}
+
+void IrBuilder::addi(Reg rd, Reg a, std::int64_t imm) {
+  Instruction in;
+  in.op = Opcode::kAddImm;
+  in.rd = rd.index;
+  in.rs1 = a.index;
+  in.imm = imm;
+  emit(in);
+}
+
+void IrBuilder::load(Reg rd, Reg base, std::int64_t offset) {
+  Instruction in;
+  in.op = Opcode::kLoad;
+  in.rd = rd.index;
+  in.rs1 = base.index;
+  in.imm = offset;
+  emit(in);
+}
+
+void IrBuilder::store(Reg base, std::int64_t offset, Reg value) {
+  Instruction in;
+  in.op = Opcode::kStore;
+  in.rs1 = base.index;
+  in.rs2 = value.index;
+  in.imm = offset;
+  emit(in);
+}
+
+void IrBuilder::nop() {
+  Instruction in;
+  in.op = Opcode::kNop;
+  emit(in);
+}
+
+void IrBuilder::nops(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) nop();
+}
+
+void IrBuilder::halt() {
+  Instruction in;
+  in.op = Opcode::kHalt;
+  emit(in);
+}
+
+void IrBuilder::jump(BlockId target) {
+  Instruction in;
+  in.op = Opcode::kJump;
+  emit(in);
+  program_.block(current_).succs = {target};
+}
+
+void IrBuilder::fallthrough(BlockId target) {
+  ensure_open();
+  // Empty blocks are invalid IR; pad with a nop (mirrors compiler-inserted
+  // landing pads at empty join points).
+  if (program_.block(current_).instrs.empty()) nop();
+  program_.block(current_).succs = {target};
+  current_terminated_ = true;
+}
+
+void IrBuilder::branch(Cond cond, Reg a, Reg b, BlockId taken,
+                       BlockId not_taken) {
+  Instruction in;
+  in.op = Opcode::kBranch;
+  in.cond = cond;
+  in.rs1 = a.index;
+  in.rs2 = b.index;
+  emit(in);
+  program_.block(current_).succs = {taken, not_taken};
+}
+
+void IrBuilder::branch_imm(Cond cond, Reg a, std::int64_t imm, BlockId taken,
+                           BlockId not_taken) {
+  Instruction in;
+  in.op = Opcode::kBranchImm;
+  in.cond = cond;
+  in.rs1 = a.index;
+  in.imm = imm;
+  emit(in);
+  program_.block(current_).succs = {taken, not_taken};
+}
+
+void IrBuilder::if_then(Cond cond, Reg a, Reg b, const Body& then_body) {
+  const BlockId then_bb = new_block("then");
+  // The join block id must exist before the branch, but we want then-code
+  // laid out adjacent to the branch; the join is created after the body.
+  // To do that we branch with a placeholder and patch below.
+  branch(cond, a, b, then_bb, kInvalidBlock);
+  const BlockId branch_bb = current_;
+
+  current_ = then_bb;
+  current_terminated_ = false;
+  then_body();
+  const bool then_terminated = current_terminated_;
+  const BlockId then_end = current_;
+
+  const BlockId join = new_block("join");
+  program_.block(branch_bb).succs[1] = join;
+  if (!then_terminated) {
+    current_ = then_end;
+    current_terminated_ = false;
+    fallthrough(join);
+  }
+  current_ = join;
+  current_terminated_ = false;
+}
+
+void IrBuilder::if_then_else(Cond cond, Reg a, Reg b, const Body& then_body,
+                             const Body& else_body) {
+  const BlockId then_bb = new_block("then");
+  branch(cond, a, b, then_bb, kInvalidBlock);
+  const BlockId branch_bb = current_;
+
+  current_ = then_bb;
+  current_terminated_ = false;
+  then_body();
+  const bool then_terminated = current_terminated_;
+  const BlockId then_end = current_;
+
+  const BlockId else_bb = new_block("else");
+  program_.block(branch_bb).succs[1] = else_bb;
+  current_ = else_bb;
+  current_terminated_ = false;
+  else_body();
+  const bool else_terminated = current_terminated_;
+  const BlockId else_end = current_;
+
+  const BlockId join = new_block("join");
+  if (!then_terminated) {
+    current_ = then_end;
+    current_terminated_ = false;
+    jump(join);
+    current_terminated_ = true;
+  }
+  if (!else_terminated) {
+    current_ = else_end;
+    current_terminated_ = false;
+    fallthrough(join);
+  }
+  current_ = join;
+  current_terminated_ = false;
+}
+
+void IrBuilder::for_range(Reg counter, std::int64_t start, std::int64_t limit,
+                          const Body& body) {
+  UCP_REQUIRE(limit > start, "for_range needs at least one iteration");
+  movi(counter, start);
+  const auto trips = static_cast<std::uint32_t>(limit - start);
+
+  const BlockId header = new_block("for.header");
+  fallthrough(header);
+  current_ = header;
+  current_terminated_ = false;
+
+  const BlockId body_bb = new_block("for.body");
+  branch_imm(Cond::kGe, counter, limit, kInvalidBlock, body_bb);
+  const BlockId header_end = header;
+
+  break_frames_.emplace_back();
+  current_ = body_bb;
+  current_terminated_ = false;
+  body();
+  if (!current_terminated_) {
+    addi(counter, counter, 1);
+    jump(header);
+  }
+
+  const BlockId exit_bb = new_block("for.exit");
+  program_.block(header_end).succs[0] = exit_bb;
+  for (BlockId brk : break_frames_.back())
+    program_.block(brk).succs = {exit_bb};
+  break_frames_.pop_back();
+
+  // Header executes once per entry check plus once per completed iteration.
+  program_.set_loop_bound(header, trips + 1);
+  current_ = exit_bb;
+  current_terminated_ = false;
+}
+
+void IrBuilder::for_range_reg(Reg counter, std::int64_t start, Reg limit_reg,
+                              std::uint32_t bound, const Body& body) {
+  UCP_REQUIRE(bound > 0, "for_range_reg needs a positive bound");
+  movi(counter, start);
+
+  const BlockId header = new_block("forr.header");
+  fallthrough(header);
+  current_ = header;
+  current_terminated_ = false;
+
+  const BlockId body_bb = new_block("forr.body");
+  branch(Cond::kGe, counter, limit_reg, kInvalidBlock, body_bb);
+  const BlockId header_end = header;
+
+  break_frames_.emplace_back();
+  current_ = body_bb;
+  current_terminated_ = false;
+  body();
+  if (!current_terminated_) {
+    addi(counter, counter, 1);
+    jump(header);
+  }
+
+  const BlockId exit_bb = new_block("forr.exit");
+  program_.block(header_end).succs[0] = exit_bb;
+  for (BlockId brk : break_frames_.back())
+    program_.block(brk).succs = {exit_bb};
+  break_frames_.pop_back();
+
+  program_.set_loop_bound(header, bound + 1);
+  current_ = exit_bb;
+  current_terminated_ = false;
+}
+
+void IrBuilder::for_range_rr(Reg counter, Reg start_reg, Reg limit_reg,
+                             std::uint32_t bound, const Body& body) {
+  UCP_REQUIRE(bound > 0, "for_range_rr needs a positive bound");
+  mov(counter, start_reg);
+
+  const BlockId header = new_block("forrr.header");
+  fallthrough(header);
+  current_ = header;
+  current_terminated_ = false;
+
+  const BlockId body_bb = new_block("forrr.body");
+  branch(Cond::kGe, counter, limit_reg, kInvalidBlock, body_bb);
+  const BlockId header_end = header;
+
+  break_frames_.emplace_back();
+  current_ = body_bb;
+  current_terminated_ = false;
+  body();
+  if (!current_terminated_) {
+    addi(counter, counter, 1);
+    jump(header);
+  }
+
+  const BlockId exit_bb = new_block("forrr.exit");
+  program_.block(header_end).succs[0] = exit_bb;
+  for (BlockId brk : break_frames_.back())
+    program_.block(brk).succs = {exit_bb};
+  break_frames_.pop_back();
+
+  program_.set_loop_bound(header, bound + 1);
+  current_ = exit_bb;
+  current_terminated_ = false;
+}
+
+void IrBuilder::for_down(Reg counter, std::int64_t start, std::int64_t limit,
+                         const Body& body) {
+  UCP_REQUIRE(start > limit, "for_down needs at least one iteration");
+  movi(counter, start);
+  const auto trips = static_cast<std::uint32_t>(start - limit);
+
+  const BlockId header = new_block("ford.header");
+  fallthrough(header);
+  current_ = header;
+  current_terminated_ = false;
+
+  const BlockId body_bb = new_block("ford.body");
+  branch_imm(Cond::kLe, counter, limit, kInvalidBlock, body_bb);
+  const BlockId header_end = header;
+
+  break_frames_.emplace_back();
+  current_ = body_bb;
+  current_terminated_ = false;
+  body();
+  if (!current_terminated_) {
+    addi(counter, counter, -1);
+    jump(header);
+  }
+
+  const BlockId exit_bb = new_block("ford.exit");
+  program_.block(header_end).succs[0] = exit_bb;
+  for (BlockId brk : break_frames_.back())
+    program_.block(brk).succs = {exit_bb};
+  break_frames_.pop_back();
+
+  program_.set_loop_bound(header, trips + 1);
+  current_ = exit_bb;
+  current_terminated_ = false;
+}
+
+void IrBuilder::while_loop(std::uint32_t bound,
+                           const std::function<LoopCond()>& condition,
+                           const Body& body) {
+  UCP_REQUIRE(bound > 0, "while_loop needs a positive bound");
+  const BlockId header = new_block("while.header");
+  fallthrough(header);
+  current_ = header;
+  current_terminated_ = false;
+
+  const LoopCond lc = condition();
+  const BlockId header_end = current_;  // condition code may span blocks? no:
+  // condition code must stay straight-line; branch below terminates it.
+  const BlockId body_bb = new_block("while.body");
+  branch(lc.cond, lc.a, lc.b, body_bb, kInvalidBlock);
+
+  break_frames_.emplace_back();
+  current_ = body_bb;
+  current_terminated_ = false;
+  body();
+  if (!current_terminated_) jump(header);
+
+  const BlockId exit_bb = new_block("while.exit");
+  program_.block(header_end).succs[1] = exit_bb;
+  for (BlockId brk : break_frames_.back())
+    program_.block(brk).succs = {exit_bb};
+  break_frames_.pop_back();
+
+  program_.set_loop_bound(header, bound + 1);
+  current_ = exit_bb;
+  current_terminated_ = false;
+}
+
+void IrBuilder::do_while(std::uint32_t bound, const Body& body, Cond cond,
+                         Reg a, Reg b) {
+  UCP_REQUIRE(bound > 0, "do_while needs a positive bound");
+  const BlockId head = new_block("dowhile.body");
+  fallthrough(head);
+  current_ = head;
+  current_terminated_ = false;
+
+  break_frames_.emplace_back();
+  body();
+  UCP_REQUIRE(!current_terminated_,
+              "do_while body must not end in a terminator");
+  const BlockId latch = current_;
+  const BlockId exit_bb = new_block("dowhile.exit");
+  current_ = latch;
+  branch(cond, a, b, head, exit_bb);
+
+  for (BlockId brk : break_frames_.back())
+    program_.block(brk).succs = {exit_bb};
+  break_frames_.pop_back();
+
+  // The loop header (== body head) executes at most `bound` times per entry.
+  program_.set_loop_bound(head, bound);
+  current_ = exit_bb;
+  current_terminated_ = false;
+}
+
+void IrBuilder::break_loop() {
+  UCP_REQUIRE(!break_frames_.empty(), "break_loop outside of a loop");
+  Instruction in;
+  in.op = Opcode::kJump;
+  emit(in);  // successor patched when the loop exit block is created
+  break_frames_.back().push_back(current_);
+}
+
+void IrBuilder::switch_on(
+    Reg selector, const std::vector<std::pair<std::int64_t, Body>>& cases,
+    const Body& default_body) {
+  UCP_REQUIRE(!cases.empty(), "switch_on needs at least one case");
+  std::vector<BlockId> pending_joins;
+
+  for (const auto& [value, case_body] : cases) {
+    const BlockId case_bb = new_block("case");
+    branch_imm(Cond::kEq, selector, value, case_bb, kInvalidBlock);
+    const BlockId test_bb = current_;
+
+    current_ = case_bb;
+    current_terminated_ = false;
+    case_body();
+    if (!current_terminated_) {
+      Instruction in;
+      in.op = Opcode::kJump;
+      emit(in);
+      pending_joins.push_back(current_);
+    }
+
+    const BlockId next_bb = new_block("swnext");
+    program_.block(test_bb).succs[1] = next_bb;
+    current_ = next_bb;
+    current_terminated_ = false;
+  }
+
+  if (default_body) default_body();
+  const bool default_terminated = current_terminated_;
+  const BlockId default_end = current_;
+
+  const BlockId join = new_block("swjoin");
+  for (BlockId bb : pending_joins) program_.block(bb).succs = {join};
+  if (!default_terminated) {
+    current_ = default_end;
+    current_terminated_ = false;
+    fallthrough(join);
+  }
+  current_ = join;
+  current_terminated_ = false;
+}
+
+void IrBuilder::set_data(std::vector<std::int64_t> words) {
+  program_.set_data(std::move(words));
+}
+
+Program IrBuilder::take() {
+  UCP_REQUIRE(!taken_, "builder already consumed by take()");
+  UCP_REQUIRE(current_terminated_,
+              "program must end in halt before take()");
+  taken_ = true;
+  verify_or_throw(program_);
+  return std::move(program_);
+}
+
+}  // namespace ucp::ir

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ucp::ir {
+
+/// Register handle for the builder API (plain index, strongly suggested via
+/// the `R(n)` helper for readability in the suite sources).
+struct Reg {
+  std::uint8_t index = 0;
+};
+inline Reg R(std::uint8_t index) { return Reg{index}; }
+
+/// Structured-programming front end over `Program`. Emits instructions into
+/// a "current block" and provides `if`/`for`/`while` combinators that build
+/// well-formed reducible CFGs with loop bounds attached — exactly the shape
+/// the Mälardalen C sources compile to.
+///
+/// Typical use (see src/suite for 37 real kernels):
+///
+///   IrBuilder b("cnt");
+///   b.movi(R(1), 0);
+///   b.for_range(R(0), 0, 10, [&] {
+///     b.load(R(2), R(0), 100);
+///     b.add(R(1), R(1), R(2));
+///   });
+///   b.halt();
+///   Program p = b.take();
+class IrBuilder {
+ public:
+  explicit IrBuilder(std::string name);
+
+  // --- straight-line emission ---------------------------------------------
+  void movi(Reg rd, std::int64_t imm);
+  void mov(Reg rd, Reg rs);
+  void add(Reg rd, Reg a, Reg b);
+  void addi(Reg rd, Reg a, std::int64_t imm);
+  void sub(Reg rd, Reg a, Reg b);
+  void subi(Reg rd, Reg a, std::int64_t imm) { addi(rd, a, -imm); }
+  void mul(Reg rd, Reg a, Reg b);
+  void div(Reg rd, Reg a, Reg b);
+  void rem(Reg rd, Reg a, Reg b);
+  void and_(Reg rd, Reg a, Reg b);
+  void or_(Reg rd, Reg a, Reg b);
+  void xor_(Reg rd, Reg a, Reg b);
+  void shl(Reg rd, Reg a, Reg b);
+  void shr(Reg rd, Reg a, Reg b);
+  void sar(Reg rd, Reg a, Reg b);
+  void load(Reg rd, Reg base, std::int64_t offset);
+  void store(Reg base, std::int64_t offset, Reg value);
+  void nop();
+  /// Emits `count` nops — used by the suite to give kernels realistic code
+  /// footprints (standing in for address computations, spills, etc.).
+  void nops(std::size_t count);
+  void halt();
+
+  // --- structured control flow --------------------------------------------
+  using Body = std::function<void()>;
+
+  /// if (a cond b) { then_body() }
+  void if_then(Cond cond, Reg a, Reg b, const Body& then_body);
+  /// if (a cond b) { then_body() } else { else_body() }
+  void if_then_else(Cond cond, Reg a, Reg b, const Body& then_body,
+                    const Body& else_body);
+
+  /// for (counter = start; counter < limit; ++counter) body().
+  /// The loop bound (max body executions) is `limit - start`.
+  void for_range(Reg counter, std::int64_t start, std::int64_t limit,
+                 const Body& body);
+
+  /// for (counter = start; counter < limit_reg; ++counter) body(), with an
+  /// explicit worst-case trip count `bound` (limit is data-dependent).
+  void for_range_reg(Reg counter, std::int64_t start, Reg limit_reg,
+                     std::uint32_t bound, const Body& body);
+
+  /// for (counter = start_reg; counter < limit_reg; ++counter) body(), both
+  /// ends data-dependent; `bound` is the worst-case trip count.
+  void for_range_rr(Reg counter, Reg start_reg, Reg limit_reg,
+                    std::uint32_t bound, const Body& body);
+
+  /// Down-counting loop: for (counter = start; counter > limit; --counter).
+  void for_down(Reg counter, std::int64_t start, std::int64_t limit,
+                const Body& body);
+
+  /// General while loop. `condition` emits code computing the loop condition
+  /// and returns the branch spec meaning "continue looping".
+  struct LoopCond {
+    Cond cond;
+    Reg a;
+    Reg b;
+  };
+  void while_loop(std::uint32_t bound,
+                  const std::function<LoopCond()>& condition,
+                  const Body& body);
+
+  /// do { body } while (a cond b), with worst-case `bound` body executions.
+  void do_while(std::uint32_t bound, const Body& body, Cond cond, Reg a,
+                Reg b);
+
+  /// Breaks out of the innermost loop currently being built. Terminates the
+  /// current block; code emitted after a break in the same body is rejected.
+  void break_loop();
+
+  /// Dispatch on `selector` against constant `cases[i].first`, running
+  /// `cases[i].second`; `default_body` (may be null) otherwise. Lowered as a
+  /// compare cascade (the shape GCC emits for sparse switches).
+  void switch_on(
+      Reg selector,
+      const std::vector<std::pair<std::int64_t, Body>>& cases,
+      const Body& default_body);
+
+  // --- data ----------------------------------------------------------------
+  void set_data(std::vector<std::int64_t> words);
+
+  /// Finishes construction, runs the verifier, and returns the program.
+  Program take();
+
+  /// Identifier of the last emitted instruction (handy in tests).
+  InstrId last_instr() const { return last_instr_; }
+  /// Current insertion block (for white-box tests).
+  BlockId current_block() const { return current_; }
+
+ private:
+  BlockId new_block(const std::string& label);
+  /// Ends the current block with an unconditional jump to `target`.
+  void jump(BlockId target);
+  /// Ends the current block without a jump; it falls through to `target`.
+  void fallthrough(BlockId target);
+  /// Ends the current block with a conditional branch. `cond` compares
+  /// register `a` against register `b` or, if `rhs_imm` is set, against it.
+  void branch(Cond cond, Reg a, Reg b, BlockId taken, BlockId not_taken);
+  void branch_imm(Cond cond, Reg a, std::int64_t imm, BlockId taken,
+                  BlockId not_taken);
+  void emit(Instruction in);
+  void ensure_open() const;
+
+  Program program_;
+  BlockId current_ = kInvalidBlock;
+  bool current_terminated_ = false;
+  InstrId last_instr_ = kInvalidInstr;
+  std::uint32_t label_counter_ = 0;
+  /// One frame per open loop: blocks whose pending break-jump needs its
+  /// successor patched to the loop exit once the exit block exists.
+  std::vector<std::vector<BlockId>> break_frames_;
+  bool taken_ = false;
+};
+
+}  // namespace ucp::ir

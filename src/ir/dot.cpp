@@ -1,0 +1,31 @@
+#include "ir/dot.hpp"
+
+#include <sstream>
+
+namespace ucp::ir {
+
+std::string to_dot(const Program& program) {
+  std::ostringstream os;
+  os << "digraph \"" << program.name() << "\" {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const BasicBlock& bb : program.blocks()) {
+    os << "  bb" << bb.id << " [label=\"bb" << bb.id << " " << bb.label
+       << "\\n" << bb.instrs.size() << " instrs";
+    if (program.has_loop_bound(bb.id))
+      os << "\\nbound " << program.loop_bound(bb.id);
+    os << "\"";
+    if (bb.id == program.entry()) os << ", style=bold";
+    os << "];\n";
+    const bool branchy =
+        !bb.instrs.empty() && is_branch(bb.instrs.back().op);
+    for (std::size_t i = 0; i < bb.succs.size(); ++i) {
+      os << "  bb" << bb.id << " -> bb" << bb.succs[i];
+      if (branchy) os << " [label=\"" << (i == 0 ? "T" : "F") << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ucp::ir

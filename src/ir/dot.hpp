@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ucp::ir {
+
+/// Renders the CFG in Graphviz DOT format (block labels, instruction counts,
+/// loop-bound annotations, branch edges labelled T/F). Handy for debugging
+/// suite programs and for the examples' output.
+std::string to_dot(const Program& program);
+
+}  // namespace ucp::ir

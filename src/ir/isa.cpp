@@ -1,0 +1,93 @@
+#include "ir/isa.hpp"
+
+#include "support/check.hpp"
+
+namespace ucp::ir {
+
+std::string opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kMovImm:
+      return "movi";
+    case Opcode::kMov:
+      return "mov";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kAddImm:
+      return "addi";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kDiv:
+      return "div";
+    case Opcode::kRem:
+      return "rem";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kShl:
+      return "shl";
+    case Opcode::kShr:
+      return "shr";
+    case Opcode::kSar:
+      return "sar";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kBranch:
+      return "br";
+    case Opcode::kBranchImm:
+      return "bri";
+    case Opcode::kJump:
+      return "jmp";
+    case Opcode::kHalt:
+      return "halt";
+    case Opcode::kPrefetch:
+      return "pfetch";
+    case Opcode::kNop:
+      return "nop";
+  }
+  UCP_CHECK_MSG(false, "unknown opcode");
+}
+
+std::string cond_name(Cond cond) {
+  switch (cond) {
+    case Cond::kEq:
+      return "eq";
+    case Cond::kNe:
+      return "ne";
+    case Cond::kLt:
+      return "lt";
+    case Cond::kLe:
+      return "le";
+    case Cond::kGt:
+      return "gt";
+    case Cond::kGe:
+      return "ge";
+  }
+  UCP_CHECK_MSG(false, "unknown condition");
+}
+
+bool eval_cond(Cond cond, std::int64_t lhs, std::int64_t rhs) {
+  switch (cond) {
+    case Cond::kEq:
+      return lhs == rhs;
+    case Cond::kNe:
+      return lhs != rhs;
+    case Cond::kLt:
+      return lhs < rhs;
+    case Cond::kLe:
+      return lhs <= rhs;
+    case Cond::kGt:
+      return lhs > rhs;
+    case Cond::kGe:
+      return lhs >= rhs;
+  }
+  UCP_CHECK_MSG(false, "unknown condition");
+}
+
+}  // namespace ucp::ir

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ucp::ir {
+
+/// Every instruction occupies this many bytes in instruction memory. The
+/// optimizer relies on this when relocating code after a prefetch insertion
+/// (a prefetch is an ordinary 4-byte instruction, like ARMv7 `PLI`).
+inline constexpr std::uint32_t kInstrBytes = 4;
+
+/// Number of architectural registers in the mini-ISA.
+inline constexpr std::uint8_t kNumRegs = 32;
+
+/// A compact RISC instruction set, sufficient to express the Mälardalen-like
+/// kernels in `src/suite` with real computation. Data accesses go to a
+/// separate word-addressed data memory; only instruction fetches touch the
+/// modelled instruction cache, exactly as in the paper.
+enum class Opcode : std::uint8_t {
+  kMovImm,    ///< rd = imm
+  kMov,       ///< rd = rs1
+  kAdd,       ///< rd = rs1 + rs2
+  kAddImm,    ///< rd = rs1 + imm
+  kSub,       ///< rd = rs1 - rs2
+  kMul,       ///< rd = rs1 * rs2
+  kDiv,       ///< rd = rs1 / rs2 (trapping on zero)
+  kRem,       ///< rd = rs1 % rs2 (trapping on zero)
+  kAnd,       ///< rd = rs1 & rs2
+  kOr,        ///< rd = rs1 | rs2
+  kXor,       ///< rd = rs1 ^ rs2
+  kShl,       ///< rd = rs1 << (rs2 & 63)
+  kShr,       ///< rd = unsigned(rs1) >> (rs2 & 63)
+  kSar,       ///< rd = rs1 >> (rs2 & 63), arithmetic
+  kLoad,      ///< rd = data[rs1 + imm]
+  kStore,     ///< data[rs1 + imm] = rs2
+  kBranch,    ///< if (rs1 cond rs2) goto succ[0] else succ[1]; terminator
+  kBranchImm, ///< if (rs1 cond imm) goto succ[0] else succ[1]; terminator
+  kJump,      ///< goto succ[0]; terminator
+  kHalt,      ///< stop execution; terminator
+  kPrefetch,  ///< prefetch the I-memory block holding instruction `pf_target`
+  kNop,       ///< no effect
+};
+
+/// Comparison condition for kBranch.
+enum class Cond : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// True for opcodes that must terminate a basic block.
+constexpr bool is_terminator(Opcode op) {
+  return op == Opcode::kBranch || op == Opcode::kBranchImm ||
+         op == Opcode::kJump || op == Opcode::kHalt;
+}
+
+/// True for the two conditional branch forms.
+constexpr bool is_branch(Opcode op) {
+  return op == Opcode::kBranch || op == Opcode::kBranchImm;
+}
+
+/// True for opcodes that write a destination register.
+constexpr bool writes_register(Opcode op) {
+  switch (op) {
+    case Opcode::kMovImm:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kAddImm:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+    case Opcode::kLoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string opcode_name(Opcode op);
+std::string cond_name(Cond cond);
+/// Evaluates `lhs cond rhs` (used by both interpreter and tests).
+bool eval_cond(Cond cond, std::int64_t lhs, std::int64_t rhs);
+
+}  // namespace ucp::ir

@@ -1,0 +1,135 @@
+#include "ir/lower.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace ucp::ir {
+
+Program lower(const Program& input) {
+  Program out(input.name());
+
+  // Clone the block skeleton first so successor ids stay valid.
+  for (const BasicBlock& bb : input.blocks()) {
+    const BlockId id = out.add_block(bb.label);
+    UCP_CHECK(id == bb.id);
+  }
+  out.set_entry(input.entry());
+  for (const auto& [header, bound] : input.loop_bounds())
+    out.set_loop_bound(header, bound);
+  out.set_data(input.data());
+
+  const auto scratch = kScratchReg;
+  for (const BasicBlock& bb : input.blocks()) {
+    out.block(bb.id).succs = bb.succs;
+    for (const Instruction& in : bb.instrs) {
+      UCP_REQUIRE(!in.is_prefetch(), "lower() runs before prefetch insertion");
+      UCP_REQUIRE(in.rd < kScratchReg && in.rs1 < kScratchReg &&
+                      in.rs2 < kScratchReg,
+                  "r30/r31 are reserved for the lowering pass");
+
+      Instruction copy = in;
+      copy.id = kInvalidInstr;  // ids reassigned by append
+      switch (in.op) {
+        case Opcode::kLoad:
+        case Opcode::kStore: {
+          // Address generation: the data segment base lives behind a frame/
+          // global pointer on the paper's ARMv7 target, so every access
+          // spends an ALU op forming the effective address.
+          Instruction lea;
+          lea.op = Opcode::kAddImm;
+          lea.rd = scratch;
+          lea.rs1 = in.rs1;
+          lea.imm = in.imm;
+          out.append(bb.id, lea);
+          copy.rs1 = scratch;
+          copy.imm = 0;
+          out.append(bb.id, copy);
+          break;
+        }
+        case Opcode::kBranch: {
+          // cmp + conditional branch, as on a flag-based ISA.
+          Instruction cmp;
+          cmp.op = Opcode::kSub;
+          cmp.rd = scratch;
+          cmp.rs1 = in.rs1;
+          cmp.rs2 = in.rs2;
+          out.append(bb.id, cmp);
+          out.append(bb.id, copy);
+          break;
+        }
+        case Opcode::kBranchImm: {
+          // cmp-immediate materialization + compare + branch.
+          Instruction mat;
+          mat.op = Opcode::kMovImm;
+          mat.rd = scratch;
+          mat.imm = in.imm;
+          out.append(bb.id, mat);
+          copy.op = Opcode::kBranch;
+          copy.rs2 = scratch;
+          copy.imm = 0;
+          out.append(bb.id, copy);
+          break;
+        }
+        case Opcode::kDiv:
+        case Opcode::kRem: {
+          // ARMv7 (pre-UDIV profiles) calls a library divide; model the
+          // argument-marshalling and result moves around the operation.
+          Instruction marshal;
+          marshal.op = Opcode::kMov;
+          marshal.rd = scratch;
+          marshal.rs1 = in.rs1;
+          out.append(bb.id, marshal);
+          Instruction marshal2 = marshal;
+          marshal2.rs1 = in.rs2;
+          out.append(bb.id, marshal2);
+          out.append(bb.id, copy);
+          Instruction ret;
+          ret.op = Opcode::kMov;
+          ret.rd = in.rd;
+          ret.rs1 = in.rd;
+          out.append(bb.id, ret);
+          break;
+        }
+        case Opcode::kMovImm: {
+          if (in.imm >= -256 && in.imm <= 255) {
+            out.append(bb.id, copy);
+            break;
+          }
+          const std::int64_t low = in.imm & 0xffff;
+          const std::int64_t high = in.imm - low;
+          // movw/movt-style pair: materialize in two steps.
+          if (high != 0) {
+            Instruction hi;
+            hi.op = Opcode::kMovImm;
+            hi.rd = in.rd;
+            hi.imm = high;
+            out.append(bb.id, hi);
+            Instruction lo;
+            lo.op = Opcode::kAddImm;
+            lo.rd = in.rd;
+            lo.rs1 = in.rd;
+            lo.imm = low;
+            out.append(bb.id, lo);
+          } else {
+            // Wide-but-low constants: movw plus the rotate/fixup slot.
+            out.append(bb.id, copy);
+            Instruction fix;
+            fix.op = Opcode::kAddImm;
+            fix.rd = in.rd;
+            fix.rs1 = in.rd;
+            fix.imm = 0;
+            out.append(bb.id, fix);
+          }
+          break;
+        }
+        default:
+          out.append(bb.id, copy);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ucp::ir

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace ucp::ir {
+
+/// Lowers builder-level IR to the load/store-architecture form a real RISC
+/// compiler emits, faithfully inflating the code footprint:
+///  - every `load`/`store` gains an address-generation ALU op (effective
+///    address formed from the frame/global pointer on the paper's ARMv7
+///    target);
+///  - `br.cond a, b` becomes compare + branch (flag-based ISA);
+///  - `bri.cond rs, imm` becomes constant materialization + compare+branch;
+///  - `div`/`rem` gain the marshalling moves around the library divide call
+///    (pre-UDIV ARMv7 profiles have no hardware divide);
+///  - `movi` of anything beyond an 8-bit immediate becomes a movw/movt pair.
+///
+/// Register r30 is reserved as the lowering scratch; programs must not use
+/// r30/r31 (checked). The pass preserves semantics exactly — a property
+/// test runs every suite program in both forms and compares all results.
+Program lower(const Program& input);
+
+/// Scratch register reserved for `lower`.
+inline constexpr std::uint8_t kScratchReg = 30;
+
+}  // namespace ucp::ir

@@ -1,0 +1,191 @@
+#include "ir/program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ucp::ir {
+
+BlockId Program::add_block(std::string label) {
+  const auto id = static_cast<BlockId>(blocks_.size());
+  BasicBlock bb;
+  bb.id = id;
+  bb.label = std::move(label);
+  blocks_.push_back(std::move(bb));
+  return id;
+}
+
+BasicBlock& Program::block(BlockId id) {
+  UCP_REQUIRE(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+const BasicBlock& Program::block(BlockId id) const {
+  UCP_REQUIRE(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+void Program::set_entry(BlockId id) {
+  UCP_REQUIRE(id < blocks_.size(), "entry block id out of range");
+  entry_ = id;
+}
+
+InstrId Program::append(BlockId bb, Instruction instr) {
+  return insert(bb, block(bb).instrs.size(), instr);
+}
+
+InstrId Program::insert(BlockId bb, std::size_t pos, Instruction instr) {
+  BasicBlock& b = block(bb);
+  UCP_REQUIRE(pos <= b.instrs.size(), "insert position out of range");
+  instr.id = next_instr_id_++;
+  b.instrs.insert(b.instrs.begin() + static_cast<std::ptrdiff_t>(pos), instr);
+  return instr.id;
+}
+
+void Program::erase(BlockId bb, std::size_t pos) {
+  BasicBlock& b = block(bb);
+  UCP_REQUIRE(pos < b.instrs.size(), "erase position out of range");
+  b.instrs.erase(b.instrs.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::size_t Program::instruction_count() const {
+  std::size_t n = 0;
+  for (const BasicBlock& bb : blocks_) n += bb.instrs.size();
+  return n;
+}
+
+std::size_t Program::prefetch_count() const {
+  std::size_t n = 0;
+  for (const BasicBlock& bb : blocks_)
+    n += static_cast<std::size_t>(
+        std::count_if(bb.instrs.begin(), bb.instrs.end(),
+                      [](const Instruction& i) { return i.is_prefetch(); }));
+  return n;
+}
+
+Program::InstrLocation Program::locate(InstrId id) const {
+  for (const BasicBlock& bb : blocks_) {
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      if (bb.instrs[i].id == id) return InstrLocation{bb.id, i};
+    }
+  }
+  UCP_REQUIRE(false, "instruction id not found in program");
+  return {};
+}
+
+void Program::set_loop_bound(BlockId header, std::uint32_t bound) {
+  UCP_REQUIRE(header < blocks_.size(), "loop header out of range");
+  UCP_REQUIRE(bound > 0, "loop bound must be positive");
+  loop_bounds_[header] = bound;
+}
+
+bool Program::has_loop_bound(BlockId header) const {
+  return loop_bounds_.count(header) != 0;
+}
+
+std::uint32_t Program::loop_bound(BlockId header) const {
+  const auto it = loop_bounds_.find(header);
+  UCP_REQUIRE(it != loop_bounds_.end(), "no loop bound for this header");
+  return it->second;
+}
+
+std::vector<std::vector<BlockId>> Program::predecessors() const {
+  std::vector<std::vector<BlockId>> preds(blocks_.size());
+  for (const BasicBlock& bb : blocks_) {
+    for (BlockId s : bb.succs) {
+      UCP_CHECK(s < blocks_.size());
+      preds[s].push_back(bb.id);
+    }
+  }
+  return preds;
+}
+
+std::vector<BlockId> Program::reverse_post_order() const {
+  UCP_REQUIRE(entry_ != kInvalidBlock, "program has no entry block");
+  std::vector<BlockId> post;
+  post.reserve(blocks_.size());
+  std::vector<std::uint8_t> state(blocks_.size(), 0);  // 0=new 1=open 2=done
+  // Iterative DFS to avoid deep recursion on long CFGs.
+  struct Frame {
+    BlockId bb;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({entry_, 0});
+  state[entry_] = 1;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const BasicBlock& bb = blocks_[f.bb];
+    if (f.next_succ < bb.succs.size()) {
+      const BlockId s = bb.succs[f.next_succ++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.push_back({s, 0});
+      }
+    } else {
+      state[f.bb] = 2;
+      post.push_back(f.bb);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  os << "program " << name_ << " (entry " << entry_ << ")\n";
+  for (const BasicBlock& bb : blocks_) {
+    os << "bb" << bb.id << " [" << bb.label << "]";
+    if (has_loop_bound(bb.id)) os << "  ; loop bound " << loop_bound(bb.id);
+    os << "\n";
+    for (const Instruction& in : bb.instrs) {
+      os << "  #" << in.id << "  " << opcode_name(in.op);
+      switch (in.op) {
+        case Opcode::kMovImm:
+          os << " r" << int(in.rd) << ", " << in.imm;
+          break;
+        case Opcode::kMov:
+          os << " r" << int(in.rd) << ", r" << int(in.rs1);
+          break;
+        case Opcode::kAddImm:
+          os << " r" << int(in.rd) << ", r" << int(in.rs1) << ", " << in.imm;
+          break;
+        case Opcode::kLoad:
+          os << " r" << int(in.rd) << ", [r" << int(in.rs1) << " + " << in.imm
+             << "]";
+          break;
+        case Opcode::kStore:
+          os << " [r" << int(in.rs1) << " + " << in.imm << "], r"
+             << int(in.rs2);
+          break;
+        case Opcode::kBranch:
+          os << "." << cond_name(in.cond) << " r" << int(in.rs1) << ", r"
+             << int(in.rs2);
+          break;
+        case Opcode::kPrefetch:
+          os << " @instr#" << in.pf_target;
+          break;
+        case Opcode::kJump:
+        case Opcode::kHalt:
+        case Opcode::kNop:
+          break;
+        default:
+          os << " r" << int(in.rd) << ", r" << int(in.rs1) << ", r"
+             << int(in.rs2);
+          break;
+      }
+      os << "\n";
+    }
+    if (!bb.succs.empty()) {
+      os << "  -> ";
+      for (std::size_t i = 0; i < bb.succs.size(); ++i) {
+        if (i) os << ", ";
+        os << "bb" << bb.succs[i];
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ucp::ir

@@ -1,0 +1,127 @@
+#include "ir/verify.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "ir/dominators.hpp"
+
+namespace ucp::ir {
+
+namespace {
+
+void check_instruction(const Program& program, const BasicBlock& bb,
+                       const Instruction& in, bool is_last,
+                       std::vector<std::string>& problems) {
+  std::ostringstream where;
+  where << "bb" << bb.id << " instr#" << in.id << " (" << opcode_name(in.op)
+        << ")";
+
+  if (is_terminator(in.op) && !is_last) {
+    problems.push_back(where.str() + ": terminator in the middle of a block");
+  }
+  if (writes_register(in.op) && in.rd >= kNumRegs) {
+    problems.push_back(where.str() + ": destination register out of range");
+  }
+  if (in.rs1 >= kNumRegs || in.rs2 >= kNumRegs) {
+    problems.push_back(where.str() + ": source register out of range");
+  }
+  if (in.op == Opcode::kPrefetch) {
+    if (in.pf_target == kInvalidInstr ||
+        in.pf_target >= program.num_instr_ids()) {
+      problems.push_back(where.str() + ": invalid prefetch target id");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> verify(const Program& program) {
+  std::vector<std::string> problems;
+
+  if (program.entry() == kInvalidBlock) {
+    problems.emplace_back("program has no entry block");
+    return problems;
+  }
+  if (program.num_blocks() == 0) {
+    problems.emplace_back("program has no blocks");
+    return problems;
+  }
+
+  // Collect existing instruction ids for prefetch-target validation.
+  std::set<InstrId> ids;
+  for (const BasicBlock& bb : program.blocks())
+    for (const Instruction& in : bb.instrs) {
+      if (!ids.insert(in.id).second) {
+        std::ostringstream os;
+        os << "duplicate instruction id #" << in.id;
+        problems.push_back(os.str());
+      }
+    }
+
+  bool any_halt = false;
+  for (const BasicBlock& bb : program.blocks()) {
+    std::ostringstream bb_name;
+    bb_name << "bb" << bb.id << " [" << bb.label << "]";
+
+    if (bb.instrs.empty()) {
+      problems.push_back(bb_name.str() + ": empty basic block");
+      continue;
+    }
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      check_instruction(program, bb, bb.instrs[i],
+                        i + 1 == bb.instrs.size(), problems);
+      if (bb.instrs[i].op == Opcode::kPrefetch &&
+          bb.instrs[i].pf_target != kInvalidInstr &&
+          ids.find(bb.instrs[i].pf_target) == ids.end()) {
+        problems.push_back(bb_name.str() +
+                           ": prefetch target refers to a removed instruction");
+      }
+    }
+
+    const Opcode last = bb.instrs.back().op;
+    const std::size_t nsucc = bb.succs.size();
+    if (is_branch(last) && nsucc != 2) {
+      problems.push_back(bb_name.str() + ": branch needs exactly 2 successors");
+    } else if (last == Opcode::kJump && nsucc != 1) {
+      problems.push_back(bb_name.str() + ": jump needs exactly 1 successor");
+    } else if (last == Opcode::kHalt) {
+      any_halt = true;
+      if (nsucc != 0)
+        problems.push_back(bb_name.str() + ": halt must have no successors");
+    } else if (!is_terminator(last) && nsucc != 1) {
+      problems.push_back(bb_name.str() +
+                         ": fallthrough block needs exactly 1 successor");
+    }
+    for (BlockId s : bb.succs) {
+      if (s >= program.num_blocks())
+        problems.push_back(bb_name.str() + ": successor id out of range");
+    }
+  }
+  if (!any_halt) problems.emplace_back("program has no halt instruction");
+  if (!problems.empty()) return problems;  // CFG too broken for loop checks
+
+  // Loop bounds: every natural loop header needs a flow fact.
+  try {
+    for (const NaturalLoop& loop : find_natural_loops(program)) {
+      if (!program.has_loop_bound(loop.header)) {
+        std::ostringstream os;
+        os << "loop headed by bb" << loop.header << " has no loop bound";
+        problems.push_back(os.str());
+      }
+    }
+  } catch (const InvalidArgument& e) {
+    problems.emplace_back(std::string("loop analysis failed: ") + e.what());
+  }
+  return problems;
+}
+
+void verify_or_throw(const Program& program) {
+  const auto problems = verify(program);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "program '" << program.name() << "' failed verification:";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace ucp::ir

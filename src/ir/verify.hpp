@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ucp::ir {
+
+/// Structural well-formedness checks a program must pass before any
+/// analysis, simulation, or optimization is run:
+///  - an entry block exists and every block is non-empty;
+///  - terminators and successor lists agree (branch: 2, jump/fallthrough: 1,
+///    halt: 0) and no terminator appears mid-block;
+///  - at least one halt is reachable;
+///  - register indices are in range;
+///  - every natural-loop header carries a loop bound (flow fact);
+///  - prefetch targets refer to existing instructions;
+///  - the CFG is reducible (every retreating edge targets a dominator).
+/// Returns the list of problems found (empty = valid).
+std::vector<std::string> verify(const Program& program);
+
+/// Throws InvalidArgument listing all problems if `verify` finds any.
+void verify_or_throw(const Program& program);
+
+}  // namespace ucp::ir

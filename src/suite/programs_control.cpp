@@ -1,0 +1,552 @@
+// Control-dominated kernels of the Mälardalen-like suite, including the two
+// large generated automata (nsichneu, statemate) that stress instruction
+// caches with long chains of guarded updates.
+
+#include "ir/builder.hpp"
+#include "suite/suite.hpp"
+
+namespace ucp::suite::programs {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+/// compress: run-length encodes data[0..49] into (value, count) pairs at
+/// data[64..], then decompresses into data[140..189] and verifies.
+/// Results: data[63] = number of pairs, data[62] = mismatches (must be 0).
+ir::Program compress() {
+  IrBuilder b("compress");
+  const auto i = R(1), v = R(2), run = R(3), cur = R(4), outp = R(5),
+             n = R(6), pairs = R(7), t = R(8), zero = R(9);
+
+  b.movi(n, 50);
+  b.movi(outp, 64);
+  b.movi(pairs, 0);
+  b.movi(i, 0);
+  b.movi(zero, 0);
+
+  b.while_loop(
+      50, [&] { return IrBuilder::LoopCond{Cond::kLt, i, n}; },
+      [&] {
+        b.load(cur, i, 0);
+        b.movi(run, 1);
+        b.addi(i, i, 1);
+        b.while_loop(
+            50,
+            [&] {
+              // continue while i < n and data[i] == cur; guarded by reading
+              // the sentinel slot data[50] (!= any value) when i == n.
+              b.load(v, i, 0);
+              b.sub(t, v, cur);
+              return IrBuilder::LoopCond{Cond::kEq, t, zero};
+            },
+            [&] {
+              b.addi(run, run, 1);
+              b.addi(i, i, 1);
+            });
+        b.store(outp, 0, cur);
+        b.store(outp, 1, run);
+        b.addi(outp, outp, 2);
+        b.addi(pairs, pairs, 1);
+      });
+  b.movi(t, 63);
+  b.store(t, 0, pairs);
+
+  // Decompress into data[140..189] and verify against the input.
+  const auto dst = R(11), r = R(12), bad = R(13), two = R(14);
+  b.movi(two, 2);
+  b.movi(dst, 140);
+  b.for_range_reg(i, 0, pairs, 20, [&] {
+    b.mul(t, i, two);
+    b.addi(t, t, 64);
+    b.load(cur, t, 0);
+    b.load(run, t, 1);
+    b.for_range_reg(r, 0, run, 12, [&] {
+      b.store(dst, 0, cur);
+      b.addi(dst, dst, 1);
+    });
+  });
+  b.movi(bad, 0);
+  b.for_range(i, 0, 50, [&] {
+    b.load(v, i, 0);
+    b.load(t, i, 140);
+    b.if_then(Cond::kNe, v, t, [&] { b.addi(bad, bad, 1); });
+  });
+  b.movi(t, 62);
+  b.store(t, 0, bad);
+  b.halt();
+
+  std::vector<std::int64_t> data(200, 0);
+  const int runs[][2] = {{5, 7}, {2, 3}, {9, 12}, {1, 1}, {4, 8},
+                         {6, 9}, {3, 5}, {8, 4},  {2, 1}};
+  std::size_t pos = 0;
+  for (const auto& rv : runs)
+    for (int r = 0; r < rv[1] && pos < 50; ++r)
+      data[pos++] = rv[0];
+  while (pos < 50) data[pos++] = 11;
+  data[50] = -424242;  // sentinel: never equals a sample value
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// cover: three long switch cascades driven by different residues of the
+/// loop counter — many short basic blocks, the paper's many-paths stressor.
+/// Result: data[0] = accumulated tag value.
+ir::Program cover() {
+  IrBuilder b("cover");
+  const auto i = R(1), sel = R(2), acc = R(3), m1 = R(4), out = R(5);
+
+  auto cases = [&](int count, int mul) {
+    std::vector<std::pair<std::int64_t, IrBuilder::Body>> cs;
+    for (int c = 0; c < count; ++c) {
+      cs.emplace_back(c, [&b, &acc, c, mul] {
+        b.addi(acc, acc, c * mul + 1);
+        b.addi(acc, acc, (c * 7) % 5);
+      });
+    }
+    return cs;
+  };
+
+  // Three separate scan loops over wide switches, like the generated
+  // original (swi120/swi50/swi10), driven twice from the outer harness.
+  b.movi(acc, 0);
+  b.for_range(R(28), 0, 2, [&] {
+  b.for_range(i, 0, 60, [&] {
+    b.movi(m1, 20);
+    b.rem(sel, i, m1);
+    b.switch_on(sel, cases(20, 3), [&] { b.addi(acc, acc, -7); });
+  });
+  b.for_range(i, 0, 30, [&] {
+    b.movi(m1, 15);
+    b.rem(sel, i, m1);
+    b.switch_on(sel, cases(15, 5), [&] { b.addi(acc, acc, -11); });
+  });
+  b.for_range(i, 0, 30, [&] {
+    b.movi(m1, 12);
+    b.rem(sel, i, m1);
+    b.switch_on(sel, cases(12, 2), [&] { b.addi(acc, acc, -13); });
+  });
+  });  // harness loop
+  b.movi(out, 0);
+  b.store(out, 0, acc);
+  b.halt();
+
+  b.set_data({0});
+  return b.take();
+}
+
+/// crc: CRC-16 (poly 0xA001, reflected) over the 40-byte message at
+/// data[0..39], computed twice — bitwise, and via a generated 256-entry
+/// lookup table (as icrc.c does) — and cross-checked.
+/// Results: data[40] = bitwise crc, data[41] = table crc, data[42] = equal?
+ir::Program crc() {
+  IrBuilder b("crc");
+  const auto i = R(1), bit = R(2), crcr = R(3), byte = R(4), one = R(5),
+             poly = R(6), t = R(7), out = R(8), mask = R(9), c = R(10),
+             tblbase = R(11), idx = R(12), eight = R(13), m8 = R(14),
+             crc2 = R(15), eq = R(16);
+
+  b.movi(one, 1);
+  b.movi(poly, 0xA001);
+  b.movi(mask, 0xffff);
+  b.movi(eight, 8);
+  b.movi(m8, 0xff);
+  b.movi(tblbase, 64);
+
+  // icrc.c computes the CRC twice (it is called with two passes); the
+  // outer loop keeps all three phases live together.
+  b.for_range(R(28), 0, 2, [&] {
+  // Phase 1: bitwise CRC.
+  b.movi(crcr, 0xffff);
+  b.for_range(i, 0, 40, [&] {
+    b.load(byte, i, 0);
+    b.xor_(crcr, crcr, byte);
+    b.for_range(bit, 0, 8, [&] {
+      b.and_(t, crcr, one);
+      b.shr(crcr, crcr, one);
+      b.if_then(Cond::kEq, t, one, [&] { b.xor_(crcr, crcr, poly); });
+      b.and_(crcr, crcr, mask);
+    });
+  });
+
+  // Phase 2: generate the 256-entry table at data[64..319].
+  b.for_range(i, 0, 256, [&] {
+    b.mov(c, i);
+    b.for_range(bit, 0, 8, [&] {
+      b.and_(t, c, one);
+      b.shr(c, c, one);
+      b.if_then(Cond::kEq, t, one, [&] { b.xor_(c, c, poly); });
+    });
+    b.add(t, tblbase, i);
+    b.store(t, 0, c);
+  });
+
+  // Phase 3: table-driven CRC.
+  b.movi(crc2, 0xffff);
+  b.for_range(i, 0, 40, [&] {
+    b.load(byte, i, 0);
+    b.xor_(idx, crc2, byte);
+    b.and_(idx, idx, m8);
+    b.shr(crc2, crc2, eight);
+    b.add(t, tblbase, idx);
+    b.load(t, t, 0);
+    b.xor_(crc2, crc2, t);
+    b.and_(crc2, crc2, mask);
+  });
+
+  b.movi(eq, 0);
+  b.if_then(Cond::kEq, crcr, crc2, [&] { b.movi(eq, 1); });
+  });  // two-pass loop
+  b.movi(out, 40);
+  b.store(out, 0, crcr);
+  b.store(out, 1, crc2);
+  b.store(out, 2, eq);
+  b.halt();
+
+  std::vector<std::int64_t> data(320, 0);
+  for (int q = 0; q < 40; ++q)
+    data[static_cast<std::size_t>(q)] = (q * 57 + 13) % 256;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// duff: word copy of 43 items with an 8x unrolled main loop plus a
+/// remainder switch — a reducible re-expression of Duff's device (the
+/// original's jump-into-loop is irreducible; see DESIGN.md).
+/// Copies data[0..42] to data[64..106]; data[120] = items copied.
+ir::Program duff() {
+  IrBuilder b("duff");
+  const auto i = R(1), j = R(2), v = R(3), n = R(4), eight = R(5),
+             full = R(6), remn = R(7), t = R(8), out = R(9), done = R(10);
+
+  b.movi(n, 43);
+  b.movi(eight, 8);
+  b.div(full, n, eight);   // 5 full groups
+  b.rem(remn, n, eight);   // remainder 3
+  b.movi(done, 0);
+
+  b.for_range_reg(i, 0, full, 6, [&] {
+    b.mul(t, i, eight);
+    // 8 unrolled copies
+    for (int u = 0; u < 8; ++u) {
+      b.load(v, t, u);
+      b.store(t, 64 + u, v);
+    }
+    b.addi(done, done, 8);
+  });
+  // remainder loop (the switch arms of Duff collapse to this bound-7 loop)
+  b.mul(t, full, eight);
+  b.for_range_reg(j, 0, remn, 7, [&] {
+    b.add(R(11), t, j);
+    b.load(v, R(11), 0);
+    b.store(R(11), 64, v);
+    b.addi(done, done, 1);
+  });
+  b.movi(out, 120);
+  b.store(out, 0, done);
+  b.halt();
+
+  std::vector<std::int64_t> data(121, 0);
+  for (int q = 0; q < 43; ++q)
+    data[static_cast<std::size_t>(q)] = q * q % 97;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// lcdnum: maps the ten digits at data[0..9] to 7-segment masks via a
+/// switch, accumulating the masks. Results: data[10..19] = masks,
+/// data[20] = OR of all masks.
+ir::Program lcdnum() {
+  IrBuilder b("lcdnum");
+  const auto i = R(1), d = R(2), seg = R(3), all = R(4), out = R(5);
+
+  static const std::int64_t kSegs[10] = {0x3f, 0x06, 0x5b, 0x4f, 0x66,
+                                         0x6d, 0x7d, 0x07, 0x7f, 0x6f};
+  b.movi(all, 0);
+  b.for_range(i, 0, 10, [&] {
+    b.load(d, i, 0);
+    std::vector<std::pair<std::int64_t, IrBuilder::Body>> cs;
+    for (int digit = 0; digit < 10; ++digit) {
+      cs.emplace_back(digit, [&b, &seg, digit] {
+        b.movi(seg, kSegs[digit]);
+      });
+    }
+    b.switch_on(d, cs, [&] { b.movi(seg, 0); });
+    b.store(i, 10, seg);
+    b.or_(all, all, seg);
+  });
+  b.movi(out, 20);
+  b.store(out, 0, all);
+  b.halt();
+
+  b.set_data({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  return b.take();
+}
+
+/// ndes: DES-like cipher: 16-subkey schedule, 16 Feistel rounds of
+/// expansion + S-box substitution (table at data[64..127]) + permutation
+/// over two 32-bit halves, and an output swizzle.
+/// Results: data[0] = left, data[1] = right, data[2] = swizzle checksum.
+ir::Program ndes() {
+  IrBuilder b("ndes");
+  const auto round = R(1), left = R(2), right = R(3), f = R(4), t = R(5),
+             k = R(6), idx = R(7), mask6 = R(8), sh = R(9), out = R(10),
+             chunk = R(11), sum = R(12), mask32 = R(13);
+
+  b.movi(mask6, 63);
+  b.movi(mask32, 0xffffffffLL);
+  b.movi(out, 0);
+
+  // Encrypt two chained blocks (the second round re-encrypts the first's
+  // output), as ndes.c's driver does over its message words.
+  b.for_range(R(28), 0, 2, [&] {
+  b.load(left, out, 0);
+  b.load(right, out, 1);
+
+  // Key schedule: 16 subkeys at data[128..143], derived by rotate/xor.
+  const auto ks = R(14), kv = R(15), one = R(16), r27 = R(17);
+  b.movi(kv, 0x1a2b3c4d);
+  b.movi(one, 1);
+  b.movi(r27, 27);
+  b.for_range(round, 0, 16, [&] {
+    b.shl(t, kv, one);
+    b.shr(ks, kv, r27);
+    b.or_(kv, t, ks);
+    b.and_(kv, kv, mask32);
+    b.xor_(kv, kv, round);
+    b.store(round, 128, kv);
+  });
+
+  // 16 Feistel rounds, unrolled two per iteration: expansion, S-box
+  // substitution, permutation.
+  const auto two = R(19);
+  b.movi(two, 2);
+  b.for_range(round, 0, 8, [&] {
+    b.mul(t, round, two);
+    for (int half = 0; half < 2; ++half) {
+      b.load(k, t, 128 + half);
+      // f = P(S(E(right) xor k)): eight 6-bit chunks through the S-box.
+      b.xor_(f, right, k);
+      b.movi(sum, 0);
+      for (int c = 0; c < 8; ++c) {
+        b.movi(sh, (c * 4) % 27);
+        b.shr(chunk, f, sh);
+        b.and_(chunk, chunk, mask6);
+        b.load(idx, chunk, 64);  // S-box lookup
+        b.movi(sh, (c * 7) % 13);
+        b.shl(idx, idx, sh);
+        b.add(sum, sum, idx);
+      }
+      b.and_(f, sum, mask32);
+      // Feistel swap.
+      b.xor_(f, f, left);
+      b.mov(left, right);
+      b.and_(f, f, mask32);
+      b.mov(right, f);
+    }
+  });
+  b.store(out, 0, left);
+  b.store(out, 1, right);
+
+  // Output permutation: nibble-swizzle both halves through the S-box.
+  const auto wi = R(18);
+  b.movi(sum, 0);
+  b.for_range(wi, 0, 2, [&] {
+    b.load(t, wi, 0);
+    for (int c = 0; c < 4; ++c) {
+      b.movi(sh, c * 8);
+      b.shr(chunk, t, sh);
+      b.and_(chunk, chunk, mask6);
+      b.load(idx, chunk, 64);
+      b.add(sum, sum, idx);
+    }
+  });
+  b.store(out, 2, sum);
+  });  // chained-block loop
+  b.halt();
+
+  std::vector<std::int64_t> data(144, 0);
+  data[0] = 0x12345678;
+  data[1] = 0x0fedcba9;
+  for (int q = 0; q < 64; ++q)
+    data[static_cast<std::size_t>(64 + q)] = (q * 31 + 7) % 64;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// ns: search a 4-level nested table (4x4x4x4 at data[0..255]) for the key
+/// in data[256]; early exit on hit. Results: data[257] = flattened index of
+/// the match (or -1), data[258] = probe count.
+ir::Program ns() {
+  IrBuilder b("ns");
+  const auto i = R(1), j = R(2), k = R(3), l = R(4), v = R(5), key = R(6),
+             idx = R(7), four = R(8), found = R(10),
+             probes = R(11), out = R(12);
+
+  b.movi(four, 4);
+  b.movi(out, 256);
+  b.load(key, out, 0);
+  b.movi(found, -1);
+  b.movi(probes, 0);
+
+  b.for_range(i, 0, 4, [&] {
+    b.for_range(j, 0, 4, [&] {
+      b.for_range(k, 0, 4, [&] {
+        b.for_range(l, 0, 4, [&] {
+          b.mul(idx, i, four);
+          b.add(idx, idx, j);
+          b.mul(idx, idx, four);
+          b.add(idx, idx, k);
+          b.mul(idx, idx, four);
+          b.add(idx, idx, l);
+          b.load(v, idx, 0);
+          b.addi(probes, probes, 1);
+          b.if_then(Cond::kEq, v, key, [&] {
+            b.mov(found, idx);
+            b.break_loop();
+          });
+        });
+        b.if_then(Cond::kGe, found, R(0), [&] { b.break_loop(); });
+      });
+      b.if_then(Cond::kGe, found, R(0), [&] { b.break_loop(); });
+    });
+    b.if_then(Cond::kGe, found, R(0), [&] { b.break_loop(); });
+  });
+  b.store(out, 1, found);
+  b.store(out, 2, probes);
+  b.halt();
+
+  std::vector<std::int64_t> data(259, 0);
+  for (int q = 0; q < 256; ++q)
+    data[static_cast<std::size_t>(q)] = (q * 19 + 5) % 512;
+  data[256] = (200 * 19 + 5) % 512;  // key found at flattened index 200
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// nsichneu: Petri-net style automaton — two sweeps over ~128 guarded
+/// transition rules. Each rule tests two places and, when enabled, moves
+/// tokens. Generated code: ~2000 instructions of branchy straight-line
+/// rules, the suite's biggest I-cache footprint (as in the original).
+/// Result: data[300] = checksum of all places after two sweeps.
+ir::Program nsichneu() {
+  IrBuilder b("nsichneu");
+  const auto sweep = R(1), p1 = R(2), p2 = R(3), t = R(4), sum = R(5),
+             i = R(6), out = R(7), one = R(8);
+
+  constexpr int kPlaces = 64;
+  constexpr int kRules = 128;
+
+  b.movi(one, 1);
+  b.for_range(sweep, 0, 2, [&] {
+    for (int rule = 0; rule < kRules; ++rule) {
+      const int src = (rule * 7) % kPlaces;
+      const int dst = (rule * 13 + 5) % kPlaces;
+      const int aux = (rule * 11 + 3) % kPlaces;
+      b.movi(t, src);
+      b.load(p1, t, 0);
+      // Enabled when the source place holds at least one token.
+      b.if_then(Cond::kGe, p1, one, [&] {
+        b.movi(t, dst);
+        b.load(p2, t, 0);
+        b.addi(p1, p1, -1);
+        b.addi(p2, p2, 1);
+        b.movi(t, src);
+        b.store(t, 0, p1);
+        b.movi(t, dst);
+        b.store(t, 0, p2);
+        // Side condition touches an auxiliary place.
+        b.movi(t, aux);
+        b.load(p2, t, 0);
+        b.if_then(Cond::kGt, p2, one, [&] {
+          b.addi(p2, p2, -1);
+          b.store(t, 0, p2);
+        });
+      });
+    }
+  });
+
+  b.movi(sum, 0);
+  b.for_range(i, 0, kPlaces, [&] {
+    b.load(t, i, 0);
+    b.add(sum, sum, t);
+  });
+  b.movi(out, 300);
+  b.store(out, 0, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data(301, 0);
+  for (int q = 0; q < kPlaces; ++q)
+    data[static_cast<std::size_t>(q)] = (q % 3 == 0) ? 2 : 0;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// statemate: generated statechart step function — 5 steps, each running
+/// ~48 guarded state-variable updates (car window controller style).
+/// Result: data[200] = checksum of the 32 state variables.
+ir::Program statemate() {
+  IrBuilder b("statemate");
+  const auto step = R(1), v1 = R(2), v2 = R(3), t = R(4), sum = R(5),
+             i = R(6), out = R(7), two = R(8);
+
+  constexpr int kVars = 32;
+  constexpr int kGuards = 48;
+
+  b.movi(two, 2);
+  b.for_range(step, 0, 5, [&] {
+    for (int g = 0; g < kGuards; ++g) {
+      const int a = (g * 5) % kVars;
+      const int c = (g * 9 + 2) % kVars;
+      const int mode = g % 3;
+      b.movi(t, a);
+      b.load(v1, t, 0);
+      b.movi(t, c);
+      b.load(v2, t, 0);
+      if (mode == 0) {
+        b.if_then_else(
+            Cond::kGt, v1, v2,
+            [&] {
+              b.add(v2, v2, two);
+              b.movi(t, c);
+              b.store(t, 0, v2);
+            },
+            [&] {
+              b.addi(v1, v1, 1);
+              b.movi(t, a);
+              b.store(t, 0, v1);
+            });
+      } else if (mode == 1) {
+        b.if_then(Cond::kEq, v1, v2, [&] {
+          b.xor_(v1, v1, step);
+          b.addi(v1, v1, 1);
+          b.movi(t, a);
+          b.store(t, 0, v1);
+        });
+      } else {
+        b.if_then(Cond::kLt, v1, v2, [&] {
+          b.sub(v2, v2, v1);
+          b.movi(t, c);
+          b.store(t, 0, v2);
+        });
+      }
+    }
+  });
+
+  b.movi(sum, 0);
+  b.for_range(i, 0, kVars, [&] {
+    b.load(t, i, 0);
+    b.add(sum, sum, t);
+  });
+  b.movi(out, 200);
+  b.store(out, 0, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data(201, 0);
+  for (int q = 0; q < kVars; ++q)
+    data[static_cast<std::size_t>(q)] = (q * 3) % 11;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+}  // namespace ucp::suite::programs

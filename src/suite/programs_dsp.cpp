@@ -1,0 +1,688 @@
+// DSP kernels of the Mälardalen-like suite. These carry the larger
+// straight-line arithmetic bodies (DCT butterflies, filter taps) that give
+// the suite its bigger code footprints.
+
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "suite/suite.hpp"
+
+namespace ucp::suite::programs {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+/// adpcm: simplified IMA-ADPCM encode of data[0..49] into 4-bit codes at
+/// data[64..113], decode into data[128..177]; step table at data[192..207].
+/// Result: data[224] = sum of |sample - decoded|.
+ir::Program adpcm() {
+  IrBuilder b("adpcm");
+  const auto i = R(1), sample = R(2), pred = R(3), step = R(4), diff = R(5),
+             code = R(6), idx = R(7), t = R(8), tbl = R(10), two = R(11),
+             err = R(12), low = R(20), delta = R(21), out = R(22),
+             c15 = R(16), c7 = R(17), c8 = R(18), c4 = R(19), eight = R(23);
+
+  b.movi(tbl, 192);
+  b.movi(two, 2);
+  b.movi(c15, 15);
+  b.movi(c7, 7);
+  b.movi(c8, 8);
+  b.movi(c4, 4);
+  b.movi(eight, 8);
+
+  // Shared predictor step, used by encoder and decoder alike.
+  auto predictor_update = [&](ir::Reg pred_reg, ir::Reg idx_reg) {
+    b.and_(low, code, c7);
+    b.mul(delta, low, two);
+    b.addi(delta, delta, 1);
+    b.mul(delta, delta, step);
+    b.div(delta, delta, eight);
+    b.if_then_else(
+        Cond::kGe, code, c8, [&] { b.sub(pred_reg, pred_reg, delta); },
+        [&] { b.add(pred_reg, pred_reg, delta); });
+    b.if_then_else(
+        Cond::kGe, low, c4, [&] { b.addi(idx_reg, idx_reg, 2); },
+        [&] { b.addi(idx_reg, idx_reg, -1); });
+    b.if_then(Cond::kLt, idx_reg, R(0), [&] { b.movi(idx_reg, 0); });
+    b.if_then(Cond::kGt, idx_reg, c15, [&] { b.mov(idx_reg, c15); });
+  };
+
+  // The whole pipeline runs twice per invocation (adpcm.c encodes and
+  // decodes repeatedly from its main loop); the outer loop makes the full
+  // code footprint a live working set, like the original.
+  const auto s0 = R(24), s1 = R(25), s2 = R(26), dc = R(27);
+  b.for_range(R(28), 0, 2, [&] {
+  // --- input conditioning: 3-tap smoothing + DC removal (adpcm.c's
+  // upzero/uppol-style preprocessing) --------------------------------
+  b.movi(dc, 0);
+  b.for_range(i, 0, 50, [&] {
+    b.load(t, i, 0);
+    b.add(dc, dc, t);
+  });
+  b.movi(t, 50);
+  b.div(dc, dc, t);
+  b.for_range(i, 1, 49, [&] {
+    b.load(s0, i, -1);
+    b.load(s1, i, 0);
+    b.load(s2, i, 1);
+    b.add(t, s0, s2);
+    b.add(t, t, s1);
+    b.add(t, t, s1);
+    b.div(t, t, c4);
+    b.sub(t, t, dc);
+    b.store(i, 0, t);
+  });
+
+  // --- encode ---------------------------------------------------------
+  b.movi(pred, 0);
+  b.movi(idx, 0);
+  b.for_range(i, 0, 50, [&] {
+    b.load(sample, i, 0);
+    b.add(t, tbl, idx);
+    b.load(step, t, 0);
+    b.sub(diff, sample, pred);
+    b.movi(code, 0);
+    b.if_then(Cond::kLt, diff, R(0), [&] {
+      b.movi(code, 8);
+      b.sub(diff, R(0), diff);
+    });
+    b.if_then(Cond::kGe, diff, step, [&] {
+      b.addi(code, code, 4);
+      b.sub(diff, diff, step);
+    });
+    b.div(t, step, two);
+    b.if_then(Cond::kGe, diff, t, [&] {
+      b.addi(code, code, 2);
+      b.sub(diff, diff, t);
+    });
+    b.div(t, t, two);
+    b.if_then(Cond::kGe, diff, t, [&] { b.addi(code, code, 1); });
+    b.store(i, 64, code);
+    b.add(t, tbl, idx);
+    b.load(step, t, 0);
+    predictor_update(pred, idx);
+  });
+
+  // --- decode ---------------------------------------------------------
+  const auto predd = R(14), idxd = R(15);
+  b.movi(predd, 0);
+  b.movi(idxd, 0);
+  b.for_range(i, 0, 50, [&] {
+    b.add(t, tbl, idxd);
+    b.load(step, t, 0);
+    b.load(code, i, 64);
+    predictor_update(predd, idxd);
+    b.store(i, 128, predd);
+  });
+
+  // --- error ----------------------------------------------------------
+  b.movi(err, 0);
+  b.for_range(i, 0, 50, [&] {
+    b.load(sample, i, 0);
+    b.load(t, i, 128);
+    b.sub(t, sample, t);
+    b.if_then(Cond::kLt, t, R(0), [&] { b.sub(t, R(0), t); });
+    b.add(err, err, t);
+  });
+  });  // outer repetition loop
+  b.movi(out, 224);
+  b.store(out, 0, err);
+  b.halt();
+
+  std::vector<std::int64_t> data(225, 0);
+  for (int k = 0; k < 50; ++k) {
+    // Deterministic wavy signal.
+    const int v = (k % 10) * 12 - 50 + ((k * k) % 17);
+    data[static_cast<std::size_t>(k)] = v;
+  }
+  const int steps[16] = {7,  8,  9,  10, 12, 13, 16, 17,
+                         19, 21, 23, 25, 28, 31, 34, 37};
+  for (int k = 0; k < 16; ++k)
+    data[static_cast<std::size_t>(192 + k)] = steps[k];
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// edn: a bundle of small signal kernels like the original (vector MAC,
+/// strided dot product, lattice recurrence, 4x4 mat_mul, IIR biquad,
+/// codebook search). Results: data[100..104]; C matrix at data[108..123].
+ir::Program edn() {
+  IrBuilder b("edn");
+  const auto i = R(1), a = R(2), v1 = R(3), v2 = R(4), acc = R(5), t = R(6),
+             out = R(7), two = R(8), modp = R(9);
+
+  b.movi(out, 100);
+  b.movi(two, 2);
+  b.movi(modp, 509);
+  b.movi(R(19), 3);
+  b.movi(R(23), 4);
+
+  // The kernel bundle runs twice (edn.c's main invokes the whole set
+  // repeatedly when benchmarked).
+  b.for_range(R(28), 0, 2, [&] {
+  // vec_mpy: acc = sum a[i]*b[i] over 32, unrolled by 4 (edn.c vec_mpy1 is
+  // unrolled in the original's generated code too).
+  b.movi(acc, 0);
+  b.for_range(i, 0, 8, [&] {
+    b.mul(a, i, R(23));  // R(23) = 4, set below
+    for (int u = 0; u < 4; ++u) {
+      b.load(v1, a, u);
+      b.load(v2, a, 32 + u);
+      b.mul(t, v1, v2);
+      b.add(acc, acc, t);
+    }
+  });
+  b.store(out, 0, acc);
+
+  // strided mac: acc = sum a[2i]*b[2i+1] over 16, unrolled by 2.
+  b.movi(acc, 0);
+  b.for_range(i, 0, 8, [&] {
+    b.mul(a, i, R(23));
+    for (int u = 0; u < 2; ++u) {
+      b.load(v1, a, 2 * u);
+      b.load(v2, a, 33 + 2 * u);
+      b.mul(t, v1, v2);
+      b.add(acc, acc, t);
+    }
+  });
+  b.store(out, 1, acc);
+
+  // lattice: k evolves via modular products of the input.
+  b.movi(acc, 7);
+  b.for_range(i, 0, 32, [&] {
+    b.load(v1, i, 0);
+    b.mul(t, v1, acc);
+    b.rem(t, t, modp);
+    b.add(acc, acc, t);
+    b.store(i, 64, acc);
+  });
+  b.store(out, 2, acc);
+
+  // mat_mul 4x4: C = A*B over the head of the input arrays.
+  const auto r = R(10), c = R(11), k = R(12), four = R(13), idx = R(14),
+             s = R(15);
+  b.movi(four, 4);
+  b.for_range(r, 0, 4, [&] {
+    b.for_range(c, 0, 4, [&] {
+      b.movi(s, 0);
+      b.for_range(k, 0, 4, [&] {
+        b.mul(idx, r, four);
+        b.add(idx, idx, k);
+        b.load(v1, idx, 0);
+        b.mul(idx, k, four);
+        b.add(idx, idx, c);
+        b.load(v2, idx, 32);
+        b.mul(t, v1, v2);
+        b.add(s, s, t);
+      });
+      b.mul(idx, r, four);
+      b.add(idx, idx, c);
+      b.store(idx, 108, s);
+    });
+  });
+
+  // iir biquad over 24 samples: y[n] = (3x[n] + 2x[n-1] - y[n-1]) / 4.
+  const auto xp = R(16), yp = R(17), qq = R(18);
+  b.movi(xp, 0);
+  b.movi(yp, 0);
+  b.movi(qq, 4);
+  b.for_range(i, 0, 24, [&] {
+    b.load(v1, i, 0);
+    b.mul(t, v1, R(19));  // R(19) = 3, set below
+    b.mul(v2, xp, two);
+    b.add(t, t, v2);
+    b.sub(t, t, yp);
+    b.div(t, t, qq);
+    b.mov(xp, v1);
+    b.mov(yp, t);
+  });
+  b.store(out, 3, yp);
+
+  // codebook search: index of min |x - code| over the 16-entry codebook.
+  const auto best = R(20), bestidx = R(21), target = R(22);
+  b.movi(best, 1 << 20);
+  b.movi(bestidx, -1);
+  b.movi(target, 9);
+  b.for_range(i, 0, 16, [&] {
+    b.load(v1, i, 32);
+    b.sub(t, v1, target);
+    b.if_then(Cond::kLt, t, R(0), [&] { b.sub(t, R(0), t); });
+    b.if_then(Cond::kLt, t, best, [&] {
+      b.mov(best, t);
+      b.mov(bestidx, i);
+    });
+  });
+  b.store(out, 4, bestidx);
+  });  // outer repetition loop
+  b.halt();
+
+  std::vector<std::int64_t> data(128, 0);
+  for (int k = 0; k < 32; ++k)
+    data[static_cast<std::size_t>(k)] = (k * 13) % 23 - 11;
+  for (int k = 32; k < 64; ++k)
+    data[static_cast<std::size_t>(k)] = (k * 7) % 19 - 9;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+namespace {
+
+/// Emits one 8-point integer DCT butterfly over values addressed
+/// base + stride*{0..7}; results written back scaled. Shared by fdct's row
+/// and column passes — a long straight-line body, as in the C original.
+void emit_dct8(IrBuilder& b, ir::Reg base, std::int64_t stride) {
+  using ir::Reg;
+  const auto x0 = R(10), x1 = R(11), x2 = R(12), x3 = R(13), x4 = R(14),
+             x5 = R(15), x6 = R(16), x7 = R(17), s = R(18), d = R(19),
+             t = R(20), c1 = R(21), c2 = R(22), sh = R(23);
+
+  const auto s2 = R(24), d2 = R(25), t2 = R(26), c3 = R(27);
+
+  b.load(x0, base, 0 * stride);
+  b.load(x1, base, 1 * stride);
+  b.load(x2, base, 2 * stride);
+  b.load(x3, base, 3 * stride);
+  b.load(x4, base, 4 * stride);
+  b.load(x5, base, 5 * stride);
+  b.load(x6, base, 6 * stride);
+  b.load(x7, base, 7 * stride);
+
+  b.movi(c1, 181);  // ~ cos(pi/4) * 256
+  b.movi(c2, 98);   // ~ tan(pi/8) * 256
+  b.movi(c3, 139);  // ~ cos(3pi/8)*362
+  b.movi(sh, 8);
+
+  // Stage 1: paired sums/differences (AAN stage).
+  b.add(s, x0, x7);   // s07
+  b.sub(d, x0, x7);   // d07
+  b.add(s2, x1, x6);  // s16
+  b.sub(d2, x1, x6);  // d16
+  b.add(t, x2, x5);   // s25
+  b.sub(x5, x2, x5);  // d25
+  b.add(t2, x3, x4);  // s34
+  b.sub(x4, x3, x4);  // d34
+
+  // Stage 2, even half.
+  b.add(x0, s, t2);   // e0 = s07 + s34
+  b.sub(x3, s, t2);   // e3 = s07 - s34
+  b.add(x1, s2, t);   // e1 = s16 + s25
+  b.sub(x2, s2, t);   // e2 = s16 - s25
+  b.add(s, x0, x1);   // y0 = e0 + e1
+  b.sub(t2, x0, x1);  // y4 = e0 - e1
+  b.mul(t, x2, c1);
+  b.sar(t, t, sh);
+  b.add(x2, x3, t);   // y2 = e3 + c1*e2
+  b.mul(t, x3, c2);
+  b.sar(t, t, sh);
+  b.sub(x6, t, x3);   // y6 rotation partial
+
+  // Stage 2, odd half (rotations by c1..c3).
+  b.mul(t, d2, c1);
+  b.sar(t, t, sh);
+  b.add(x1, d, t);    // o1 = d07 + c1*d16
+  b.sub(x7, d, t);    // o7 = d07 - c1*d16
+  b.mul(t, x5, c2);
+  b.sar(t, t, sh);
+  b.mul(t2, x4, c3);
+  b.sar(t2, t2, sh);
+  b.add(x5, t, t2);   // o5
+  b.sub(x3, t, t2);   // o3
+  b.add(t, x1, x5);
+  b.sub(x5, x1, x5);  // y5
+  b.mov(x1, t);       // y1
+  b.add(t, x7, x3);
+  b.sub(x7, x7, x3);  // y7
+  b.mov(x3, t);       // y3
+  b.mov(x0, s);       // y0
+  b.sub(x4, x0, x2);  // y4 recombination keeps lane live
+  b.add(x6, x6, x5);  // y6
+
+  b.store(base, 0 * stride, x0);
+  b.store(base, 1 * stride, x1);
+  b.store(base, 2 * stride, x2);
+  b.store(base, 3 * stride, x3);
+  b.store(base, 4 * stride, x4);
+  b.store(base, 5 * stride, x5);
+  b.store(base, 6 * stride, x6);
+  b.store(base, 7 * stride, x7);
+}
+
+}  // namespace
+
+/// fdct: 8x8 forward DCT over data[0..63]: an 8-point butterfly applied to
+/// every row, then to every column. Results: transformed block in place;
+/// data[64] = checksum of the block.
+ir::Program fdct() {
+  IrBuilder b("fdct");
+  const auto r = R(1), base = R(2), eight = R(3), sum = R(4), t = R(5),
+             i = R(6), out = R(7);
+
+  b.movi(eight, 8);
+  // Transform two consecutive frames (the benchmark harness around fdct.c
+  // does the same); rows then columns per frame.
+  b.for_range(R(28), 0, 2, [&] {
+    // Row pass: base = 8*r, stride 1.
+    b.for_range(r, 0, 8, [&] {
+      b.mul(base, r, eight);
+      emit_dct8(b, base, 1);
+    });
+    // Column pass: base = r, stride 8.
+    b.for_range(r, 0, 8, [&] {
+      b.mov(base, r);
+      emit_dct8(b, base, 8);
+    });
+  });
+  // Checksum.
+  b.movi(sum, 0);
+  b.for_range(i, 0, 64, [&] {
+    b.load(t, i, 0);
+    b.add(sum, sum, t);
+  });
+  b.movi(out, 64);
+  b.store(out, 0, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data(65, 0);
+  for (int k = 0; k < 64; ++k)
+    data[static_cast<std::size_t>(k)] = ((k * 29) % 255) - 128;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// fft1: 32-point fixed-point (Q8) radix-2 FFT, decimation-in-frequency
+/// ordering (no bit-reversal pass, as noted in DESIGN.md). Real parts at
+/// data[0..31], imaginary at data[32..63]; twiddles at data[64..79]
+/// (cos*256) and data[80..95] (sin*256). Result: data[96] = energy checksum.
+ir::Program fft1() {
+  IrBuilder b("fft1");
+  const auto s = R(1), m = R(2), half = R(3), k = R(4), j = R(5), wr = R(6),
+             wi = R(7), tr = R(8), ti = R(9), a = R(10), bidx = R(11),
+             xr = R(12), xi = R(13), yr = R(14), yi = R(15), t1 = R(16),
+             t2 = R(17), widx = R(18), stride = R(19), n = R(20), one = R(21),
+             sh = R(22), sum = R(23), out = R(24);
+
+  b.movi(n, 32);
+  b.movi(one, 1);
+  b.movi(sh, 8);
+  b.movi(R(25), 2);
+
+  b.for_range(s, 1, 6, [&] {  // stages: m = 2,4,8,16,32
+    b.shl(m, one, s);
+    b.div(half, m, R(25));
+    b.div(stride, n, m);
+    b.movi(k, 0);
+    b.while_loop(
+        16, [&] { return IrBuilder::LoopCond{Cond::kLt, k, n}; },
+        [&] {
+          b.for_range_reg(j, 0, half, 16, [&] {
+            b.mul(widx, j, stride);
+            b.load(wr, widx, 64);
+            b.load(wi, widx, 80);
+            b.add(a, k, j);        // top index
+            b.add(bidx, a, half);  // bottom index
+            b.load(xr, a, 0);
+            b.load(xi, a, 32);
+            b.load(yr, bidx, 0);
+            b.load(yi, bidx, 32);
+            // butterfly (DIF): top = x + y; bot = (x - y) * w
+            b.sub(t1, xr, yr);
+            b.sub(t2, xi, yi);
+            b.add(xr, xr, yr);
+            b.add(xi, xi, yi);
+            b.store(a, 0, xr);
+            b.store(a, 32, xi);
+            b.mul(tr, t1, wr);
+            b.mul(ti, t2, wi);
+            b.sub(tr, tr, ti);
+            b.sar(tr, tr, sh);
+            b.mul(ti, t1, wi);
+            b.mul(t2, t2, wr);
+            b.add(ti, ti, t2);
+            b.sar(ti, ti, sh);
+            b.store(bidx, 0, tr);
+            b.store(bidx, 32, ti);
+          });
+          b.add(k, k, m);
+        });
+  });
+
+  // Energy checksum.
+  b.movi(sum, 0);
+  const auto i2 = R(26);
+  b.for_range(i2, 0, 64, [&] {
+    b.load(t1, i2, 0);
+    b.mul(t1, t1, t1);
+    b.sar(t1, t1, sh);
+    b.add(sum, sum, t1);
+  });
+  b.movi(out, 96);
+  b.store(out, 0, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data(97, 0);
+  for (int q = 0; q < 32; ++q) {
+    data[static_cast<std::size_t>(q)] = ((q * 37) % 101) - 50;  // real
+    data[static_cast<std::size_t>(32 + q)] = 0;                 // imag
+  }
+  for (int q = 0; q < 16; ++q) {
+    const double ang = 2.0 * 3.14159265358979323846 * q / 32.0;
+    data[static_cast<std::size_t>(64 + q)] =
+        static_cast<std::int64_t>(std::lround(std::cos(ang) * 256.0));
+    data[static_cast<std::size_t>(80 + q)] =
+        static_cast<std::int64_t>(std::lround(std::sin(ang) * 256.0));
+  }
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// fir: two FIR stages as in fir.c — a fully unrolled (compiler -O2 style)
+/// 16-tap filter over a 64-sample signal into data[96..143], then a
+/// decimate-by-2 8-tap stage into data[160..183]. data[190] = checksum.
+ir::Program fir() {
+  IrBuilder b("fir");
+  const auto nn = R(1), acc = R(2), x = R(3), c = R(4), t = R(5), idx = R(6),
+             sh = R(7), sum = R(8), out = R(9), two = R(10);
+
+  b.movi(sh, 6);
+  b.movi(sum, 0);
+  b.movi(two, 2);
+
+  // Filter two frames back to back (fir.c's caller loops over frames).
+  b.for_range(R(28), 0, 2, [&] {
+  // Stage 1: 16 taps, unrolled.
+  b.for_range(nn, 0, 48, [&] {
+    b.movi(acc, 0);
+    for (int k = 0; k < 16; ++k) {
+      b.load(x, nn, k);      // x[n+k]
+      b.load(c, R(0), 64 + k);  // taps at data[64..79] (R(0) == 0 base)
+      b.mul(t, x, c);
+      b.add(acc, acc, t);
+    }
+    b.sar(acc, acc, sh);
+    b.store(nn, 96, acc);
+    b.add(sum, sum, acc);
+  });
+
+  // Stage 2: decimate by 2 with 8 taps (taps at data[80..87]), unrolled.
+  b.for_range(nn, 0, 20, [&] {
+    b.mul(idx, nn, two);
+    b.movi(acc, 0);
+    for (int k = 0; k < 8; ++k) {
+      b.load(x, idx, 96 + k);
+      b.load(c, R(0), 80 + k);
+      b.mul(t, x, c);
+      b.add(acc, acc, t);
+    }
+    b.sar(acc, acc, sh);
+    b.store(nn, 160, acc);
+    b.add(sum, sum, acc);
+  });
+  });  // frame loop
+
+  b.movi(out, 190);
+  b.store(out, 0, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data(191, 0);
+  for (int q = 0; q < 64; ++q)
+    data[static_cast<std::size_t>(q)] = ((q * 23) % 61) - 30;
+  const int taps16[16] = {1, -3, 5, -9, 17, 31, 54, 67,
+                          67, 54, 31, 17, -9, 5, -3, 1};
+  for (int q = 0; q < 16; ++q)
+    data[static_cast<std::size_t>(64 + q)] = taps16[q];
+  const int taps8[8] = {3, -9, 17, 54, 54, 17, -9, 3};
+  for (int q = 0; q < 8; ++q)
+    data[static_cast<std::size_t>(80 + q)] = taps8[q];
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// jfdctint: JPEG-style integer DCT — row and column rotation passes with
+/// the jfdctint.c FIX_ constants, then a descale/quantize pass over all 64
+/// coefficients. Result: data[64] = checksum.
+ir::Program jfdctint() {
+  IrBuilder b("jfdctint");
+  const auto r = R(1), base = R(2), eight = R(3), i = R(4), t = R(5),
+             q = R(6), sum = R(7), out = R(8), x0 = R(10), x1 = R(11),
+             x2 = R(12), x3 = R(13), c0 = R(14), c1 = R(15), sh = R(16),
+             tmp = R(17);
+
+  b.movi(eight, 8);
+  b.movi(c0, 4433);   // FIX_0_541196100 style constants
+  b.movi(c1, 10703);
+  b.movi(sh, 11);
+
+  // JPEG integer DCT constants (jfdctint.c FIX_ values, scale 2^13).
+  static const std::int64_t kFix[8] = {2446, 16819, 25172, 12299,
+                                       7373, 20995, 16069, 3196};
+  const auto c2r = R(18), c3r = R(19);
+
+  // Two full transform+descale rounds (the original is driven repeatedly).
+  b.for_range(R(28), 0, 2, [&] {
+  // Row pass: 4 rotation butterflies per row, each with the two-multiply
+  // rotation structure of jfdctint.c (z1 = (a+b)*c; out = z1 +/- extra).
+  b.for_range(r, 0, 8, [&] {
+    b.mul(base, r, eight);
+    for (int pair = 0; pair < 4; ++pair) {
+      b.load(x0, base, pair);
+      b.load(x1, base, 7 - pair);
+      b.add(x2, x0, x1);
+      b.sub(x3, x0, x1);
+      b.movi(c2r, kFix[pair]);
+      b.movi(c3r, kFix[7 - pair]);
+      b.mul(tmp, x2, c0);
+      b.sar(tmp, tmp, sh);
+      b.mul(x0, x2, c2r);
+      b.sar(x0, x0, sh);
+      b.add(tmp, tmp, x0);
+      b.store(base, pair, tmp);
+      b.mul(tmp, x3, c1);
+      b.sar(tmp, tmp, sh);
+      b.mul(x1, x3, c3r);
+      b.sar(x1, x1, sh);
+      b.sub(tmp, tmp, x1);
+      b.store(base, 7 - pair, tmp);
+    }
+  });
+
+  // Column pass: same structure with stride 8.
+  b.for_range(r, 0, 8, [&] {
+    b.mov(base, r);
+    for (int pair = 0; pair < 4; ++pair) {
+      b.load(x0, base, pair * 8);
+      b.load(x1, base, (7 - pair) * 8);
+      b.add(x2, x0, x1);
+      b.sub(x3, x0, x1);
+      b.movi(c2r, kFix[(pair + 2) % 8]);
+      b.movi(c3r, kFix[(5 - pair + 8) % 8]);
+      b.mul(tmp, x2, c2r);
+      b.sar(tmp, tmp, sh);
+      b.add(tmp, tmp, x2);
+      b.store(base, pair * 8, tmp);
+      b.mul(tmp, x3, c3r);
+      b.sar(tmp, tmp, sh);
+      b.sub(tmp, x3, tmp);
+      b.store(base, (7 - pair) * 8, tmp);
+    }
+  });
+
+  // Descale/quantize pass.
+  b.movi(sum, 0);
+  b.for_range(i, 0, 64, [&] {
+    b.load(t, i, 0);
+    b.rem(q, i, eight);
+    b.addi(q, q, 1);
+    b.div(t, t, q);
+    b.store(i, 0, t);
+    b.add(sum, sum, t);
+  });
+  });  // outer repetition loop
+  b.movi(out, 64);
+  b.store(out, 0, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data(65, 0);
+  for (int k = 0; k < 64; ++k)
+    data[static_cast<std::size_t>(k)] = ((k * 31) % 199) - 99;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// lms: least-mean-squares adaptive 8-tap filter over 48 steps (taps
+/// unrolled). Signal at data[0..63]; weights at data[100..107]; per-step
+/// desired output is 2*x[n]; per-step power estimates at data[120..167].
+/// Results: final weights in place, data[110] = last error.
+ir::Program lms() {
+  IrBuilder b("lms");
+  const auto nn = R(1), y = R(3), x = R(4), w = R(5), t = R(6),
+             e = R(8), d = R(9), sh = R(10), mu_sh = R(11),
+             out = R(12), wv = R(13);
+
+  b.movi(sh, 8);
+  b.movi(mu_sh, 12);
+  b.for_range(nn, 0, 48, [&] {
+    // y = sum w[k] * x[n+k] >> 8, taps unrolled as the compiler would.
+    b.movi(y, 0);
+    for (int ku = 0; ku < 8; ++ku) {
+      b.load(x, nn, ku);
+      b.load(w, R(0), 100 + ku);
+      b.mul(t, x, w);
+      b.add(y, y, t);
+    }
+    b.sar(y, y, sh);
+    // e = d - y with d = 2*x[n]
+    b.load(d, nn, 0);
+    b.add(d, d, d);
+    b.sub(e, d, y);
+    // w[k] += (e * x[n+k]) >> 12, unrolled.
+    for (int ku = 0; ku < 8; ++ku) {
+      b.load(x, nn, ku);
+      b.mul(t, e, x);
+      b.sar(t, t, mu_sh);
+      b.load(wv, R(0), 100 + ku);
+      b.add(wv, wv, t);
+      b.store(R(0), 100 + ku, wv);
+    }
+    // Power-normalization pass (as lms.c's sigma estimate).
+    b.movi(t, 0);
+    for (int ku = 0; ku < 8; ++ku) {
+      b.load(x, nn, ku);
+      b.mul(x, x, x);
+      b.add(t, t, x);
+    }
+    b.sar(t, t, sh);
+    b.store(nn, 120, t);
+  });
+  b.movi(out, 110);
+  b.store(out, 0, e);
+  b.halt();
+
+  std::vector<std::int64_t> data(168, 0);
+  for (int q = 0; q < 64; ++q)
+    data[static_cast<std::size_t>(q)] = ((q * 41) % 89) - 44;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+}  // namespace ucp::suite::programs

@@ -1,0 +1,424 @@
+// Arithmetic kernels of the Mälardalen-like suite.
+
+#include "ir/builder.hpp"
+#include "suite/suite.hpp"
+
+namespace ucp::suite::programs {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+/// expint: series evaluation of an exponential-integral-like sum in scaled
+/// integer arithmetic. Result: data[0] = accumulated series value.
+ir::Program expint() {
+  IrBuilder b("expint");
+  const auto i = R(1), j = R(2), term = R(3), sum = R(4), scale = R(5),
+             denom = R(6), out = R(7), t = R(8);
+
+  b.movi(sum, 0);
+  b.movi(scale, 1 << 12);
+  b.for_range(i, 1, 51, [&] {
+    // term = scale / i, refined by an inner product loop
+    b.div(term, scale, i);
+    b.for_range(j, 1, 6, [&] {
+      b.add(denom, i, j);
+      b.div(t, term, denom);
+      b.add(term, term, t);
+    });
+    b.add(sum, sum, term);
+  });
+  b.movi(out, 0);
+  b.store(out, 0, sum);
+  b.halt();
+
+  b.set_data({0});
+  return b.take();
+}
+
+/// fac: sum of n! for n in 0..7. Result: data[0] = 0!+1!+...+7! = 5914.
+ir::Program fac() {
+  IrBuilder b("fac");
+  const auto n = R(1), k = R(2), f = R(3), sum = R(4), out = R(5);
+
+  b.movi(sum, 1);  // 0! = 1
+  b.for_range(n, 1, 8, [&] {
+    b.movi(f, 1);
+    b.addi(R(6), n, 1);  // inner loop runs k = 1..n
+    b.for_range_reg(k, 1, R(6), 7, [&] { b.mul(f, f, k); });
+    b.add(sum, sum, f);
+  });
+  b.movi(out, 0);
+  b.store(out, 0, sum);
+  b.halt();
+
+  b.set_data({0});
+  return b.take();
+}
+
+/// fibcall: iterative Fibonacci. Result: data[0] = fib(30) = 832040.
+ir::Program fibcall() {
+  IrBuilder b("fibcall");
+  const auto i = R(1), a = R(2), c = R(3), prev = R(4), out = R(5);
+
+  b.movi(prev, 0);
+  b.movi(a, 1);
+  b.for_range(i, 2, 31, [&] {
+    b.add(c, a, prev);
+    b.mov(prev, a);
+    b.mov(a, c);
+  });
+  b.movi(out, 0);
+  b.store(out, 0, a);
+  b.halt();
+
+  b.set_data({0});
+  return b.take();
+}
+
+/// prime: trial-division primality of data[0] and data[1].
+/// Results: data[2], data[3] = 1 if prime else 0.
+ir::Program prime() {
+  IrBuilder b("prime");
+  const auto which = R(1), n = R(2), d = R(3), r = R(4), flag = R(5),
+             out = R(6), two = R(7), dd = R(8);
+
+  b.movi(two, 2);
+  b.for_range(which, 0, 2, [&] {
+    b.load(n, which, 0);
+    b.movi(flag, 1);
+    b.if_then(Cond::kLt, n, two, [&] { b.movi(flag, 0); });
+    b.movi(d, 2);
+    b.while_loop(
+        40,
+        [&] {
+          b.mul(dd, d, d);
+          return IrBuilder::LoopCond{Cond::kLe, dd, n};
+        },
+        [&] {
+          b.rem(r, n, d);
+          b.if_then(Cond::kEq, r, R(0), [&] {
+            b.movi(flag, 0);
+            b.break_loop();
+          });
+          b.addi(d, d, 1);
+        });
+    b.addi(out, which, 2);
+    b.store(out, 0, flag);
+  });
+  b.halt();
+
+  b.set_data({1009, 1001, 0, 0});  // 1009 prime; 1001 = 7*11*13
+  return b.take();
+}
+
+/// qurt: roots of x^2 - 10x + 21 via integer Newton square root of the
+/// discriminant. Results: data[0] = larger root (7), data[1] = smaller (3).
+ir::Program qurt() {
+  IrBuilder b("qurt");
+  const auto bco = R(1), cco = R(2), disc = R(3), x = R(4), t = R(5),
+             two = R(6), i = R(7), out = R(8), four = R(9);
+
+  b.movi(bco, 10);
+  b.movi(cco, 21);
+  b.movi(two, 2);
+  b.movi(four, 4);
+  // disc = b^2 - 4c
+  b.mul(disc, bco, bco);
+  b.mul(t, four, cco);
+  b.sub(disc, disc, t);
+  // Newton iterations for sqrt(disc)
+  b.mov(x, disc);
+  b.if_then(Cond::kEq, x, R(0), [&] { b.movi(x, 1); });
+  b.for_range(i, 0, 20, [&] {
+    b.div(t, disc, x);
+    b.add(x, x, t);
+    b.div(x, x, two);
+  });
+  // roots = (b ± sqrt(disc)) / 2
+  b.add(t, bco, x);
+  b.div(t, t, two);
+  b.movi(out, 0);
+  b.store(out, 0, t);
+  b.sub(t, bco, x);
+  b.div(t, t, two);
+  b.store(out, 1, t);
+  b.halt();
+
+  b.set_data({0, 0});
+  return b.take();
+}
+
+/// sqrt: bit-by-bit integer square root of data[0].
+/// Result: data[1] = floor(sqrt(data[0])).
+ir::Program sqrt_() {
+  IrBuilder b("sqrt");
+  const auto n = R(1), res = R(2), bit = R(3), t = R(4), i = R(5), out = R(6),
+             shift = R(7);
+
+  b.movi(out, 0);
+  b.load(n, out, 0);
+  b.movi(res, 0);
+  b.movi(shift, 30);
+  b.movi(bit, 1);
+  b.shl(bit, bit, shift);
+  b.for_range(i, 0, 16, [&] {
+    b.add(t, res, bit);
+    b.if_then_else(
+        Cond::kGe, n, t,
+        [&] {
+          b.sub(n, n, t);
+          b.movi(shift, 1);
+          b.shr(res, res, shift);
+          b.add(res, res, bit);
+        },
+        [&] {
+          b.movi(shift, 1);
+          b.shr(res, res, shift);
+        });
+    b.movi(shift, 2);
+    b.shr(bit, bit, shift);
+  });
+  b.store(out, 1, res);
+  b.halt();
+
+  b.set_data({1234567890, 0});
+  return b.take();
+}
+
+/// recursion: fib(12) with an explicit call stack in data memory — the
+/// bounded stand-in for the recursive benchmark (our analysis CFG is
+/// call-free; see DESIGN.md). Result: data[0] = fib(12) = 144.
+ir::Program recursion() {
+  IrBuilder b("recursion");
+  // Stack frames at data[8..]: each frame = {n, state}. acc accumulates
+  // fib leaves (fib(n) = number of leaf frames with n <= 1 weighted).
+  const auto sp = R(1), n = R(2), acc = R(3), t = R(4), base = R(5),
+             out = R(6), zero = R(7), one = R(8);
+
+  b.movi(base, 8);
+  b.movi(zero, 0);
+  b.movi(one, 1);
+  b.movi(acc, 0);
+  // push 12
+  b.movi(t, 12);
+  b.store(base, 0, t);
+  b.movi(sp, 1);
+
+  b.while_loop(
+      800, [&] { return IrBuilder::LoopCond{Cond::kGt, sp, zero}; },
+      [&] {
+        b.addi(sp, sp, -1);
+        b.add(t, base, sp);
+        b.load(n, t, 0);
+        b.if_then_else(
+            Cond::kLe, n, one,
+            [&] { b.add(acc, acc, n); },  // fib(0)=0, fib(1)=1
+            [&] {
+              // push n-1 and n-2
+              b.add(t, base, sp);
+              b.addi(n, n, -1);
+              b.store(t, 0, n);
+              b.addi(n, n, -1);
+              b.store(t, 1, n);
+              b.addi(sp, sp, 2);
+            });
+      });
+  b.movi(out, 0);
+  b.store(out, 0, acc);
+  b.halt();
+
+  std::vector<std::int64_t> data(64, 0);
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// janne_complex: the classic pair of data-dependent nested loops whose
+/// iteration interplay defeats naive bound analysis.
+/// Results: data[0] = final a, data[1] = final b.
+ir::Program janne_complex() {
+  IrBuilder b("janne_complex");
+  const auto a = R(1), bb = R(2), t5 = R(3), t10 = R(4), t12 = R(5),
+             t30 = R(6), three = R(7), out = R(8);
+
+  b.movi(a, 1);
+  b.movi(bb, 1);
+  b.movi(t5, 5);
+  b.movi(t10, 10);
+  b.movi(t12, 12);
+  b.movi(t30, 30);
+  b.movi(three, 3);
+
+  b.while_loop(
+      30, [&] { return IrBuilder::LoopCond{Cond::kLt, a, t30}; },
+      [&] {
+        b.while_loop(
+            30, [&] { return IrBuilder::LoopCond{Cond::kLt, bb, a}; },
+            [&] {
+              b.if_then_else(
+                  Cond::kGt, bb, t5, [&] { b.mul(bb, bb, three); },
+                  [&] { b.addi(bb, bb, 2); });
+              b.if_then(Cond::kGe, bb, t10, [&] {
+                b.if_then(Cond::kLe, bb, t12, [&] { b.addi(a, a, 10); });
+              });
+            });
+        b.addi(a, a, 1);
+        b.addi(bb, bb, -10);
+        b.if_then(Cond::kLt, bb, R(0), [&] { b.movi(bb, 1); });
+      });
+  b.movi(out, 0);
+  b.store(out, 0, a);
+  b.store(out, 1, bb);
+  b.halt();
+
+  b.set_data({0, 0});
+  return b.take();
+}
+
+/// whet: Whetstone-like mix of multiplies, divides, polynomial evaluation,
+/// shift mixing and array updates over eight sequential module loops.
+/// Results: data[16..23] = module accumulators.
+ir::Program whet() {
+  IrBuilder b("whet");
+  const auto i = R(1), j = R(2), x = R(3), y = R(4), z = R(5), w = R(6),
+             c998 = R(7), out = R(8), t = R(9), c1000 = R(10), acc = R(11),
+             v = R(12);
+
+  b.movi(c998, 998);
+  b.movi(c1000, 1000);
+
+  // Whetstone runs its module suite for a configured iteration count; two
+  // outer iterations keep the full module code hot, as in the original.
+  b.for_range(R(28), 0, 2, [&] {
+  // Module 1: scaled rational updates on four "registers".
+  b.movi(x, 1000);
+  b.movi(y, -500);
+  b.movi(z, 250);
+  b.movi(w, -125);
+  b.for_range(i, 0, 40, [&] {
+    b.add(t, x, y);
+    b.add(t, t, z);
+    b.sub(t, t, w);
+    b.mul(t, t, c998);
+    b.div(x, t, c1000);
+    b.sub(t, x, y);
+    b.add(t, t, z);
+    b.mul(t, t, c998);
+    b.div(y, t, c1000);
+    b.add(t, x, y);
+    b.sub(t, t, z);
+    b.mul(t, t, c998);
+    b.div(z, t, c1000);
+  });
+  b.movi(out, 16);
+  b.store(out, 0, x);
+
+  // Module 2: Horner polynomial over the table at data[0..7].
+  b.movi(acc, 0);
+  b.for_range(i, 0, 24, [&] {
+    b.movi(t, 0);
+    b.for_range(j, 0, 8, [&] {
+      b.load(v, j, 0);
+      b.mul(t, t, i);
+      b.add(t, t, v);
+    });
+    b.rem(t, t, c1000);
+    b.add(acc, acc, t);
+  });
+  b.store(out, 1, acc);
+
+  // Module 3: array element churn with index arithmetic.
+  b.movi(acc, 0);
+  b.movi(R(13), 8);
+  b.for_range(i, 0, 30, [&] {
+    b.rem(t, i, R(13));
+    b.load(v, t, 0);
+    b.mul(v, v, i);
+    b.add(acc, acc, v);
+    b.store(t, 8, acc);  // scratch mirror at data[8..15]
+  });
+  b.store(out, 2, acc);
+
+  // Module 4: conditional branching module.
+  b.movi(acc, 0);
+  b.movi(v, 1);
+  b.for_range(i, 0, 50, [&] {
+    b.if_then_else(
+        Cond::kGt, v, R(0), [&] { b.addi(acc, acc, 3); },
+        [&] { b.addi(acc, acc, -1); });
+    b.sub(v, R(0), v);  // v = -v, alternating branch
+  });
+  b.store(out, 3, acc);
+
+  // Module 5: "trig" polynomial pairs (whetstone's P3 with fixed-point
+  // series for sin/cos approximations), unrolled Horner steps.
+  const auto xx = R(14), yy = R(15), c3 = R(16);
+  b.movi(xx, 512);
+  b.movi(yy, 512);
+  b.movi(c3, 3);
+  b.for_range(i, 0, 32, [&] {
+    for (int u = 0; u < 4; ++u) {
+      b.mul(t, xx, xx);
+      b.div(t, t, c1000);
+      b.mul(t, t, c3);
+      b.sub(v, yy, t);
+      b.mul(yy, xx, c998);
+      b.div(yy, yy, c1000);
+      b.mov(xx, v);
+    }
+  });
+  b.store(out, 4, xx);
+
+  // Module 6: integer division chains (P0 array addressing).
+  b.movi(acc, 1 << 16);
+  b.for_range(i, 1, 40, [&] {
+    b.div(t, acc, i);
+    b.add(acc, acc, t);
+    b.rem(t, acc, c998);
+    b.sub(acc, acc, t);
+    b.addi(acc, acc, 17);
+  });
+  b.store(out, 5, acc);
+
+  // Module 7: shift/mask mixing (procedure-call module stand-in).
+  const auto m1 = R(17), m2 = R(18);
+  b.movi(m1, 0x5555);
+  b.movi(m2, 0x3333);
+  b.movi(acc, 0x1234);
+  b.movi(v, 1);
+  b.for_range(i, 0, 48, [&] {
+    b.and_(t, acc, m1);
+    b.shl(t, t, v);
+    b.xor_(acc, acc, t);
+    b.and_(t, acc, m2);
+    b.shr(t, t, v);
+    b.or_(acc, acc, t);
+    b.rem(acc, acc, c1000);
+    b.mul(acc, acc, c3);
+    b.addi(acc, acc, 7);
+  });
+  b.store(out, 6, acc);
+
+  // Module 8: conditional array update sweep.
+  b.movi(acc, 0);
+  b.for_range(i, 0, 16, [&] {
+    b.load(v, i, 8);
+    b.if_then_else(
+        Cond::kGt, v, acc, [&] { b.mov(acc, v); },
+        [&] {
+          b.add(v, v, acc);
+          b.store(i, 8, v);
+        });
+  });
+  b.store(out, 7, acc);
+  });  // module-suite iteration loop
+  b.halt();
+
+  std::vector<std::int64_t> data(24, 0);
+  const std::int64_t table[8] = {3, -1, 4, 1, -5, 9, -2, 6};
+  for (int q = 0; q < 8; ++q) data[static_cast<std::size_t>(q)] = table[q];
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+}  // namespace ucp::suite::programs

@@ -1,0 +1,406 @@
+// Matrix / statistics kernels of the Mälardalen-like suite.
+
+#include "ir/builder.hpp"
+#include "suite/suite.hpp"
+
+namespace ucp::suite::programs {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+/// cnt: scans a 10x10 matrix at data[0..99], counting and summing positive
+/// entries and summing negatives separately.
+/// Results: data[100]=count+, data[101]=sum+, data[102]=sum-.
+ir::Program cnt() {
+  IrBuilder b("cnt");
+  const auto i = R(1), j = R(2), v = R(3), cntp = R(4), sump = R(5),
+             sumn = R(6), idx = R(7), ten = R(8), out = R(9);
+
+  b.movi(ten, 10);
+  b.movi(cntp, 0);
+  b.movi(sump, 0);
+  b.movi(sumn, 0);
+  b.for_range(i, 0, 10, [&] {
+    b.for_range(j, 0, 10, [&] {
+      b.mul(idx, i, ten);
+      b.add(idx, idx, j);
+      b.load(v, idx, 0);
+      b.if_then_else(
+          Cond::kGt, v, R(0),
+          [&] {
+            b.addi(cntp, cntp, 1);
+            b.add(sump, sump, v);
+          },
+          [&] { b.add(sumn, sumn, v); });
+    });
+  });
+  b.movi(out, 100);
+  b.store(out, 0, cntp);
+  b.store(out, 1, sump);
+  b.store(out, 2, sumn);
+  b.halt();
+
+  std::vector<std::int64_t> data(103, 0);
+  for (int k = 0; k < 100; ++k)
+    data[static_cast<std::size_t>(k)] = ((k * 17) % 41) - 20;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// matmult: C = A * B for 10x10 integer matrices. A at data[0..99], B at
+/// data[100..199], C at data[200..299]; data[300] = trace of C.
+ir::Program matmult() {
+  IrBuilder b("matmult");
+  const auto i = R(1), j = R(2), acc = R(4), a = R(5), v1 = R(6),
+             v2 = R(7), ten = R(8), idx = R(9), t = R(10), out = R(11),
+             tr = R(12), eleven = R(13);
+
+  b.movi(ten, 10);
+  // Multiply and re-check twice (matmult.c's Test/Initialize harness).
+  b.for_range(R(28), 0, 2, [&] {
+  b.for_range(i, 0, 10, [&] {
+    b.for_range(j, 0, 10, [&] {
+      // Inner dot product fully unrolled (what -O2 does for a constant
+      // trip count of 10): A row base = 10*i, B column walks stride 10.
+      b.mul(idx, i, ten);  // row base
+      b.movi(acc, 0);
+      for (int ku = 0; ku < 10; ++ku) {
+        b.load(v1, idx, ku);  // A[i][ku]
+        b.add(t, j, R(14));   // B index = 10*ku + j; R(14) holds 10*ku
+        b.load(v2, t, 100);
+        b.mul(a, v1, v2);
+        b.add(acc, acc, a);
+        b.addi(R(14), R(14), 10);
+      }
+      b.movi(R(14), 0);
+      b.mul(idx, i, ten);
+      b.add(idx, idx, j);
+      b.store(idx, 200, acc);
+    });
+  });
+  // trace
+  b.movi(tr, 0);
+  b.movi(eleven, 11);
+  b.for_range(i, 0, 10, [&] {
+    b.mul(idx, i, eleven);
+    b.load(t, idx, 200);
+    b.add(tr, tr, t);
+  });
+  });  // harness loop
+  b.movi(out, 300);
+  b.store(out, 0, tr);
+  b.halt();
+
+  std::vector<std::int64_t> data(301, 0);
+  for (int q = 0; q < 100; ++q) {
+    data[static_cast<std::size_t>(q)] = (q % 7) - 3;          // A
+    data[static_cast<std::size_t>(100 + q)] = (q % 5) - 2;    // B
+  }
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// ludcmp: Doolittle LU decomposition of a 5x5 scaled-integer matrix at
+/// data[0..24] (in place, scale 2^10), then forward/back substitution for
+/// b at data[25..29]. Solution x written to data[30..34].
+ir::Program ludcmp() {
+  IrBuilder b("ludcmp");
+  const auto i = R(1), j = R(2), k = R(3), n = R(4), five = R(5), idx = R(6),
+             t = R(7), sum = R(8), piv = R(9), v = R(10), sh = R(11),
+             scale = R(12), jj = R(13), t2 = R(14);
+
+  b.movi(five, 5);
+  b.movi(n, 5);
+  b.movi(sh, 10);
+  b.movi(scale, 1 << 10);
+
+  // Decomposition: for k: for i>k: L(i,k)=A(i,k)*scale/A(k,k);
+  //                       for j>=k: A(i,j) -= L(i,k)*A(k,j)/scale
+  b.for_range(k, 0, 4, [&] {
+    b.mul(idx, k, five);
+    b.add(idx, idx, k);
+    b.load(piv, idx, 0);  // A[k][k] (scaled); diagonally dominant input
+    b.addi(t2, k, 1);
+    b.for_range_rr(i, t2, n, 4, [&] {
+      b.mul(idx, i, five);
+      b.add(idx, idx, k);
+      b.load(v, idx, 0);
+      b.mul(v, v, scale);
+      b.div(v, v, piv);    // L(i,k) scaled
+      b.store(idx, 0, v);
+      b.addi(jj, k, 1);
+      b.for_range_rr(j, jj, n, 4, [&] {
+        b.mul(idx, k, five);
+        b.add(idx, idx, j);
+        b.load(t, idx, 0);   // A[k][j]
+        b.mul(t, t, v);
+        b.div(t, t, scale);
+        b.mul(idx, i, five);
+        b.add(idx, idx, j);
+        b.load(sum, idx, 0);
+        b.sub(sum, sum, t);
+        b.store(idx, 0, sum);
+      });
+    });
+  });
+
+  // Forward substitution: y[i] = b[i] - sum L(i,j) y[j] / scale
+  b.for_range(i, 0, 5, [&] {
+    b.load(sum, i, 25);
+    b.for_range_reg(j, 0, i, 4, [&] {
+      b.mul(idx, i, five);
+      b.add(idx, idx, j);
+      b.load(t, idx, 0);
+      b.load(v, j, 30);
+      b.mul(t, t, v);
+      b.div(t, t, scale);
+      b.sub(sum, sum, t);
+    });
+    b.store(i, 30, sum);
+  });
+
+  // Back substitution: x[i] = (y[i] - sum U(i,j) x[j]/scale) * scale / U(i,i)
+  b.for_down(i, 4, -1, [&] {
+    b.load(sum, i, 30);
+    b.addi(jj, i, 1);
+    b.for_range_rr(j, jj, n, 4, [&] {
+      b.mul(idx, i, five);
+      b.add(idx, idx, j);
+      b.load(t, idx, 0);
+      b.load(v, j, 30);
+      b.mul(t, t, v);
+      b.div(t, t, scale);
+      b.sub(sum, sum, t);
+    });
+    b.mul(idx, i, five);
+    b.add(idx, idx, i);
+    b.load(piv, idx, 0);
+    b.mul(sum, sum, scale);
+    b.div(sum, sum, piv);
+    b.store(i, 30, sum);
+  });
+  b.halt();
+
+  std::vector<std::int64_t> data(35, 0);
+  // Diagonally dominant 5x5, scaled by 2^10.
+  const int A[25] = {20, 1, 2,  1, 3, 2, 18, 1, 2, 1, 1, 2, 22,
+                     1,  2, 3, 1,  1, 19, 2, 2, 1, 2, 1, 21};
+  for (int q = 0; q < 25; ++q)
+    data[static_cast<std::size_t>(q)] = A[q] * 1024;
+  const int rhs[5] = {35, 27, 44, 31, 52};
+  for (int q = 0; q < 5; ++q)
+    data[static_cast<std::size_t>(25 + q)] = rhs[q] * 1024;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// minver: inversion of a 3x3 scaled-integer matrix (scale 2^10) via the
+/// adjugate. Input at data[0..8]; inverse at data[9..17]; data[18] = det.
+ir::Program minver() {
+  IrBuilder b("minver");
+  const auto a0 = R(1), a1 = R(2), a2 = R(3), a3 = R(4), a4 = R(5),
+             a5 = R(6), a6 = R(7), a7 = R(8), a8 = R(9), det = R(10),
+             t1 = R(11), t2 = R(12), c = R(13), scale = R(14), out = R(15),
+             i = R(16);
+
+  b.movi(scale, 1 << 10);
+  b.movi(out, 0);
+  b.load(a0, out, 0);
+  b.load(a1, out, 1);
+  b.load(a2, out, 2);
+  b.load(a3, out, 3);
+  b.load(a4, out, 4);
+  b.load(a5, out, 5);
+  b.load(a6, out, 6);
+  b.load(a7, out, 7);
+  b.load(a8, out, 8);
+
+  // det = a0(a4 a8 - a5 a7) - a1(a3 a8 - a5 a6) + a2(a3 a7 - a4 a6),
+  // computed in scaled arithmetic (each product descaled once).
+  auto minor = [&](ir::Reg x, ir::Reg y, ir::Reg z, ir::Reg w, ir::Reg dst) {
+    b.mul(t1, x, y);
+    b.mul(t2, z, w);
+    b.sub(dst, t1, t2);
+    b.div(dst, dst, scale);
+  };
+  minor(a4, a8, a5, a7, c);
+  b.mul(det, a0, c);
+  minor(a3, a8, a5, a6, c);
+  b.mul(t1, a1, c);
+  b.sub(det, det, t1);
+  minor(a3, a7, a4, a6, c);
+  b.mul(t1, a2, c);
+  b.add(det, det, t1);
+  b.div(det, det, scale);  // det in scale units
+
+  // inv[i] = adj[i] * scale / det; adjugate entries via minors.
+  // Row 0 of the adjugate.
+  minor(a4, a8, a5, a7, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 9, c);
+  minor(a2, a7, a1, a8, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 10, c);
+  minor(a1, a5, a2, a4, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 11, c);
+  // Row 1.
+  minor(a5, a6, a3, a8, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 12, c);
+  minor(a0, a8, a2, a6, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 13, c);
+  minor(a2, a3, a0, a5, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 14, c);
+  // Row 2.
+  minor(a3, a7, a4, a6, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 15, c);
+  minor(a1, a6, a0, a7, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 16, c);
+  minor(a0, a4, a1, a3, c);
+  b.mul(c, c, scale);
+  b.div(c, c, det);
+  b.store(out, 17, c);
+  b.store(out, 18, det);
+
+  // Touch every output once more (checksum loop, keeps the tail branchy).
+  b.movi(t2, 0);
+  b.for_range(i, 9, 18, [&] {
+    b.load(t1, i, 0);
+    b.add(t2, t2, t1);
+  });
+  b.store(out, 19, t2);
+  b.halt();
+
+  std::vector<std::int64_t> data(20, 0);
+  const int A[9] = {4, 1, 0, 1, 5, 1, 0, 1, 3};
+  for (int q = 0; q < 9; ++q)
+    data[static_cast<std::size_t>(q)] = A[q] * 1024;
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// st: statistics over two 20-element series: sums, scaled means, variance
+/// numerators and the covariance numerator.
+/// Results: data[50..55] = sumx, sumy, meanx, meany, varx_num, cov_num.
+ir::Program st() {
+  IrBuilder b("st");
+  const auto i = R(1), x = R(2), y = R(3), sx = R(4), sy = R(5), mx = R(6),
+             my = R(7), vx = R(8), cov = R(9), t1 = R(10), t2 = R(11),
+             twenty = R(12), out = R(13);
+
+  b.movi(twenty, 20);
+  b.movi(sx, 0);
+  b.movi(sy, 0);
+  b.for_range(i, 0, 20, [&] {
+    b.load(x, i, 0);
+    b.load(y, i, 20);
+    b.add(sx, sx, x);
+    b.add(sy, sy, y);
+  });
+  b.div(mx, sx, twenty);
+  b.div(my, sy, twenty);
+
+  b.movi(vx, 0);
+  b.movi(cov, 0);
+  b.for_range(i, 0, 20, [&] {
+    b.load(x, i, 0);
+    b.load(y, i, 20);
+    b.sub(t1, x, mx);
+    b.sub(t2, y, my);
+    b.mul(x, t1, t1);
+    b.add(vx, vx, x);
+    b.mul(y, t1, t2);
+    b.add(cov, cov, y);
+  });
+  b.movi(out, 50);
+  b.store(out, 0, sx);
+  b.store(out, 1, sy);
+  b.store(out, 2, mx);
+  b.store(out, 3, my);
+  b.store(out, 4, vx);
+  b.store(out, 5, cov);
+  b.halt();
+
+  std::vector<std::int64_t> data(56, 0);
+  for (int q = 0; q < 20; ++q) {
+    data[static_cast<std::size_t>(q)] = q * 3 + ((q * 7) % 5);
+    data[static_cast<std::size_t>(20 + q)] = 60 - q * 2 + ((q * 11) % 7);
+  }
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// ud: integer Gaussian elimination (fraction-free, Bareiss-style single
+/// step) on a 4x4 system with exact integer arithmetic.
+/// Input A at data[0..15], b at data[16..19]; echelon matrix left in place,
+/// data[20] = last pivot (proportional to det).
+ir::Program ud() {
+  IrBuilder b("ud");
+  const auto k = R(1), i = R(2), j = R(3), piv = R(4), akj = R(5), aik = R(6),
+             aij = R(7), idx = R(8), four = R(9), t = R(10), n = R(11),
+             t2 = R(12), out = R(13), bi = R(14), bk = R(15);
+
+  b.movi(four, 4);
+  b.movi(n, 4);
+  b.for_range(k, 0, 3, [&] {
+    b.mul(idx, k, four);
+    b.add(idx, idx, k);
+    b.load(piv, idx, 0);
+    b.addi(t2, k, 1);
+    b.for_range_rr(i, t2, n, 3, [&] {
+      b.mul(idx, i, four);
+      b.add(idx, idx, k);
+      b.load(aik, idx, 0);
+      // row_i = piv*row_i - aik*row_k (fraction-free elimination)
+      b.for_range_reg(j, 0, n, 4, [&] {
+        b.mul(idx, i, four);
+        b.add(idx, idx, j);
+        b.load(aij, idx, 0);
+        b.mul(aij, aij, piv);
+        b.mul(t, k, four);
+        b.add(t, t, j);
+        b.load(akj, t, 0);
+        b.mul(t, akj, aik);
+        b.sub(aij, aij, t);
+        b.store(idx, 0, aij);
+      });
+      // and the rhs
+      b.load(bi, i, 16);
+      b.mul(bi, bi, piv);
+      b.load(bk, k, 16);
+      b.mul(t, bk, aik);
+      b.sub(bi, bi, t);
+      b.store(i, 16, bi);
+    });
+  });
+  b.movi(out, 20);
+  b.movi(t, 15);
+  b.load(piv, t, 0);
+  b.store(out, 0, piv);
+  b.halt();
+
+  std::vector<std::int64_t> data(21, 0);
+  const int A[16] = {3, 1, 0, 2, 1, 4, 1, 0, 0, 1, 5, 1, 2, 0, 1, 6};
+  for (int q = 0; q < 16; ++q) data[static_cast<std::size_t>(q)] = A[q];
+  const int rhs[4] = {11, 13, 17, 23};
+  for (int q = 0; q < 4; ++q)
+    data[static_cast<std::size_t>(16 + q)] = rhs[q];
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+}  // namespace ucp::suite::programs

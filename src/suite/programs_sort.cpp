@@ -1,0 +1,262 @@
+// Sorting / searching kernels of the Mälardalen-like suite.
+//
+// Data-memory conventions are documented per program; tests assert the
+// stored results. Loop bounds are flow facts the interpreter validates.
+
+#include "ir/builder.hpp"
+#include "suite/suite.hpp"
+
+namespace ucp::suite::programs {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+/// bs: binary search for data[15] in the sorted array data[0..14].
+/// Result: data[16] = index of the key, or -1.
+ir::Program bs() {
+  IrBuilder b("bs");
+  const auto lo = R(1), hi = R(2), key = R(3), mid = R(4), val = R(5),
+             res = R(6), two = R(7), idx = R(8);
+
+  b.movi(lo, 0);
+  b.movi(hi, 14);
+  b.movi(idx, 15);
+  b.load(key, idx, 0);  // key = data[15]
+  b.movi(res, -1);
+  b.movi(two, 2);
+
+  b.while_loop(
+      5, [&] { return IrBuilder::LoopCond{Cond::kLe, lo, hi}; },
+      [&] {
+        b.add(mid, lo, hi);
+        b.div(mid, mid, two);
+        b.load(val, mid, 0);
+        b.if_then_else(
+            Cond::kEq, val, key,
+            [&] {
+              b.mov(res, mid);
+              b.break_loop();
+            },
+            [&] {
+              b.if_then_else(
+                  Cond::kLt, val, key,
+                  [&] { b.addi(lo, mid, 1); },
+                  [&] { b.addi(hi, mid, -1); });
+            });
+      });
+
+  b.movi(idx, 16);
+  b.store(idx, 0, res);
+  b.halt();
+
+  std::vector<std::int64_t> data;
+  for (int i = 0; i < 15; ++i) data.push_back(3 * i + 1);  // 1,4,...,43
+  data.push_back(25);  // key (= element at index 8)
+  data.push_back(0);   // result slot
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// bsort100: bubble sort of data[0..99] (initialized descending).
+/// Result: data[0..99] ascending; data[100] = number of swap passes done.
+ir::Program bsort100() {
+  IrBuilder b("bsort100");
+  const auto i = R(1), j = R(2), limit = R(3), a0 = R(4), a1 = R(5),
+             base = R(6), passes = R(7), tmp = R(8);
+
+  b.movi(passes, 0);
+  b.for_range(i, 0, 99, [&] {
+    b.movi(limit, 99);
+    b.sub(limit, limit, i);  // inner scans [0, 99-i)
+    b.for_range_reg(j, 0, limit, 99, [&] {
+      b.mov(base, j);
+      b.load(a0, base, 0);
+      b.load(a1, base, 1);
+      b.if_then(Cond::kGt, a0, a1, [&] {
+        b.store(base, 0, a1);
+        b.store(base, 1, a0);
+      });
+    });
+    b.addi(passes, passes, 1);
+  });
+  b.movi(tmp, 100);
+  b.store(tmp, 0, passes);
+  b.halt();
+
+  std::vector<std::int64_t> data;
+  for (int k = 0; k < 100; ++k) data.push_back(99 - k);
+  data.push_back(0);
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// insertsort: insertion sort of data[1..10] with a -inf sentinel in data[0].
+/// Result: data[1..10] ascending.
+ir::Program insertsort() {
+  IrBuilder b("insertsort");
+  const auto i = R(1), j = R(2), key = R(3), val = R(4), dst = R(5);
+
+  b.for_range(i, 2, 11, [&] {
+    b.load(key, i, 0);
+    b.addi(j, i, -1);
+    b.while_loop(
+        9,
+        [&] {
+          b.load(val, j, 0);
+          return IrBuilder::LoopCond{Cond::kGt, val, key};
+        },
+        [&] {
+          b.store(j, 1, val);  // a[j+1] = a[j]
+          b.addi(j, j, -1);
+        });
+    b.addi(dst, j, 1);
+    b.store(dst, 0, key);
+  });
+  b.halt();
+
+  b.set_data({-1000000, 7, 3, 9, 1, 8, 2, 6, 5, 4, 0});
+  return b.take();
+}
+
+/// qsort_exam: iterative quicksort (Lomuto) of data[0..19]; explicit range
+/// stack at data[32..]. Result: data[0..19] ascending.
+ir::Program qsort_exam() {
+  IrBuilder b("qsort_exam");
+  const auto sp = R(1), lo = R(2), hi = R(3), pivot = R(4), i = R(5),
+             j = R(6), vj = R(7), vi = R(8), tmp = R(9), p = R(10),
+             stack = R(11);
+
+  b.movi(stack, 32);
+  // push (0, 19)
+  b.movi(sp, 0);
+  b.movi(tmp, 0);
+  b.store(stack, 0, tmp);
+  b.movi(tmp, 19);
+  b.store(stack, 1, tmp);
+  b.movi(sp, 2);
+
+  const auto zero = R(12);
+  b.movi(zero, 0);
+  b.while_loop(
+      64, [&] { return IrBuilder::LoopCond{Cond::kGt, sp, zero}; },
+      [&] {
+        // pop (lo, hi)
+        b.addi(sp, sp, -2);
+        b.add(tmp, stack, sp);
+        b.load(lo, tmp, 0);
+        b.load(hi, tmp, 1);
+        b.if_then(Cond::kLt, lo, hi, [&] {
+          b.load(pivot, hi, 0);
+          b.addi(i, lo, -1);
+          b.for_range_rr(j, lo, hi, 20, [&] {
+            b.load(vj, j, 0);
+            b.if_then(Cond::kLe, vj, pivot, [&] {
+              b.addi(i, i, 1);
+              b.load(vi, i, 0);
+              b.store(i, 0, vj);
+              b.store(j, 0, vi);
+            });
+          });
+          // move pivot into place: swap a[i+1], a[hi]
+          b.addi(p, i, 1);
+          b.load(vi, p, 0);
+          b.store(p, 0, pivot);
+          b.store(hi, 0, vi);
+          // push (lo, p-1) and (p+1, hi)
+          b.add(tmp, stack, sp);
+          b.store(tmp, 0, lo);
+          b.addi(vi, p, -1);
+          b.store(tmp, 1, vi);
+          b.addi(vi, p, 1);
+          b.store(tmp, 2, vi);
+          b.store(tmp, 3, hi);
+          b.addi(sp, sp, 4);
+        });
+      });
+  b.halt();
+
+  std::vector<std::int64_t> data = {12, 3,  17, 8, 0,  19, 5,  14, 9, 1,
+                                    16, 7,  11, 2, 18, 6,  13, 4,  15, 10};
+  data.resize(96, 0);  // room for the range stack
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// select: k-th smallest (k = 10) of data[0..19] via partial selection;
+/// Result: data[20] = value of the 10th smallest (0-based index 9).
+ir::Program select() {
+  IrBuilder b("select");
+  const auto i = R(1), j = R(2), minidx = R(3), minval = R(4), v = R(5),
+             tmp = R(6), out = R(7), n = R(8);
+
+  b.movi(n, 20);
+  b.for_range(i, 0, 10, [&] {
+    b.mov(minidx, i);
+    b.load(minval, i, 0);
+    b.addi(tmp, i, 1);
+    b.for_range_rr(j, tmp, n, 19, [&] {
+      b.load(v, j, 0);
+      b.if_then(Cond::kLt, v, minval, [&] {
+        b.mov(minval, v);
+        b.mov(minidx, j);
+      });
+    });
+    // swap a[i] and a[minidx]
+    b.load(v, i, 0);
+    b.store(i, 0, minval);
+    b.store(minidx, 0, v);
+  });
+  b.movi(out, 20);
+  b.movi(tmp, 9);
+  b.load(v, tmp, 0);
+  b.store(out, 0, v);
+  b.halt();
+
+  std::vector<std::int64_t> data = {42, 7, 19, 88, 3,  56, 23, 71, 11, 65,
+                                    30, 9, 77, 25, 50, 2,  94, 38, 61, 14};
+  data.push_back(0);
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+/// minmax: scans data[0..29] computing min, max and a clamped sum with a
+/// branchy three-way comparison. Results: data[30]=min, data[31]=max,
+/// data[32]=clamped sum.
+ir::Program minmax() {
+  IrBuilder b("minmax");
+  const auto i = R(1), v = R(2), mn = R(3), mx = R(4), sum = R(5), lim = R(6),
+             out = R(7);
+
+  b.movi(mn, 1 << 20);
+  b.movi(mx, -(1 << 20));
+  b.movi(sum, 0);
+  b.movi(lim, 40);
+  b.for_range(i, 0, 30, [&] {
+    b.load(v, i, 0);
+    b.if_then(Cond::kLt, v, mn, [&] { b.mov(mn, v); });
+    b.if_then(Cond::kGt, v, mx, [&] { b.mov(mx, v); });
+    b.if_then_else(
+        Cond::kGt, v, lim, [&] { b.add(sum, sum, lim); },
+        [&] {
+          b.if_then_else(
+              Cond::kLt, v, R(8),  // R(8) holds 0 from program start
+              [&] { b.nop(); },    // negative values ignored
+              [&] { b.add(sum, sum, v); });
+        });
+  });
+  b.movi(out, 30);
+  b.store(out, 0, mn);
+  b.store(out, 1, mx);
+  b.store(out, 2, sum);
+  b.halt();
+
+  std::vector<std::int64_t> data;
+  for (int k = 0; k < 30; ++k)
+    data.push_back(((k * 37) % 101) - 20);  // mix of negatives and > lim
+  data.resize(33, 0);
+  b.set_data(std::move(data));
+  return b.take();
+}
+
+}  // namespace ucp::suite::programs

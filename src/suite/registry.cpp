@@ -1,0 +1,86 @@
+#include "suite/suite.hpp"
+
+#include "ir/lower.hpp"
+#include "support/check.hpp"
+
+namespace ucp::suite {
+
+const std::vector<BenchmarkInfo>& all_benchmarks() {
+  using namespace programs;
+  static const std::vector<BenchmarkInfo> list = {
+      {"adpcm", "p1", "dsp", "ADPCM-style encode/decode over a sample buffer",
+       &adpcm},
+      {"bs", "p2", "sort", "binary search in a 15-entry sorted array", &bs},
+      {"bsort100", "p3", "sort", "bubble sort of 100 integers", &bsort100},
+      {"cnt", "p4", "matrix", "count and sum positives in a 10x10 matrix",
+       &cnt},
+      {"compress", "p5", "control", "run-length style buffer compression",
+       &compress},
+      {"cover", "p6", "control", "switch cascades exercising many paths",
+       &cover},
+      {"crc", "p7", "control", "bitwise CRC-16 over a 40-byte message", &crc},
+      {"duff", "p8", "control", "unrolled copy with a Duff's-device remainder",
+       &duff},
+      {"edn", "p9", "dsp", "vector MAC / FIR-like inner products", &edn},
+      {"expint", "p10", "math", "exponential integral series evaluation",
+       &expint},
+      {"fac", "p11", "math", "sum of factorials (recursion as bounded loop)",
+       &fac},
+      {"fdct", "p12", "dsp", "8x8 forward DCT, row/column passes", &fdct},
+      {"fft1", "p13", "dsp", "fixed-point radix-2 FFT butterfly passes",
+       &fft1},
+      {"fibcall", "p14", "math", "iterative Fibonacci", &fibcall},
+      {"fir", "p15", "dsp", "FIR filter over a signal window", &fir},
+      {"insertsort", "p16", "sort", "insertion sort of 10 integers",
+       &insertsort},
+      {"janne_complex", "p17", "math", "nested data-dependent loop pair",
+       &janne_complex},
+      {"jfdctint", "p18", "dsp", "integer JPEG forward DCT slice", &jfdctint},
+      {"lcdnum", "p19", "control", "LCD segment decoding of digit stream",
+       &lcdnum},
+      {"lms", "p20", "dsp", "LMS adaptive filter iteration", &lms},
+      {"ludcmp", "p21", "matrix", "LU decomposition and solve (fixed-point)",
+       &ludcmp},
+      {"matmult", "p22", "matrix", "10x10 integer matrix multiply", &matmult},
+      {"minmax", "p23", "sort", "min/max/median scans with branches", &minmax},
+      {"minver", "p24", "matrix", "3x3 matrix inversion (fixed-point)",
+       &minver},
+      {"ndes", "p25", "control", "DES-like permutation/substitution rounds",
+       &ndes},
+      {"ns", "p26", "control", "4-level nested search over a cube", &ns},
+      {"nsichneu", "p27", "control",
+       "large Petri-net automaton (hundreds of guarded updates)", &nsichneu},
+      {"prime", "p28", "math", "trial-division primality of two numbers",
+       &prime},
+      {"qsort_exam", "p29", "sort", "iterative quicksort of 20 integers",
+       &qsort_exam},
+      {"qurt", "p30", "math", "quadratic root via integer Newton iterations",
+       &qurt},
+      {"recursion", "p31", "math", "bounded Ackermann-like descent as loop",
+       &recursion},
+      {"select", "p32", "sort", "k-th smallest via partition passes", &select},
+      {"sqrt", "p33", "math", "integer square root (bit-by-bit)", &sqrt_},
+      {"st", "p34", "matrix", "statistics: mean/variance/correlation", &st},
+      {"statemate", "p35", "control",
+       "generated statechart step function (guarded state updates)",
+       &statemate},
+      {"ud", "p36", "matrix", "LU-based linear equation solve, integer", &ud},
+      {"whet", "p37", "math", "Whetstone-like mixed arithmetic loops", &whet},
+  };
+  return list;
+}
+
+const BenchmarkInfo& benchmark(const std::string& name) {
+  for (const BenchmarkInfo& info : all_benchmarks()) {
+    if (info.name == name) return info;
+  }
+  throw InvalidArgument("unknown benchmark: " + name);
+}
+
+ir::Program build_benchmark(const std::string& name) {
+  // Experiments run the RISC-lowered form (the code footprint a compiled
+  // binary would have); `benchmark(name).build()` gives the builder-level IR.
+  return ir::lower(benchmark(name).build());
+}
+
+}  // namespace ucp::suite

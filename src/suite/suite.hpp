@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ucp::suite {
+
+/// One benchmark of the Mälardalen-like suite (Table 1 of the paper). Each
+/// program is a faithful mini-ISA re-implementation of the corresponding C
+/// kernel's computation and control-flow shape, with loop bounds attached
+/// as flow facts (the interpreter validates them on every run).
+struct BenchmarkInfo {
+  std::string name;         ///< Mälardalen name, e.g. "matmult"
+  std::string id;           ///< paper label p1..p37
+  std::string category;     ///< sort / math / dsp / matrix / control
+  std::string description;  ///< one-line summary of the kernel
+  ir::Program (*build)();   ///< constructs a fresh verified program
+};
+
+/// All 37 benchmarks in paper order (p1..p37).
+const std::vector<BenchmarkInfo>& all_benchmarks();
+
+/// Lookup by name; throws InvalidArgument if unknown.
+const BenchmarkInfo& benchmark(const std::string& name);
+
+/// Builds a fresh copy of the named benchmark program.
+ir::Program build_benchmark(const std::string& name);
+
+// Individual builders (exposed for focused tests).
+namespace programs {
+ir::Program bs();
+ir::Program bsort100();
+ir::Program insertsort();
+ir::Program qsort_exam();
+ir::Program select();
+ir::Program minmax();
+ir::Program expint();
+ir::Program fac();
+ir::Program fibcall();
+ir::Program prime();
+ir::Program qurt();
+ir::Program sqrt_();
+ir::Program recursion();
+ir::Program janne_complex();
+ir::Program whet();
+ir::Program adpcm();
+ir::Program edn();
+ir::Program fdct();
+ir::Program fft1();
+ir::Program fir();
+ir::Program jfdctint();
+ir::Program lms();
+ir::Program cnt();
+ir::Program ludcmp();
+ir::Program matmult();
+ir::Program minver();
+ir::Program st();
+ir::Program ud();
+ir::Program compress();
+ir::Program cover();
+ir::Program crc();
+ir::Program duff();
+ir::Program lcdnum();
+ir::Program ndes();
+ir::Program ns();
+ir::Program nsichneu();
+ir::Program statemate();
+}  // namespace programs
+
+}  // namespace ucp::suite

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ucp {
+
+/// Error thrown when an internal invariant is violated. All UCP_CHECK
+/// failures funnel through this type so tests can assert on misuse.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when user-supplied input (program, configuration) is invalid.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw InternalError(os.str());
+}
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& message) {
+  std::ostringstream os;
+  os << "requirement violated: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace ucp
+
+/// Internal invariant; failure indicates a bug in this library.
+#define UCP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ucp::detail::check_failed("UCP_CHECK", #expr, __FILE__,        \
+                                  __LINE__, std::string());            \
+  } while (false)
+
+#define UCP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ucp::detail::check_failed("UCP_CHECK", #expr, __FILE__,        \
+                                  __LINE__, (msg));                    \
+  } while (false)
+
+/// Precondition on caller-supplied data; failure indicates API misuse.
+#define UCP_REQUIRE(expr, msg)                                         \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ucp::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ucp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  UCP_REQUIRE(!header_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  UCP_REQUIRE(cells.size() == header_.size(),
+              "row arity must match the header");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto print_line = [&](char fill) {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << fill;
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+         << cells[c] << " |";
+    os << '\n';
+  };
+
+  print_line('-');
+  print_cells(header_);
+  print_line('=');
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_line('-');
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_line('-');
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_pct_change(double ratio, int precision) {
+  std::ostringstream os;
+  const double pct = (ratio - 1.0) * 100.0;
+  os << std::fixed << std::setprecision(precision) << std::showpos << pct
+     << '%';
+  return os.str();
+}
+
+}  // namespace ucp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ucp {
+
+/// Column-aligned ASCII table for bench/experiment output. Benches print the
+/// same rows the paper's tables/figures report; this keeps them legible.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting) so experiment output can feed
+/// external plotting without any extra dependency.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string format_double(double value, int precision = 3);
+/// Formats a ratio as a signed percentage change, e.g. 0.888 -> "-11.2%".
+std::string format_pct_change(double ratio, int precision = 1);
+
+}  // namespace ucp

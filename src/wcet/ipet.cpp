@@ -1,0 +1,168 @@
+#include "wcet/ipet.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace ucp::wcet {
+
+using analysis::CgEdge;
+using analysis::Classification;
+using analysis::ContextGraph;
+using analysis::NodeId;
+
+std::uint32_t ref_cycles(Classification cls, const cache::MemTiming& timing) {
+  return cls == Classification::kAlwaysHit ? timing.hit_cycles
+                                           : timing.miss_cycles;
+}
+
+namespace {
+
+/// Sum of per-execution fetch cycles of all instructions of a node.
+std::uint64_t node_cycles(const std::vector<std::uint32_t>& refs) {
+  std::uint64_t total = 0;
+  for (std::uint32_t c : refs) total += c;
+  return total;
+}
+
+}  // namespace
+
+WcetResult compute_wcet(const ContextGraph& graph,
+                        const analysis::CacheAnalysisResult& classification,
+                        const cache::MemTiming& timing) {
+  const std::size_t num_nodes = graph.num_nodes();
+  const auto& edges = graph.edges();
+
+  WcetResult result;
+  result.ref_cycles.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const auto& cls = classification.per_node[v];
+    result.ref_cycles[v].reserve(cls.size());
+    for (Classification c : cls)
+      result.ref_cycles[v].push_back(ref_cycles(c, timing));
+  }
+
+  // --- Build the ILP -------------------------------------------------------
+  ilp::Model model;
+
+  // One variable per real edge, plus a virtual source arc into the entry and
+  // one virtual sink arc out of every exit node.
+  std::vector<ilp::VarId> edge_var(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e)
+    edge_var[e] = model.add_var("x" + std::to_string(e));
+  const ilp::VarId source_var = model.add_var("src", 1.0, 1.0);
+  std::vector<ilp::VarId> sink_var;
+  for (NodeId exit : graph.exit_nodes())
+    sink_var.push_back(
+        model.add_var("sink_n" + std::to_string(exit)));
+
+  // Flow conservation: inflow(v) == outflow(v).
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::vector<ilp::Term> terms;
+    for (std::uint32_t ei : graph.in_edges(v))
+      terms.push_back({edge_var[ei], 1.0});
+    if (v == graph.entry_node()) terms.push_back({source_var, 1.0});
+    for (std::uint32_t ei : graph.out_edges(v))
+      terms.push_back({edge_var[ei], -1.0});
+    for (std::size_t k = 0; k < graph.exit_nodes().size(); ++k)
+      if (graph.exit_nodes()[k] == v) terms.push_back({sink_var[k], -1.0});
+    model.add_constraint(std::move(terms), ilp::Rel::kEq, 0.0);
+  }
+
+  // Helper: inflow(v) as terms (n_v).
+  auto inflow_terms = [&](NodeId v, double coeff) {
+    std::vector<ilp::Term> terms;
+    for (std::uint32_t ei : graph.in_edges(v))
+      terms.push_back({edge_var[ei], coeff});
+    if (v == graph.entry_node()) terms.push_back({source_var, coeff});
+    return terms;
+  };
+
+  // VIVU loop bounds: n(rest) <= (bound - 1) * n(first).
+  for (const analysis::LoopInstance& inst : graph.loop_instances()) {
+    if (inst.rest_node == analysis::kInvalidNode) continue;
+    UCP_CHECK_MSG(inst.bound >= 2, "REST node exists for bound < 2");
+    std::vector<ilp::Term> terms = inflow_terms(inst.rest_node, 1.0);
+    const auto first = inflow_terms(
+        inst.first_node, -static_cast<double>(inst.bound - 1));
+    terms.insert(terms.end(), first.begin(), first.end());
+    model.add_constraint(std::move(terms), ilp::Rel::kLe, 0.0);
+
+    // Anti-circulation: back-edge flow may exist only in proportion to the
+    // flow that actually *enters* the REST instance from the peeled FIRST
+    // iteration. Without this, a maximizing solution can satisfy flow
+    // conservation with a closed loop-cycle circulation disconnected from
+    // the source, which has the right objective value but is not a path
+    // (the classic IPET structural-flow pitfall).
+    std::vector<ilp::Term> anti;
+    double has_back = false;
+    for (std::uint32_t ei : graph.in_edges(inst.rest_node)) {
+      if (edges[ei].back) {
+        anti.push_back({edge_var[ei], 1.0});
+        has_back = true;
+      }
+    }
+    if (!has_back) continue;
+    const double factor =
+        inst.bound >= 2 ? static_cast<double>(inst.bound - 2) : 0.0;
+    for (std::uint32_t ei : graph.in_edges(inst.rest_node)) {
+      if (!edges[ei].back) anti.push_back({edge_var[ei], -factor});
+    }
+    model.add_constraint(std::move(anti), ilp::Rel::kLe, 0.0);
+  }
+
+  // Objective: Σ_v t_w(v) * n_v, expressed over inflow arcs.
+  std::vector<double> var_coeff(model.num_vars(), 0.0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const double tv = static_cast<double>(node_cycles(result.ref_cycles[v]));
+    if (tv == 0.0) continue;
+    for (const ilp::Term& t : inflow_terms(v, tv))
+      var_coeff[static_cast<std::size_t>(t.var)] += t.coeff;
+  }
+  std::vector<ilp::Term> objective;
+  for (std::size_t j = 0; j < var_coeff.size(); ++j)
+    if (var_coeff[j] != 0.0)
+      objective.push_back({static_cast<ilp::VarId>(j), var_coeff[j]});
+  model.set_objective(std::move(objective), /*maximize=*/true);
+
+  // --- Solve ----------------------------------------------------------------
+  const ilp::Solution solution = ilp::solve_ilp(model);
+  result.status = solution.status;
+  if (!solution.optimal()) return result;
+
+  result.tau_mem =
+      static_cast<std::uint64_t>(std::llround(solution.objective));
+  result.edge_counts.assign(edges.size(), 0);
+  for (std::size_t e = 0; e < edges.size(); ++e)
+    result.edge_counts[e] =
+        static_cast<std::uint64_t>(std::llround(solution.value(edge_var[e])));
+  result.node_counts.assign(num_nodes, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::uint64_t n = 0;
+    for (std::uint32_t ei : graph.in_edges(v)) n += result.edge_counts[ei];
+    if (v == graph.entry_node()) n += 1;
+    result.node_counts[v] = n;
+  }
+  return result;
+}
+
+std::uint64_t tau_with_fixed_counts(
+    const ContextGraph& graph,
+    const analysis::CacheAnalysisResult& classification,
+    const cache::MemTiming& timing,
+    const std::vector<std::uint64_t>& counts) {
+  UCP_REQUIRE(counts.size() == graph.num_nodes(),
+              "count vector does not match the context graph");
+  std::uint64_t tau = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (counts[v] == 0) continue;
+    std::uint64_t per_exec = 0;
+    for (Classification c : classification.per_node[v])
+      per_exec += ref_cycles(c, timing);
+    tau += per_exec * counts[v];
+  }
+  return tau;
+}
+
+}  // namespace ucp::wcet

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "cache/config.hpp"
+#include "ilp/model.hpp"
+
+namespace ucp::wcet {
+
+/// Per-reference worst-case memory timing: t_w(r) of Section 3.3, derived
+/// from the cache classification (always-hit pays hit time; anything else
+/// conservatively pays miss time).
+std::uint32_t ref_cycles(analysis::Classification cls,
+                         const cache::MemTiming& timing);
+
+/// Result of the IPET analysis over a VIVU context graph.
+struct WcetResult {
+  ilp::SolveStatus status = ilp::SolveStatus::kInfeasible;
+  /// τ_w: the memory system's contribution to the WCET, in cycles (Eq. 3).
+  std::uint64_t tau_mem = 0;
+  /// n_w per context node: executions of each block instance in the WCET
+  /// scenario (zero off the worst-case path).
+  std::vector<std::uint64_t> node_counts;
+  /// t_w per (node, instruction): worst-case fetch cycles of one execution.
+  std::vector<std::vector<std::uint32_t>> ref_cycles;
+  /// Worst-case flow per context edge (same indexing as graph.edges()).
+  std::vector<std::uint64_t> edge_counts;
+
+  bool ok() const { return status == ilp::SolveStatus::kOptimal; }
+
+  /// τ_w(r) for one reference: t_w * n_w of its node (Eq. 2).
+  std::uint64_t tau_of(analysis::NodeId node, std::size_t instr_index) const {
+    return static_cast<std::uint64_t>(ref_cycles[node][instr_index]) *
+           node_counts[node];
+  }
+};
+
+/// Builds and solves the IPET ILP (Section 3.2-3.3): one flow variable per
+/// context edge plus virtual source/sink arcs, flow conservation at every
+/// node, `n(rest header) <= (bound-1) * n(first header)` per VIVU loop
+/// instance, maximizing Σ t_w(bb)·n_bb.
+WcetResult compute_wcet(const analysis::ContextGraph& graph,
+                        const analysis::CacheAnalysisResult& classification,
+                        const cache::MemTiming& timing);
+
+/// Recomputes τ_w for (possibly different) per-reference timings while
+/// *holding the worst-case counts fixed* — the quantity the optimizer's
+/// profit criterion compares (the paper's Theorem 1 argument fixes n_w).
+std::uint64_t tau_with_fixed_counts(
+    const analysis::ContextGraph& graph,
+    const analysis::CacheAnalysisResult& classification,
+    const cache::MemTiming& timing, const std::vector<std::uint64_t>& counts);
+
+}  // namespace ucp::wcet

@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "analysis/domain.hpp"
+#include "analysis/persistence.hpp"
+#include "ir/builder.hpp"
+#include "ir/layout.hpp"
+
+namespace ucp::analysis {
+namespace {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------------
+
+TEST(AbstractSet, MustUpdateOnMissAgesEverything) {
+  AbstractSet s(2);
+  s.update_must(10);  // age 0
+  s.update_must(20);  // 10 -> age 1, 20 -> age 0
+  EXPECT_EQ(s.age_of(10), 1);
+  EXPECT_EQ(s.age_of(20), 0);
+  s.update_must(30);  // 10 evicted
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_EQ(s.age_of(20), 1);
+  EXPECT_EQ(s.age_of(30), 0);
+}
+
+TEST(AbstractSet, MustUpdateOnHitOnlyAgesYounger) {
+  AbstractSet s(4);
+  s.update_must(1);
+  s.update_must(2);
+  s.update_must(3);  // ages: 3->0, 2->1, 1->2
+  s.update_must(1);  // hit at age 2: 3 and 2 age by one, 1 -> 0
+  EXPECT_EQ(s.age_of(1), 0);
+  EXPECT_EQ(s.age_of(3), 1);
+  EXPECT_EQ(s.age_of(2), 2);
+}
+
+TEST(AbstractSet, MustJoinIsIntersectionWithMaxAge) {
+  AbstractSet a(4), b(4);
+  a.update_must(1);
+  a.update_must(2);  // a: 2@0, 1@1
+  b.update_must(3);
+  b.update_must(1);  // b: 1@0, 3@1
+  const AbstractSet j = AbstractSet::join_must(a, b);
+  EXPECT_EQ(j.size(), 1u);        // only block 1 in both
+  EXPECT_EQ(j.age_of(1), 1);      // max(1, 0)
+  EXPECT_FALSE(j.contains(2));
+  EXPECT_FALSE(j.contains(3));
+}
+
+TEST(AbstractSet, MayJoinIsUnionWithMinAge) {
+  AbstractSet a(4), b(4);
+  a.update_may(1);
+  a.update_may(2);
+  b.update_may(3);
+  b.update_may(1);
+  const AbstractSet j = AbstractSet::join_may(a, b);
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.age_of(1), 0);  // min(1, 0)
+  EXPECT_TRUE(j.contains(2));
+  EXPECT_TRUE(j.contains(3));
+}
+
+TEST(AbstractSet, MayUpdateAgesSameAgePeers) {
+  AbstractSet s(2);
+  s.update_may(1);
+  // Merge in a peer at the same age via join.
+  AbstractSet t(2);
+  t.update_may(2);
+  AbstractSet j = AbstractSet::join_may(s, t);  // both @0
+  j.update_may(1);  // 1 -> 0; 2 shared age 0 -> pushed to 1
+  EXPECT_EQ(j.age_of(1), 0);
+  EXPECT_EQ(j.age_of(2), 1);
+}
+
+TEST(AbstractSet, MustEvictionBoundary) {
+  // Property: a must-set never holds more than assoc blocks, and repeated
+  // distinct accesses cycle everything out.
+  for (std::uint8_t assoc : {1, 2, 4, 8}) {
+    AbstractSet s(assoc);
+    for (MemBlockId b = 0; b < 20; ++b) {
+      s.update_must(b);
+      EXPECT_LE(s.size(), static_cast<std::size_t>(assoc));
+    }
+    EXPECT_TRUE(s.contains(19));
+    EXPECT_FALSE(s.contains(19 - assoc));
+  }
+}
+
+TEST(AbstractCache, SetSelection) {
+  const cache::CacheConfig config{2, 16, 256};  // 8 sets
+  AbstractCache c(config);
+  c.update_must(3);
+  c.update_must(11);  // same set (11 % 8 == 3)
+  EXPECT_TRUE(c.must_contain(3));
+  EXPECT_TRUE(c.must_contain(11));
+  EXPECT_EQ(c.set_for_block(3).age_of(3), 1);
+  EXPECT_EQ(c.set_for_block(11).age_of(11), 0);
+  c.update_must(19);  // third conflicting block evicts 3
+  EXPECT_FALSE(c.must_contain(3));
+}
+
+TEST(AbstractCache, JoinRejectsDifferentGeometry) {
+  AbstractCache a(cache::CacheConfig{2, 16, 256});
+  AbstractCache b(cache::CacheConfig{2, 16, 512});
+  EXPECT_THROW(AbstractCache::join_must(a, b), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// VIVU context graph
+// ---------------------------------------------------------------------------
+
+TEST(ContextGraph, StraightLineIsTrivial) {
+  IrBuilder b("straight");
+  b.movi(R(1), 1);
+  b.halt();
+  const ir::Program p = b.take();
+  const ContextGraph g(p);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+  EXPECT_TRUE(g.loop_instances().empty());
+}
+
+TEST(ContextGraph, SingleLoopPeelsFirstAndRest) {
+  IrBuilder b("loop");
+  b.for_range(R(1), 0, 5, [&] { b.nop(); });
+  b.halt();
+  const ir::Program p = b.take();
+  const ContextGraph g(p);
+
+  ASSERT_EQ(g.loop_instances().size(), 1u);
+  const LoopInstance& inst = g.loop_instances()[0];
+  EXPECT_EQ(inst.bound, 6u);
+  EXPECT_NE(inst.first_node, kInvalidNode);
+  EXPECT_NE(inst.rest_node, kInvalidNode);
+  EXPECT_NE(inst.first_node, inst.rest_node);
+  // first and rest instances of the header share the basic block.
+  EXPECT_EQ(g.node(inst.first_node).block, g.node(inst.rest_node).block);
+  EXPECT_FALSE(g.node(inst.first_node).ctx.back().rest);
+  EXPECT_TRUE(g.node(inst.rest_node).ctx.back().rest);
+}
+
+TEST(ContextGraph, BoundOneLoopHasNoRestInstance) {
+  IrBuilder b("once");
+  b.do_while(1, [&] { b.nop(); }, Cond::kLt, R(1), R(0));
+  b.halt();
+  const ir::Program p = b.take();
+  const ContextGraph g(p);
+  ASSERT_EQ(g.loop_instances().size(), 1u);
+  EXPECT_EQ(g.loop_instances()[0].rest_node, kInvalidNode);
+}
+
+TEST(ContextGraph, NestedLoopsComposeContexts) {
+  IrBuilder b("nest");
+  b.for_range(R(1), 0, 3, [&] {
+    b.for_range(R(2), 0, 4, [&] { b.nop(); });
+  });
+  b.halt();
+  const ir::Program p = b.take();
+  const ContextGraph g(p);
+  // outer first/rest, and inner first/rest within each -> 4 inner header
+  // instances; loop_instances: 1 outer + 2 inner (per outer context).
+  std::size_t inner = 0, outer = 0;
+  for (const LoopInstance& inst : g.loop_instances()) {
+    if (inst.parent_ctx.empty())
+      ++outer;
+    else
+      ++inner;
+  }
+  EXPECT_EQ(outer, 1u);
+  EXPECT_EQ(inner, 2u);
+  // Max context depth is 2.
+  std::size_t max_depth = 0;
+  for (const CgNode& n : g.nodes()) max_depth = std::max(max_depth, n.ctx.size());
+  EXPECT_EQ(max_depth, 2u);
+}
+
+TEST(ContextGraph, OnlyRestBackEdgesAreCyclic) {
+  IrBuilder b("cyc");
+  b.for_range(R(1), 0, 5, [&] { b.nop(); });
+  b.halt();
+  const ir::Program p = b.take();
+  const ContextGraph g(p);
+  std::size_t back = 0;
+  for (const CgEdge& e : g.edges()) {
+    if (e.back) {
+      ++back;
+      // back edges stay within REST contexts
+      EXPECT_TRUE(g.node(e.to).ctx.back().rest);
+      EXPECT_TRUE(g.node(e.from).ctx.back().rest);
+    }
+  }
+  EXPECT_EQ(back, 1u);
+  // Topological order covers all nodes (acyclic without back edges).
+  EXPECT_EQ(g.topo_order().size(), g.num_nodes());
+}
+
+TEST(ContextGraph, BranchesShareContext) {
+  IrBuilder b("br");
+  b.for_range(R(1), 0, 3, [&] {
+    b.if_then_else(Cond::kEq, R(1), R(2), [&] { b.nop(); },
+                   [&] { b.nop(); });
+  });
+  b.halt();
+  const ir::Program p = b.take();
+  const ContextGraph g(p);
+  // Every block of the loop body must exist in both FIRST and REST.
+  std::map<ir::BlockId, std::set<bool>> seen;
+  for (const CgNode& n : g.nodes())
+    if (!n.ctx.empty()) seen[n.block].insert(n.ctx.back().rest);
+  for (const auto& [block, variants] : seen)
+    EXPECT_EQ(variants.size(), 2u) << "bb" << block;
+}
+
+// ---------------------------------------------------------------------------
+// Must/may classification
+// ---------------------------------------------------------------------------
+
+const cache::CacheConfig kConfig{2, 16, 256};
+
+TEST(CacheAnalysis, StraightLineFirstAccessMissesThenHits) {
+  IrBuilder b("cls");
+  for (int i = 0; i < 4; ++i) b.nop();  // one 16-byte block
+  b.halt();
+  const ir::Program p = b.take();
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const ContextGraph g(p);
+  const CacheAnalysisResult r = analyze_cache(g, layout, kConfig);
+
+  EXPECT_EQ(r.classify(0, 0), Classification::kAlwaysMiss);  // cold
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_EQ(r.classify(0, i), Classification::kAlwaysHit);
+}
+
+TEST(CacheAnalysis, LoopBodyFirstMissRestHit) {
+  IrBuilder b("loopcls");
+  b.for_range(R(1), 0, 10, [&] { b.nops(6); });
+  b.halt();
+  const ir::Program p = b.take();
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const ContextGraph g(p);
+  const CacheAnalysisResult r = analyze_cache(g, layout, kConfig);
+
+  // In REST contexts everything fits the cache: no always-miss left.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node(v).ctx.empty() || !g.node(v).ctx.back().rest) continue;
+    for (std::size_t i = 0; i < r.per_node[v].size(); ++i)
+      EXPECT_EQ(r.classify(v, i), Classification::kAlwaysHit)
+          << "node " << v << " instr " << i;
+  }
+  // And the FIRST iteration has at least one cold miss.
+  std::size_t first_misses = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node(v).ctx.empty() || g.node(v).ctx.back().rest) continue;
+    for (std::size_t i = 0; i < r.per_node[v].size(); ++i)
+      if (r.classify(v, i) == Classification::kAlwaysMiss) ++first_misses;
+  }
+  EXPECT_GT(first_misses, 0u);
+}
+
+TEST(CacheAnalysis, ConflictingLoopBodyStaysMissing) {
+  // Loop body bigger than the whole cache: REST context still misses.
+  IrBuilder b("big");
+  b.for_range(R(1), 0, 5, [&] { b.nops(80); });  // 80*4 = 320B > 256B
+  b.halt();
+  const ir::Program p = b.take();
+  const cache::CacheConfig direct{1, 16, 256};
+  const ir::Layout layout(p, direct.block_bytes);
+  const ContextGraph g(p);
+  const CacheAnalysisResult r = analyze_cache(g, layout, direct);
+
+  std::uint64_t rest_misses = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node(v).ctx.empty() || !g.node(v).ctx.back().rest) continue;
+    for (std::size_t i = 0; i < r.per_node[v].size(); ++i)
+      if (r.classify(v, i) != Classification::kAlwaysHit) ++rest_misses;
+  }
+  EXPECT_GT(rest_misses, 0u);
+}
+
+TEST(CacheAnalysis, BranchDependentReuseIsNotClassified) {
+  // In a loop whose body branches over conflicting code, a re-accessed
+  // block can be cached on one incoming path and evicted on the other:
+  // it must come out neither always-hit nor always-miss.
+  IrBuilder b("joincls");
+  b.for_range(R(1), 0, 6, [&] {
+    b.if_then_else(
+        Cond::kEq, R(1), R(0),
+        [&] { b.nops(40); },  // 160B of conflicting code on this path only
+        [&] { b.nop(); });
+  });
+  b.halt();
+  const ir::Program p = b.take();
+  const cache::CacheConfig tiny{1, 16, 128};  // 8 sets, direct-mapped
+  const ir::Layout layout(p, tiny.block_bytes);
+  const ContextGraph g(p);
+  const CacheAnalysisResult r = analyze_cache(g, layout, tiny);
+  EXPECT_GT(r.count(Classification::kNotClassified), 0u);
+}
+
+TEST(CacheAnalysis, PrefetchInstallsTargetInMust) {
+  IrBuilder b("pfmust");
+  b.nops(4);  // block 0
+  b.nops(4);  // block 1
+  b.halt();
+  ir::Program p = b.take();
+  // Prefetch block 2's first instruction (the halt block) from the start.
+  const ir::InstrId target = p.block(p.entry()).instrs[8].id;
+  ir::Instruction pf;
+  pf.op = ir::Opcode::kPrefetch;
+  pf.pf_target = target;
+  p.insert(p.entry(), 1, pf);
+
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const ContextGraph g(p);
+  const CacheAnalysisResult r = analyze_cache(g, layout, kConfig);
+  // The target instruction's fetch must now be always-hit.
+  const auto loc = p.locate(target);
+  EXPECT_EQ(r.classify(0, loc.index), Classification::kAlwaysHit);
+}
+
+TEST(CacheAnalysis, StateAccessorsBoundsChecked) {
+  IrBuilder b("bounds");
+  b.nop();
+  b.halt();
+  const ir::Program p = b.take();
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const ContextGraph g(p);
+  const CacheAnalysisResult r = analyze_cache(g, layout, kConfig);
+  EXPECT_THROW(r.classify(99, 0), InvalidArgument);
+  EXPECT_THROW(r.classify(0, 99), InvalidArgument);
+  EXPECT_NO_THROW(r.state_in(0));
+  EXPECT_NO_THROW(r.state_out(0));
+}
+
+
+// ---------------------------------------------------------------------------
+// Persistence analysis (first-miss classification)
+// ---------------------------------------------------------------------------
+
+TEST(Persistence, FittingLoopBodyIsPersistent) {
+  IrBuilder b("fit");
+  b.for_range(R(1), 0, 10, [&] { b.nops(8); });
+  b.halt();
+  const ir::Program p = b.take();
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const ContextGraph g(p);
+  const PersistenceResult r = analyze_persistence(g, p, layout, kConfig);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (std::size_t i = 0; i < r.per_node[v].size(); ++i)
+      EXPECT_TRUE(r.persistent(v, i)) << "node " << v << " instr " << i;
+}
+
+TEST(Persistence, ThrashingLoopBodyIsNot) {
+  IrBuilder b("thrash");
+  b.for_range(R(1), 0, 10, [&] { b.nops(80); });  // 320B on a 256B cache
+  b.halt();
+  const ir::Program p = b.take();
+  const cache::CacheConfig direct{1, 16, 256};
+  const ir::Layout layout(p, direct.block_bytes);
+  const ContextGraph g(p);
+  const PersistenceResult r = analyze_persistence(g, p, layout, direct);
+  std::size_t non_persistent = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (std::size_t i = 0; i < r.per_node[v].size(); ++i)
+      if (!r.persistent(v, i)) ++non_persistent;
+  EXPECT_GT(non_persistent, 0u);
+}
+
+TEST(Persistence, GainIsNonNegativeAndBounded) {
+  IrBuilder b("gain");
+  b.for_range(R(1), 0, 6, [&] {
+    b.if_then_else(
+        Cond::kEq, R(1), R(0), [&] { b.nops(40); }, [&] { b.nop(); });
+  });
+  b.halt();
+  const ir::Program p = b.take();
+  const cache::CacheConfig tiny{1, 16, 128};
+  const ir::Layout layout(p, tiny.block_bytes);
+  const ContextGraph g(p);
+  const std::size_t gain = persistence_gain(g, p, layout, tiny);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    total += p.block(g.node(v).block).instrs.size();
+  EXPECT_LE(gain, total);
+}
+
+TEST(Persistence, BoundsChecked) {
+  IrBuilder b("pb");
+  b.nop();
+  b.halt();
+  const ir::Program p = b.take();
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const ContextGraph g(p);
+  const PersistenceResult r = analyze_persistence(g, p, layout, kConfig);
+  EXPECT_THROW(r.persistent(99, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ucp::analysis

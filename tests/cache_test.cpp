@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.hpp"
+#include "cache/config.hpp"
+#include "support/check.hpp"
+
+namespace ucp::cache {
+namespace {
+
+const MemTiming kTiming{1, 25, 25};
+
+TEST(Config, Geometry) {
+  const CacheConfig k{2, 16, 512};
+  k.validate();
+  EXPECT_EQ(k.num_sets(), 16u);
+  EXPECT_EQ(k.num_blocks(), 32u);
+  EXPECT_EQ(k.set_of(0), 0u);
+  EXPECT_EQ(k.set_of(16), 0u);
+  EXPECT_EQ(k.set_of(17), 1u);
+}
+
+TEST(Config, ValidationRejectsBadShapes) {
+  EXPECT_THROW((CacheConfig{3, 16, 512}.validate()), InvalidArgument);
+  EXPECT_THROW((CacheConfig{2, 24, 512}.validate()), InvalidArgument);
+  EXPECT_THROW((CacheConfig{2, 16, 600}.validate()), InvalidArgument);
+  EXPECT_THROW((CacheConfig{8, 32, 128}.validate()), InvalidArgument);
+}
+
+TEST(Config, PaperTable2Has36Entries) {
+  const auto& configs = paper_cache_configs();
+  ASSERT_EQ(configs.size(), 36u);
+  EXPECT_EQ(configs.front().id, "k1");
+  EXPECT_EQ(configs.back().id, "k36");
+  // Paper order: k1 = (1,16,256), k36 = (4,32,8192).
+  EXPECT_EQ(configs.front().config, (CacheConfig{1, 16, 256}));
+  EXPECT_EQ(configs.back().config, (CacheConfig{4, 32, 8192}));
+  for (const auto& named : configs) named.config.validate();
+}
+
+TEST(Config, PaperLookupByIdAndUnknown) {
+  EXPECT_EQ(paper_cache_config("k7").config, (CacheConfig{1, 16, 512}));
+  EXPECT_THROW(paper_cache_config("k99"), InvalidArgument);
+}
+
+TEST(Timing, Validation) {
+  MemTiming t{1, 1, 1};
+  EXPECT_THROW(t.validate(), InvalidArgument);  // miss must exceed hit
+  t = MemTiming{0, 10, 10};
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  kTiming.validate();
+}
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim sim(CacheConfig{1, 16, 256}, kTiming);
+  const auto miss = sim.fetch(5, 0);
+  EXPECT_EQ(miss.kind, FetchKind::kMiss);
+  EXPECT_EQ(miss.cycles, kTiming.miss_cycles);
+  const auto hit = sim.fetch(5, miss.cycles);
+  EXPECT_EQ(hit.kind, FetchKind::kHit);
+  EXPECT_EQ(hit.cycles, kTiming.hit_cycles);
+  EXPECT_EQ(sim.stats().fetches, 2u);
+  EXPECT_EQ(sim.stats().misses, 1u);
+  EXPECT_EQ(sim.stats().hits, 1u);
+}
+
+TEST(CacheSim, DirectMappedConflictEviction) {
+  // 16 sets; blocks 0 and 16 collide.
+  CacheSim sim(CacheConfig{1, 16, 256}, kTiming);
+  sim.fetch(0, 0);
+  sim.fetch(16, 100);
+  EXPECT_FALSE(sim.contains(0));
+  EXPECT_TRUE(sim.contains(16));
+  EXPECT_EQ(sim.stats().evictions, 1u);
+}
+
+TEST(CacheSim, LruOrderWithinSet) {
+  // 2-way, 8 sets: blocks 0, 8, 16 collide in set 0.
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.fetch(0, 0);
+  sim.fetch(8, 10);
+  sim.fetch(0, 20);   // touch 0 -> MRU
+  sim.fetch(16, 30);  // evicts 8 (LRU), not 0
+  EXPECT_TRUE(sim.contains(0));
+  EXPECT_FALSE(sim.contains(8));
+  EXPECT_TRUE(sim.contains(16));
+  const auto contents = sim.set_contents(0);
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0], 16u);  // MRU first
+  EXPECT_EQ(contents[1], 0u);
+}
+
+TEST(CacheSim, PrefetchedBlockReadyAfterLatency) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.prefetch(3, 0);
+  EXPECT_TRUE(sim.contains(3));
+  ASSERT_TRUE(sim.ready_at(3).has_value());
+  EXPECT_EQ(*sim.ready_at(3), 25u);
+  // Demand fetch after completion: plain hit.
+  const auto hit = sim.fetch(3, 30);
+  EXPECT_EQ(hit.kind, FetchKind::kHit);
+  EXPECT_EQ(hit.cycles, kTiming.hit_cycles);
+  EXPECT_EQ(sim.stats().useful_prefetch_hits, 1u);
+  EXPECT_EQ(sim.stats().prefetch_fills, 1u);
+}
+
+TEST(CacheSim, LatePrefetchStallsForRemainder) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.prefetch(3, 0);  // ready at 25
+  const auto r = sim.fetch(3, 10);
+  EXPECT_EQ(r.kind, FetchKind::kLatePrefetch);
+  EXPECT_EQ(r.cycles, 15u + kTiming.hit_cycles);
+  EXPECT_EQ(sim.stats().stall_cycles, 15u);
+  EXPECT_EQ(sim.stats().late_prefetch_hits, 1u);
+  // Counted as a hit, not a miss (the paper's non-blocking port).
+  EXPECT_EQ(sim.stats().misses, 0u);
+}
+
+TEST(CacheSim, RedundantPrefetchOnlyTouchesLru) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.fetch(0, 0);
+  sim.fetch(8, 10);      // set 0: [8, 0]
+  sim.prefetch(0, 20);   // redundant: moves 0 to MRU, no fill
+  EXPECT_EQ(sim.stats().prefetches_redundant, 1u);
+  EXPECT_EQ(sim.stats().prefetch_fills, 0u);
+  sim.fetch(16, 30);     // evicts LRU = 8
+  EXPECT_TRUE(sim.contains(0));
+  EXPECT_FALSE(sim.contains(8));
+}
+
+TEST(CacheSim, PrefetchEvictsLruImmediately) {
+  CacheSim sim(CacheConfig{1, 16, 256}, kTiming);
+  sim.fetch(0, 0);
+  sim.prefetch(16, 10);  // same set as 0
+  EXPECT_FALSE(sim.contains(0));
+  EXPECT_TRUE(sim.contains(16));
+}
+
+TEST(CacheSim, Level2AccessesCombineMissesAndPrefetchFills) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.fetch(1, 0);
+  sim.prefetch(2, 10);
+  sim.prefetch(2, 11);  // redundant, no extra fill
+  EXPECT_EQ(sim.stats().level2_accesses(), 2u);
+}
+
+TEST(CacheSim, MissRate) {
+  CacheSim sim(CacheConfig{1, 16, 256}, kTiming);
+  sim.fetch(0, 0);
+  sim.fetch(0, 30);
+  sim.fetch(0, 40);
+  sim.fetch(0, 50);
+  EXPECT_DOUBLE_EQ(sim.stats().miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(CacheStats{}.miss_rate(), 0.0);
+}
+
+TEST(CacheSim, ResetClearsEverything) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.fetch(1, 0);
+  sim.prefetch(2, 5);
+  sim.reset();
+  EXPECT_FALSE(sim.contains(1));
+  EXPECT_FALSE(sim.contains(2));
+  EXPECT_EQ(sim.stats().fetches, 0u);
+  EXPECT_EQ(sim.stats().prefetches_issued, 0u);
+}
+
+TEST(CacheSim, FullyAssociativeNeverConflictsBelowCapacity) {
+  // 1 set x 16 ways.
+  CacheSim sim(CacheConfig{16, 16, 256}, kTiming);
+  for (MemBlockId b = 0; b < 16; ++b) sim.fetch(b, b * 30);
+  for (MemBlockId b = 0; b < 16; ++b) EXPECT_TRUE(sim.contains(b));
+  EXPECT_EQ(sim.stats().evictions, 0u);
+  sim.fetch(16, 1000);  // now the LRU (block 0) goes
+  EXPECT_FALSE(sim.contains(0));
+}
+
+
+TEST(HwPrefetch, PolicyNames) {
+  EXPECT_EQ(hw_prefetch_policy_name(HwPrefetchPolicy::kNone), "on-demand");
+  EXPECT_EQ(hw_prefetch_policy_name(HwPrefetchPolicy::kNextLineAlways),
+            "next-line-always");
+  EXPECT_EQ(hw_prefetch_policy_name(HwPrefetchPolicy::kNextLineOnMiss),
+            "next-line-on-miss");
+  EXPECT_EQ(hw_prefetch_policy_name(HwPrefetchPolicy::kNextLineTagged),
+            "next-line-tagged");
+}
+
+TEST(HwPrefetch, NextLineOnMissPrefetchesSuccessor) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming,
+               HwPrefetchPolicy::kNextLineOnMiss);
+  sim.fetch(5, 0);  // miss -> block 6 prefetched
+  EXPECT_TRUE(sim.contains(6));
+  EXPECT_EQ(sim.stats().prefetches_issued, 1u);
+  // A sequential scan then profits: block 6 arrives before it is needed.
+  const auto r = sim.fetch(6, 100);
+  EXPECT_NE(r.kind, FetchKind::kMiss);
+}
+
+TEST(HwPrefetch, AlwaysFiresOnEveryFetch) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming,
+               HwPrefetchPolicy::kNextLineAlways);
+  sim.fetch(1, 0);
+  sim.fetch(1, 50);
+  sim.fetch(1, 60);
+  EXPECT_EQ(sim.stats().prefetches_issued, 3u);
+  // Two of those were redundant (block 2 already resident).
+  EXPECT_EQ(sim.stats().prefetches_redundant, 2u);
+}
+
+TEST(HwPrefetch, TaggedFiresOncePerBlock) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming,
+               HwPrefetchPolicy::kNextLineTagged);
+  sim.fetch(1, 0);
+  sim.fetch(1, 50);   // same block: no new trigger
+  sim.fetch(9, 100);  // conflicting block -> eviction; still first touch only
+  EXPECT_EQ(sim.stats().prefetches_issued, 2u);
+}
+
+TEST(Locking, LockedBlockSurvivesConflicts) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.lock_block(0);
+  // Blast the set with conflicting blocks.
+  std::uint64_t now = 0;
+  for (MemBlockId b : {8u, 16u, 24u, 32u}) now += sim.fetch(b, now).cycles;
+  EXPECT_TRUE(sim.contains(0));
+  const auto hit = sim.fetch(0, now);
+  EXPECT_EQ(hit.kind, FetchKind::kHit);
+}
+
+TEST(Locking, FullyLockedSetBypassesFills) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.lock_block(0);
+  sim.lock_block(8);  // set 0 now fully locked
+  EXPECT_EQ(sim.locked_ways(0), 2u);
+  const auto r = sim.fetch(16, 0);  // same set: served but not cached
+  EXPECT_EQ(r.kind, FetchKind::kMiss);
+  EXPECT_FALSE(sim.contains(16));
+  EXPECT_TRUE(sim.contains(0));
+  EXPECT_TRUE(sim.contains(8));
+  // And locking a third block in the set must fail.
+  EXPECT_THROW(sim.lock_block(24), InvalidArgument);
+}
+
+TEST(Locking, ResetClearsLocks) {
+  CacheSim sim(CacheConfig{2, 16, 256}, kTiming);
+  sim.lock_block(3);
+  sim.reset();
+  EXPECT_EQ(sim.locked_ways(3), 0u);
+  EXPECT_FALSE(sim.contains(3));
+}
+
+class CacheSimParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+/// Property: a cyclic scan over exactly `num_blocks` distinct blocks fits;
+/// one extra block forces misses in at least one set forever after.
+TEST_P(CacheSimParamTest, CyclicScanCapacityBoundary) {
+  const auto [assoc, block_bytes, capacity] = GetParam();
+  const CacheConfig config{assoc, block_bytes, capacity};
+  CacheSim sim(config, kTiming);
+  const std::uint32_t n = config.num_blocks();
+
+  std::uint64_t now = 0;
+  // Two full passes over a fitting working set: second pass all hits.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (MemBlockId b = 0; b < n; ++b) now += sim.fetch(b, now).cycles;
+  }
+  EXPECT_EQ(sim.stats().misses, n);
+  EXPECT_EQ(sim.stats().hits, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSimParamTest,
+    ::testing::Values(std::make_tuple(1u, 16u, 256u),
+                      std::make_tuple(2u, 16u, 256u),
+                      std::make_tuple(4u, 16u, 256u),
+                      std::make_tuple(1u, 32u, 512u),
+                      std::make_tuple(2u, 32u, 1024u),
+                      std::make_tuple(4u, 32u, 8192u)));
+
+}  // namespace
+}  // namespace ucp::cache

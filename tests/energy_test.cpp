@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "energy/model.hpp"
+
+namespace ucp::energy {
+namespace {
+
+TEST(TechName, Labels) {
+  EXPECT_EQ(tech_name(TechNode::k45nm), "45nm");
+  EXPECT_EQ(tech_name(TechNode::k32nm), "32nm");
+}
+
+TEST(CacheModel, MonotoneInCapacity) {
+  const cache::CacheConfig small{2, 16, 256};
+  const cache::CacheConfig big{2, 16, 8192};
+  const auto ms = cache_model(small, TechNode::k45nm);
+  const auto mb = cache_model(big, TechNode::k45nm);
+  EXPECT_LT(ms.read_energy_nj, mb.read_energy_nj);
+  EXPECT_LT(ms.leakage_mw, mb.leakage_mw);
+  EXPECT_LT(ms.access_time_ns, mb.access_time_ns);
+}
+
+TEST(CacheModel, MonotoneInAssociativity) {
+  const auto m1 = cache_model({1, 16, 1024}, TechNode::k45nm);
+  const auto m4 = cache_model({4, 16, 1024}, TechNode::k45nm);
+  EXPECT_LT(m1.read_energy_nj, m4.read_energy_nj);
+  EXPECT_LT(m1.access_time_ns, m4.access_time_ns);
+}
+
+TEST(CacheModel, TechnologyScalingDirections) {
+  // The paper's premise (Section 2.3): newer nodes -> less dynamic energy,
+  // more leakage.
+  const cache::CacheConfig k{2, 16, 2048};
+  const auto m45 = cache_model(k, TechNode::k45nm);
+  const auto m32 = cache_model(k, TechNode::k32nm);
+  EXPECT_GT(m45.read_energy_nj, m32.read_energy_nj);
+  EXPECT_LT(m45.leakage_mw, m32.leakage_mw);
+}
+
+TEST(DramModel, BlockSizeRaisesEnergyAndTime) {
+  const auto d16 = dram_model(TechNode::k45nm, 16);
+  const auto d32 = dram_model(TechNode::k45nm, 32);
+  EXPECT_LT(d16.access_energy_nj, d32.access_energy_nj);
+  EXPECT_LT(d16.access_time_ns, d32.access_time_ns);
+  EXPECT_GT(d16.background_mw, 0.0);
+}
+
+TEST(DeriveTiming, ShapeInvariants) {
+  for (const auto& named : cache::paper_cache_configs()) {
+    for (TechNode tech : {TechNode::k45nm, TechNode::k32nm}) {
+      const cache::MemTiming t = derive_timing(named.config, tech);
+      EXPECT_GE(t.hit_cycles, 1u);
+      EXPECT_GT(t.miss_cycles, t.hit_cycles);
+      EXPECT_EQ(t.prefetch_latency, t.miss_cycles);  // Λ = miss service
+    }
+  }
+}
+
+TEST(DeriveTiming, BiggerCacheSlowerHit) {
+  const auto t_small = derive_timing({1, 16, 256}, TechNode::k45nm);
+  const auto t_big = derive_timing({4, 32, 8192}, TechNode::k45nm);
+  EXPECT_LE(t_small.hit_cycles, t_big.hit_cycles);
+}
+
+sim::RunMetrics fake_run(std::uint64_t cycles, std::uint64_t fetches,
+                         std::uint64_t misses, std::uint64_t pf_fills = 0) {
+  sim::RunMetrics m;
+  m.total_cycles = cycles;
+  m.cache.fetches = fetches;
+  m.cache.hits = fetches - misses;
+  m.cache.misses = misses;
+  m.cache.prefetch_fills = pf_fills;
+  return m;
+}
+
+TEST(MemoryEnergy, ComponentsAddUp) {
+  const cache::CacheConfig k{2, 16, 1024};
+  const EnergyBreakdown e =
+      memory_energy(fake_run(10000, 3000, 100), k, TechNode::k32nm);
+  EXPECT_GT(e.cache_dynamic_nj, 0.0);
+  EXPECT_GT(e.dram_dynamic_nj, 0.0);
+  EXPECT_GT(e.cache_static_nj, 0.0);
+  EXPECT_GT(e.dram_static_nj, 0.0);
+  EXPECT_NEAR(e.total_nj(),
+              e.cache_dynamic_nj + e.dram_dynamic_nj + e.cache_static_nj +
+                  e.dram_static_nj,
+              1e-12);
+  EXPECT_NEAR(e.static_nj(), e.cache_static_nj + e.dram_static_nj, 1e-12);
+}
+
+TEST(MemoryEnergy, StaticScalesWithRuntime) {
+  const cache::CacheConfig k{2, 16, 1024};
+  const auto short_run = memory_energy(fake_run(1000, 100, 5), k,
+                                       TechNode::k32nm);
+  const auto long_run = memory_energy(fake_run(10000, 100, 5), k,
+                                      TechNode::k32nm);
+  EXPECT_NEAR(long_run.static_nj(), 10.0 * short_run.static_nj(), 1e-9);
+  EXPECT_NEAR(long_run.dynamic_nj(), short_run.dynamic_nj(), 1e-12);
+}
+
+TEST(MemoryEnergy, PrefetchFillsCostDramEnergy) {
+  const cache::CacheConfig k{2, 16, 1024};
+  const auto without = memory_energy(fake_run(5000, 1000, 50, 0), k,
+                                     TechNode::k45nm);
+  const auto with = memory_energy(fake_run(5000, 1000, 50, 25), k,
+                                  TechNode::k45nm);
+  EXPECT_GT(with.dram_dynamic_nj, without.dram_dynamic_nj);
+  EXPECT_GT(with.cache_dynamic_nj, without.cache_dynamic_nj);  // fills write
+}
+
+TEST(MemoryEnergy, MissConversionToPrefetchIsEnergyNeutralDynamically) {
+  // A converted miss swaps one demand fill for one prefetch fill: DRAM
+  // dynamic energy must be identical; the win comes from runtime (static).
+  const cache::CacheConfig k{2, 16, 1024};
+  const auto before = memory_energy(fake_run(8000, 1000, 60, 0), k,
+                                    TechNode::k32nm);
+  const auto after = memory_energy(fake_run(7000, 1000, 35, 25), k,
+                                   TechNode::k32nm);
+  EXPECT_NEAR(after.dram_dynamic_nj, before.dram_dynamic_nj, 1e-9);
+  EXPECT_LT(after.total_nj(), before.total_nj());
+}
+
+TEST(MemoryEnergy, StaticShareIsSubstantial) {
+  // The recalibrated model must keep static energy a large share at typical
+  // run profiles, or the paper's ACET->energy coupling cannot reproduce.
+  const cache::CacheConfig k{2, 16, 1024};
+  const auto e = memory_energy(fake_run(20000, 4000, 150), k,
+                               TechNode::k32nm);
+  EXPECT_GT(e.static_nj() / e.total_nj(), 0.4);
+}
+
+}  // namespace
+}  // namespace ucp::energy

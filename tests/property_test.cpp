@@ -1,0 +1,231 @@
+// Property-based suites over the paper's invariants:
+//   P1 (Theorem 1): optimization never increases τ_w — for every suite
+//       program and a spread of cache configurations and technologies.
+//   P2 (soundness): the static WCET bound dominates concrete memory time.
+//   P3 (abstract/concrete agreement): an always-hit classification is never
+//       contradicted by the concrete cache on the same program.
+//   P4 (prefetch-equivalence): optimization never changes program results.
+//   P5 (domain laws): must/may joins are commutative, idempotent and
+//       monotone w.r.t. updates, over randomized access strings.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "cache/cache_sim.hpp"
+#include "core/optimizer.hpp"
+#include "energy/model.hpp"
+#include "exp/harness.hpp"
+#include "ir/layout.hpp"
+#include "sim/interpreter.hpp"
+#include "suite/suite.hpp"
+#include "support/rng.hpp"
+#include "wcet/ipet.hpp"
+
+namespace ucp {
+namespace {
+
+struct GridParam {
+  const char* program;
+  const char* config;
+  energy::TechNode tech;
+};
+
+std::vector<GridParam> property_grid() {
+  // Every program, over a spread of configurations hitting all capacities
+  // and associativities at both nodes.
+  static const char* kConfigs[] = {"k1", "k3", "k8", "k12", "k15", "k20",
+                                   "k27", "k34"};
+  std::vector<GridParam> grid;
+  std::size_t i = 0;
+  for (const suite::BenchmarkInfo& info : suite::all_benchmarks()) {
+    const char* config = kConfigs[i++ % (sizeof(kConfigs) / sizeof(*kConfigs))];
+    grid.push_back({info.name.c_str(), config, energy::TechNode::k45nm});
+    grid.push_back({info.name.c_str(), config, energy::TechNode::k32nm});
+  }
+  return grid;
+}
+
+class PaperInvariantTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PaperInvariantTest, Theorem1AndSoundnessAndEquivalence) {
+  const GridParam param = GetParam();
+  const ir::Program p = suite::build_benchmark(param.program);
+  const auto& named = cache::paper_cache_config(param.config);
+  const cache::MemTiming timing =
+      energy::derive_timing(named.config, param.tech);
+
+  // P1: Theorem 1.
+  const core::OptimizationResult opt =
+      core::optimize_prefetches(p, named.config, timing);
+  ASSERT_FALSE(opt.report.wcet_failed);
+  EXPECT_LE(opt.report.tau_optimized, opt.report.tau_original)
+      << param.program << " on " << param.config;
+
+  // P2: soundness of the bound for both binaries.
+  const exp::Metrics orig = exp::measure(p, named.config, param.tech);
+  const exp::Metrics optm =
+      exp::measure(opt.program, named.config, param.tech);
+  EXPECT_GE(orig.tau_wcet, orig.run.mem_cycles) << param.program;
+  EXPECT_GE(optm.tau_wcet, optm.run.mem_cycles) << param.program;
+
+  // P4: prefetch-equivalence of results.
+  const ir::Layout l0(p, named.config.block_bytes);
+  const ir::Layout l1(opt.program, named.config.block_bytes);
+  cache::CacheSim c0(named.config, timing), c1(named.config, timing);
+  sim::Interpreter i0(p, l0, c0), i1(opt.program, l1, c1);
+  i0.run();
+  i1.run();
+  EXPECT_EQ(i0.data(), i1.data()) << param.program;
+}
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
+  return std::string(info.param.program) + "_" + info.param.config + "_" +
+         energy::tech_name(info.param.tech);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, PaperInvariantTest,
+                         ::testing::ValuesIn(property_grid()), grid_name);
+
+// ---------------------------------------------------------------------------
+// P3: abstract always-hit classifications agree with the concrete cache.
+// ---------------------------------------------------------------------------
+
+class ClassificationAgreementTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClassificationAgreementTest, AlwaysHitNeverMissesConcretely) {
+  const ir::Program p = suite::build_benchmark(GetParam());
+  const cache::CacheConfig config{2, 16, 512};
+  const cache::MemTiming timing{1, 25, 25};
+  const ir::Layout layout(p, config.block_bytes);
+  const analysis::ContextGraph graph(p);
+  const auto cls = analysis::analyze_cache(graph, layout, config);
+
+  // Map each instruction to its most conservative classification across all
+  // contexts (always-hit only if hit in every context).
+  std::map<ir::InstrId, bool> always_hit;
+  for (analysis::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const ir::BasicBlock& bb = p.block(graph.node(v).block);
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      const bool hit =
+          cls.classify(v, i) == analysis::Classification::kAlwaysHit;
+      auto [it, inserted] = always_hit.emplace(bb.instrs[i].id, hit);
+      if (!inserted) it->second = it->second && hit;
+    }
+  }
+
+  cache::CacheSim cache_sim(config, timing);
+  sim::Interpreter interp(p, layout, cache_sim);
+  bool violated = false;
+  interp.set_trace_hook([&](const ir::Instruction& in, std::uint32_t,
+                            const cache::FetchResult& fr) {
+    if (fr.kind == cache::FetchKind::kMiss && always_hit.at(in.id))
+      violated = true;
+  });
+  interp.run();
+  EXPECT_FALSE(violated) << GetParam()
+                         << ": abstract always-hit missed concretely";
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ClassificationAgreementTest,
+                         ::testing::Values("crc", "fdct", "matmult", "bs",
+                                           "fir", "whet", "cover",
+                                           "statemate", "adpcm", "ndes"));
+
+// ---------------------------------------------------------------------------
+// P5: abstract domain laws on randomized access strings.
+// ---------------------------------------------------------------------------
+
+class DomainLawTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomainLawTest, JoinLawsAndEvictionBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const auto assoc = static_cast<std::uint8_t>(1 << (GetParam() % 3));
+
+  analysis::AbstractSet a(assoc), b(assoc);
+  for (int i = 0; i < 30; ++i) {
+    const auto block =
+        static_cast<cache::MemBlockId>(rng.next_below(12));
+    if (rng.next_bool(0.5))
+      a.update_must(block);
+    else
+      b.update_must(block);
+  }
+
+  // Commutativity.
+  EXPECT_EQ(analysis::AbstractSet::join_must(a, b),
+            analysis::AbstractSet::join_must(b, a));
+  EXPECT_EQ(analysis::AbstractSet::join_may(a, b),
+            analysis::AbstractSet::join_may(b, a));
+  // Idempotence.
+  EXPECT_EQ(analysis::AbstractSet::join_must(a, a), a);
+  EXPECT_EQ(analysis::AbstractSet::join_may(a, a), a);
+  // Must-join only shrinks; may-join only grows.
+  const auto jm = analysis::AbstractSet::join_must(a, b);
+  EXPECT_LE(jm.size(), std::min(a.size(), b.size()));
+  const auto jy = analysis::AbstractSet::join_may(a, b);
+  EXPECT_GE(jy.size(), std::max(a.size(), b.size()));
+  // Join ages are sound: must >= both, may <= both.
+  for (const analysis::AgedBlock& e : jm.entries()) {
+    EXPECT_GE(e.age, a.age_of(e.block));
+    EXPECT_GE(e.age, b.age_of(e.block));
+  }
+}
+
+TEST_P(DomainLawTest, MustIsSubsetOfConcreteAlongAnyPath) {
+  // Running must-updates along ONE concrete path from the empty state keeps
+  // exactly the LRU contents (on a single path must analysis is precise).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 1);
+  const cache::CacheConfig config{2, 16, 256};
+  const cache::MemTiming timing{1, 25, 25};
+  analysis::AbstractCache must(config);
+  cache::CacheSim concrete(config, timing);
+
+  std::uint64_t now = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto block = static_cast<cache::MemBlockId>(rng.next_below(24));
+    must.update_must(block);
+    now += concrete.fetch(block, now).cycles;
+  }
+  for (cache::MemBlockId blockid = 0; blockid < 24; ++blockid) {
+    if (must.must_contain(blockid)) {
+      EXPECT_TRUE(concrete.contains(blockid));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainLawTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Figure-8 style bound: instruction overhead stays small everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(InstructionOverhead, StaysMarginalAcrossSample) {
+  for (const char* name : {"fdct", "cover", "ndes", "matmult", "jfdctint"}) {
+    const ir::Program p = suite::build_benchmark(name);
+    for (const char* cfg : {"k2", "k9", "k15"}) {
+      const auto& named = cache::paper_cache_config(cfg);
+      const cache::MemTiming timing =
+          energy::derive_timing(named.config, energy::TechNode::k32nm);
+      const core::OptimizationResult opt =
+          core::optimize_prefetches(p, named.config, timing);
+      const sim::RunMetrics m0 =
+          sim::run_program(p, named.config, timing);
+      const sim::RunMetrics m1 =
+          sim::run_program(opt.program, named.config, timing);
+      const double ratio = static_cast<double>(m1.instructions) /
+                           static_cast<double>(m0.instructions);
+      // Our kernels are much smaller than compiled Mälardalen binaries,
+      // so the *relative* overhead per inserted prefetch is larger than the
+      // paper's 1.32% (see EXPERIMENTS.md); it must still stay modest.
+      EXPECT_LT(ratio, 1.20) << name << " on " << cfg;
+      EXPECT_GE(ratio, 1.0 - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucp

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ucp {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(UCP_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(UCP_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsInternalError) {
+  EXPECT_THROW(UCP_CHECK(1 == 2), InternalError);
+  EXPECT_THROW(UCP_CHECK_MSG(false, "details"), InternalError);
+  EXPECT_NO_THROW(UCP_CHECK(1 == 1));
+}
+
+TEST(Check, MessagesCarryContext) {
+  try {
+    UCP_REQUIRE(false, "the widget broke");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("the widget broke"),
+              std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyQueriesThrow) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), InvalidArgument);
+  EXPECT_THROW(s.min(), InvalidArgument);
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), InvalidArgument);  // needs two samples
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 10; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+}
+
+TEST(SampleSet, QuantileAfterLaterAdds) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(GeoMean, MatchesClosedForm) {
+  GeoMean g;
+  g.add(2.0);
+  g.add(8.0);
+  EXPECT_NEAR(g.value(), 4.0, 1e-12);
+  EXPECT_THROW(GeoMean().value(), InvalidArgument);
+  EXPECT_THROW(g.add(0.0), InvalidArgument);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 3u);  // separator counts as a row entry
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long header"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Format, PctChange) {
+  EXPECT_EQ(format_pct_change(0.888, 1), "-11.2%");
+  EXPECT_EQ(format_pct_change(1.0132, 2), "+1.32%");
+}
+
+}  // namespace
+}  // namespace ucp

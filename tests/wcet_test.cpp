@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/context_graph.hpp"
+#include "ir/builder.hpp"
+#include "ir/layout.hpp"
+#include "sim/interpreter.hpp"
+#include "suite/suite.hpp"
+#include "wcet/ipet.hpp"
+
+namespace ucp::wcet {
+namespace {
+
+using ir::Cond;
+using ir::IrBuilder;
+using ir::R;
+
+const cache::CacheConfig kConfig{2, 16, 256};
+const cache::MemTiming kTiming{1, 25, 25};
+
+WcetResult analyze(const ir::Program& p,
+                   const cache::CacheConfig& config = kConfig,
+                   const cache::MemTiming& timing = kTiming) {
+  const ir::Layout layout(p, config.block_bytes);
+  const analysis::ContextGraph graph(p);
+  const auto cls = analysis::analyze_cache(graph, layout, config);
+  return compute_wcet(graph, cls, timing);
+}
+
+TEST(RefCycles, ClassificationToTime) {
+  EXPECT_EQ(ref_cycles(analysis::Classification::kAlwaysHit, kTiming), 1u);
+  EXPECT_EQ(ref_cycles(analysis::Classification::kAlwaysMiss, kTiming), 25u);
+  EXPECT_EQ(ref_cycles(analysis::Classification::kNotClassified, kTiming),
+            25u);
+}
+
+TEST(Ipet, StraightLineExactCount) {
+  // 4 instructions in one block: 1 cold miss + 3 hits = 25 + 3.
+  IrBuilder b("sl");
+  b.movi(R(1), 1);
+  b.movi(R(2), 2);
+  b.movi(R(3), 3);
+  b.halt();
+  const WcetResult w = analyze(b.take());
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.tau_mem, 28u);
+}
+
+TEST(Ipet, BranchTakesWorstSide) {
+  // One side of the branch spans more memory blocks -> it is the WCET path.
+  IrBuilder b("branch");
+  b.movi(R(1), 0);
+  b.if_then_else(
+      Cond::kEq, R(1), R(0), [&] { b.nop(); },
+      [&] { b.nops(20); });  // heavier side
+  b.halt();
+  const ir::Program p = b.take();
+  const WcetResult w = analyze(p);
+  ASSERT_TRUE(w.ok());
+
+  // The heavy block's node count must be 1, the light one's 0.
+  const analysis::ContextGraph g(p);
+  std::uint64_t heavy = 0, light = 0;
+  for (analysis::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& bb = p.block(g.node(v).block);
+    if (bb.instrs.size() >= 20) heavy = w.node_counts[v];
+    if (bb.instrs.size() == 2 && bb.label.find("then") != std::string::npos)
+      light = w.node_counts[v];
+  }
+  EXPECT_EQ(heavy, 1u);
+  EXPECT_EQ(light, 0u);
+}
+
+TEST(Ipet, LoopCountsRespectBound) {
+  IrBuilder b("loop");
+  b.for_range(R(1), 0, 7, [&] { b.nop(); });
+  b.halt();
+  const ir::Program p = b.take();
+  const WcetResult w = analyze(p);
+  ASSERT_TRUE(w.ok());
+
+  const analysis::ContextGraph g(p);
+  ASSERT_EQ(g.loop_instances().size(), 1u);
+  const auto& inst = g.loop_instances()[0];
+  EXPECT_EQ(w.node_counts[inst.first_node], 1u);
+  EXPECT_EQ(w.node_counts[inst.rest_node], 7u);  // bound 8 => rest = 7
+}
+
+TEST(Ipet, WcetIsSoundUpperBoundOnSimulation) {
+  // For loop-dominated programs the static bound must dominate the
+  // concrete memory time.
+  IrBuilder b("sound");
+  b.movi(R(3), 0);
+  b.for_range(R(1), 0, 13, [&] {
+    b.mul(R(2), R(1), R(1));
+    b.add(R(3), R(3), R(2));
+    b.store(R(1), 0, R(3));
+  });
+  b.halt();
+  const ir::Program p = b.take();
+  const WcetResult w = analyze(p);
+  ASSERT_TRUE(w.ok());
+  const sim::RunMetrics m = sim::run_program(p, kConfig, kTiming);
+  EXPECT_GE(w.tau_mem, m.mem_cycles);
+}
+
+TEST(Ipet, NestedLoopMultipliesCounts) {
+  IrBuilder b("nested");
+  b.for_range(R(1), 0, 3, [&] {
+    b.for_range(R(2), 0, 5, [&] { b.nop(); });
+  });
+  b.halt();
+  const ir::Program p = b.take();
+  const WcetResult w = analyze(p);
+  ASSERT_TRUE(w.ok());
+
+  // Total inner-body executions across contexts = 3 * 5 = 15.
+  const analysis::ContextGraph g(p);
+  std::uint64_t inner_body = 0;
+  for (analysis::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& bb = p.block(g.node(v).block);
+    if (bb.label.find("for.body") != std::string::npos &&
+        g.node(v).ctx.size() == 2)
+      inner_body += w.node_counts[v];
+  }
+  EXPECT_EQ(inner_body, 15u);
+}
+
+TEST(Ipet, AntiCirculationKeepsFlowConnected) {
+  // Regression test for the disconnected-circulation pitfall: every node
+  // with positive count must be reachable from the entry along edges with
+  // positive flow.
+  IrBuilder b("conn");
+  b.for_range(R(1), 0, 5, [&] { b.nops(10); });
+  b.halt();
+  const ir::Program p = b.take();
+  const analysis::ContextGraph g(p);
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const auto cls = analysis::analyze_cache(g, layout, kConfig);
+  const WcetResult w = compute_wcet(g, cls, kTiming);
+  ASSERT_TRUE(w.ok());
+
+  std::vector<bool> reach(g.num_nodes(), false);
+  std::vector<analysis::NodeId> work{g.entry_node()};
+  reach[g.entry_node()] = true;
+  while (!work.empty()) {
+    const auto v = work.back();
+    work.pop_back();
+    for (std::uint32_t ei : g.out_edges(v)) {
+      if (w.edge_counts[ei] == 0) continue;
+      const auto to = g.edges()[ei].to;
+      if (!reach[to]) {
+        reach[to] = true;
+        work.push_back(to);
+      }
+    }
+  }
+  for (analysis::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (w.node_counts[v] > 0) EXPECT_TRUE(reach[v]) << "node " << v;
+  }
+}
+
+TEST(Ipet, TauOfAccessor) {
+  IrBuilder b("tau");
+  b.movi(R(1), 1);
+  b.halt();
+  const ir::Program p = b.take();
+  const WcetResult w = analyze(p);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.tau_of(0, 0), 25u);  // miss * count 1
+  EXPECT_EQ(w.tau_of(0, 1), 1u);   // hit * count 1
+}
+
+TEST(Ipet, FixedCountReplayMatchesObjective) {
+  IrBuilder b("replay");
+  b.for_range(R(1), 0, 9, [&] { b.nops(3); });
+  b.halt();
+  const ir::Program p = b.take();
+  const analysis::ContextGraph g(p);
+  const ir::Layout layout(p, kConfig.block_bytes);
+  const auto cls = analysis::analyze_cache(g, layout, kConfig);
+  const WcetResult w = compute_wcet(g, cls, kTiming);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(tau_with_fixed_counts(g, cls, kTiming, w.node_counts), w.tau_mem);
+}
+
+TEST(Ipet, HigherMissPenaltyRaisesTau) {
+  IrBuilder b("penalty");
+  b.for_range(R(1), 0, 4, [&] { b.nops(2); });
+  b.halt();
+  const ir::Program p = b.take();
+  const WcetResult cheap = analyze(p, kConfig, cache::MemTiming{1, 10, 10});
+  const WcetResult steep = analyze(p, kConfig, cache::MemTiming{1, 50, 50});
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(steep.ok());
+  EXPECT_GT(steep.tau_mem, cheap.tau_mem);
+}
+
+class SuiteBoundednessTest : public ::testing::TestWithParam<const char*> {};
+
+/// Property over real kernels: τ_w upper-bounds the simulated memory time.
+TEST_P(SuiteBoundednessTest, TauDominatesSimulation) {
+  const ir::Program p = suite::build_benchmark(GetParam());
+  const WcetResult w = analyze(p);
+  ASSERT_TRUE(w.ok());
+  const sim::RunMetrics m = sim::run_program(p, kConfig, kTiming);
+  EXPECT_GE(w.tau_mem, m.mem_cycles) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SuiteBoundednessTest,
+                         ::testing::Values("crc", "fdct", "matmult",
+                                           "insertsort", "bs", "fir",
+                                           "cover", "whet"));
+
+
+// ---------------------------------------------------------------------------
+// Brute-force oracle: for loop-free programs, enumerate every path,
+// simulate the cache exactly along each, and take the maximum memory time.
+// IPET with classification-based t_w must upper-bound that oracle (it is
+// sound), and must not exceed the all-miss bound (it is not absurd).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t oracle_max_path_time(const ir::Program& p,
+                                   const cache::CacheConfig& config,
+                                   const cache::MemTiming& timing) {
+  const ir::Layout layout(p, config.block_bytes);
+  struct Frame {
+    ir::BlockId bb;
+    std::vector<std::vector<cache::MemBlockId>> sets;  // MRU-first
+    std::uint64_t time;
+  };
+  auto access = [&](Frame& f, cache::MemBlockId blk) {
+    auto& set = f.sets[config.set_of(blk)];
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (set[i] == blk) {
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        set.insert(set.begin(), blk);
+        f.time += timing.hit_cycles;
+        return;
+      }
+    }
+    if (set.size() == config.assoc) set.pop_back();
+    set.insert(set.begin(), blk);
+    f.time += timing.miss_cycles;
+  };
+
+  std::uint64_t best = 0;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{p.entry(),
+                        std::vector<std::vector<cache::MemBlockId>>(
+                            config.num_sets()),
+                        0});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const ir::BasicBlock& bb = p.block(f.bb);
+    for (const ir::Instruction& in : bb.instrs)
+      access(f, layout.mem_block(in.id));
+    if (bb.succs.empty()) {
+      best = std::max(best, f.time);
+      continue;
+    }
+    for (ir::BlockId s : bb.succs) {
+      Frame next = f;
+      next.bb = s;
+      stack.push_back(std::move(next));
+    }
+  }
+  return best;
+}
+
+ir::Program branchy_program(int seed) {
+  using ir::Cond;
+  ir::IrBuilder b("branchy" + std::to_string(seed));
+  b.movi(R(1), seed);
+  for (int level = 0; level < 4; ++level) {
+    b.if_then_else(
+        Cond::kEq, R(1), R(0),
+        [&] { b.nops(static_cast<std::size_t>(3 + (seed + level * 7) % 9)); },
+        [&] { b.nops(static_cast<std::size_t>(1 + (seed * 3 + level) % 11)); });
+  }
+  b.halt();
+  return b.take();
+}
+
+}  // namespace
+
+class OracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleTest, IpetUpperBoundsExhaustivePathEnumeration) {
+  const ir::Program p = branchy_program(GetParam());
+  for (const cache::CacheConfig& config :
+       {cache::CacheConfig{1, 16, 64}, cache::CacheConfig{2, 16, 128},
+        cache::CacheConfig{2, 16, 256}}) {
+    const WcetResult w = analyze(p, config, kTiming);
+    ASSERT_TRUE(w.ok());
+    const std::uint64_t oracle = oracle_max_path_time(p, config, kTiming);
+    EXPECT_GE(w.tau_mem, oracle)
+        << "seed " << GetParam() << " cache " << config.to_string();
+    // Sanity ceiling: tau cannot exceed every static reference missing.
+    const std::uint64_t all_miss =
+        p.instruction_count() * kTiming.miss_cycles;
+    EXPECT_LE(w.tau_mem, all_miss);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace ucp::wcet
