@@ -53,10 +53,13 @@ int main(int argc, char** argv) {
 
   TextTable table({"acceptance rule", "cases", "energy impr.", "ACET impr.",
                    "WCET impr.", "prefetches", "audits reverted"});
+  std::vector<std::pair<std::string, exp::SweepReport>> reports;
   for (const Variant& v : variants) {
     exp::SweepOptions s = sweep;
     s.optimizer = v.options;
-    const auto results = exp::run_sweep(s);
+    const exp::Sweep out = exp::run_sweep(s);
+    const auto& results = out.results;
+    reports.emplace_back(v.name, out.report);
     const auto grand = exp::aggregate_all(results);
     std::size_t prefetches = 0, reverted = 0;
     for (const auto& r : results) {
@@ -75,5 +78,11 @@ int main(int argc, char** argv) {
                "WCET guarantee: the paper criterion needs this rarely (only "
                "when the fixed-counts Delta-tau mispredicts a worst-case "
                "path switch), 'always accept' leans on it heavily.\n";
+
+  std::cout << "\n";
+  for (const auto& [name, report] : reports) {
+    std::cout << name << ": ";
+    report.print(std::cout);
+  }
   return 0;
 }

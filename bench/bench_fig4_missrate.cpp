@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 4: average miss rate per cache size, original vs "
                "optimized\n\n";
-  const auto results = exp::run_sweep(args.sweep());
+  const exp::Sweep sweep = exp::run_sweep(args.sweep());
+  const auto& results = sweep.results;
   const auto by_size = exp::aggregate_by_size(results);
 
   TextTable table({"cache size", "cases", "miss rate (orig)",
@@ -60,5 +61,8 @@ int main(int argc, char** argv) {
                      format_double(agg.mean_missrate_opt, 6)});
     }
   }
+
+  std::cout << "\n";
+  sweep.report.print(std::cout);
   return 0;
 }

@@ -15,9 +15,10 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 7: per-use-case WCET ratio at 32nm "
                "(Inequation 12)\n\n";
-  exp::SweepOptions sweep = args.sweep();
-  sweep.techs = {energy::TechNode::k32nm};
-  const auto results = exp::run_sweep(sweep);
+  exp::SweepOptions options = args.sweep();
+  options.techs = {energy::TechNode::k32nm};
+  const exp::Sweep sweep = exp::run_sweep(options);
+  const auto& results = sweep.results;
 
   // Per-program distribution of ratios over the 36 configurations.
   std::map<std::string, SampleSet> per_program;
@@ -53,5 +54,8 @@ int main(int argc, char** argv) {
       csv.write_row({r.program, r.config_id,
                      format_double(r.wcet_ratio(), 6)});
   }
+
+  std::cout << "\n";
+  sweep.report.print(std::cout);
   return violations == 0 ? 0 : 1;
 }

@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 8: executed-instruction ratio (optimized/original) "
                "per cache size\n\n";
-  const auto results = exp::run_sweep(args.sweep());
+  const exp::Sweep sweep = exp::run_sweep(args.sweep());
+  const auto& results = sweep.results;
   const auto by_size = exp::aggregate_by_size(results);
   const auto grand = exp::aggregate_all(results);
 
@@ -36,5 +37,8 @@ int main(int argc, char** argv) {
             << "(our kernels are far smaller than compiled Mälardalen "
                "binaries, so each inserted prefetch weighs more in relative "
                "terms; see EXPERIMENTS.md)\n";
+
+  std::cout << "\n";
+  sweep.report.print(std::cout);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <set>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "ir/verify.hpp"
 #include "sim/interpreter.hpp"
 #include "support/check.hpp"
+#include "support/fault_injection.hpp"
 #include "wcet/ipet.hpp"
 
 namespace ucp::core {
@@ -80,6 +82,27 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   OptimizationReport& report = result.report;
   ir::Program& p = result.program;
 
+  // Degradation to the identity transform: the returned program is the
+  // unmodified input (trivially Theorem-1 sound), with the cause recorded.
+  const auto start_time = std::chrono::steady_clock::now();
+  auto degrade = [&](ErrorCode code, const std::string& detail) {
+    result.program = input;
+    report.reverted = !report.insertions.empty();
+    report.insertions.clear();
+    report.code = code;
+    report.detail = detail;
+    report.tau_optimized = report.tau_original;
+    report.tau_fixed_final = report.tau_original;
+  };
+  auto deadline_exceeded = [&] {
+    if (UCP_FAULT_POINT("core.deadline")) return true;
+    if (options.deadline_ms == 0) return false;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_time);
+    return elapsed.count() >= static_cast<std::int64_t>(options.deadline_ms);
+  };
+
   // The CFG never changes during optimization (prefetches are straight-line
   // insertions), so one context graph serves every candidate evaluation.
   const ContextGraph graph(input);
@@ -91,6 +114,9 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   const wcet::WcetResult wcet0 = wcet::compute_wcet(graph, cls0, timing);
   if (!wcet0.ok()) {
     report.wcet_failed = true;
+    degrade(wcet::solve_error_code(wcet0.status),
+            "initial IPET unsolved (" + ilp::status_name(wcet0.status) +
+                ") for program '" + input.name() + "'");
     return result;
   }
   report.tau_original = wcet0.tau_mem;
@@ -109,6 +135,12 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   std::set<std::pair<ir::InstrId, ir::InstrId>> tried;
 
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    if (deadline_exceeded()) {
+      degrade(ErrorCode::kDeadlineExceeded,
+              "optimization deadline expired before pass " +
+                  std::to_string(pass + 1) + " on '" + input.name() + "'");
+      return result;
+    }
     ++report.passes;
 
     // Re-derive the WCET path against the current program.
@@ -142,6 +174,12 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     for (const Candidate& c : candidates) {
       if (report.insertions.size() >= options.max_prefetches) break;
       if (report.candidates_evaluated >= eval_budget) break;
+      if (deadline_exceeded()) {
+        degrade(ErrorCode::kDeadlineExceeded,
+                "optimization deadline expired mid-pass on '" +
+                    input.name() + "'");
+        return result;
+      }
       // Identical physical insertions (same point, same target block) are
       // tried once; contexts share code, so they produce the same program.
       if (!tried.insert({c.evictor, c.target_block}).second) continue;
@@ -175,6 +213,11 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
           trial.insert(loc.block, loc.index + 2, nop);
         }
         ++report.candidates_evaluated;
+        if (UCP_FAULT_POINT("core.reanalyze")) {
+          degrade(ErrorCode::kAnalysisFailed,
+                  "candidate re-analysis failed on '" + input.name() + "'");
+          return result;
+        }
         const std::uint64_t tau_trial =
             fixed_tau(graph, trial, config, timing, n_w);
         const auto delta = static_cast<std::int64_t>(tau_current) -
@@ -208,11 +251,17 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
       // Cheap here — candidates reaching this point are rare and the
       // concrete runs take microseconds.
       if (options.require_acet_non_increase) {
-        const std::uint64_t acet_before =
-            sim::run_program(p, config, timing).mem_cycles;
-        const std::uint64_t acet_after =
-            sim::run_program(best_trial, config, timing).mem_cycles;
-        if (acet_after > acet_before) {
+        const Expected<sim::RunMetrics> acet_before =
+            sim::run_program_checked(p, config, timing);
+        const Expected<sim::RunMetrics> acet_after =
+            sim::run_program_checked(best_trial, config, timing);
+        if (!acet_before.ok() || !acet_after.ok()) {
+          // A run that blows its budget cannot prove Condition 3; reject
+          // the candidate rather than the whole optimization.
+          ++report.rejected_acet;
+          continue;
+        }
+        if (acet_after->mem_cycles > acet_before->mem_cycles) {
           ++report.rejected_acet;
           continue;
         }
@@ -244,7 +293,13 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     const CacheAnalysisResult cls =
         analysis::analyze_cache(graph, p, layout, config);
     const wcet::WcetResult wcet_final = wcet::compute_wcet(graph, cls, timing);
-    UCP_CHECK_MSG(wcet_final.ok(), "final IPET failed on optimized program");
+    if (!wcet_final.ok()) {
+      // The optimized program cannot be certified; ship the input instead.
+      degrade(wcet::solve_error_code(wcet_final.status),
+              "final IPET unsolved (" + ilp::status_name(wcet_final.status) +
+                  ") on optimized '" + input.name() + "'");
+      return result;
+    }
     report.tau_optimized = wcet_final.tau_mem;
   }
   if (options.final_audit && report.tau_optimized > report.tau_original &&

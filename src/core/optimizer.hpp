@@ -6,6 +6,7 @@
 
 #include "cache/config.hpp"
 #include "ir/program.hpp"
+#include "support/status.hpp"
 
 namespace ucp::core {
 
@@ -44,6 +45,14 @@ struct OptimizerOptions {
   /// dominates runtime on the largest kernels (nsichneu-class); candidates
   /// beyond the budget are left untried (reported in the rejection stats).
   std::size_t max_evaluations = 320;
+  /// Wall-clock budget for one optimization run, in milliseconds; 0 means
+  /// unlimited. On expiry the optimizer degrades to the identity transform
+  /// (the original program, trivially Theorem-1 sound) and reports
+  /// kDeadlineExceeded, so one pathological use case cannot stall a sweep.
+  /// Off by default because wall-clock cutoffs make results timing-
+  /// dependent; sweeps that want reproducible output leave this at 0 and
+  /// rely on the deterministic pivot/node/evaluation budgets instead.
+  std::uint32_t deadline_ms = 0;
 };
 
 /// One accepted insertion.
@@ -56,6 +65,11 @@ struct PrefetchRecord {
 };
 
 struct OptimizationReport {
+  /// Why the optimizer degraded to the identity transform (kOk = it did
+  /// not). Any non-kOk code means the returned program IS the input program
+  /// and `detail` names the failing stage; the result is still sound.
+  ErrorCode code = ErrorCode::kOk;
+  std::string detail;
   bool wcet_failed = false;       ///< initial IPET unsolved; program untouched
   bool reverted = false;          ///< final audit failed; original returned
   std::uint64_t tau_original = 0;   ///< fresh-IPET τ_w of the input

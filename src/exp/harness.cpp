@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
 #include "analysis/cache_analysis.hpp"
@@ -12,18 +19,39 @@
 #include "ir/layout.hpp"
 #include "suite/suite.hpp"
 #include "support/check.hpp"
+#include "support/fault_injection.hpp"
 #include "wcet/ipet.hpp"
 
 namespace ucp::exp {
 
 namespace {
 
+// A zero denominator yields the neutral 1.0; the UseCaseResult degenerate
+// flags surface the condition so aggregates count it instead of hiding it.
 double ratio(double num, double den) { return den == 0.0 ? 1.0 : num / den; }
 
 }  // namespace
 
-Metrics measure(const ir::Program& program, const cache::CacheConfig& config,
-                energy::TechNode tech) {
+const char* case_outcome_name(CaseOutcome outcome) {
+  switch (outcome) {
+    case CaseOutcome::kCompleted:
+      return "completed";
+    case CaseOutcome::kDegraded:
+      return "degraded";
+    case CaseOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Expected<Metrics> measure_checked(const ir::Program& program,
+                                  const cache::CacheConfig& config,
+                                  energy::TechNode tech) {
+  if (UCP_FAULT_POINT("exp.measure")) {
+    return Status(ErrorCode::kFaultInjected,
+                  "injected measurement failure for '" + program.name() +
+                      "'");
+  }
   const cache::MemTiming timing = energy::derive_timing(config, tech);
 
   Metrics m;
@@ -34,13 +62,27 @@ Metrics measure(const ir::Program& program, const cache::CacheConfig& config,
   const analysis::CacheAnalysisResult cls =
       analysis::analyze_cache(graph, layout, config);
   const wcet::WcetResult wcet = wcet::compute_wcet(graph, cls, timing);
-  UCP_CHECK_MSG(wcet.ok(), "IPET failed for program " + program.name());
+  if (!wcet.ok()) {
+    return Status(wcet::solve_error_code(wcet.status),
+                  "IPET failed (" + ilp::status_name(wcet.status) +
+                      ") for program '" + program.name() + "'");
+  }
   m.tau_wcet = wcet.tau_mem;
 
   // Dynamic side: trace simulation + energy model.
-  m.run = sim::run_program(program, config, timing);
+  Expected<sim::RunMetrics> run =
+      sim::run_program_checked(program, config, timing);
+  if (!run.ok()) return run.status();
+  m.run = std::move(run).value();
   m.energy = energy::memory_energy(m.run, config, tech);
   return m;
+}
+
+Metrics measure(const ir::Program& program, const cache::CacheConfig& config,
+                energy::TechNode tech) {
+  Expected<Metrics> m = measure_checked(program, config, tech);
+  UCP_CHECK_MSG(m.ok(), "measure failed — " + m.status().message());
+  return std::move(m).value();
 }
 
 double UseCaseResult::wcet_ratio() const {
@@ -62,6 +104,28 @@ double UseCaseResult::instr_ratio() const {
                static_cast<double>(original.run.instructions));
 }
 
+namespace {
+
+/// Quarantines `result` as degraded: the shipped binary is the original, so
+/// the optimized metrics mirror the original ones (wcet_ratio() == 1) and
+/// the optimization report is reset to "no insertions".
+void degrade_to_original(UseCaseResult& result, const std::string& stage,
+                         ErrorCode code, const std::string& detail) {
+  result.outcome = CaseOutcome::kDegraded;
+  result.fail_stage = stage;
+  result.fail_code = code;
+  result.fail_detail = detail;
+  result.optimized = result.original;
+  result.report = core::OptimizationReport{};
+  result.report.code = code;
+  result.report.detail = detail;
+  result.report.tau_original = result.original.tau_wcet;
+  result.report.tau_optimized = result.original.tau_wcet;
+  result.report.tau_fixed_final = result.original.tau_wcet;
+}
+
+}  // namespace
+
 UseCaseResult run_use_case(const ir::Program& program,
                            const std::string& program_name,
                            const cache::NamedCacheConfig& config,
@@ -73,97 +137,311 @@ UseCaseResult run_use_case(const ir::Program& program,
   result.config = config.config;
   result.tech = tech;
 
+  if (UCP_FAULT_POINT("exp.task")) {
+    throw InternalError("injected failure at the sweep task boundary for '" +
+                        program_name + "'");
+  }
+
+  Expected<Metrics> original = measure_checked(program, config.config, tech);
+  if (!original.ok()) {
+    // No baseline: nothing sound can be reported for this case.
+    result.outcome = CaseOutcome::kFailed;
+    result.fail_stage = "measure_original";
+    result.fail_code = original.code();
+    result.fail_detail = original.status().detail();
+    return result;
+  }
+  result.original = std::move(original).value();
+
   const cache::MemTiming timing = energy::derive_timing(config.config, tech);
   core::OptimizationResult opt =
       core::optimize_prefetches(program, config.config, timing, options);
+  if (opt.report.code != ErrorCode::kOk) {
+    // Theorem 1 fallback: the identity transform is always sound, so a
+    // solver blowup inside the optimizer degrades the case instead of
+    // killing the sweep.
+    degrade_to_original(result, "optimize", opt.report.code,
+                        opt.report.detail);
+    return result;
+  }
   result.report = opt.report;
 
-  result.original = measure(program, config.config, tech);
-  result.optimized = measure(opt.program, config.config, tech);
+  Expected<Metrics> optimized =
+      measure_checked(opt.program, config.config, tech);
+  if (!optimized.ok()) {
+    degrade_to_original(result, "measure_optimized", optimized.code(),
+                        optimized.status().detail());
+    return result;
+  }
+  result.optimized = std::move(optimized).value();
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Sweep memo cache, format v2 (versioned, fingerprinted, checksummed).
+// ---------------------------------------------------------------------------
+
 namespace {
 
-/// Fields of one memoized use case, in file column order. Only the
-/// quantities the figure aggregations consume are persisted.
-void save_cache(const std::string& path,
-                const std::vector<UseCaseResult>& results) {
-  std::ofstream os(path);
-  if (!os) return;
-  os << "program,config,tech,o_tau,o_mem,o_instr,o_energy,o_fetches,"
-        "o_misses,o_cycles,p_tau,p_mem,p_instr,p_energy,p_fetches,p_misses,"
-        "p_cycles,prefetches,candidates\n";
-  os.precision(12);
-  for (const UseCaseResult& r : results) {
-    os << r.program << ',' << r.config_id << ','
-       << energy::tech_name(r.tech) << ',' << r.original.tau_wcet << ','
-       << r.original.run.mem_cycles << ',' << r.original.run.instructions
-       << ',' << r.original.energy.total_nj() << ','
-       << r.original.run.cache.fetches << ',' << r.original.run.cache.misses
-       << ',' << r.original.run.total_cycles << ',' << r.optimized.tau_wcet
-       << ',' << r.optimized.run.mem_cycles << ','
-       << r.optimized.run.instructions << ','
-       << r.optimized.energy.total_nj() << ','
-       << r.optimized.run.cache.fetches << ','
-       << r.optimized.run.cache.misses << ','
-       << r.optimized.run.total_cycles << ','
-       << r.report.insertions.size() << ',' << r.report.candidates_found
-       << '\n';
+const char kCacheMagic[] = "# ucp-sweep-cache v";
+const char kCacheColumns[] =
+    "program,config,tech,o_tau,o_mem,o_instr,o_energy,o_fetches,"
+    "o_misses,o_cycles,p_tau,p_mem,p_instr,p_energy,p_fetches,p_misses,"
+    "p_cycles,prefetches,candidates,checksum";
+constexpr std::size_t kCacheCells = 20;  ///< data cells + trailing checksum
+
+std::uint64_t fnv1a(std::string_view s,
+                    std::uint64_t h = 1469598103934665603ull) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
   }
+  return h;
 }
 
-bool load_cache(const std::string& path, std::vector<UseCaseResult>& out) {
-  std::ifstream is(path);
-  if (!is) return false;
-  std::string line;
-  if (!std::getline(is, line)) return false;  // header
-  while (std::getline(is, line)) {
-    std::stringstream ss(line);
-    std::string cell;
-    std::vector<std::string> cells;
-    while (std::getline(ss, cell, ',')) cells.push_back(cell);
-    if (cells.size() != 19) return false;
-    UseCaseResult r;
-    r.program = cells[0];
-    r.config_id = cells[1];
-    r.config = cache::paper_cache_config(r.config_id).config;
-    r.tech = cells[2] == "45nm" ? energy::TechNode::k45nm
-                                : energy::TechNode::k32nm;
-    auto u = [&](int i) { return std::stoull(cells[static_cast<std::size_t>(i)]); };
-    auto d = [&](int i) { return std::stod(cells[static_cast<std::size_t>(i)]); };
-    r.original.tau_wcet = u(3);
-    r.original.run.mem_cycles = u(4);
-    r.original.run.instructions = u(5);
-    // Only the total matters downstream; park it in one component.
-    r.original.energy.cache_dynamic_nj = d(6);
-    r.original.run.cache.fetches = u(7);
-    r.original.run.cache.misses = u(8);
-    r.original.run.total_cycles = u(9);
-    r.optimized.tau_wcet = u(10);
-    r.optimized.run.mem_cycles = u(11);
-    r.optimized.run.instructions = u(12);
-    r.optimized.energy.cache_dynamic_nj = d(13);
-    r.optimized.run.cache.fetches = u(14);
-    r.optimized.run.cache.misses = u(15);
-    r.optimized.run.total_cycles = u(16);
-    r.report.insertions.resize(static_cast<std::size_t>(u(17)));
-    r.report.candidates_found = static_cast<std::size_t>(u(18));
-    out.push_back(std::move(r));
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
   }
-  return !out.empty();
+  return out;
+}
+
+/// Strict unsigned parse: digits only, full consume, no exceptions.
+bool parse_u64(const std::string& cell, std::uint64_t& out) {
+  if (cell.empty() ||
+      cell.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(cell.c_str(), &end, 10);
+  if (errno != 0 || end != cell.c_str() + cell.size()) return false;
+  out = v;
+  return true;
+}
+
+/// Strict finite-double parse: full consume, no exceptions, no inf/nan.
+bool parse_double(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end != cell.c_str() + cell.size() || !std::isfinite(v))
+    return false;
+  out = v;
+  return true;
+}
+
+Status corrupt(const std::string& path, const std::string& why) {
+  return Status(ErrorCode::kCorruptCache,
+                "sweep cache '" + path + "': " + why);
 }
 
 }  // namespace
 
-std::vector<UseCaseResult> run_sweep(const SweepOptions& options) {
+std::string sweep_grid_fingerprint() {
+  std::uint64_t h = fnv1a("ucp-sweep-grid");
+  h = fnv1a("v" + std::to_string(kSweepCacheVersion), h);
+  for (const suite::BenchmarkInfo& info : suite::all_benchmarks())
+    h = fnv1a(info.name, h);
+  for (const cache::NamedCacheConfig& named : cache::paper_cache_configs()) {
+    h = fnv1a(named.id, h);
+    h = fnv1a(named.config.to_string(), h);
+  }
+  h = fnv1a("45nm,32nm", h);
+  return to_hex(h);
+}
+
+Status save_sweep_cache(const std::string& path,
+                        const std::vector<UseCaseResult>& results) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os || UCP_FAULT_POINT("exp.cache_write")) {
+      std::remove(tmp.c_str());
+      return Status(ErrorCode::kInternal,
+                    "cannot open '" + tmp + "' for writing");
+    }
+    os << kCacheMagic << kSweepCacheVersion
+       << " grid=" << sweep_grid_fingerprint() << "\n"
+       << kCacheColumns << "\n";
+    os.precision(12);
+    for (const UseCaseResult& r : results) {
+      std::ostringstream row;
+      row.precision(12);
+      row << r.program << ',' << r.config_id << ','
+          << energy::tech_name(r.tech) << ',' << r.original.tau_wcet << ','
+          << r.original.run.mem_cycles << ',' << r.original.run.instructions
+          << ',' << r.original.energy.total_nj() << ','
+          << r.original.run.cache.fetches << ',' << r.original.run.cache.misses
+          << ',' << r.original.run.total_cycles << ',' << r.optimized.tau_wcet
+          << ',' << r.optimized.run.mem_cycles << ','
+          << r.optimized.run.instructions << ','
+          << r.optimized.energy.total_nj() << ','
+          << r.optimized.run.cache.fetches << ','
+          << r.optimized.run.cache.misses << ','
+          << r.optimized.run.total_cycles << ','
+          << r.report.insertions.size() << ',' << r.report.candidates_found;
+      const std::string prefix = row.str();
+      os << prefix << ',' << to_hex(fnv1a(prefix)) << '\n';
+    }
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      return Status(ErrorCode::kInternal, "write to '" + tmp + "' failed");
+    }
+  }
+  // Atomic publish: a bench killed mid-save leaves only the tmp file (or
+  // nothing), never a truncated cache that poisons the next run.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(ErrorCode::kInternal,
+                  "rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+Expected<std::vector<UseCaseResult>> load_sweep_cache(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    return Status(ErrorCode::kNotFound, "no sweep cache at '" + path + "'");
+  if (UCP_FAULT_POINT("exp.cache_read"))
+    return corrupt(path, "injected read failure");
+
+  std::string line;
+  if (!std::getline(is, line)) return corrupt(path, "empty file");
+  if (line.rfind(kCacheMagic, 0) != 0)
+    return corrupt(path, "missing version header (pre-v2 or foreign file)");
+  std::string rest = line.substr(sizeof(kCacheMagic) - 1);
+  const std::size_t space = rest.find(' ');
+  std::uint64_t version = 0;
+  if (space == std::string::npos || !parse_u64(rest.substr(0, space), version))
+    return corrupt(path, "unparseable version header");
+  if (version != kSweepCacheVersion)
+    return corrupt(path, "stale format version v" + std::to_string(version) +
+                             " (want v" + std::to_string(kSweepCacheVersion) +
+                             ")");
+  const std::string grid_field = rest.substr(space + 1);
+  if (grid_field.rfind("grid=", 0) != 0 ||
+      grid_field.substr(5) != sweep_grid_fingerprint())
+    return corrupt(path,
+                   "grid fingerprint mismatch (programs/configs changed "
+                   "since this cache was written)");
+
+  if (!std::getline(is, line) || line != kCacheColumns)
+    return corrupt(path, "unexpected column header");
+
+  std::vector<UseCaseResult> out;
+  std::size_t row_no = 2;
+  while (std::getline(is, line)) {
+    ++row_no;
+    const std::string where = "row " + std::to_string(row_no);
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (cells.size() != kCacheCells)
+      return corrupt(path, where + ": expected " +
+                               std::to_string(kCacheCells) + " cells, got " +
+                               std::to_string(cells.size()) +
+                               " (truncated or stale row?)");
+    const std::size_t checksum_at = line.rfind(',');
+    if (to_hex(fnv1a(std::string_view(line).substr(0, checksum_at))) !=
+        cells.back())
+      return corrupt(path, where + ": row checksum mismatch");
+
+    UseCaseResult r;
+    r.program = cells[0];
+    r.config_id = cells[1];
+    const auto& configs = cache::paper_cache_configs();
+    const auto it =
+        std::find_if(configs.begin(), configs.end(),
+                     [&](const cache::NamedCacheConfig& named) {
+                       return named.id == r.config_id;
+                     });
+    if (it == configs.end())
+      return corrupt(path, where + ": unknown configuration '" +
+                               r.config_id + "'");
+    r.config = it->config;
+    if (cells[2] == "45nm") {
+      r.tech = energy::TechNode::k45nm;
+    } else if (cells[2] == "32nm") {
+      r.tech = energy::TechNode::k32nm;
+    } else {
+      return corrupt(path, where + ": unknown technology '" + cells[2] + "'");
+    }
+    std::uint64_t u[17];
+    double d[2];
+    bool cells_ok = true;
+    for (int i = 0; i < 14; ++i) {
+      // Numeric cells 3..18, with 6 and 13 (energies) parsed as doubles.
+      const int col[] = {3, 4, 5, 7, 8, 9, 10, 11, 12, 14, 15, 16, 17, 18};
+      cells_ok &= parse_u64(cells[static_cast<std::size_t>(col[i])],
+                            u[static_cast<std::size_t>(i)]);
+    }
+    cells_ok &= parse_double(cells[6], d[0]);
+    cells_ok &= parse_double(cells[13], d[1]);
+    if (!cells_ok)
+      return corrupt(path, where + ": non-numeric cell");
+    r.original.tau_wcet = u[0];
+    r.original.run.mem_cycles = u[1];
+    r.original.run.instructions = u[2];
+    // Only the total matters downstream; park it in one component.
+    r.original.energy.cache_dynamic_nj = d[0];
+    r.original.run.cache.fetches = u[3];
+    r.original.run.cache.misses = u[4];
+    r.original.run.total_cycles = u[5];
+    r.optimized.tau_wcet = u[6];
+    r.optimized.run.mem_cycles = u[7];
+    r.optimized.run.instructions = u[8];
+    r.optimized.energy.cache_dynamic_nj = d[1];
+    r.optimized.run.cache.fetches = u[9];
+    r.optimized.run.cache.misses = u[10];
+    r.optimized.run.total_cycles = u[11];
+    r.report.insertions.resize(static_cast<std::size_t>(u[12]));
+    r.report.candidates_found = static_cast<std::size_t>(u[13]);
+    out.push_back(std::move(r));
+  }
+  if (out.empty()) return corrupt(path, "no data rows");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The sweep.
+// ---------------------------------------------------------------------------
+
+void SweepReport::print(std::ostream& os) const {
+  os << "[sweep health] " << total << " use cases: " << completed
+     << " completed, " << degraded << " degraded, " << failed << " failed, "
+     << degenerate_ratios << " degenerate ratios"
+     << (cache_hit ? " (memoized)" : "") << "\n";
+  if (!cache_note.empty()) os << "  [cache] " << cache_note << "\n";
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t i = 0; i < quarantine.size() && i < kMaxListed; ++i) {
+    const DegradedCase& q = quarantine[i];
+    os << "  quarantined: " << q.program << "/" << q.config_id << "/"
+       << energy::tech_name(q.tech) << " " << case_outcome_name(q.outcome)
+       << " at " << q.stage << " (" << error_code_name(q.code) << ")"
+       << (q.detail.empty() ? "" : " — " + q.detail) << "\n";
+  }
+  if (quarantine.size() > kMaxListed)
+    os << "  ... and " << quarantine.size() - kMaxListed
+       << " more quarantined cases\n";
+}
+
+Sweep run_sweep(const SweepOptions& options) {
+  Sweep sweep;
   // Serve (a filtered view of) the memoized full sweep when available.
   if (!options.cache_path.empty()) {
-    std::vector<UseCaseResult> cached;
-    if (load_cache(options.cache_path, cached)) {
+    Expected<std::vector<UseCaseResult>> cached =
+        load_sweep_cache(options.cache_path);
+    if (cached.ok()) {
       std::vector<UseCaseResult> filtered;
       const bool all_programs = options.programs.empty();
-      for (UseCaseResult& r : cached) {
+      for (UseCaseResult& r : *cached) {
         if (!all_programs &&
             std::find(options.programs.begin(), options.programs.end(),
                       r.program) == options.programs.end())
@@ -175,7 +453,18 @@ std::vector<UseCaseResult> run_sweep(const SweepOptions& options) {
       }
       std::cerr << "  [sweep] loaded " << filtered.size()
                 << " memoized use cases from " << options.cache_path << "\n";
-      return filtered;
+      sweep.report.cache_hit = true;
+      sweep.report.cache_note = "served from " + options.cache_path;
+      sweep.report.total = filtered.size();
+      sweep.report.completed = filtered.size();
+      sweep.results = std::move(filtered);
+      return sweep;
+    }
+    if (cached.code() != ErrorCode::kNotFound) {
+      // Corrupt / stale cache: report it and recompute — never trust it.
+      sweep.report.cache_note =
+          cached.status().message() + " — recomputing";
+      std::cerr << "  [sweep] " << sweep.report.cache_note << "\n";
     }
   }
 
@@ -199,7 +488,8 @@ std::vector<UseCaseResult> run_sweep(const SweepOptions& options) {
     }
   }
 
-  std::vector<UseCaseResult> results(grid.size());
+  std::vector<UseCaseResult>& results = sweep.results;
+  results.resize(grid.size());
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
 
@@ -208,15 +498,43 @@ std::vector<UseCaseResult> run_sweep(const SweepOptions& options) {
           ? options.threads
           : std::max(1u, std::thread::hardware_concurrency());
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t idx = next.fetch_add(1);
-      if (idx >= grid.size()) return;
-      const Case& c = grid[idx];
+  // Worker task boundary: *every* exception is contained here, so one
+  // pathological use case can never std::terminate a 2664-case sweep.
+  auto run_one = [&](std::size_t idx) {
+    const Case& c = grid[idx];
+    try {
       const ir::Program program = suite::build_benchmark(c.program);
       results[idx] =
           run_use_case(program, c.program, *c.config, c.tech,
                        options.optimizer);
+    } catch (const std::exception& e) {
+      results[idx] = UseCaseResult{};
+      results[idx].program = c.program;
+      results[idx].config_id = c.config->id;
+      results[idx].config = c.config->config;
+      results[idx].tech = c.tech;
+      results[idx].outcome = CaseOutcome::kFailed;
+      results[idx].fail_code = ErrorCode::kInternal;
+      results[idx].fail_stage = "task";
+      results[idx].fail_detail = e.what();
+    } catch (...) {
+      results[idx] = UseCaseResult{};
+      results[idx].program = c.program;
+      results[idx].config_id = c.config->id;
+      results[idx].config = c.config->config;
+      results[idx].tech = c.tech;
+      results[idx].outcome = CaseOutcome::kFailed;
+      results[idx].fail_code = ErrorCode::kInternal;
+      results[idx].fail_stage = "task";
+      results[idx].fail_detail = "non-standard exception";
+    }
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= grid.size()) return;
+      run_one(idx);
       const std::size_t d = done.fetch_add(1) + 1;
       if (options.progress_every != 0 && d % options.progress_every == 0) {
         std::cerr << "  [sweep] " << d << "/" << grid.size()
@@ -230,32 +548,71 @@ std::vector<UseCaseResult> run_sweep(const SweepOptions& options) {
   worker();
   for (std::thread& t : pool) t.join();
 
-  // Persist only full default grids; partial sweeps would poison the memo
-  // for the other figure benches.
-  if (!options.cache_path.empty() && options.programs.empty() &&
-      options.config_stride == 1 && options.techs.size() == 2) {
-    save_cache(options.cache_path, results);
+  // Health accounting, in deterministic grid order.
+  sweep.report.total = results.size();
+  for (const UseCaseResult& r : results) {
+    switch (r.outcome) {
+      case CaseOutcome::kCompleted:
+        ++sweep.report.completed;
+        break;
+      case CaseOutcome::kDegraded:
+        ++sweep.report.degraded;
+        break;
+      case CaseOutcome::kFailed:
+        ++sweep.report.failed;
+        break;
+    }
+    if (r.any_degenerate_ratio()) ++sweep.report.degenerate_ratios;
+    if (r.quarantined())
+      sweep.report.quarantine.push_back(DegradedCase{
+          r.program, r.config_id, r.tech, r.outcome, r.fail_stage,
+          r.fail_code, r.fail_detail});
   }
-  return results;
+
+  // Persist only full default grids; partial sweeps would poison the memo
+  // for the other figure benches, and a degraded sweep must never be served
+  // as if it were the true result set.
+  if (!options.cache_path.empty() && options.programs.empty() &&
+      options.config_stride == 1 && options.techs.size() == 2 &&
+      sweep.report.clean()) {
+    const Status saved = save_sweep_cache(options.cache_path, results);
+    if (!saved.ok())
+      std::cerr << "  [sweep] memo not saved: " << saved.message() << "\n";
+  }
+  return sweep;
 }
 
 void parallel_for_index(std::size_t n, std::uint32_t threads,
                         const std::function<void(std::size_t)>& fn) {
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> aborted{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   const std::uint32_t workers =
       threads != 0 ? threads
                    : std::max(1u, std::thread::hardware_concurrency());
+  // Task boundary: capture the first exception instead of letting it escape
+  // a worker thread (which would std::terminate), abandon remaining
+  // indices, and rethrow on the calling thread once the pool has drained.
   auto worker = [&] {
     for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) return;
       const std::size_t idx = next.fetch_add(1);
       if (idx >= n) return;
-      fn(idx);
+      try {
+        fn(idx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        aborted.store(true, std::memory_order_relaxed);
+      }
     }
   };
   std::vector<std::thread> pool;
   for (std::uint32_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::vector<SizeAggregate> aggregate_by_size(
@@ -276,6 +633,8 @@ std::vector<SizeAggregate> aggregate_by_size(
       ir += r.instr_ratio();
       pf += static_cast<double>(r.report.insertions.size());
       agg.max_wcet_ratio = std::max(agg.max_wcet_ratio, r.wcet_ratio());
+      if (r.any_degenerate_ratio()) ++agg.degenerate_cases;
+      if (r.quarantined()) ++agg.quarantined_cases;
     }
     if (agg.cases == 0) continue;
     const auto n = static_cast<double>(agg.cases);
@@ -323,6 +682,8 @@ GrandAggregate aggregate_all(const std::vector<UseCaseResult>& results) {
     g.max_instr_ratio = std::max(g.max_instr_ratio, r.instr_ratio());
     g.max_wcet_ratio = std::max(g.max_wcet_ratio, r.wcet_ratio());
     if (r.wcet_ratio() > 1.0 + 1e-9) ++g.wcet_regressions;
+    if (r.any_degenerate_ratio()) ++g.degenerate_cases;
+    if (r.quarantined()) ++g.quarantined_cases;
   }
   const auto n = static_cast<double>(g.cases);
   g.mean_energy_ratio = e / n;

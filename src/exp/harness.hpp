@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "energy/model.hpp"
 #include "ir/program.hpp"
 #include "sim/interpreter.hpp"
+#include "support/status.hpp"
 
 namespace ucp::exp {
 
@@ -31,6 +33,24 @@ struct Metrics {
 Metrics measure(const ir::Program& program, const cache::CacheConfig& config,
                 energy::TechNode tech);
 
+/// Status-channel variant: IPET failure (solver budgets, infeasibility) and
+/// simulation budget exhaustion come back as a Status instead of an
+/// exception, so a sweep can quarantine the use case and keep running.
+Expected<Metrics> measure_checked(const ir::Program& program,
+                                  const cache::CacheConfig& config,
+                                  energy::TechNode tech);
+
+/// What happened to one use case in a sweep.
+enum class CaseOutcome : std::uint8_t {
+  kCompleted,  ///< optimized binary produced and measured
+  kDegraded,   ///< optimizer/analysis failed; fell back to the original
+               ///< binary (optimized == original metrics, Theorem 1 holds)
+  kFailed,     ///< even the original binary could not be measured; metrics
+               ///< are zero and every ratio is degenerate
+};
+
+const char* case_outcome_name(CaseOutcome outcome);
+
 /// One (program, cache configuration, technology) use case, fully processed:
 /// original vs optimized binaries, as in Section 5.
 struct UseCaseResult {
@@ -43,6 +63,14 @@ struct UseCaseResult {
   Metrics optimized;
   core::OptimizationReport report;
 
+  // --- failure containment -------------------------------------------------
+  CaseOutcome outcome = CaseOutcome::kCompleted;
+  ErrorCode fail_code = ErrorCode::kOk;  ///< cause when outcome != completed
+  std::string fail_stage;   ///< "optimize", "measure_original", ... or empty
+  std::string fail_detail;  ///< human-readable cause
+
+  bool quarantined() const { return outcome != CaseOutcome::kCompleted; }
+
   // --- the paper's ratio metrics (Inequations 10-12) -----------------------
   /// Ineq. 12: τ_w(opt)/τ_w(orig); Theorem 1 demands <= 1.
   double wcet_ratio() const;
@@ -52,6 +80,20 @@ struct UseCaseResult {
   double energy_ratio() const;
   /// Figure 8: executed instructions opt/orig.
   double instr_ratio() const;
+
+  // --- degenerate-measurement flags ----------------------------------------
+  // A ratio whose denominator is zero is reported as the neutral 1.0, which
+  // would silently hide a broken measurement; these flags surface it so the
+  // aggregates can count (and benches report) affected cases instead of
+  // folding them into the means unnoticed.
+  bool wcet_degenerate() const { return original.tau_wcet == 0; }
+  bool acet_degenerate() const { return original.run.mem_cycles == 0; }
+  bool energy_degenerate() const { return original.energy.total_nj() == 0.0; }
+  bool instr_degenerate() const { return original.run.instructions == 0; }
+  bool any_degenerate_ratio() const {
+    return wcet_degenerate() || acet_degenerate() || energy_degenerate() ||
+           instr_degenerate();
+  }
 };
 
 /// Runs one use case: optimize for (config, tech), then measure both
@@ -83,14 +125,75 @@ struct SweepOptions {
   /// benches share one result set: the first bench to run computes and
   /// saves it; the others load and (if they sweep a subset, e.g. one
   /// technology) filter. Empty = always compute. Delete the file to force
-  /// recomputation. Only used with default optimizer options.
+  /// recomputation. Only used with default optimizer options. A file that
+  /// fails validation (stale version, wrong grid fingerprint, corrupt rows,
+  /// truncation) is reported and transparently recomputed, never trusted.
   std::string cache_path;
 };
 
-std::vector<UseCaseResult> run_sweep(const SweepOptions& options = {});
+/// One quarantined use case of a sweep: which case, which stage failed, why.
+struct DegradedCase {
+  std::string program;
+  std::string config_id;
+  energy::TechNode tech = energy::TechNode::k45nm;
+  CaseOutcome outcome = CaseOutcome::kDegraded;
+  std::string stage;  ///< "optimize", "measure_original", "task", ...
+  ErrorCode code = ErrorCode::kOk;
+  std::string detail;
+};
+
+/// Health summary of one sweep. A clean reproduction has completed == total;
+/// benches print this so a silently-degraded sweep can never masquerade as
+/// a clean run.
+struct SweepReport {
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  std::size_t degraded = 0;  ///< fell back to the original binary
+  std::size_t failed = 0;    ///< no valid baseline either
+  std::size_t degenerate_ratios = 0;  ///< cases with a zero denominator
+  bool cache_hit = false;    ///< results served from the memo file
+  std::string cache_note;    ///< e.g. why a memo file was rejected
+  std::vector<DegradedCase> quarantine;  ///< one entry per non-completed case
+
+  bool clean() const { return degraded == 0 && failed == 0; }
+  void print(std::ostream& os) const;
+};
+
+/// Results plus health report of one sweep, in deterministic grid order.
+struct Sweep {
+  std::vector<UseCaseResult> results;
+  SweepReport report;
+};
+
+Sweep run_sweep(const SweepOptions& options = {});
+
+// --- sweep memo cache (hardened) -------------------------------------------
+// Format v2: a `# ucp-sweep-cache v<N> grid=<fingerprint>` header line, the
+// column header, then one row per use case with a trailing FNV-1a checksum
+// column. Loads validate version, grid fingerprint, cell syntax, config ids
+// and row checksums; any mismatch rejects the whole file (kCorruptCache) so
+// the sweep recomputes instead of serving poisoned figures. Saves write to
+// a temporary file and rename it into place, so a killed bench never leaves
+// a truncated cache behind.
+
+inline constexpr std::uint32_t kSweepCacheVersion = 2;
+
+/// Fingerprint of the full evaluation grid (program set, configurations,
+/// technologies, format version): stale caches from older code disqualify
+/// themselves instead of poisoning the next run.
+std::string sweep_grid_fingerprint();
+
+Status save_sweep_cache(const std::string& path,
+                        const std::vector<UseCaseResult>& results);
+
+Expected<std::vector<UseCaseResult>> load_sweep_cache(
+    const std::string& path);
 
 /// Runs fn(0..n-1) on a worker pool (0 threads = hardware concurrency).
-/// Used by benches whose grids differ from the standard sweep.
+/// Used by benches whose grids differ from the standard sweep. An exception
+/// escaping `fn` no longer terminates the process: the first one is
+/// captured at the task boundary, remaining indices are abandoned, and the
+/// exception is rethrown on the calling thread after the pool drains.
 void parallel_for_index(std::size_t n, std::uint32_t threads,
                         const std::function<void(std::size_t)>& fn);
 
@@ -107,6 +210,8 @@ struct SizeAggregate {
   double mean_instr_ratio = 1.0;
   double max_wcet_ratio = 0.0;
   double mean_prefetches = 0.0;
+  std::size_t degenerate_cases = 0;  ///< any_degenerate_ratio() held
+  std::size_t quarantined_cases = 0; ///< degraded or failed
 };
 
 std::vector<SizeAggregate> aggregate_by_size(
@@ -123,6 +228,8 @@ struct GrandAggregate {
   double max_instr_ratio = 1.0;
   double max_wcet_ratio = 0.0;
   std::size_t wcet_regressions = 0;  ///< cases with ratio > 1 (must be 0)
+  std::size_t degenerate_cases = 0;  ///< any_degenerate_ratio() held
+  std::size_t quarantined_cases = 0; ///< degraded or failed
 };
 
 GrandAggregate aggregate_all(const std::vector<UseCaseResult>& results);

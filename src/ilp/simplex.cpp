@@ -11,6 +11,7 @@
 
 #include "ilp/model.hpp"
 #include "support/check.hpp"
+#include "support/fault_injection.hpp"
 
 namespace ucp::ilp {
 namespace {
@@ -125,7 +126,8 @@ class Tableau {
     // Switch to Bland's rule after this many pivots to break any cycle.
     const std::uint64_t bland_after = 4 * (m_ + ncols_) + 64;
     while (true) {
-      if (pivots++ > max_pivots) return SolveStatus::kIterationLimit;
+      if (pivots++ > max_pivots || UCP_FAULT_POINT("ilp.pivot"))
+        return SolveStatus::kIterationLimit;
       const bool bland = pivots > bland_after;
 
       // Entering column.
@@ -293,7 +295,7 @@ Solution solve_ilp(const Model& model, const SolveOptions& options) {
   SolveStatus worst_failure = SolveStatus::kInfeasible;
 
   while (!stack.empty()) {
-    if (++nodes > options.max_bb_nodes) {
+    if (++nodes > options.max_bb_nodes || UCP_FAULT_POINT("ilp.bb_node")) {
       if (!have_best) best.status = SolveStatus::kIterationLimit;
       return best;
     }

@@ -2,6 +2,7 @@
 
 #include "ir/dominators.hpp"
 #include "support/check.hpp"
+#include "support/fault_injection.hpp"
 
 namespace ucp::sim {
 
@@ -139,6 +140,12 @@ std::uint32_t Interpreter::execute(const ir::Instruction& in,
 }
 
 RunMetrics Interpreter::run() {
+  Expected<RunMetrics> result = try_run();
+  if (!result.ok()) throw InvalidArgument(result.status().message());
+  return std::move(result).value();
+}
+
+Expected<RunMetrics> Interpreter::try_run() {
   RunMetrics metrics;
   std::uint64_t now = 0;
 
@@ -153,10 +160,12 @@ RunMetrics Interpreter::run() {
       const bool from_inside =
           previous != ir::kInvalidBlock && check.member[previous];
       check.count = from_inside ? check.count + 1 : 1;
-      UCP_REQUIRE(check.count <= check.bound,
-                  "loop bound violated at header bb" +
-                      std::to_string(current) + " of program '" +
-                      program_.name() + "'");
+      if (check.count > check.bound) {
+        return Status(ErrorCode::kLoopBoundViolated,
+                      "loop bound violated at header bb" +
+                          std::to_string(current) + " of program '" +
+                          program_.name() + "'");
+      }
     }
 
     const ir::BasicBlock& bb = program_.block(current);
@@ -164,8 +173,14 @@ RunMetrics Interpreter::run() {
     ir::BlockId next = ir::kInvalidBlock;
 
     for (const ir::Instruction& in : bb.instrs) {
-      UCP_REQUIRE(metrics.instructions < limits_.max_steps,
-                  "dynamic instruction limit exceeded (missing halt?)");
+      if (metrics.instructions >= limits_.max_steps ||
+          UCP_FAULT_POINT("sim.step")) {
+        return Status(ErrorCode::kStepBudgetExhausted,
+                      "dynamic instruction budget (" +
+                          std::to_string(limits_.max_steps) +
+                          ") exhausted in program '" + program_.name() +
+                          "' (missing halt?)");
+      }
       const std::uint32_t address = layout_.address(in.id);
       const cache::FetchResult fetch =
           cache_.fetch(layout_.block_of_address(address), now);
@@ -219,6 +234,16 @@ RunMetrics run_program(const ir::Program& program,
   cache::CacheSim cache(config, timing);
   Interpreter interp(program, layout, cache, limits);
   return interp.run();
+}
+
+Expected<RunMetrics> run_program_checked(const ir::Program& program,
+                                         const cache::CacheConfig& config,
+                                         const cache::MemTiming& timing,
+                                         RunLimits limits) {
+  const ir::Layout layout(program, config.block_bytes);
+  cache::CacheSim cache(config, timing);
+  Interpreter interp(program, layout, cache, limits);
+  return interp.try_run();
 }
 
 }  // namespace ucp::sim

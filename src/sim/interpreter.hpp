@@ -7,6 +7,7 @@
 #include "cache/cache_sim.hpp"
 #include "ir/layout.hpp"
 #include "ir/program.hpp"
+#include "support/status.hpp"
 
 namespace ucp::sim {
 
@@ -48,8 +49,16 @@ class Interpreter {
   Interpreter(const ir::Program& program, const ir::Layout& layout,
               cache::CacheSim& cache, RunLimits limits = {});
 
-  /// Runs from the entry block to halt and returns the metrics.
+  /// Runs from the entry block to halt and returns the metrics. Resource
+  /// and flow-fact violations throw InvalidArgument (legacy channel).
   RunMetrics run();
+
+  /// Budget-aware variant: a run that exhausts the dynamic instruction
+  /// budget returns kStepBudgetExhausted (within `limits.max_steps` steps —
+  /// a malformed program can never hang the pipeline), and a contradicted
+  /// loop bound returns kLoopBoundViolated, instead of throwing. Genuine
+  /// program errors (division by zero, data out of bounds) still throw.
+  Expected<RunMetrics> try_run();
 
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
@@ -89,5 +98,11 @@ class Interpreter {
 RunMetrics run_program(const ir::Program& program,
                        const cache::CacheConfig& config,
                        const cache::MemTiming& timing, RunLimits limits = {});
+
+/// Budget-aware convenience wrapper over Interpreter::try_run.
+Expected<RunMetrics> run_program_checked(const ir::Program& program,
+                                         const cache::CacheConfig& config,
+                                         const cache::MemTiming& timing,
+                                         RunLimits limits = {});
 
 }  // namespace ucp::sim

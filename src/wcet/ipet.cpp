@@ -4,8 +4,23 @@
 #include <string>
 
 #include "support/check.hpp"
+#include "support/fault_injection.hpp"
 
 namespace ucp::wcet {
+
+ErrorCode solve_error_code(ilp::SolveStatus status) {
+  switch (status) {
+    case ilp::SolveStatus::kOptimal:
+      return ErrorCode::kOk;
+    case ilp::SolveStatus::kInfeasible:
+      return ErrorCode::kInfeasible;
+    case ilp::SolveStatus::kUnbounded:
+      return ErrorCode::kUnbounded;
+    case ilp::SolveStatus::kIterationLimit:
+      return ErrorCode::kIterationLimit;
+  }
+  return ErrorCode::kInternal;
+}
 
 using analysis::CgEdge;
 using analysis::Classification;
@@ -127,6 +142,10 @@ WcetResult compute_wcet(const ContextGraph& graph,
   model.set_objective(std::move(objective), /*maximize=*/true);
 
   // --- Solve ----------------------------------------------------------------
+  if (UCP_FAULT_POINT("wcet.solve")) {
+    result.status = ilp::SolveStatus::kIterationLimit;
+    return result;
+  }
   const ilp::Solution solution = ilp::solve_ilp(model);
   result.status = solution.status;
   if (!solution.optimal()) return result;

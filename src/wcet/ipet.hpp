@@ -7,8 +7,14 @@
 #include "analysis/context_graph.hpp"
 #include "cache/config.hpp"
 #include "ilp/model.hpp"
+#include "support/status.hpp"
 
 namespace ucp::wcet {
+
+/// Maps a solver outcome onto the pipeline-wide error channel, so IPET
+/// budget exhaustion (max_pivots / max_bb_nodes) propagates as a Status the
+/// harness can quarantine on instead of an UCP_CHECK abort.
+ErrorCode solve_error_code(ilp::SolveStatus status);
 
 /// Per-reference worst-case memory timing: t_w(r) of Section 3.3, derived
 /// from the cache classification (always-hit pays hit time; anything else

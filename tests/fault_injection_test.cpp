@@ -1,0 +1,172 @@
+// Failure-containment property tests: arm every registered fault site in
+// turn and assert the sweep survives — no crash, no silent wrong numbers.
+// A compute-path fault quarantines exactly the affected use case(s); a
+// degraded case ships the original binary, so its metrics equal the
+// baseline and Theorem 1 holds trivially (wcet_ratio == 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "energy/model.hpp"
+#include "exp/harness.hpp"
+#include "suite/suite.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ucp::exp {
+namespace {
+
+SweepOptions small_sweep() {
+  SweepOptions options;
+  // fdct/k1 evaluates optimizer candidates, so the grid reaches every
+  // compute-path site (core.reanalyze fires only during a candidate
+  // re-analysis); bs never optimizes and covers the no-candidate path.
+  options.programs = {"bs", "fdct"};
+  options.config_stride = 12;  // k1, k13, k25
+  options.techs = {energy::TechNode::k45nm};
+  options.threads = 1;  // deterministic: the fault hits the first use case
+  options.progress_every = 0;
+  return options;
+}
+
+/// Sites on the per-use-case compute path: a one-shot fault here must
+/// quarantine a case. (Cache I/O sites are exercised in harness_test.)
+const std::vector<std::string> kComputeSites = {
+    "ilp.pivot",     "ilp.bb_node",   "sim.step",  "wcet.solve",
+    "core.reanalyze", "core.deadline", "exp.measure", "exp.task",
+};
+
+TEST(FaultSweep, EveryComputeSiteIsContained) {
+  for (const std::string& site : kComputeSites) {
+    SCOPED_TRACE("site = " + site);
+    fault::disarm_all();
+    fault::arm(site);
+    const Sweep sweep = run_sweep(small_sweep());
+    fault::disarm_all();
+
+    // The sweep completes with every grid point accounted for.
+    ASSERT_EQ(sweep.results.size(), 2u * 3u);
+    EXPECT_EQ(sweep.report.total, sweep.results.size());
+    EXPECT_EQ(sweep.report.completed + sweep.report.degraded +
+                  sweep.report.failed,
+              sweep.report.total);
+
+    // Exactly the faulted case(s) are quarantined, and they are visible.
+    EXPECT_GE(sweep.report.degraded + sweep.report.failed, 1u)
+        << "fault at " << site << " was swallowed silently";
+    EXPECT_FALSE(sweep.report.clean());
+    EXPECT_EQ(sweep.report.quarantine.size(),
+              sweep.report.degraded + sweep.report.failed);
+    for (const DegradedCase& q : sweep.report.quarantine) {
+      EXPECT_FALSE(q.stage.empty());
+      EXPECT_NE(q.code, ErrorCode::kOk);
+    }
+
+    // Degraded cases fell back to the original binary: identical metrics,
+    // neutral ratios, no claimed insertions. Theorem 1 holds trivially.
+    for (const UseCaseResult& r : sweep.results) {
+      if (r.outcome != CaseOutcome::kDegraded) continue;
+      EXPECT_EQ(r.optimized.tau_wcet, r.original.tau_wcet);
+      EXPECT_EQ(r.optimized.run.mem_cycles, r.original.run.mem_cycles);
+      EXPECT_DOUBLE_EQ(r.wcet_ratio(), 1.0);
+      EXPECT_DOUBLE_EQ(r.acet_ratio(), 1.0);
+      EXPECT_TRUE(r.report.insertions.empty());
+      EXPECT_NE(r.fail_code, ErrorCode::kOk);
+    }
+    // Failed cases have no baseline: every ratio is degenerate and flagged.
+    for (const UseCaseResult& r : sweep.results) {
+      if (r.outcome != CaseOutcome::kFailed) continue;
+      EXPECT_TRUE(r.any_degenerate_ratio());
+    }
+    // The untouched cases are unaffected by the neighbour's fault.
+    for (const UseCaseResult& r : sweep.results) {
+      if (r.outcome != CaseOutcome::kCompleted) continue;
+      EXPECT_GT(r.original.tau_wcet, 0u);
+      EXPECT_LE(r.wcet_ratio(), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(FaultSweep, FaultFreeRerunIsClean) {
+  fault::disarm_all();
+  const Sweep sweep = run_sweep(small_sweep());
+  EXPECT_TRUE(sweep.report.clean());
+  EXPECT_EQ(sweep.report.completed, sweep.report.total);
+}
+
+TEST(FaultUseCase, ReanalysisFaultDegradesToIdentity) {
+  // Theorem-1 fallback, single use case: a mid-optimization analysis
+  // failure ships the unmodified input program. fdct/k2 is a use case that
+  // evaluates (and accepts) candidates, so the re-analysis site is reached.
+  const ir::Program p = suite::build_benchmark("fdct");
+  const auto& k = cache::paper_cache_config("k2");
+  fault::disarm_all();
+
+  const UseCaseResult healthy =
+      run_use_case(p, "fdct", k, energy::TechNode::k32nm);
+  ASSERT_EQ(healthy.outcome, CaseOutcome::kCompleted);
+
+  fault::ScopedFault f("core.reanalyze");
+  const UseCaseResult faulted =
+      run_use_case(p, "fdct", k, energy::TechNode::k32nm);
+  ASSERT_EQ(faulted.outcome, CaseOutcome::kDegraded);
+  EXPECT_EQ(faulted.fail_stage, "optimize");
+  EXPECT_EQ(faulted.fail_code, ErrorCode::kAnalysisFailed);
+  // Baseline measurement is unaffected by the optimizer fault...
+  EXPECT_EQ(faulted.original.tau_wcet, healthy.original.tau_wcet);
+  // ...and the shipped binary is the baseline itself.
+  EXPECT_EQ(faulted.optimized.tau_wcet, faulted.original.tau_wcet);
+  EXPECT_DOUBLE_EQ(faulted.wcet_ratio(), 1.0);
+  EXPECT_TRUE(faulted.report.insertions.empty());
+}
+
+TEST(FaultUseCase, DeadlineFaultReportsDeadlineExceeded) {
+  const ir::Program p = suite::build_benchmark("bs");
+  const auto& k = cache::paper_cache_config("k1");
+  fault::ScopedFault f("core.deadline");
+  const UseCaseResult r = run_use_case(p, "bs", k, energy::TechNode::k45nm);
+  EXPECT_EQ(r.outcome, CaseOutcome::kDegraded);
+  EXPECT_EQ(r.fail_code, ErrorCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(r.wcet_ratio(), 1.0);
+}
+
+TEST(FaultUseCase, MeasureFaultOnBaselineFailsTheCase) {
+  const ir::Program p = suite::build_benchmark("bs");
+  const auto& k = cache::paper_cache_config("k1");
+  fault::ScopedFault f("exp.measure");
+  const UseCaseResult r = run_use_case(p, "bs", k, energy::TechNode::k45nm);
+  EXPECT_EQ(r.outcome, CaseOutcome::kFailed);
+  EXPECT_EQ(r.fail_stage, "measure_original");
+  EXPECT_EQ(r.fail_code, ErrorCode::kFaultInjected);
+  EXPECT_TRUE(r.any_degenerate_ratio());
+}
+
+TEST(FaultUseCase, MeasureFaultOnOptimizedBinaryDegrades) {
+  // Skip the baseline measurement; the second measure (of the optimized
+  // binary) hits the fault, and the case falls back to the baseline.
+  const ir::Program p = suite::build_benchmark("crc");
+  const auto& k = cache::paper_cache_config("k7");
+  fault::disarm_all();
+  fault::arm("exp.measure", /*skip=*/1);
+  const UseCaseResult r = run_use_case(p, "crc", k, energy::TechNode::k32nm);
+  fault::disarm_all();
+  EXPECT_EQ(r.outcome, CaseOutcome::kDegraded);
+  EXPECT_EQ(r.fail_stage, "measure_optimized");
+  EXPECT_GT(r.original.tau_wcet, 0u);
+  EXPECT_DOUBLE_EQ(r.wcet_ratio(), 1.0);
+}
+
+TEST(FaultRegistry, AllComputeSitesAreRegistered) {
+  const auto& sites = fault::known_sites();
+  for (const std::string& site : kComputeSites) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site;
+  }
+}
+
+}  // namespace
+}  // namespace ucp::exp

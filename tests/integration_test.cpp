@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "cache/config.hpp"
 #include "core/optimizer.hpp"
@@ -62,7 +63,8 @@ TEST(Sweep, SmallGridShapes) {
   options.config_stride = 12;  // k1, k13, k25
   options.techs = {energy::TechNode::k45nm};
   options.progress_every = 0;
-  const auto results = run_sweep(options);
+  const Sweep sweep = run_sweep(options);
+  const auto& results = sweep.results;
   ASSERT_EQ(results.size(), 2u * 3u);
   // Deterministic grid order: program-major, then config, then tech.
   EXPECT_EQ(results[0].program, "crc");
@@ -71,7 +73,12 @@ TEST(Sweep, SmallGridShapes) {
   for (const auto& r : results) {
     EXPECT_LE(r.wcet_ratio(), 1.0 + 1e-9);
     EXPECT_GT(r.original.tau_wcet, 0u);
+    EXPECT_EQ(r.outcome, CaseOutcome::kCompleted);
   }
+  EXPECT_EQ(sweep.report.total, results.size());
+  EXPECT_EQ(sweep.report.completed, results.size());
+  EXPECT_TRUE(sweep.report.clean());
+  EXPECT_TRUE(sweep.report.quarantine.empty());
 }
 
 TEST(Sweep, DeterministicAcrossThreadCounts) {
@@ -83,8 +90,8 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
   a.progress_every = 0;
   SweepOptions b = a;
   b.threads = 4;
-  const auto ra = run_sweep(a);
-  const auto rb = run_sweep(b);
+  const auto ra = run_sweep(a).results;
+  const auto rb = run_sweep(b).results;
   ASSERT_EQ(ra.size(), rb.size());
   for (std::size_t i = 0; i < ra.size(); ++i) {
     EXPECT_EQ(ra[i].original.tau_wcet, rb[i].original.tau_wcet);
@@ -98,7 +105,7 @@ TEST(Aggregate, BySizeCoversAllCapacities) {
   options.programs = {"crc"};
   options.techs = {energy::TechNode::k45nm};
   options.progress_every = 0;
-  const auto results = run_sweep(options);
+  const auto results = run_sweep(options).results;
   const auto by_size = aggregate_by_size(results);
   ASSERT_EQ(by_size.size(), 6u);
   std::size_t total = 0;
@@ -114,7 +121,7 @@ TEST(Aggregate, GrandMeansAndRegressions) {
   options.programs = {"fdct", "fir"};
   options.config_stride = 6;
   options.progress_every = 0;
-  const auto results = run_sweep(options);
+  const auto results = run_sweep(options).results;
   const auto grand = aggregate_all(results);
   EXPECT_EQ(grand.cases, results.size());
   EXPECT_EQ(grand.wcet_regressions, 0u);
@@ -122,6 +129,42 @@ TEST(Aggregate, GrandMeansAndRegressions) {
   EXPECT_GE(grand.max_instr_ratio, 1.0);
 }
 
+
+namespace {
+
+/// Two hand-made memo rows (bs/k1 at both technologies) for cache tests.
+std::vector<UseCaseResult> fake_memo_rows() {
+  std::vector<UseCaseResult> rows(2);
+  rows[0].program = "bs";
+  rows[0].config_id = "k1";
+  rows[0].config = cache::paper_cache_config("k1").config;
+  rows[0].tech = energy::TechNode::k45nm;
+  rows[0].original.tau_wcet = 100;
+  rows[0].original.run.mem_cycles = 80;
+  rows[0].original.run.instructions = 50;
+  rows[0].original.energy.cache_dynamic_nj = 12.5;
+  rows[0].original.run.cache.fetches = 50;
+  rows[0].original.run.cache.misses = 5;
+  rows[0].original.run.total_cycles = 200;
+  rows[0].optimized.tau_wcet = 90;
+  rows[0].optimized.run.mem_cycles = 75;
+  rows[0].optimized.run.instructions = 50;
+  rows[0].optimized.energy.cache_dynamic_nj = 11.5;
+  rows[0].optimized.run.cache.fetches = 50;
+  rows[0].optimized.run.cache.misses = 4;
+  rows[0].optimized.run.total_cycles = 190;
+  rows[0].report.insertions.resize(2);
+  rows[0].report.candidates_found = 7;
+  rows[1] = rows[0];
+  rows[1].tech = energy::TechNode::k32nm;
+  rows[1].original.tau_wcet = 110;
+  rows[1].optimized.tau_wcet = 95;
+  rows[1].report.insertions.resize(1);
+  rows[1].report.candidates_found = 3;
+  return rows;
+}
+
+}  // namespace
 
 TEST(SweepMemo, SaveLoadRoundTrip) {
   const std::string path = "test_sweep_memo.csv";
@@ -134,28 +177,23 @@ TEST(SweepMemo, SaveLoadRoundTrip) {
   compute.progress_every = 0;
   compute.cache_path = path;
   // Shrink the grid via a focused stand-in: writing the full sweep here
-  // would be too slow for a unit test, so exercise load() on a hand-made
+  // would be too slow for a unit test, so exercise load() on a saved
   // file through the public API instead: first verify that a *partial*
   // sweep does NOT poison the memo...
   SweepOptions partial = compute;
   partial.programs = {"bs"};
-  const auto partial_results = run_sweep(partial);
-  EXPECT_FALSE(partial_results.empty());
+  const Sweep partial_sweep = run_sweep(partial);
+  EXPECT_FALSE(partial_sweep.results.empty());
   std::ifstream probe(path);
   EXPECT_FALSE(probe.good()) << "partial sweeps must not be memoized";
 
-  // ...then that a memo written by hand round-trips through load+filter.
-  {
-    std::ofstream os(path);
-    os << "program,config,tech,o_tau,o_mem,o_instr,o_energy,o_fetches,"
-          "o_misses,o_cycles,p_tau,p_mem,p_instr,p_energy,p_fetches,"
-          "p_misses,p_cycles,prefetches,candidates\n";
-    os << "bs,k1,45nm,100,80,50,12.5,50,5,200,90,75,50,11.5,50,4,190,2,7\n";
-    os << "bs,k1,32nm,110,85,50,13.5,50,5,210,95,80,50,12.5,50,4,195,1,3\n";
-  }
+  // ...then that a saved memo round-trips through load+filter.
+  ASSERT_TRUE(save_sweep_cache(path, fake_memo_rows()).ok());
   SweepOptions load = compute;
   load.techs = {energy::TechNode::k32nm};
-  const auto loaded = run_sweep(load);
+  const Sweep loaded_sweep = run_sweep(load);
+  EXPECT_TRUE(loaded_sweep.report.cache_hit);
+  const auto& loaded = loaded_sweep.results;
   ASSERT_EQ(loaded.size(), 1u);  // filtered to 32nm
   EXPECT_EQ(loaded[0].program, "bs");
   EXPECT_EQ(loaded[0].original.tau_wcet, 110u);
@@ -186,6 +224,18 @@ TEST(ParallelForIndex, VisitsEachIndexOnce) {
   for (auto& h : hits) h = 0;
   parallel_for_index(100, 4, [&](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, RethrowsWorkerExceptionOnCaller) {
+  // An exception escaping `fn` on a worker thread must not terminate the
+  // process; the first one surfaces on the calling thread after the pool
+  // drains.
+  EXPECT_THROW(parallel_for_index(64, 4,
+                                  [&](std::size_t i) {
+                                    if (i == 17)
+                                      throw std::runtime_error("boom");
+                                  }),
+               std::runtime_error);
 }
 
 }  // namespace

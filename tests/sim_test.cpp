@@ -177,6 +177,51 @@ TEST(Interpreter, LoopBoundViolationDetected) {
   EXPECT_THROW(run(p), InvalidArgument);
 }
 
+TEST(InterpreterChecked, StepBudgetComesBackAsStatus) {
+  // A structurally *bounded* loop whose bound vastly exceeds the step
+  // budget: the run must stop within the budget and report it on the
+  // Status channel instead of hanging or throwing.
+  IrBuilder b("longloop");
+  b.for_range(R(1), 0, 50'000'000, [&] { b.addi(R(2), R(2), 1); });
+  b.halt();
+  ir::Program p = b.take();
+  RunLimits limits;
+  limits.max_steps = 500;
+  const Expected<RunMetrics> r =
+      run_program_checked(p, kConfig, kTiming, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kStepBudgetExhausted);
+  EXPECT_NE(r.status().message().find("step"), std::string::npos);
+}
+
+TEST(InterpreterChecked, LoopBoundViolationComesBackAsStatus) {
+  IrBuilder b("lied2");
+  b.movi(R(1), 0);
+  b.movi(R(2), 10);
+  b.while_loop(
+      3,  // actual trips: 10 > 3
+      [&] { return IrBuilder::LoopCond{Cond::kLt, R(1), R(2)}; },
+      [&] { b.addi(R(1), R(1), 1); });
+  b.halt();
+  ir::Program p = b.take();
+  const Expected<RunMetrics> r = run_program_checked(p, kConfig, kTiming);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kLoopBoundViolated);
+}
+
+TEST(InterpreterChecked, HealthyRunMatchesThrowingRun) {
+  IrBuilder b("healthy");
+  b.for_range(R(1), 0, 8, [&] { b.addi(R(2), R(2), 1); });
+  b.halt();
+  ir::Program p = b.take();
+  const RunResult plain = run(p);
+  const Expected<RunMetrics> checked = run_program_checked(p, kConfig, kTiming);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked->instructions, plain.metrics.instructions);
+  EXPECT_EQ(checked->total_cycles, plain.metrics.total_cycles);
+  EXPECT_EQ(checked->mem_cycles, plain.metrics.mem_cycles);
+}
+
 TEST(Interpreter, MemCyclesMatchCacheModel) {
   IrBuilder b("cycles");
   b.movi(R(1), 1);

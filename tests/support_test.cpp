@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/fault_injection.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/status.hpp"
 #include "support/table.hpp"
 
 namespace ucp {
@@ -143,6 +146,81 @@ TEST(TextTable, AlignsAndCounts) {
   EXPECT_NE(s.find("long header"), std::string::npos);
   EXPECT_NE(s.find("333"), std::string::npos);
   EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Status, OkAndErrorRoundTrip) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+
+  const Status err(ErrorCode::kStepBudgetExhausted, "ran 501 of 500 steps");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kStepBudgetExhausted);
+  EXPECT_EQ(err.detail(), "ran 501 of 500 steps");
+  EXPECT_EQ(err.message(), "step-budget-exhausted: ran 501 of 500 steps");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    const char* name = error_code_name(static_cast<ErrorCode>(c));
+    EXPECT_NE(std::string(name), "unknown") << "code " << c;
+  }
+}
+
+TEST(Expected, ValueAndStatusChannels) {
+  Expected<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(-1), 42);
+
+  Expected<int> bad(Status(ErrorCode::kCorruptCache, "row 7"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kCorruptCache);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW(bad.value(), InternalError);
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(9));
+  ASSERT_TRUE(e.ok());
+  std::unique_ptr<int> p = std::move(e).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(FaultInjection, RegistryListsSitesAndArmsOneShot) {
+  fault::disarm_all();
+  const auto& sites = fault::known_sites();
+  ASSERT_FALSE(sites.empty());
+  const char* site = "sim.step";
+  EXPECT_FALSE(fault::should_fail(site));
+
+  fault::arm(site);
+  EXPECT_TRUE(fault::should_fail(site));   // fires once...
+  EXPECT_FALSE(fault::should_fail(site));  // ...then disarms itself
+  EXPECT_GE(fault::hit_count(site), 1u);
+
+  EXPECT_THROW(fault::arm("no.such.site"), InvalidArgument);
+  fault::disarm_all();
+}
+
+TEST(FaultInjection, SkipCountDelaysTheFailure) {
+  fault::disarm_all();
+  fault::arm("ilp.pivot", /*skip=*/2);
+  EXPECT_FALSE(fault::should_fail("ilp.pivot"));
+  EXPECT_FALSE(fault::should_fail("ilp.pivot"));
+  EXPECT_TRUE(fault::should_fail("ilp.pivot"));
+  EXPECT_FALSE(fault::should_fail("ilp.pivot"));
+  fault::disarm_all();
+}
+
+TEST(FaultInjection, ScopedFaultDisarmsOnExit) {
+  fault::disarm_all();
+  {
+    fault::ScopedFault f("wcet.solve");
+    // Not consumed inside the scope.
+  }
+  EXPECT_FALSE(fault::should_fail("wcet.solve"));
 }
 
 TEST(CsvWriter, EscapesSpecials) {
