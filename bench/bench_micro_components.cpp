@@ -7,6 +7,7 @@
 
 #include "analysis/cache_analysis.hpp"
 #include "analysis/context_graph.hpp"
+#include "analysis/domain.hpp"
 #include "cache/cache_sim.hpp"
 #include "core/optimizer.hpp"
 #include "energy/model.hpp"
@@ -36,6 +37,63 @@ void BM_CacheSimFetch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CacheSimFetch);
+
+// Two abstract sets with partially overlapping contents, as produced where
+// control-flow paths with different access histories merge — the operand
+// shape of every join on the fixpoint hot path.
+analysis::AbstractSet merge_operand(std::uint8_t assoc,
+                                    cache::MemBlockId base) {
+  analysis::AbstractSet s(assoc);
+  for (cache::MemBlockId b = base; b < base + assoc; ++b) s.update_must(b);
+  return s;
+}
+
+void BM_AbstractSetJoinMust(benchmark::State& state) {
+  const auto assoc = static_cast<std::uint8_t>(state.range(0));
+  const analysis::AbstractSet a = merge_operand(assoc, 0);
+  const analysis::AbstractSet b = merge_operand(assoc, assoc / 2);
+  analysis::AbstractSet acc(assoc);
+  for (auto _ : state) {
+    acc = a;
+    const bool changed = acc.join_must_with(b);
+    benchmark::DoNotOptimize(changed);
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AbstractSetJoinMust)->Arg(2)->Arg(4);
+
+void BM_AbstractSetJoinMay(benchmark::State& state) {
+  const auto assoc = static_cast<std::uint8_t>(state.range(0));
+  const analysis::AbstractSet a = merge_operand(assoc, 0);
+  const analysis::AbstractSet b = merge_operand(assoc, assoc / 2);
+  analysis::AbstractSet acc(assoc);
+  for (auto _ : state) {
+    acc = a;
+    const bool changed = acc.join_may_with(b);
+    benchmark::DoNotOptimize(changed);
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AbstractSetJoinMay)->Arg(2)->Arg(4);
+
+void BM_AbstractCacheCopy(benchmark::State& state) {
+  // The dominant constant of the fixpoint: propagating a state along an
+  // edge copies the whole abstract cache. kConfig (2-way, 32 sets) matches
+  // the mid-grid working state; fill every set so the copy moves real data.
+  analysis::AbstractCache cache(kConfig);
+  for (cache::MemBlockId b = 0; b < 2u * kConfig.num_sets(); ++b) {
+    cache.update_must(b);
+    cache.update_may(b);
+  }
+  for (auto _ : state) {
+    analysis::AbstractCache copy = cache;
+    benchmark::DoNotOptimize(copy.num_sets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AbstractCacheCopy);
 
 void BM_Interpreter(benchmark::State& state, const char* name) {
   const ir::Program program = suite::build_benchmark(name);

@@ -1,15 +1,155 @@
 // Table 2 — cache configurations: the 36 (associativity, block size,
 // capacity) points, with the derived timing and energy model parameters at
 // both technology nodes so every downstream number is reproducible.
+//
+// Doubles as the sweep performance harness:
+//   --sweep[=STRIDE]   run the evaluation sweep cold (no memo cache) and
+//                      write BENCH_sweep.json with wall-clock, throughput,
+//                      per-stage timing and thread count, so the perf
+//                      trajectory is tracked across PRs
+//   --perf-smoke       run a small strided sweep twice (cold and warm
+//                      process state) and fail on any result divergence
+//   --threads N        worker threads (default: hardware concurrency)
+//   --programs a,b     restrict the sweep to a program subset
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cache/config.hpp"
 #include "energy/model.hpp"
+#include "exp/harness.hpp"
 #include "support/table.hpp"
 
-int main() {
+namespace {
+
+struct Args {
+  bool sweep = false;
+  bool perf_smoke = false;
+  std::uint32_t stride = 1;
+  std::uint32_t threads = 0;
+  std::vector<std::string> programs;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--sweep") {
+      args.sweep = true;
+    } else if (a.rfind("--sweep=", 0) == 0) {
+      args.sweep = true;
+      args.stride = static_cast<std::uint32_t>(std::stoul(a.substr(8)));
+    } else if (a == "--perf-smoke") {
+      args.perf_smoke = true;
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (a == "--programs" && i + 1 < argc) {
+      std::stringstream ss(argv[++i]);
+      std::string item;
+      while (std::getline(ss, item, ',')) args.programs.push_back(item);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n"
+                << "usage: " << argv[0]
+                << " [--sweep[=STRIDE]] [--perf-smoke] [--threads N]"
+                   " [--programs a,b,c]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+ucp::exp::SweepOptions sweep_options(const Args& args) {
+  ucp::exp::SweepOptions options;
+  options.programs = args.programs;
+  options.config_stride = args.stride;
+  options.threads = args.threads;
+  // No cache_path: this bench exists to *measure* the sweep, so it always
+  // computes (the figure benches share the memo cache instead).
+  return options;
+}
+
+void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
+                      const std::string& fingerprint) {
+  const ucp::exp::SweepReport& r = sweep.report;
+  std::ofstream os("BENCH_sweep.json", std::ios::trunc);
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"table2_sweep\",\n"
+     << "  \"total_cases\": " << r.total << ",\n"
+     << "  \"completed\": " << r.completed << ",\n"
+     << "  \"degraded\": " << r.degraded << ",\n"
+     << "  \"failed\": " << r.failed << ",\n"
+     << "  \"config_stride\": " << args.stride << ",\n"
+     << "  \"threads\": " << r.threads_used << ",\n"
+     << "  \"wall_seconds\": " << static_cast<double>(r.wall_ms) / 1000.0
+     << ",\n"
+     << "  \"cases_per_sec\": " << r.cases_per_sec << ",\n"
+     << "  \"stage_seconds\": {\n"
+     << "    \"measure\": "
+     << static_cast<double>(r.stages.measure_ns) / 1e9 << ",\n"
+     << "    \"optimize\": "
+     << static_cast<double>(r.stages.optimize_ns) / 1e9 << "\n"
+     << "  },\n"
+     << "  \"result_fingerprint\": \"" << fingerprint << "\"\n"
+     << "}\n";
+  std::cout << "[bench] wrote BENCH_sweep.json (" << r.total << " cases, "
+            << static_cast<double>(r.wall_ms) / 1000.0 << "s, "
+            << r.cases_per_sec << " cases/s)\n";
+}
+
+int run_sweep_mode(const Args& args) {
   using namespace ucp;
+  const exp::Sweep sweep = exp::run_sweep(sweep_options(args));
+  sweep.report.print(std::cout);
+  const std::string fp = exp::sweep_results_fingerprint(sweep.results);
+  std::cout << "[bench] result fingerprint " << fp << "\n";
+  write_bench_json(sweep, args, fp);
+  return 0;
+}
+
+int run_perf_smoke(const Args& args) {
+  using namespace ucp;
+  // Small strided slice: enough work to exercise scheduling, sharing and
+  // the incremental optimizer, small enough for test-suite time budgets.
+  Args smoke = args;
+  if (smoke.stride == 1) smoke.stride = 12;
+  if (smoke.programs.empty()) smoke.programs = {"bs", "fdct", "crc"};
+
+  const exp::SweepOptions options = sweep_options(smoke);
+  const exp::Sweep cold = exp::run_sweep(options);
+  const exp::Sweep warm = exp::run_sweep(options);
+  const std::string fp_cold = exp::sweep_results_fingerprint(cold.results);
+  const std::string fp_warm = exp::sweep_results_fingerprint(warm.results);
+  std::cout << "[perf-smoke] " << cold.report.total << " cases; cold "
+            << static_cast<double>(cold.report.wall_ms) / 1000.0 << "s ("
+            << cold.report.cases_per_sec << " cases/s), warm "
+            << static_cast<double>(warm.report.wall_ms) / 1000.0 << "s ("
+            << warm.report.cases_per_sec << " cases/s)\n";
+  if (fp_cold != fp_warm) {
+    std::cerr << "[perf-smoke] FAIL: result divergence between runs ("
+              << fp_cold << " vs " << fp_warm << ")\n";
+    return 1;
+  }
+  if (cold.report.total == 0) {
+    std::cerr << "[perf-smoke] FAIL: empty sweep\n";
+    return 1;
+  }
+  std::cout << "[perf-smoke] OK: fingerprints match (" << fp_cold << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ucp;
+  const Args args = parse(argc, argv);
+  if (args.perf_smoke) return run_perf_smoke(args);
+  if (args.sweep) return run_sweep_mode(args);
 
   std::cout << "Table 2: cache configurations k = (a, b, c) and derived "
                "model parameters\n\n";

@@ -66,9 +66,38 @@ MustMay transfer_block(const MustMay& in, const ir::BasicBlock& bb,
   return out;
 }
 
-MustMay join(const MustMay& a, const MustMay& b) {
-  return MustMay{AbstractCache::join_must(a.must, b.must),
-                 AbstractCache::join_may(a.may, b.may)};
+/// Accumulates `contrib` into `in`: the first contribution is copied (the
+/// neutral element of the must join is "everything cached", which has no
+/// finite representation, so the fixpoint tracks has-state explicitly);
+/// later ones join in place. Returns true iff `in` changed.
+bool merge_in(MustMay& in, bool& has_in, const MustMay& contrib) {
+  if (!has_in) {
+    in = contrib;
+    has_in = true;
+    return true;
+  }
+  const bool must_changed = in.must.join_must_with(contrib.must);
+  const bool may_changed = in.may.join_may_with(contrib.may);
+  return must_changed || may_changed;
+}
+
+void classify_block(const MustMay& in, const ir::BasicBlock& bb,
+                    const ir::Layout& layout,
+                    std::vector<Classification>& cls) {
+  MustMay state = in;
+  cls.clear();
+  cls.reserve(bb.instrs.size());
+  for (const ir::Instruction& instr : bb.instrs) {
+    const MemBlockId own = layout.mem_block(instr.id);
+    Classification c = Classification::kNotClassified;
+    if (state.must.must_contain(own)) {
+      c = Classification::kAlwaysHit;
+    } else if (!state.may.may_contain(own)) {
+      c = Classification::kAlwaysMiss;
+    }
+    cls.push_back(c);
+    apply_instruction(state, instr, layout);
+  }
 }
 
 }  // namespace
@@ -120,12 +149,8 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
 
     for (std::uint32_t ei : graph.out_edges(id)) {
       const CgEdge& e = graph.edges()[ei];
-      MustMay merged = has_in[e.to]
-                           ? join(result.in_states[e.to],
-                                  result.out_states[id])
-                           : result.out_states[id];
-      if (!has_in[e.to] || !(merged == result.in_states[e.to])) {
-        result.in_states[e.to] = std::move(merged);
+      bool was_in = has_in[e.to];
+      if (merge_in(result.in_states[e.to], was_in, result.out_states[id])) {
         has_in[e.to] = true;
         if (!queued[e.to]) {
           work.push_back(e.to);
@@ -139,22 +164,168 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
   result.per_node.assign(n, {});
   for (NodeId id = 0; id < n; ++id) {
     const ir::BasicBlock& bb = program.block(graph.node(id).block);
-    MustMay state = result.in_states[id];
-    auto& cls = result.per_node[id];
-    cls.reserve(bb.instrs.size());
-    for (const ir::Instruction& instr : bb.instrs) {
-      const MemBlockId own = layout.mem_block(instr.id);
-      Classification c = Classification::kNotClassified;
-      if (state.must.must_contain(own)) {
-        c = Classification::kAlwaysHit;
-      } else if (!state.may.may_contain(own)) {
-        c = Classification::kAlwaysMiss;
-      }
-      cls.push_back(c);
-      apply_instruction(state, instr, layout);
-    }
+    classify_block(result.in_states[id], bb, layout, result.per_node[id]);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalCacheAnalysis
+// ---------------------------------------------------------------------------
+
+void IncrementalCacheAnalysis::block_signature(const ir::BasicBlock& bb,
+                                               const ir::Layout& layout,
+                                               BlockSig& out) {
+  out.clear();
+  out.reserve(bb.instrs.size());
+  for (const ir::Instruction& instr : bb.instrs) {
+    out.push_back(layout.mem_block(instr.id));
+    if (instr.is_prefetch()) out.push_back(layout.mem_block(instr.pf_target));
+  }
+}
+
+IncrementalCacheAnalysis::IncrementalCacheAnalysis(
+    const ContextGraph& graph, const ir::Program& program,
+    const cache::CacheConfig& config)
+    : graph_(&graph),
+      config_(config),
+      layout_(program, config.block_bytes),
+      base_(analyze_cache(graph, program, layout_, config)) {
+  base_sigs_.resize(program.num_blocks());
+  for (ir::BlockId b = 0; b < program.num_blocks(); ++b)
+    block_signature(program.block(b), layout_, base_sigs_[b]);
+}
+
+IncrementalCacheAnalysis::TrialResult IncrementalCacheAnalysis::analyze_trial(
+    const ir::Program& trial) {
+  UCP_REQUIRE(trial.num_blocks() == graph_->program().num_blocks(),
+              "trial program CFG does not match the context graph");
+  ++trials_;
+  TrialResult t{ir::Layout(trial, config_.block_bytes), {}, {}, {}, {}};
+
+  // Blocks whose abstract transfer changed: an edit to the instruction list
+  // or any relocation across a memory-block boundary changes the signature
+  // (an insertion strictly lengthens it, so equal-length coincidences cannot
+  // mask an edit).
+  std::vector<std::uint8_t> block_changed(trial.num_blocks(), 0);
+  BlockSig sig;
+  bool any_changed = false;
+  for (ir::BlockId b = 0; b < trial.num_blocks(); ++b) {
+    block_signature(trial.block(b), t.layout, sig);
+    if (sig != base_sigs_[b]) {
+      block_changed[b] = 1;
+      any_changed = true;
+    }
+  }
+  if (!any_changed) return t;  // transfer-identical: base states stand
+
+  // Affected = changed-transfer nodes plus everything reachable from them
+  // (back edges included). Nodes outside this closure have an untouched
+  // equation subsystem, so their base states already solve the trial's
+  // fixpoint (DESIGN.md §8).
+  const std::size_t n = graph_->num_nodes();
+  affected_mark_.assign(n, 0);
+  std::vector<NodeId> stack;
+  for (NodeId id = 0; id < n; ++id) {
+    if (block_changed[graph_->node(id).block]) {
+      affected_mark_[id] = 1;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (std::uint32_t ei : graph_->out_edges(v)) {
+      const NodeId w = graph_->edges()[ei].to;
+      if (!affected_mark_[w]) {
+        affected_mark_[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  slot_of_.assign(n, -1);
+  for (NodeId id : graph_->topo_order()) {
+    if (!affected_mark_[id]) continue;
+    slot_of_[id] = static_cast<std::int32_t>(t.affected.size());
+    t.affected.push_back(id);
+  }
+  const std::size_t m = t.affected.size();
+  nodes_reanalyzed_ += m;
+
+  const MustMay empty{AbstractCache(config_), AbstractCache(config_)};
+  t.in_states.assign(m, empty);
+  t.out_states.assign(m, empty);
+  std::vector<std::uint8_t> has_in(m, 0);
+  std::vector<std::uint8_t> has_out(m, 0);
+
+  // Boundary seed: every unaffected predecessor's converged base out-state
+  // is final in the trial too, so it contributes as a constant. The graph
+  // is built by traversal from the entry, so every predecessor's state is
+  // meaningful (no unreachable nodes exist).
+  if (affected_mark_[graph_->entry_node()])
+    has_in[slot_of_[graph_->entry_node()]] = 1;  // cold cache at entry
+  for (const CgEdge& e : graph_->edges()) {
+    if (!affected_mark_[e.to] || affected_mark_[e.from]) continue;
+    const std::size_t j = static_cast<std::size_t>(slot_of_[e.to]);
+    bool was_in = has_in[j] != 0;
+    merge_in(t.in_states[j], was_in, base_.out_states[e.from]);
+    has_in[j] = 1;
+  }
+
+  // Restricted worklist fixpoint over the affected subgraph, seeded in
+  // topological order like the full analysis.
+  std::deque<NodeId> work;
+  std::vector<std::uint8_t> queued(n, 0);
+  for (NodeId v : t.affected) {
+    work.push_back(v);
+    queued[v] = 1;
+  }
+  while (!work.empty()) {
+    const NodeId v = work.front();
+    work.pop_front();
+    queued[v] = 0;
+    const std::size_t i = static_cast<std::size_t>(slot_of_[v]);
+    if (!has_in[i]) continue;
+
+    const ir::BasicBlock& bb = trial.block(graph_->node(v).block);
+    MustMay out = transfer_block(t.in_states[i], bb, t.layout);
+    if (has_out[i] && out == t.out_states[i]) continue;
+    t.out_states[i] = std::move(out);
+    has_out[i] = 1;
+
+    for (std::uint32_t ei : graph_->out_edges(v)) {
+      const NodeId w = graph_->edges()[ei].to;  // affected, by closure
+      const std::size_t j = static_cast<std::size_t>(slot_of_[w]);
+      bool was_in = has_in[j] != 0;
+      const bool changed = merge_in(t.in_states[j], was_in, t.out_states[i]);
+      has_in[j] = 1;
+      if (changed && !queued[w]) {
+        work.push_back(w);
+        queued[w] = 1;
+      }
+    }
+  }
+
+  t.cls.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const ir::BasicBlock& bb = trial.block(graph_->node(t.affected[i]).block);
+    classify_block(t.in_states[i], bb, t.layout, t.cls[i]);
+  }
+  return t;
+}
+
+void IncrementalCacheAnalysis::promote(const ir::Program& trial_program,
+                                       TrialResult&& t) {
+  layout_ = std::move(t.layout);
+  for (std::size_t i = 0; i < t.affected.size(); ++i) {
+    const NodeId v = t.affected[i];
+    base_.in_states[v] = std::move(t.in_states[i]);
+    base_.out_states[v] = std::move(t.out_states[i]);
+    base_.per_node[v] = std::move(t.cls[i]);
+  }
+  for (ir::BlockId b = 0; b < trial_program.num_blocks(); ++b)
+    block_signature(trial_program.block(b), layout_, base_sigs_[b]);
 }
 
 }  // namespace ucp::analysis

@@ -78,4 +78,72 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
 void apply_instruction(MustMay& state, const ir::Instruction& instr,
                        const ir::Layout& layout);
 
+/// Incremental must/may re-analysis for prefetch-equivalent program edits
+/// (DESIGN.md §8). Holds the converged analysis of a *base* program and
+/// re-analyzes candidate variants by seeding a worklist fixpoint only from
+/// the context nodes whose transfer function actually changed — for a
+/// prefetch insertion, the edited basic block plus every block whose
+/// instructions were relocated across a memory-block boundary — and the
+/// nodes reachable from them. Unreachable-from-change nodes provably keep
+/// their states (their equation subsystem is untouched), so the recomputed
+/// fixpoint is bit-identical to a from-scratch `analyze_cache` of the
+/// variant, at a fraction of the work.
+class IncrementalCacheAnalysis {
+ public:
+  IncrementalCacheAnalysis(const ContextGraph& graph,
+                           const ir::Program& program,
+                           const cache::CacheConfig& config);
+
+  /// Converged analysis of the current base program.
+  const CacheAnalysisResult& result() const { return base_; }
+  /// Layout of the current base program.
+  const ir::Layout& layout() const { return layout_; }
+
+  /// Re-analysis of one candidate program, stored sparsely: states and
+  /// classifications for the affected nodes only; every other node is
+  /// unchanged from the base.
+  struct TrialResult {
+    ir::Layout layout;
+    std::vector<NodeId> affected;                  // ascending node ids
+    std::vector<MustMay> in_states;                // parallel to affected
+    std::vector<MustMay> out_states;               // parallel to affected
+    std::vector<std::vector<Classification>> cls;  // parallel to affected
+  };
+
+  /// Analyzes `trial` (same CFG as the base, possibly with straight-line
+  /// insertions and relocated addresses) against the base fixpoint.
+  TrialResult analyze_trial(const ir::Program& trial);
+
+  /// Adopts a trial as the new base: `trial_program` must be the program
+  /// `t` was computed from.
+  void promote(const ir::Program& trial_program, TrialResult&& t);
+
+  // --- instrumentation (surfaces in OptimizationReport) -------------------
+  std::size_t trials() const { return trials_; }
+  /// Cumulative nodes re-analyzed across all trials.
+  std::size_t nodes_reanalyzed() const { return nodes_reanalyzed_; }
+  std::size_t graph_nodes() const { return graph_->num_nodes(); }
+
+ private:
+  /// Per-basic-block transfer signature: the memory blocks each instruction
+  /// touches (own fetch, plus prefetch target). Two layouts give a block
+  /// the same abstract transfer iff the signatures match.
+  using BlockSig = std::vector<MemBlockId>;
+  static void block_signature(const ir::BasicBlock& bb,
+                              const ir::Layout& layout, BlockSig& out);
+
+  const ContextGraph* graph_;
+  cache::CacheConfig config_;
+  ir::Layout layout_;
+  CacheAnalysisResult base_;
+  std::vector<BlockSig> base_sigs_;  // [BlockId]
+
+  std::size_t trials_ = 0;
+  std::size_t nodes_reanalyzed_ = 0;
+
+  // Scratch buffers reused across trials (one allocation, many candidates).
+  std::vector<std::uint8_t> affected_mark_;
+  std::vector<std::int32_t> slot_of_;
+};
+
 }  // namespace ucp::analysis

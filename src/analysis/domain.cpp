@@ -92,6 +92,69 @@ AbstractSet AbstractSet::join_may(const AbstractSet& a, const AbstractSet& b) {
   return out;
 }
 
+bool AbstractSet::join_must_with(const AbstractSet& other) {
+  UCP_REQUIRE(assoc_ == other.assoc_,
+              "joining sets of different associativity");
+  // Intersection with maximal age: the result is a subsequence of the
+  // current entries, so it can be built in place with a read cursor ahead
+  // of (or at) the write cursor. No allocation, no temporary.
+  bool changed = false;
+  std::size_t write = 0;
+  auto ib = other.entries_.begin();
+  for (std::size_t read = 0; read < entries_.size(); ++read) {
+    const AgedBlock e = entries_[read];
+    while (ib != other.entries_.end() && ib->block < e.block) ++ib;
+    if (ib == other.entries_.end() || ib->block != e.block) {
+      changed = true;  // entry dropped from the intersection
+      continue;
+    }
+    const std::uint8_t age = std::max(e.age, ib->age);
+    if (age != e.age) changed = true;
+    entries_[write++] = AgedBlock{e.block, age};
+    ++ib;
+  }
+  entries_.resize(write);
+  return changed;
+}
+
+bool AbstractSet::join_may_with(const AbstractSet& other) {
+  UCP_REQUIRE(assoc_ == other.assoc_,
+              "joining sets of different associativity");
+  // Fast path: the union adds nothing and lowers no age — detect without
+  // writing, since in a converging fixpoint most joins are no-ops.
+  bool grows = false;
+  {
+    auto ia = entries_.begin();
+    for (const AgedBlock& eb : other.entries_) {
+      while (ia != entries_.end() && ia->block < eb.block) ++ia;
+      if (ia == entries_.end() || ia->block != eb.block ||
+          eb.age < ia->age) {
+        grows = true;
+        break;
+      }
+    }
+  }
+  if (!grows) return false;
+
+  SmallVector<AgedBlock, kInlineEntries> merged;
+  auto ia = entries_.begin();
+  auto ib = other.entries_.begin();
+  while (ia != entries_.end() || ib != other.entries_.end()) {
+    if (ib == other.entries_.end() ||
+        (ia != entries_.end() && ia->block < ib->block)) {
+      merged.push_back(*ia++);
+    } else if (ia == entries_.end() || ib->block < ia->block) {
+      merged.push_back(*ib++);
+    } else {
+      merged.push_back(AgedBlock{ia->block, std::min(ia->age, ib->age)});
+      ++ia;
+      ++ib;
+    }
+  }
+  entries_ = std::move(merged);
+  return true;
+}
+
 std::string AbstractSet::to_string() const {
   std::ostringstream os;
   os << "{";
@@ -103,20 +166,12 @@ std::string AbstractSet::to_string() const {
   return os.str();
 }
 
-AbstractCache::AbstractCache(const cache::CacheConfig& config)
-    : config_(config) {
-  config_.validate();
-  UCP_REQUIRE(config_.assoc <= 255, "associativity too large for age domain");
-  sets_.assign(config_.num_sets(),
-               AbstractSet(static_cast<std::uint8_t>(config_.assoc)));
-}
-
-AbstractSet& AbstractCache::set_for_block(MemBlockId block) {
-  return sets_[config_.set_of(block)];
-}
-
-const AbstractSet& AbstractCache::set_for_block(MemBlockId block) const {
-  return sets_[config_.set_of(block)];
+AbstractCache::AbstractCache(const cache::CacheConfig& config) {
+  config.validate();
+  UCP_REQUIRE(config.assoc <= 255, "associativity too large for age domain");
+  set_mask_ = config.num_sets() - 1;
+  sets_.assign(config.num_sets(),
+               AbstractSet(static_cast<std::uint8_t>(config.assoc)));
 }
 
 const AbstractSet& AbstractCache::set_at(std::uint32_t index) const {
@@ -126,20 +181,42 @@ const AbstractSet& AbstractCache::set_at(std::uint32_t index) const {
 
 AbstractCache AbstractCache::join_must(const AbstractCache& a,
                                        const AbstractCache& b) {
-  UCP_REQUIRE(a.config_ == b.config_, "joining caches of different geometry");
-  AbstractCache out(a.config_);
-  for (std::size_t i = 0; i < out.sets_.size(); ++i)
-    out.sets_[i] = AbstractSet::join_must(a.sets_[i], b.sets_[i]);
+  UCP_REQUIRE(a.sets_.size() == b.sets_.size() &&
+                  (a.sets_.empty() ||
+                   a.sets_[0].assoc() == b.sets_[0].assoc()),
+              "joining caches of different geometry");
+  AbstractCache out = a;
+  out.join_must_with(b);
   return out;
 }
 
 AbstractCache AbstractCache::join_may(const AbstractCache& a,
                                       const AbstractCache& b) {
-  UCP_REQUIRE(a.config_ == b.config_, "joining caches of different geometry");
-  AbstractCache out(a.config_);
-  for (std::size_t i = 0; i < out.sets_.size(); ++i)
-    out.sets_[i] = AbstractSet::join_may(a.sets_[i], b.sets_[i]);
+  UCP_REQUIRE(a.sets_.size() == b.sets_.size() &&
+                  (a.sets_.empty() ||
+                   a.sets_[0].assoc() == b.sets_[0].assoc()),
+              "joining caches of different geometry");
+  AbstractCache out = a;
+  out.join_may_with(b);
   return out;
+}
+
+bool AbstractCache::join_must_with(const AbstractCache& other) {
+  UCP_REQUIRE(sets_.size() == other.sets_.size(),
+              "joining caches of different geometry");
+  bool changed = false;
+  for (std::size_t i = 0; i < sets_.size(); ++i)
+    changed |= sets_[i].join_must_with(other.sets_[i]);
+  return changed;
+}
+
+bool AbstractCache::join_may_with(const AbstractCache& other) {
+  UCP_REQUIRE(sets_.size() == other.sets_.size(),
+              "joining caches of different geometry");
+  bool changed = false;
+  for (std::size_t i = 0; i < sets_.size(); ++i)
+    changed |= sets_[i].join_may_with(other.sets_[i]);
+  return changed;
 }
 
 std::string AbstractCache::to_string() const {

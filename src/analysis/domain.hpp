@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cache/config.hpp"
+#include "support/small_vector.hpp"
 
 namespace ucp::analysis {
 
@@ -24,15 +25,25 @@ struct AgedBlock {
 
 /// One abstract cache set: blocks sorted by id, each with an abstract age in
 /// [0, assoc). Blocks aged past assoc-1 are dropped (abstractly evicted).
+///
+/// Entries live in a small inline buffer (the must domain holds at most
+/// `assoc` blocks, the may domain rarely more), so updates, joins and state
+/// copies on the fixpoint hot path perform no heap allocation.
 class AbstractSet {
  public:
-  explicit AbstractSet(std::uint8_t assoc) : assoc_(assoc) {}
+  /// Inline entry capacity; covers assoc <= 4 (the whole Table-2 grid) with
+  /// join headroom before the heap fallback kicks in.
+  static constexpr std::size_t kInlineEntries = 8;
+
+  explicit AbstractSet(std::uint8_t assoc = 1) : assoc_(assoc) {}
 
   /// Age of `block`, or -1 if absent.
   int age_of(MemBlockId block) const;
   bool contains(MemBlockId block) const { return age_of(block) >= 0; }
   std::size_t size() const { return entries_.size(); }
-  const std::vector<AgedBlock>& entries() const { return entries_; }
+  const SmallVector<AgedBlock, kInlineEntries>& entries() const {
+    return entries_;
+  }
   std::uint8_t assoc() const { return assoc_; }
 
   /// Must-domain LRU update on access to `block` (Ferdinand's U-hat).
@@ -47,6 +58,11 @@ class AbstractSet {
   /// path.
   static AbstractSet join_may(const AbstractSet& a, const AbstractSet& b);
 
+  /// In-place accumulating joins for the fixpoint inner loop: *this becomes
+  /// join(*this, other); returns true iff *this changed. Allocation-free.
+  bool join_must_with(const AbstractSet& other);
+  bool join_may_with(const AbstractSet& other);
+
   friend bool operator==(const AbstractSet&, const AbstractSet&) = default;
 
   std::string to_string() const;
@@ -55,18 +71,29 @@ class AbstractSet {
   void insert_at_zero_aging(MemBlockId block, int old_age, bool may_domain);
 
   std::uint8_t assoc_;
-  std::vector<AgedBlock> entries_;  // sorted by block id
+  SmallVector<AgedBlock, kInlineEntries> entries_;  // sorted by block id
 };
 
 /// A whole abstract cache state: one AbstractSet per cache set. The paper's
-/// c-hat : L -> P(S).
+/// c-hat : L -> P(S). Geometry (set count, associativity, set mapping) is
+/// borrowed from a shared CacheConfig instead of copied per state, so a
+/// state copy is one vector of inline-storage sets.
 class AbstractCache {
  public:
   explicit AbstractCache(const cache::CacheConfig& config);
 
-  const cache::CacheConfig& config() const { return config_; }
-  AbstractSet& set_for_block(MemBlockId block);
-  const AbstractSet& set_for_block(MemBlockId block) const;
+  std::uint32_t num_sets() const {
+    return static_cast<std::uint32_t>(sets_.size());
+  }
+  std::uint32_t set_index_of(MemBlockId block) const {
+    return block & set_mask_;
+  }
+  AbstractSet& set_for_block(MemBlockId block) {
+    return sets_[set_index_of(block)];
+  }
+  const AbstractSet& set_for_block(MemBlockId block) const {
+    return sets_[set_index_of(block)];
+  }
   const AbstractSet& set_at(std::uint32_t index) const;
 
   void update_must(MemBlockId block) { set_for_block(block).update_must(block); }
@@ -82,12 +109,17 @@ class AbstractCache {
                                  const AbstractCache& b);
   static AbstractCache join_may(const AbstractCache& a, const AbstractCache& b);
 
+  /// In-place accumulating joins; *this becomes join(*this, other). Returns
+  /// true iff any set changed. No allocation on the hot path.
+  bool join_must_with(const AbstractCache& other);
+  bool join_may_with(const AbstractCache& other);
+
   friend bool operator==(const AbstractCache&, const AbstractCache&) = default;
 
   std::string to_string() const;
 
  private:
-  cache::CacheConfig config_;
+  std::uint32_t set_mask_ = 0;  ///< num_sets - 1 (power of two)
   std::vector<AbstractSet> sets_;
 };
 

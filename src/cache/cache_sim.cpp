@@ -101,12 +101,21 @@ CacheSim::Way* CacheSim::install(MemBlockId block, std::uint64_t ready_at,
   return &ways.front();
 }
 
+bool CacheSim::mark_touched(MemBlockId block) {
+  const std::size_t word = block >> 6;
+  const std::uint64_t bit = 1ull << (block & 63);
+  if (word >= touched_bits_.size()) touched_bits_.resize(word + 1, 0);
+  if (touched_bits_[word] & bit) return false;
+  touched_bits_[word] |= bit;
+  return true;
+}
+
 FetchResult CacheSim::fetch(MemBlockId block, std::uint64_t now) {
   ++stats_.fetches;
   const std::uint32_t set_index = config_.set_of(block);
   auto& ways = sets_[set_index].ways;
 
-  const bool first_touch = touched_.insert(block).second;
+  const bool first_touch = mark_touched(block);
 
   for (std::size_t i = 0; i < ways.size(); ++i) {
     Way& w = ways[i];
@@ -204,7 +213,7 @@ void CacheSim::reset() {
     s.ways.assign(config_.assoc, Way{});
   }
   stats_ = CacheStats{};
-  touched_.clear();
+  touched_bits_.clear();
 }
 
 }  // namespace ucp::cache

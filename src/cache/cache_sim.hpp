@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -137,8 +136,15 @@ class CacheSim {
   HwPrefetchPolicy hw_policy_;
   std::vector<Set> sets_;
   CacheStats stats_;
-  /// Blocks demand-fetched at least once (for the tagged next-line policy).
-  std::set<MemBlockId> touched_;
+  /// Marks `block` as demand-fetched; returns true on the first touch.
+  /// Backed by a grow-on-demand bitset — this runs on *every* fetch, and a
+  /// red-black tree insert there dominated simulation profiles.
+  bool mark_touched(MemBlockId block);
+
+  /// One bit per memory block demand-fetched at least once (for the tagged
+  /// next-line policy). Program images are contiguous and start near block
+  /// 0, so the bitset stays a few words long.
+  std::vector<std::uint64_t> touched_bits_;
 };
 
 }  // namespace ucp::cache

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -106,11 +107,21 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   // The CFG never changes during optimization (prefetches are straight-line
   // insertions), so one context graph serves every candidate evaluation.
   const ContextGraph graph(input);
+  report.graph_nodes = graph.num_nodes();
 
   // Preliminary WCET analysis: classifications, τ_w, and the frozen
-  // worst-case counts n_w the whole profit arithmetic runs against.
-  const ir::Layout layout0(input, config.block_bytes);
-  const CacheAnalysisResult cls0 = analysis::analyze_cache(graph, layout0, config);
+  // worst-case counts n_w the whole profit arithmetic runs against. On the
+  // incremental path the same base analysis lives inside `incr` and is then
+  // reused for every per-pass path derivation and the final audit.
+  std::optional<analysis::IncrementalCacheAnalysis> incr;
+  std::optional<CacheAnalysisResult> cls0_scratch;
+  if (options.incremental_reanalysis) {
+    incr.emplace(graph, input, config);
+  } else {
+    const ir::Layout layout0(input, config.block_bytes);
+    cls0_scratch = analysis::analyze_cache(graph, layout0, config);
+  }
+  const CacheAnalysisResult& cls0 = incr ? incr->result() : *cls0_scratch;
   const wcet::WcetResult wcet0 = wcet::compute_wcet(graph, cls0, timing);
   if (!wcet0.ok()) {
     report.wcet_failed = true;
@@ -123,6 +134,30 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   const std::vector<std::uint64_t>& n_w = wcet0.node_counts;
 
   std::uint64_t tau_current = wcet0.tau_mem;
+
+  // Per-node fixed-counts τ contributions of the current base program.
+  // τ_w is a plain sum over nodes, so a trial's τ is the base sum minus the
+  // affected nodes' old contributions plus their recomputed ones — exact
+  // integer arithmetic, bit-identical to summing from scratch.
+  auto node_contribution = [&](const std::vector<analysis::Classification>&
+                                   cls_row,
+                               analysis::NodeId v) -> std::uint64_t {
+    if (n_w[v] == 0) return 0;
+    std::uint64_t per_exec = 0;
+    for (analysis::Classification c : cls_row)
+      per_exec += wcet::ref_cycles(c, timing);
+    return per_exec * n_w[v];
+  };
+  std::vector<std::uint64_t> node_tau;
+  std::uint64_t tau_base_sum = 0;
+  if (incr) {
+    node_tau.resize(graph.num_nodes());
+    for (analysis::NodeId v = 0; v < graph.num_nodes(); ++v) {
+      node_tau[v] = node_contribution(cls0.per_node[v], v);
+      tau_base_sum += node_tau[v];
+    }
+  }
+
   // One candidate evaluation costs a full must/may pass over the graph, so
   // the effective budget shrinks with graph size to keep per-program
   // optimization time roughly constant.
@@ -143,10 +178,17 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     }
     ++report.passes;
 
-    // Re-derive the WCET path against the current program.
-    const ir::Layout layout(p, config.block_bytes);
-    const CacheAnalysisResult cls =
-        analysis::analyze_cache(graph, p, layout, config);
+    // Re-derive the WCET path against the current program. The incremental
+    // engine already holds the converged analysis of `p` (promoted on every
+    // acceptance), so no fresh fixpoint is needed there.
+    std::optional<ir::Layout> layout_scratch;
+    std::optional<CacheAnalysisResult> cls_scratch;
+    if (!incr) {
+      layout_scratch.emplace(p, config.block_bytes);
+      cls_scratch = analysis::analyze_cache(graph, p, *layout_scratch, config);
+    }
+    const ir::Layout& layout = incr ? incr->layout() : *layout_scratch;
+    const CacheAnalysisResult& cls = incr ? incr->result() : *cls_scratch;
     const WcetPath path =
         build_wcet_path(graph, p, layout, config, timing, cls, wcet0);
 
@@ -200,6 +242,7 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
       // alignment nop (an 8-byte shift), the padding a real compiler/linker
       // uses to keep hot loop bodies within their cache blocks.
       ir::Program best_trial("unset");
+      std::optional<analysis::IncrementalCacheAnalysis::TrialResult> best_t;
       std::int64_t profit = std::numeric_limits<std::int64_t>::min();
       ir::InstrId pf = ir::kInvalidInstr;
       for (int variant = 0; variant < 2; ++variant) {
@@ -218,13 +261,33 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
                   "candidate re-analysis failed on '" + input.name() + "'");
           return result;
         }
-        const std::uint64_t tau_trial =
-            fixed_tau(graph, trial, config, timing, n_w);
+        const auto reanalysis_start = std::chrono::steady_clock::now();
+        std::uint64_t tau_trial = 0;
+        std::optional<analysis::IncrementalCacheAnalysis::TrialResult> t;
+        if (incr) {
+          t = incr->analyze_trial(trial);
+          ++report.incremental_reanalyses;
+          tau_trial = tau_base_sum;
+          for (std::size_t i = 0; i < t->affected.size(); ++i) {
+            const analysis::NodeId v = t->affected[i];
+            if (n_w[v] == 0) continue;
+            tau_trial -= node_tau[v];
+            tau_trial += node_contribution(t->cls[i], v);
+          }
+        } else {
+          tau_trial = fixed_tau(graph, trial, config, timing, n_w);
+          ++report.full_reanalyses;
+        }
+        report.reanalysis_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - reanalysis_start)
+                .count());
         const auto delta = static_cast<std::int64_t>(tau_current) -
                            static_cast<std::int64_t>(tau_trial);
         if (delta > profit) {
           profit = delta;
           best_trial = std::move(trial);
+          best_t = std::move(t);
           pf = inserted;
         }
         if (profit > 0 && variant == 0) break;  // bare insertion suffices
@@ -268,6 +331,18 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
       }
 
       p = std::move(best_trial);
+      if (incr) {
+        // Fold the accepted trial into the base analysis and refresh the
+        // affected nodes' τ contributions (the affected id list survives the
+        // move — promote consumes only the state payloads).
+        const std::vector<analysis::NodeId> accepted_nodes = best_t->affected;
+        incr->promote(p, std::move(*best_t));
+        for (analysis::NodeId v : accepted_nodes) {
+          tau_base_sum -= node_tau[v];
+          node_tau[v] = node_contribution(incr->result().per_node[v], v);
+          tau_base_sum += node_tau[v];
+        }
+      }
       tau_current = static_cast<std::uint64_t>(
           static_cast<std::int64_t>(tau_current) - profit);
       accepted_any = true;
@@ -289,9 +364,12 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   // profit test matches the paper's Theorem 1 arithmetic; the audit guards
   // the remaining gap (the true WCET path may differ after insertion).
   {
-    const ir::Layout layout(p, config.block_bytes);
-    const CacheAnalysisResult cls =
-        analysis::analyze_cache(graph, p, layout, config);
+    std::optional<CacheAnalysisResult> cls_scratch;
+    if (!incr) {
+      const ir::Layout layout(p, config.block_bytes);
+      cls_scratch = analysis::analyze_cache(graph, p, layout, config);
+    }
+    const CacheAnalysisResult& cls = incr ? incr->result() : *cls_scratch;
     const wcet::WcetResult wcet_final = wcet::compute_wcet(graph, cls, timing);
     if (!wcet_final.ok()) {
       // The optimized program cannot be certified; ship the input instead.
@@ -302,6 +380,7 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     }
     report.tau_optimized = wcet_final.tau_mem;
   }
+  if (incr) report.nodes_reanalyzed = incr->nodes_reanalyzed();
   if (options.final_audit && report.tau_optimized > report.tau_original &&
       !report.insertions.empty()) {
     result.program = input;

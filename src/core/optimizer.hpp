@@ -53,6 +53,15 @@ struct OptimizerOptions {
   /// dependent; sweeps that want reproducible output leave this at 0 and
   /// rely on the deterministic pivot/node/evaluation budgets instead.
   std::uint32_t deadline_ms = 0;
+  /// Evaluate candidates with `IncrementalCacheAnalysis` (worklist seeded
+  /// only from relocation-affected contexts) instead of a from-scratch
+  /// `analyze_cache` per trial. Produces bit-identical results (the
+  /// recomputed fixpoint is the same least fixpoint — DESIGN.md §8); the
+  /// flag exists so the equivalence suite can pin that claim against the
+  /// reference path. Note the evaluation budget formula is deliberately
+  /// unchanged between modes, since it influences which candidates get
+  /// tried and therefore the output program.
+  bool incremental_reanalysis = true;
 };
 
 /// One accepted insertion.
@@ -86,6 +95,18 @@ struct OptimizationReport {
   /// cannot survive to its use even on the WCET path itself.
   std::size_t rejected_cannot_survive = 0;
   std::size_t passes = 0;
+  // --- candidate re-analysis accounting (perf acceptance instrumentation).
+  /// From-scratch `analyze_cache` runs spent on candidate evaluation; stays
+  /// zero on the incremental path (the one base analysis is not counted).
+  std::size_t full_reanalyses = 0;
+  /// Incremental trial re-analyses (one per evaluated candidate variant).
+  std::size_t incremental_reanalyses = 0;
+  /// Cumulative context nodes recomputed across incremental trials; compare
+  /// against `graph_nodes * incremental_reanalyses` for the saving.
+  std::size_t nodes_reanalyzed = 0;
+  std::size_t graph_nodes = 0;  ///< VIVU context-graph size, for scale
+  /// Wall time spent in candidate re-analysis (either mode), nanoseconds.
+  std::uint64_t reanalysis_ns = 0;
   std::vector<PrefetchRecord> insertions;
 
   double wcet_ratio() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <numeric>
 #include <sstream>
 #include <string_view>
 #include <thread>
@@ -177,6 +179,113 @@ UseCaseResult run_use_case(const ir::Program& program,
   return result;
 }
 
+namespace {
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+std::vector<UseCaseResult> run_use_case_group(
+    const ir::Program& program, const std::string& program_name,
+    const cache::NamedCacheConfig& config,
+    const std::vector<energy::TechNode>& techs,
+    const core::OptimizerOptions& options, StageTimings* timings) {
+  std::vector<UseCaseResult> out(techs.size());
+  for (std::size_t i = 0; i < techs.size(); ++i) {
+    out[i].program = program_name;
+    out[i].config_id = config.id;
+    out[i].config = config.config;
+    out[i].tech = techs[i];
+  }
+  if (techs.empty()) return out;
+
+  if (UCP_FAULT_POINT("exp.task")) {
+    throw InternalError("injected failure at the sweep task boundary for '" +
+                        program_name + "'");
+  }
+
+  // Group the tech nodes by derived memory timing: every quantity except
+  // the energy pricing depends on the tech node only through the timing, so
+  // equal timings share one analysis/optimization/simulation verbatim.
+  std::vector<cache::MemTiming> group_timing;
+  std::vector<std::vector<std::size_t>> group_members;
+  for (std::size_t i = 0; i < techs.size(); ++i) {
+    const cache::MemTiming t = energy::derive_timing(config.config, techs[i]);
+    std::size_t g = group_timing.size();
+    for (std::size_t k = 0; k < group_timing.size(); ++k) {
+      if (group_timing[k].hit_cycles == t.hit_cycles &&
+          group_timing[k].miss_cycles == t.miss_cycles &&
+          group_timing[k].prefetch_latency == t.prefetch_latency) {
+        g = k;
+        break;
+      }
+    }
+    if (g == group_timing.size()) {
+      group_timing.push_back(t);
+      group_members.emplace_back();
+    }
+    group_members[g].push_back(i);
+  }
+
+  for (std::size_t g = 0; g < group_timing.size(); ++g) {
+    const cache::MemTiming& timing = group_timing[g];
+    const std::vector<std::size_t>& members = group_members[g];
+    const energy::TechNode lead = techs[members.front()];
+
+    auto stage_start = std::chrono::steady_clock::now();
+    const Expected<Metrics> original =
+        measure_checked(program, config.config, lead);
+    if (timings) timings->measure_ns += ns_since(stage_start);
+    if (!original.ok()) {
+      for (std::size_t m : members) {
+        out[m].outcome = CaseOutcome::kFailed;
+        out[m].fail_stage = "measure_original";
+        out[m].fail_code = original.code();
+        out[m].fail_detail = original.status().detail();
+      }
+      continue;
+    }
+    for (std::size_t m : members) {
+      out[m].original = original.value();
+      out[m].original.energy =
+          energy::memory_energy(out[m].original.run, config.config, techs[m]);
+    }
+
+    stage_start = std::chrono::steady_clock::now();
+    const core::OptimizationResult opt =
+        core::optimize_prefetches(program, config.config, timing, options);
+    if (timings) timings->optimize_ns += ns_since(stage_start);
+    if (opt.report.code != ErrorCode::kOk) {
+      for (std::size_t m : members)
+        degrade_to_original(out[m], "optimize", opt.report.code,
+                            opt.report.detail);
+      continue;
+    }
+
+    stage_start = std::chrono::steady_clock::now();
+    const Expected<Metrics> optimized =
+        measure_checked(opt.program, config.config, lead);
+    if (timings) timings->measure_ns += ns_since(stage_start);
+    for (std::size_t m : members) {
+      out[m].report = opt.report;
+      if (!optimized.ok()) {
+        degrade_to_original(out[m], "measure_optimized", optimized.code(),
+                            optimized.status().detail());
+        continue;
+      }
+      out[m].optimized = optimized.value();
+      out[m].optimized.energy = energy::memory_energy(
+          out[m].optimized.run, config.config, techs[m]);
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Sweep memo cache, format v2 (versioned, fingerprinted, checksummed).
 // ---------------------------------------------------------------------------
@@ -241,6 +350,33 @@ Status corrupt(const std::string& path, const std::string& why) {
 
 }  // namespace
 
+std::string sweep_cache_row(const UseCaseResult& r) {
+  std::ostringstream row;
+  row.precision(12);
+  row << r.program << ',' << r.config_id << ','
+      << energy::tech_name(r.tech) << ',' << r.original.tau_wcet << ','
+      << r.original.run.mem_cycles << ',' << r.original.run.instructions
+      << ',' << r.original.energy.total_nj() << ','
+      << r.original.run.cache.fetches << ',' << r.original.run.cache.misses
+      << ',' << r.original.run.total_cycles << ',' << r.optimized.tau_wcet
+      << ',' << r.optimized.run.mem_cycles << ','
+      << r.optimized.run.instructions << ','
+      << r.optimized.energy.total_nj() << ','
+      << r.optimized.run.cache.fetches << ','
+      << r.optimized.run.cache.misses << ','
+      << r.optimized.run.total_cycles << ','
+      << r.report.insertions.size() << ',' << r.report.candidates_found;
+  const std::string prefix = row.str();
+  return prefix + ',' + to_hex(fnv1a(prefix));
+}
+
+std::string sweep_results_fingerprint(
+    const std::vector<UseCaseResult>& results) {
+  std::uint64_t h = fnv1a("ucp-sweep-rows");
+  for (const UseCaseResult& r : results) h = fnv1a(sweep_cache_row(r), h);
+  return to_hex(h);
+}
+
 std::string sweep_grid_fingerprint() {
   std::uint64_t h = fnv1a("ucp-sweep-grid");
   h = fnv1a("v" + std::to_string(kSweepCacheVersion), h);
@@ -267,26 +403,7 @@ Status save_sweep_cache(const std::string& path,
     os << kCacheMagic << kSweepCacheVersion
        << " grid=" << sweep_grid_fingerprint() << "\n"
        << kCacheColumns << "\n";
-    os.precision(12);
-    for (const UseCaseResult& r : results) {
-      std::ostringstream row;
-      row.precision(12);
-      row << r.program << ',' << r.config_id << ','
-          << energy::tech_name(r.tech) << ',' << r.original.tau_wcet << ','
-          << r.original.run.mem_cycles << ',' << r.original.run.instructions
-          << ',' << r.original.energy.total_nj() << ','
-          << r.original.run.cache.fetches << ',' << r.original.run.cache.misses
-          << ',' << r.original.run.total_cycles << ',' << r.optimized.tau_wcet
-          << ',' << r.optimized.run.mem_cycles << ','
-          << r.optimized.run.instructions << ','
-          << r.optimized.energy.total_nj() << ','
-          << r.optimized.run.cache.fetches << ','
-          << r.optimized.run.cache.misses << ','
-          << r.optimized.run.total_cycles << ','
-          << r.report.insertions.size() << ',' << r.report.candidates_found;
-      const std::string prefix = row.str();
-      os << prefix << ',' << to_hex(fnv1a(prefix)) << '\n';
-    }
+    for (const UseCaseResult& r : results) os << sweep_cache_row(r) << '\n';
     os.flush();
     if (!os) {
       std::remove(tmp.c_str());
@@ -468,85 +585,178 @@ Sweep run_sweep(const SweepOptions& options) {
     }
   }
 
-  // Materialize the grid.
-  struct Case {
-    std::string program;
+  // Materialize the grid as (program, configuration) tasks; the tech nodes
+  // run inside one task (sharing work when their timings coincide) and land
+  // at consecutive result indices, so the output order stays the
+  // program -> config -> tech grid order regardless of scheduling.
+  struct Task {
+    const std::string* program;
     const cache::NamedCacheConfig* config;
-    energy::TechNode tech;
+    std::size_t first;     ///< index of the first result of this task
+    std::uint64_t weight;  ///< scheduling heaviness estimate
   };
-  std::vector<Case> grid;
   std::vector<std::string> names = options.programs;
   if (names.empty()) {
     for (const suite::BenchmarkInfo& info : suite::all_benchmarks())
       names.push_back(info.name);
   }
-  const auto& configs = cache::paper_cache_configs();
-  for (const std::string& name : names) {
-    for (std::size_t c = 0; c < configs.size(); c += options.config_stride) {
-      for (energy::TechNode tech : options.techs)
-        grid.push_back(Case{name, &configs[c], tech});
+
+  // Build every program once; a sweep re-measures each against 36 configs,
+  // and the builders are deterministic, so the 36 rebuilds were pure waste.
+  // A builder failure marks all of that program's cases failed (same rows
+  // the per-case task boundary used to produce).
+  std::vector<ir::Program> programs;
+  std::vector<std::string> build_error(names.size());
+  std::vector<std::uint64_t> instr_count(names.size(), 1);
+  programs.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    try {
+      programs.push_back(suite::build_benchmark(names[i]));
+      std::uint64_t instrs = 0;
+      for (ir::BlockId b = 0; b < programs.back().num_blocks(); ++b)
+        instrs += programs.back().block(b).instrs.size();
+      instr_count[i] = std::max<std::uint64_t>(1, instrs);
+    } catch (const std::exception& e) {
+      programs.push_back(ir::Program("unbuildable"));
+      build_error[i] = e.what();
     }
   }
 
+  const auto& configs = cache::paper_cache_configs();
+  std::vector<Task> tasks;
   std::vector<UseCaseResult>& results = sweep.results;
-  results.resize(grid.size());
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    for (std::size_t c = 0; c < configs.size(); c += options.config_stride) {
+      // Analysis cost grows with context nodes (~ instructions) and with
+      // abstract state width (~ cache sets); the product ranks the heavy
+      // (big program, many sets) cases well enough for scheduling.
+      tasks.push_back(Task{&names[p], &configs[c], tasks.size() *
+                               options.techs.size(),
+                           instr_count[p] * configs[c].config.num_sets()});
+    }
+  }
+  results.resize(tasks.size() * options.techs.size());
+
+  // Heaviest-first dynamic schedule: workers pull from an atomic cursor
+  // over the weight-sorted order, so the longest-running cases start first
+  // and cannot serialize the sweep's tail. Ties keep grid order, which
+  // keeps the schedule (and any fault-injection hit) deterministic.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].weight > tasks[b].weight;
+                   });
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::int64_t> last_progress_ms{-10000};
+  std::mutex stage_mutex;
+  const auto sweep_start = std::chrono::steady_clock::now();
 
   const std::uint32_t threads =
       options.threads != 0
           ? options.threads
           : std::max(1u, std::thread::hardware_concurrency());
+  sweep.report.threads_used = threads;
+
+  auto fill_failed = [&](const Task& t, std::size_t tech_index,
+                         const std::string& detail) {
+    UseCaseResult& r = results[t.first + tech_index];
+    r = UseCaseResult{};
+    r.program = *t.program;
+    r.config_id = t.config->id;
+    r.config = t.config->config;
+    r.tech = options.techs[tech_index];
+    r.outcome = CaseOutcome::kFailed;
+    r.fail_code = ErrorCode::kInternal;
+    r.fail_stage = "task";
+    r.fail_detail = detail;
+  };
 
   // Worker task boundary: *every* exception is contained here, so one
   // pathological use case can never std::terminate a 2664-case sweep.
-  auto run_one = [&](std::size_t idx) {
-    const Case& c = grid[idx];
+  auto run_task = [&](const Task& t, StageTimings& stages) {
+    const std::size_t p = static_cast<std::size_t>(t.program - names.data());
+    if (!build_error[p].empty()) {
+      for (std::size_t k = 0; k < options.techs.size(); ++k)
+        fill_failed(t, k, build_error[p]);
+      return;
+    }
     try {
-      const ir::Program program = suite::build_benchmark(c.program);
-      results[idx] =
-          run_use_case(program, c.program, *c.config, c.tech,
-                       options.optimizer);
+      if (options.share_across_techs) {
+        std::vector<UseCaseResult> rs =
+            run_use_case_group(programs[p], *t.program, *t.config,
+                               options.techs, options.optimizer, &stages);
+        for (std::size_t k = 0; k < rs.size(); ++k)
+          results[t.first + k] = std::move(rs[k]);
+      } else {
+        for (std::size_t k = 0; k < options.techs.size(); ++k)
+          results[t.first + k] =
+              run_use_case(programs[p], *t.program, *t.config,
+                           options.techs[k], options.optimizer);
+      }
     } catch (const std::exception& e) {
-      results[idx] = UseCaseResult{};
-      results[idx].program = c.program;
-      results[idx].config_id = c.config->id;
-      results[idx].config = c.config->config;
-      results[idx].tech = c.tech;
-      results[idx].outcome = CaseOutcome::kFailed;
-      results[idx].fail_code = ErrorCode::kInternal;
-      results[idx].fail_stage = "task";
-      results[idx].fail_detail = e.what();
+      for (std::size_t k = 0; k < options.techs.size(); ++k)
+        fill_failed(t, k, e.what());
     } catch (...) {
-      results[idx] = UseCaseResult{};
-      results[idx].program = c.program;
-      results[idx].config_id = c.config->id;
-      results[idx].config = c.config->config;
-      results[idx].tech = c.tech;
-      results[idx].outcome = CaseOutcome::kFailed;
-      results[idx].fail_code = ErrorCode::kInternal;
-      results[idx].fail_stage = "task";
-      results[idx].fail_detail = "non-standard exception";
+      for (std::size_t k = 0; k < options.techs.size(); ++k)
+        fill_failed(t, k, "non-standard exception");
     }
   };
 
+  auto progress = [&](std::size_t cases_done) {
+    if (options.progress_every == 0) return;
+    const std::size_t total = results.size();
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - sweep_start)
+            .count();
+    // Rate limit: at most one line per second no matter how many workers
+    // finish tasks simultaneously; the final case always reports.
+    std::int64_t last = last_progress_ms.load(std::memory_order_relaxed);
+    if (cases_done < total && elapsed_ms - last < 1000) return;
+    if (!last_progress_ms.compare_exchange_strong(last, elapsed_ms))
+      return;  // another worker just printed
+    const double secs = static_cast<double>(elapsed_ms) / 1000.0;
+    const double rate =
+        secs > 0.0 ? static_cast<double>(cases_done) / secs : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total - cases_done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "  [sweep] %zu/%zu use cases (%.1f cases/s, ETA %.0fs)\n",
+                 cases_done, total, rate, eta);
+  };
+
   auto worker = [&] {
+    StageTimings local;
     for (;;) {
-      const std::size_t idx = next.fetch_add(1);
-      if (idx >= grid.size()) return;
-      run_one(idx);
-      const std::size_t d = done.fetch_add(1) + 1;
-      if (options.progress_every != 0 && d % options.progress_every == 0) {
-        std::cerr << "  [sweep] " << d << "/" << grid.size()
-                  << " use cases done\n";
-      }
+      const std::size_t at = next.fetch_add(1);
+      if (at >= order.size()) break;
+      const Task& t = tasks[order[at]];
+      run_task(t, local);
+      const std::size_t d =
+          done.fetch_add(options.techs.size()) + options.techs.size();
+      progress(d);
     }
+    std::lock_guard<std::mutex> lock(stage_mutex);
+    sweep.report.stages.measure_ns += local.measure_ns;
+    sweep.report.stages.optimize_ns += local.optimize_ns;
   };
 
   std::vector<std::thread> pool;
   for (std::uint32_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& t : pool) t.join();
+
+  sweep.report.wall_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - sweep_start)
+          .count());
+  if (sweep.report.wall_ms > 0)
+    sweep.report.cases_per_sec = static_cast<double>(results.size()) /
+                                 (static_cast<double>(sweep.report.wall_ms) /
+                                  1000.0);
 
   // Health accounting, in deterministic grid order.
   sweep.report.total = results.size();

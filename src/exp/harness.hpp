@@ -97,12 +97,36 @@ struct UseCaseResult {
 };
 
 /// Runs one use case: optimize for (config, tech), then measure both
-/// binaries on that same configuration.
+/// binaries on that same configuration. This is the from-scratch reference
+/// path; sweeps go through `run_use_case_group` instead.
 UseCaseResult run_use_case(const ir::Program& program,
                            const std::string& program_name,
                            const cache::NamedCacheConfig& config,
                            energy::TechNode tech,
                            const core::OptimizerOptions& options = {});
+
+/// Wall time spent per pipeline stage, summed across the use cases of one
+/// sweep (analysis + IPET + trace simulation count as "measure"; the
+/// optimizer, including its internal re-analysis, counts as "optimize").
+struct StageTimings {
+  std::uint64_t measure_ns = 0;
+  std::uint64_t optimize_ns = 0;
+};
+
+/// Runs one (program, configuration) pair for several technology nodes at
+/// once — the `MeasureCache` of the sweep. Technologies whose derived
+/// memory timing coincides (most of the 45nm/32nm grid: the 0.88× access
+/// scale usually rounds to the same cycle counts) share one analysis,
+/// optimization and simulation; only the energy pricing runs per tech.
+/// Rows are bit-identical to calling `run_use_case` per tech, because
+/// every shared quantity depends on the tech node only through the derived
+/// timing. Results are ordered like `techs`.
+std::vector<UseCaseResult> run_use_case_group(
+    const ir::Program& program, const std::string& program_name,
+    const cache::NamedCacheConfig& config,
+    const std::vector<energy::TechNode>& techs,
+    const core::OptimizerOptions& options = {},
+    StageTimings* timings = nullptr);
 
 /// The full evaluation grid of the paper: every suite program × the 36
 /// configurations of Table 2 × {45nm, 32nm} = 2664 use cases (or a subset
@@ -119,7 +143,9 @@ struct SweepOptions {
   core::OptimizerOptions optimizer;
   /// Worker threads; 0 = hardware concurrency.
   std::uint32_t threads = 0;
-  /// Progress line to stderr every N cases; 0 = silent.
+  /// 0 = silent; any other value enables progress lines on stderr with
+  /// throughput and ETA, rate-limited to at most one line per second
+  /// regardless of thread count.
   std::uint32_t progress_every = 64;
   /// Memoization file. The sweep is fully deterministic, so the figure
   /// benches share one result set: the first bench to run computes and
@@ -129,6 +155,12 @@ struct SweepOptions {
   /// fails validation (stale version, wrong grid fingerprint, corrupt rows,
   /// truncation) is reported and transparently recomputed, never trusted.
   std::string cache_path;
+  /// Process each (program, configuration) pair as one task through
+  /// `run_use_case_group`, sharing analysis/optimization/simulation across
+  /// tech nodes with identical derived timing. Bit-identical results; the
+  /// equivalence suite switches it off to pin that claim against the
+  /// per-case reference path.
+  bool share_across_techs = true;
 };
 
 /// One quarantined use case of a sweep: which case, which stage failed, why.
@@ -154,6 +186,12 @@ struct SweepReport {
   bool cache_hit = false;    ///< results served from the memo file
   std::string cache_note;    ///< e.g. why a memo file was rejected
   std::vector<DegradedCase> quarantine;  ///< one entry per non-completed case
+
+  // --- performance accounting (zero when served from the memo cache) -------
+  std::uint32_t threads_used = 0;
+  std::uint64_t wall_ms = 0;       ///< compute wall-clock of the sweep
+  double cases_per_sec = 0.0;
+  StageTimings stages;             ///< summed across workers (CPU-ish time)
 
   bool clean() const { return degraded == 0 && failed == 0; }
   void print(std::ostream& os) const;
@@ -182,6 +220,15 @@ inline constexpr std::uint32_t kSweepCacheVersion = 2;
 /// technologies, format version): stale caches from older code disqualify
 /// themselves instead of poisoning the next run.
 std::string sweep_grid_fingerprint();
+
+/// The canonical v2 cache row of one result, including the trailing FNV-1a
+/// checksum cell — the bit-identity unit of the equivalence suite and the
+/// perf-smoke divergence check.
+std::string sweep_cache_row(const UseCaseResult& result);
+
+/// FNV-1a over all rows of a result set, as hex. Two sweeps agree on this
+/// fingerprint iff they produced bit-identical rows in the same order.
+std::string sweep_results_fingerprint(const std::vector<UseCaseResult>& results);
 
 Status save_sweep_cache(const std::string& path,
                         const std::vector<UseCaseResult>& results);

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+namespace ucp {
+
+/// Fixed-inline-capacity vector with heap fallback, for trivially copyable
+/// element types. The abstract cache domains perform millions of set joins
+/// and state copies per sweep; keeping the entries inline removes the heap
+/// allocation from every one of them (an abstract LRU set holds at most
+/// `assoc` must-entries and a few may-entries, far below `N` in practice).
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+
+ public:
+  SmallVector() = default;
+  SmallVector(const SmallVector& other) { assign_from(other); }
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_heap();
+      assign_from(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_heap();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~SmallVector() { clear_heap(); }
+
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  T* data() { return heap_ ? heap_ : inline_; }
+  const T* data() const { return heap_ ? heap_ : inline_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return heap_ ? heap_capacity_ : N; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    reserve(size_ + 1);
+    data()[size_++] = value;
+  }
+
+  void insert(iterator pos, const T& value) {
+    const std::size_t at = static_cast<std::size_t>(pos - data());
+    reserve(size_ + 1);
+    T* d = data();
+    for (std::size_t i = size_; i > at; --i) d[i] = d[i - 1];
+    d[at] = value;
+    ++size_;
+  }
+
+  iterator erase(iterator first, iterator last) {
+    T* d = data();
+    const std::size_t at = static_cast<std::size_t>(first - d);
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    for (std::size_t i = at; i + n < size_; ++i) d[i] = d[i + n];
+    size_ -= n;
+    return d + at;
+  }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    if (n > size_) std::fill(data() + size_, data() + n, T{});
+    size_ = n;
+  }
+
+  void reserve(std::size_t n) {
+    if (n <= capacity()) return;
+    std::size_t cap = capacity() * 2;
+    if (cap < n) cap = n;
+    T* grown = new T[cap];
+    std::copy(data(), data() + size_, grown);
+    clear_heap();
+    heap_ = grown;
+    heap_capacity_ = cap;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void assign_from(const SmallVector& other) {
+    heap_ = nullptr;
+    heap_capacity_ = 0;
+    size_ = other.size_;
+    if (size_ > N) {
+      heap_ = new T[size_];
+      heap_capacity_ = size_;
+    }
+    std::copy(other.data(), other.data() + size_, data());
+  }
+  void steal_from(SmallVector& other) {
+    heap_ = other.heap_;
+    heap_capacity_ = other.heap_capacity_;
+    size_ = other.size_;
+    if (!heap_) std::copy(other.inline_, other.inline_ + size_, inline_);
+    other.heap_ = nullptr;
+    other.heap_capacity_ = 0;
+    other.size_ = 0;
+  }
+  void clear_heap() {
+    delete[] heap_;
+    heap_ = nullptr;
+    heap_capacity_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t heap_capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ucp

@@ -1,0 +1,218 @@
+// Bit-identity equivalence suite for the sweep fast paths.
+//
+// The perf work (incremental optimizer re-analysis, cross-tech result
+// sharing, dynamic scheduling) is only admissible because it changes *no
+// output bit*: every UseCaseResult row — compared via the v2 sweep-cache
+// row including its FNV-1a checksum — must equal the from-scratch
+// reference path, for healthy, degraded and failed cases alike. These
+// tests pin that claim; a row mismatch here means the fast path is wrong,
+// not that the test is stale.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "core/optimizer.hpp"
+#include "energy/model.hpp"
+#include "exp/harness.hpp"
+#include "ir/program.hpp"
+#include "suite/suite.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ucp::exp {
+namespace {
+
+core::OptimizerOptions reference_options() {
+  core::OptimizerOptions options;
+  options.incremental_reanalysis = false;
+  return options;
+}
+
+void expect_rows_equal(const UseCaseResult& fast, const UseCaseResult& ref,
+                       const std::string& what) {
+  EXPECT_EQ(sweep_cache_row(fast), sweep_cache_row(ref)) << what;
+  EXPECT_EQ(fast.outcome, ref.outcome) << what;
+  EXPECT_EQ(fast.fail_stage, ref.fail_stage) << what;
+  EXPECT_EQ(fast.fail_code, ref.fail_code) << what;
+  EXPECT_EQ(fast.fail_detail, ref.fail_detail) << what;
+}
+
+// --- tentpole layer 1: incremental re-analysis ------------------------------
+
+TEST(Equivalence, IncrementalOptimizerMatchesFromScratchReference) {
+  const std::vector<std::string> programs = {"bs", "fdct", "crc"};
+  const std::vector<std::string> configs = {"k1", "k13", "k25", "k36"};
+  bool saw_candidates = false;
+  for (const std::string& name : programs) {
+    const ir::Program p = suite::build_benchmark(name);
+    for (const std::string& cfg : configs) {
+      const auto& k = cache::paper_cache_config(cfg);
+      const std::string what = name + "/" + cfg;
+      const UseCaseResult inc =
+          run_use_case(p, name, k, energy::TechNode::k45nm);
+      const UseCaseResult ref = run_use_case(p, name, k,
+                                             energy::TechNode::k45nm,
+                                             reference_options());
+      expect_rows_equal(inc, ref, what);
+
+      // Acceptance criterion: the common path never runs a from-scratch
+      // analyze_cache per candidate, and both modes evaluate the *same*
+      // candidate sequence (the eval budget is mode-independent).
+      EXPECT_EQ(inc.report.full_reanalyses, 0u) << what;
+      EXPECT_EQ(inc.report.incremental_reanalyses, ref.report.full_reanalyses)
+          << what;
+      EXPECT_EQ(ref.report.incremental_reanalyses, 0u) << what;
+      if (inc.report.incremental_reanalyses > 0) {
+        saw_candidates = true;
+        // The point of the exercise: trials touch a strict subset of the
+        // context graph on average, never more than the whole graph.
+        EXPECT_LE(inc.report.nodes_reanalyzed,
+                  inc.report.graph_nodes * inc.report.incremental_reanalyses)
+            << what;
+        EXPECT_GT(inc.report.graph_nodes, 0u) << what;
+      }
+    }
+  }
+  // The grid slice must actually exercise candidate evaluation, or the
+  // comparison above is vacuous.
+  EXPECT_TRUE(saw_candidates);
+}
+
+// --- tentpole layer 2: cross-tech result sharing ----------------------------
+
+TEST(Equivalence, GroupPathMatchesPerCaseRows) {
+  const std::vector<energy::TechNode> techs = {energy::TechNode::k45nm,
+                                               energy::TechNode::k32nm};
+  for (const std::string& name : {"bs", "fdct", "crc"}) {
+    const ir::Program p = suite::build_benchmark(name);
+    for (const std::string& cfg : {"k1", "k25"}) {
+      const auto& k = cache::paper_cache_config(cfg);
+      const std::vector<UseCaseResult> grouped =
+          run_use_case_group(p, name, k, techs);
+      ASSERT_EQ(grouped.size(), techs.size());
+      for (std::size_t t = 0; t < techs.size(); ++t) {
+        const UseCaseResult ref = run_use_case(p, name, k, techs[t]);
+        expect_rows_equal(grouped[t], ref,
+                          name + "/" + cfg + "/" +
+                              energy::tech_name(techs[t]));
+      }
+    }
+  }
+}
+
+// --- whole pipeline: fast sweep vs reference sweep --------------------------
+
+TEST(Equivalence, FastSweepFingerprintMatchesReferenceSweep) {
+  SweepOptions fast;
+  fast.programs = {"bs", "fdct"};
+  fast.config_stride = 12;  // k1, k13, k25
+  fast.threads = 1;
+  fast.progress_every = 0;
+
+  SweepOptions reference = fast;
+  reference.share_across_techs = false;
+  reference.optimizer = reference_options();
+
+  const Sweep a = run_sweep(fast);
+  const Sweep b = run_sweep(reference);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(sweep_results_fingerprint(a.results),
+            sweep_results_fingerprint(b.results));
+  EXPECT_TRUE(a.report.clean());
+  EXPECT_TRUE(b.report.clean());
+}
+
+// --- quarantined cases stay bit-identical too -------------------------------
+
+TEST(Equivalence, DegradedCaseRowsMatchUnderReanalysisFault) {
+  // core.reanalyze fires at the same candidate-evaluation point in both
+  // modes, so an injected mid-optimization failure must degrade both paths
+  // into the same row (fdct/k1 is known to evaluate candidates).
+  const ir::Program p = suite::build_benchmark("fdct");
+  const auto& k = cache::paper_cache_config("k1");
+  fault::disarm_all();
+  UseCaseResult inc;
+  {
+    fault::ScopedFault f("core.reanalyze");
+    inc = run_use_case(p, "fdct", k, energy::TechNode::k45nm);
+  }
+  UseCaseResult ref;
+  {
+    fault::ScopedFault f("core.reanalyze");
+    ref = run_use_case(p, "fdct", k, energy::TechNode::k45nm,
+                       reference_options());
+  }
+  ASSERT_EQ(inc.outcome, CaseOutcome::kDegraded);
+  expect_rows_equal(inc, ref, "fdct/k1 under core.reanalyze");
+}
+
+// First configuration whose derived timing coincides across both tech
+// nodes, i.e. whose two cases form a single shared group.
+const cache::NamedCacheConfig& shared_timing_config() {
+  for (const cache::NamedCacheConfig& named : cache::paper_cache_configs()) {
+    const cache::MemTiming a =
+        energy::derive_timing(named.config, energy::TechNode::k45nm);
+    const cache::MemTiming b =
+        energy::derive_timing(named.config, energy::TechNode::k32nm);
+    if (a.hit_cycles == b.hit_cycles && a.miss_cycles == b.miss_cycles &&
+        a.prefetch_latency == b.prefetch_latency) {
+      return named;
+    }
+  }
+  throw std::logic_error("no config with tech-invariant timing");
+}
+
+TEST(Equivalence, GroupPathDegradedRowsMatchPerCase) {
+  // A one-shot optimizer fault against a single shared group must degrade
+  // every member exactly like per-case runs that each hit the same fault.
+  const ir::Program p = suite::build_benchmark("bs");
+  const auto& k = shared_timing_config();
+  const std::vector<energy::TechNode> techs = {energy::TechNode::k45nm,
+                                               energy::TechNode::k32nm};
+  fault::disarm_all();
+  std::vector<UseCaseResult> grouped;
+  {
+    fault::ScopedFault f("core.deadline");
+    grouped = run_use_case_group(p, "bs", k, techs);
+  }
+  ASSERT_EQ(grouped.size(), 2u);
+  for (std::size_t t = 0; t < techs.size(); ++t) {
+    fault::ScopedFault f("core.deadline");
+    const UseCaseResult ref = run_use_case(p, "bs", k, techs[t]);
+    ASSERT_EQ(ref.outcome, CaseOutcome::kDegraded);
+    expect_rows_equal(grouped[t], ref,
+                      std::string("bs deadline/") +
+                          energy::tech_name(techs[t]));
+  }
+}
+
+TEST(Equivalence, GroupPathFailedRowsMatchPerCase) {
+  // Same idea for the hard-failure channel: a baseline measurement fault
+  // fails all group members exactly like the per-case path.
+  const ir::Program p = suite::build_benchmark("bs");
+  const auto& k = shared_timing_config();
+  const std::vector<energy::TechNode> techs = {energy::TechNode::k45nm,
+                                               energy::TechNode::k32nm};
+  fault::disarm_all();
+  std::vector<UseCaseResult> grouped;
+  {
+    fault::ScopedFault f("exp.measure");
+    grouped = run_use_case_group(p, "bs", k, techs);
+  }
+  ASSERT_EQ(grouped.size(), 2u);
+  for (std::size_t t = 0; t < techs.size(); ++t) {
+    fault::ScopedFault f("exp.measure");
+    const UseCaseResult ref = run_use_case(p, "bs", k, techs[t]);
+    ASSERT_EQ(ref.outcome, CaseOutcome::kFailed);
+    EXPECT_EQ(ref.fail_stage, "measure_original");
+    expect_rows_equal(grouped[t], ref,
+                      std::string("bs measure/") +
+                          energy::tech_name(techs[t]));
+  }
+}
+
+}  // namespace
+}  // namespace ucp::exp
