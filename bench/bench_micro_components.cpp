@@ -5,12 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "analysis/cache_analysis.hpp"
 #include "analysis/context_graph.hpp"
 #include "analysis/domain.hpp"
 #include "cache/cache_sim.hpp"
 #include "core/optimizer.hpp"
 #include "energy/model.hpp"
+#include "ilp/model.hpp"
+#include "ilp/sparse.hpp"
 #include "ir/layout.hpp"
 #include "sim/interpreter.hpp"
 #include "suite/suite.hpp"
@@ -140,6 +147,109 @@ void BM_Ipet(benchmark::State& state, const char* name) {
 }
 BENCHMARK_CAPTURE(BM_Ipet, fdct, "fdct");
 BENCHMARK_CAPTURE(BM_Ipet, statemate, "statemate");
+
+// The sweep hot path: re-solving a prebuilt IpetSystem with a fresh
+// objective. The gap to BM_Ipet (which rebuilds the constraint system and
+// re-runs phase 1 every call) is what the per-program cache buys.
+void BM_IpetSystemResolve(benchmark::State& state, const char* name) {
+  const ir::Program program = suite::build_benchmark(name);
+  const ir::Layout layout(program, kConfig.block_bytes);
+  const analysis::ContextGraph graph(program);
+  const auto cls = analysis::analyze_cache(graph, layout, kConfig);
+  const wcet::IpetSystem system(graph);
+  for (auto _ : state) {
+    const auto wcet = system.solve(cls, kTiming);
+    benchmark::DoNotOptimize(wcet.tau_mem);
+  }
+}
+BENCHMARK_CAPTURE(BM_IpetSystemResolve, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_IpetSystemResolve, statemate, "statemate");
+
+// Sparse revised simplex vs the retained dense-tableau reference on the
+// same IPET model — the per-pivot/per-solve cost gap of the rewrite.
+void BM_IpetSolveKernel(benchmark::State& state, const char* name,
+                        bool dense) {
+  const ir::Program program = suite::build_benchmark(name);
+  const ir::Layout layout(program, kConfig.block_bytes);
+  const analysis::ContextGraph graph(program);
+  const auto cls = analysis::analyze_cache(graph, layout, kConfig);
+  const wcet::IpetSystem system(graph);
+  const ilp::Model model = system.model_with_objective(cls, kTiming);
+  std::uint64_t pivots = 0;
+  for (auto _ : state) {
+    const ilp::Solution s = dense ? ilp::solve_ilp_dense_reference(model)
+                                  : ilp::solve_ilp(model);
+    pivots += s.stats.pivots;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.counters["pivots/solve"] = benchmark::Counter(
+      static_cast<double>(pivots) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations())));
+}
+void BM_IpetSolveSparse(benchmark::State& state, const char* name) {
+  BM_IpetSolveKernel(state, name, /*dense=*/false);
+}
+void BM_IpetSolveDenseReference(benchmark::State& state, const char* name) {
+  BM_IpetSolveKernel(state, name, /*dense=*/true);
+}
+BENCHMARK_CAPTURE(BM_IpetSolveSparse, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_IpetSolveDenseReference, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_IpetSolveSparse, statemate, "statemate");
+BENCHMARK_CAPTURE(BM_IpetSolveDenseReference, statemate, "statemate");
+
+// Warm vs cold branch-and-bound children on an ILP that actually branches:
+// a knapsack with deliberately fractional LP vertices. Warm children
+// reinstate the parent basis with a handful of dual pivots; cold children
+// re-enter phase 1 from the canonical basis.
+ilp::Model branching_knapsack(int items) {
+  ilp::Model m;
+  std::vector<ilp::VarId> xs;
+  for (int i = 0; i < items; ++i)
+    xs.push_back(m.add_var("x" + std::to_string(i), 0, 1, true));
+  std::vector<ilp::Term> cap;
+  std::vector<ilp::Term> obj;
+  for (int i = 0; i < items; ++i) {
+    const double w = 2.0 + static_cast<double>((i * 7) % 5);
+    const double v = 3.0 + static_cast<double>((i * 11) % 7);
+    cap.push_back({xs[static_cast<std::size_t>(i)], w});
+    obj.push_back({xs[static_cast<std::size_t>(i)], v});
+  }
+  m.add_constraint(std::move(cap), ilp::Rel::kLe,
+                   1.7 * static_cast<double>(items));
+  m.set_objective(std::move(obj));
+  return m;
+}
+
+void BM_BranchAndBound(benchmark::State& state, bool warm) {
+  const ilp::Model model = branching_knapsack(24);
+  const ilp::SparseLp lp(model);
+  std::vector<double> obj(model.num_vars(), 0.0);
+  for (const ilp::Term& t : model.objective())
+    obj[static_cast<std::size_t>(t.var)] = t.coeff;
+  ilp::SolveOptions options;
+  options.warm_start = warm;
+  std::uint64_t nodes = 0, pivots = 0;
+  for (auto _ : state) {
+    const ilp::Solution s = lp.solve_ilp_with(obj, options);
+    nodes += s.stats.bb_nodes;
+    pivots += s.stats.pivots;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  const auto iters =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["nodes/solve"] =
+      benchmark::Counter(static_cast<double>(nodes) / iters);
+  state.counters["pivots/solve"] =
+      benchmark::Counter(static_cast<double>(pivots) / iters);
+}
+void BM_BranchAndBoundWarm(benchmark::State& state) {
+  BM_BranchAndBound(state, /*warm=*/true);
+}
+void BM_BranchAndBoundCold(benchmark::State& state) {
+  BM_BranchAndBound(state, /*warm=*/false);
+}
+BENCHMARK(BM_BranchAndBoundWarm);
+BENCHMARK(BM_BranchAndBoundCold);
 
 void BM_Optimizer(benchmark::State& state, const char* name) {
   const ir::Program program = suite::build_benchmark(name);

@@ -95,6 +95,13 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
      << "    \"optimize\": "
      << static_cast<double>(r.stages.optimize_ns) / 1e9 << "\n"
      << "  },\n"
+     << "  \"solver_stats\": {\n"
+     << "    \"lp_solves\": " << r.solver.lp_solves << ",\n"
+     << "    \"pivots\": " << r.solver.pivots << ",\n"
+     << "    \"bb_nodes\": " << r.solver.bb_nodes << ",\n"
+     << "    \"warm_starts\": " << r.solver.warm_starts << ",\n"
+     << "    \"phase1_skipped\": " << r.solver.phase1_skipped << "\n"
+     << "  },\n"
      << "  \"result_fingerprint\": \"" << fingerprint << "\"\n"
      << "}\n";
   std::cout << "[bench] wrote BENCH_sweep.json (" << r.total << " cases, "

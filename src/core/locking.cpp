@@ -36,6 +36,21 @@ analysis::CacheAnalysisResult frozen_classification(
   return cls;
 }
 
+/// τ_w of `program` with `locked` frozen in the cache, on a prebuilt IPET
+/// system (the constraint matrix is selection-independent; only the
+/// frozen-cache objective changes).
+std::uint64_t locked_tau_on(const wcet::IpetSystem& ipet,
+                            const ir::Program& program,
+                            const ir::Layout& layout,
+                            const cache::MemTiming& timing,
+                            const std::set<cache::MemBlockId>& locked) {
+  const analysis::CacheAnalysisResult cls =
+      frozen_classification(ipet.graph(), program, layout, locked);
+  const wcet::WcetResult w = ipet.solve(cls, timing);
+  UCP_CHECK_MSG(w.ok(), "IPET failed under locking");
+  return w.tau_mem;
+}
+
 }  // namespace
 
 std::uint64_t locked_tau(const ir::Program& program,
@@ -44,12 +59,9 @@ std::uint64_t locked_tau(const ir::Program& program,
                          const std::vector<cache::MemBlockId>& locked) {
   const ir::Layout layout(program, config.block_bytes);
   const analysis::ContextGraph graph(program);
+  const wcet::IpetSystem ipet(graph);
   const std::set<cache::MemBlockId> locked_set(locked.begin(), locked.end());
-  const analysis::CacheAnalysisResult cls =
-      frozen_classification(graph, program, layout, locked_set);
-  const wcet::WcetResult w = wcet::compute_wcet(graph, cls, timing);
-  UCP_CHECK_MSG(w.ok(), "IPET failed under locking");
-  return w.tau_mem;
+  return locked_tau_on(ipet, program, layout, timing, locked_set);
 }
 
 LockingResult optimize_locking(const ir::Program& program,
@@ -61,13 +73,16 @@ LockingResult optimize_locking(const ir::Program& program,
 
   const ir::Layout layout(program, config.block_bytes);
   const analysis::ContextGraph graph(program);
+  // One constraint system serves the unlocked reference, every selection
+  // round, and the final locked τ — only the objective changes.
+  const wcet::IpetSystem ipet(graph);
 
   LockingResult result;
   {
     // Reference point: ordinary unlocked analysis.
     const analysis::CacheAnalysisResult cls =
         analysis::analyze_cache(graph, layout, config);
-    const wcet::WcetResult w = wcet::compute_wcet(graph, cls, timing);
+    const wcet::WcetResult w = ipet.solve(cls, timing);
     UCP_CHECK_MSG(w.ok(), "IPET failed for unlocked reference");
     result.tau_unlocked = w.tau_mem;
   }
@@ -78,7 +93,7 @@ LockingResult optimize_locking(const ir::Program& program,
     // Worst-case counts under the current selection.
     const analysis::CacheAnalysisResult cls =
         frozen_classification(graph, program, layout, locked);
-    const wcet::WcetResult w = wcet::compute_wcet(graph, cls, timing);
+    const wcet::WcetResult w = ipet.solve(cls, timing);
     UCP_CHECK_MSG(w.ok(), "IPET failed during locking selection");
 
     // Weight of a block = the miss cycles it would save if locked, summed
@@ -113,7 +128,7 @@ LockingResult optimize_locking(const ir::Program& program,
   }
 
   result.locked.assign(locked.begin(), locked.end());
-  result.tau_locked = locked_tau(program, config, timing, result.locked);
+  result.tau_locked = locked_tau_on(ipet, program, layout, timing, locked);
   return result;
 }
 

@@ -74,7 +74,8 @@ bool prefetch_can_survive(const WcetPath& path, std::size_t evictor_pos,
 OptimizationResult optimize_prefetches(const ir::Program& input,
                                        const cache::CacheConfig& config,
                                        const cache::MemTiming& timing,
-                                       const OptimizerOptions& options) {
+                                       const OptimizerOptions& options,
+                                       const wcet::IpetSystem* shared_ipet) {
   config.validate();
   timing.validate();
   ir::verify_or_throw(input);
@@ -105,8 +106,19 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   };
 
   // The CFG never changes during optimization (prefetches are straight-line
-  // insertions), so one context graph serves every candidate evaluation.
-  const ContextGraph graph(input);
+  // insertions), so one context graph — and one IPET constraint system,
+  // serving both the initial solve and the final audit — covers the whole
+  // run. A caller that already holds the system for this program (the sweep
+  // harness) passes it in and the construction cost drops out entirely.
+  std::optional<ContextGraph> own_graph;
+  std::optional<wcet::IpetSystem> own_ipet;
+  if (!shared_ipet) {
+    own_graph.emplace(input);
+    own_ipet.emplace(*own_graph);
+  }
+  const wcet::IpetSystem& ipet = shared_ipet ? *shared_ipet : *own_ipet;
+  const ContextGraph& graph = ipet.graph();
+  if (!shared_ipet) ipet.charge_construction(report.solver);
   report.graph_nodes = graph.num_nodes();
 
   // Preliminary WCET analysis: classifications, τ_w, and the frozen
@@ -122,7 +134,8 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     cls0_scratch = analysis::analyze_cache(graph, layout0, config);
   }
   const CacheAnalysisResult& cls0 = incr ? incr->result() : *cls0_scratch;
-  const wcet::WcetResult wcet0 = wcet::compute_wcet(graph, cls0, timing);
+  const wcet::WcetResult wcet0 = ipet.solve(cls0, timing);
+  report.solver.add(wcet0.stats);
   if (!wcet0.ok()) {
     report.wcet_failed = true;
     degrade(wcet::solve_error_code(wcet0.status),
@@ -370,7 +383,8 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
       cls_scratch = analysis::analyze_cache(graph, p, layout, config);
     }
     const CacheAnalysisResult& cls = incr ? incr->result() : *cls_scratch;
-    const wcet::WcetResult wcet_final = wcet::compute_wcet(graph, cls, timing);
+    const wcet::WcetResult wcet_final = ipet.solve(cls, timing);
+    report.solver.add(wcet_final.stats);
     if (!wcet_final.ok()) {
       // The optimized program cannot be certified; ship the input instead.
       degrade(wcet::solve_error_code(wcet_final.status),

@@ -5,8 +5,13 @@
 #include <vector>
 
 #include "cache/config.hpp"
+#include "ilp/model.hpp"
 #include "ir/program.hpp"
 #include "support/status.hpp"
+
+namespace ucp::wcet {
+class IpetSystem;
+}
 
 namespace ucp::core {
 
@@ -107,6 +112,9 @@ struct OptimizationReport {
   std::size_t graph_nodes = 0;  ///< VIVU context-graph size, for scale
   /// Wall time spent in candidate re-analysis (either mode), nanoseconds.
   std::uint64_t reanalysis_ns = 0;
+  /// ILP work of the initial and final IPET solves (plus the constraint
+  /// system's one-time construction when this run had to build its own).
+  ilp::SolveStats solver;
   std::vector<PrefetchRecord> insertions;
 
   double wcet_ratio() const {
@@ -129,10 +137,14 @@ struct OptimizationResult {
 /// prefetch-equivalent to the input (Definition 5) and its memory
 /// contribution to the WCET never exceeds the input's (Theorem 1; enforced
 /// by construction plus the final audit).
-OptimizationResult optimize_prefetches(const ir::Program& input,
-                                       const cache::CacheConfig& config,
-                                       const cache::MemTiming& timing,
-                                       const OptimizerOptions& options = {});
+/// `shared_ipet`, when given, must have been built from `input`'s context
+/// graph; the initial and final IPET solves then reuse its cached constraint
+/// system instead of rebuilding it (bit-identical results — see
+/// wcet::IpetSystem).
+OptimizationResult optimize_prefetches(
+    const ir::Program& input, const cache::CacheConfig& config,
+    const cache::MemTiming& timing, const OptimizerOptions& options = {},
+    const wcet::IpetSystem* shared_ipet = nullptr);
 
 /// Builds a kPrefetch instruction for the block containing `target`.
 ir::Instruction make_prefetch(ir::InstrId target);

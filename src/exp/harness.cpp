@@ -10,8 +10,10 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string_view>
 #include <thread>
@@ -48,7 +50,8 @@ const char* case_outcome_name(CaseOutcome outcome) {
 
 Expected<Metrics> measure_checked(const ir::Program& program,
                                   const cache::CacheConfig& config,
-                                  energy::TechNode tech) {
+                                  energy::TechNode tech,
+                                  const wcet::IpetSystem* shared_ipet) {
   if (UCP_FAULT_POINT("exp.measure")) {
     return Status(ErrorCode::kFaultInjected,
                   "injected measurement failure for '" + program.name() +
@@ -57,13 +60,22 @@ Expected<Metrics> measure_checked(const ir::Program& program,
   const cache::MemTiming timing = energy::derive_timing(config, tech);
 
   Metrics m;
-  // Static side: VIVU + must/may + IPET.
+  // Static side: VIVU + must/may + IPET. With a shared system the context
+  // graph and IPET constraint matrix come prebuilt (they depend only on the
+  // program, not the configuration); only the classification-dependent
+  // objective is solved per call.
   const ir::Layout layout(program, config.block_bytes);
   m.code_bytes = layout.code_bytes();
-  const analysis::ContextGraph graph(program);
+  std::optional<analysis::ContextGraph> own_graph;
+  if (!shared_ipet) own_graph.emplace(program);
+  const analysis::ContextGraph& graph =
+      shared_ipet ? shared_ipet->graph() : *own_graph;
   const analysis::CacheAnalysisResult cls =
       analysis::analyze_cache(graph, layout, config);
-  const wcet::WcetResult wcet = wcet::compute_wcet(graph, cls, timing);
+  const wcet::WcetResult wcet = shared_ipet
+                                    ? shared_ipet->solve(cls, timing)
+                                    : wcet::compute_wcet(graph, cls, timing);
+  m.solver = wcet.stats;
   if (!wcet.ok()) {
     return Status(wcet::solve_error_code(wcet.status),
                   "IPET failed (" + ilp::status_name(wcet.status) +
@@ -118,6 +130,8 @@ void degrade_to_original(UseCaseResult& result, const std::string& stage,
   result.fail_code = code;
   result.fail_detail = detail;
   result.optimized = result.original;
+  // Mirrored metrics, not a second measurement: no solver work behind them.
+  result.optimized.solver = ilp::SolveStats{};
   result.report = core::OptimizationReport{};
   result.report.code = code;
   result.report.detail = detail;
@@ -132,7 +146,8 @@ UseCaseResult run_use_case(const ir::Program& program,
                            const std::string& program_name,
                            const cache::NamedCacheConfig& config,
                            energy::TechNode tech,
-                           const core::OptimizerOptions& options) {
+                           const core::OptimizerOptions& options,
+                           const wcet::IpetSystem* shared_ipet) {
   UseCaseResult result;
   result.program = program_name;
   result.config_id = config.id;
@@ -144,7 +159,8 @@ UseCaseResult run_use_case(const ir::Program& program,
                         program_name + "'");
   }
 
-  Expected<Metrics> original = measure_checked(program, config.config, tech);
+  Expected<Metrics> original =
+      measure_checked(program, config.config, tech, shared_ipet);
   if (!original.ok()) {
     // No baseline: nothing sound can be reported for this case.
     result.outcome = CaseOutcome::kFailed;
@@ -156,8 +172,8 @@ UseCaseResult run_use_case(const ir::Program& program,
   result.original = std::move(original).value();
 
   const cache::MemTiming timing = energy::derive_timing(config.config, tech);
-  core::OptimizationResult opt =
-      core::optimize_prefetches(program, config.config, timing, options);
+  core::OptimizationResult opt = core::optimize_prefetches(
+      program, config.config, timing, options, shared_ipet);
   if (opt.report.code != ErrorCode::kOk) {
     // Theorem 1 fallback: the identity transform is always sound, so a
     // solver blowup inside the optimizer degrades the case instead of
@@ -168,8 +184,12 @@ UseCaseResult run_use_case(const ir::Program& program,
   }
   result.report = opt.report;
 
-  Expected<Metrics> optimized =
-      measure_checked(opt.program, config.config, tech);
+  // No insertions means the optimized program IS the input program, so the
+  // shared system still applies; otherwise the program changed and the
+  // measurement builds its own graph.
+  Expected<Metrics> optimized = measure_checked(
+      opt.program, config.config, tech,
+      opt.report.insertions.empty() ? shared_ipet : nullptr);
   if (!optimized.ok()) {
     degrade_to_original(result, "measure_optimized", optimized.code(),
                         optimized.status().detail());
@@ -194,7 +214,8 @@ std::vector<UseCaseResult> run_use_case_group(
     const ir::Program& program, const std::string& program_name,
     const cache::NamedCacheConfig& config,
     const std::vector<energy::TechNode>& techs,
-    const core::OptimizerOptions& options, StageTimings* timings) {
+    const core::OptimizerOptions& options, StageTimings* timings,
+    const wcet::IpetSystem* shared_ipet) {
   std::vector<UseCaseResult> out(techs.size());
   for (std::size_t i = 0; i < techs.size(); ++i) {
     out[i].program = program_name;
@@ -239,7 +260,7 @@ std::vector<UseCaseResult> run_use_case_group(
 
     auto stage_start = std::chrono::steady_clock::now();
     const Expected<Metrics> original =
-        measure_checked(program, config.config, lead);
+        measure_checked(program, config.config, lead, shared_ipet);
     if (timings) timings->measure_ns += ns_since(stage_start);
     if (!original.ok()) {
       for (std::size_t m : members) {
@@ -254,11 +275,15 @@ std::vector<UseCaseResult> run_use_case_group(
       out[m].original = original.value();
       out[m].original.energy =
           energy::memory_energy(out[m].original.run, config.config, techs[m]);
+      // The solver work was spent once for the whole group; crediting it to
+      // every member would multiply it in sweep-wide sums, so only the lead
+      // member carries it.
+      if (m != members.front()) out[m].original.solver = ilp::SolveStats{};
     }
 
     stage_start = std::chrono::steady_clock::now();
-    const core::OptimizationResult opt =
-        core::optimize_prefetches(program, config.config, timing, options);
+    const core::OptimizationResult opt = core::optimize_prefetches(
+        program, config.config, timing, options, shared_ipet);
     if (timings) timings->optimize_ns += ns_since(stage_start);
     if (opt.report.code != ErrorCode::kOk) {
       for (std::size_t m : members)
@@ -268,11 +293,13 @@ std::vector<UseCaseResult> run_use_case_group(
     }
 
     stage_start = std::chrono::steady_clock::now();
-    const Expected<Metrics> optimized =
-        measure_checked(opt.program, config.config, lead);
+    const Expected<Metrics> optimized = measure_checked(
+        opt.program, config.config, lead,
+        opt.report.insertions.empty() ? shared_ipet : nullptr);
     if (timings) timings->measure_ns += ns_since(stage_start);
     for (std::size_t m : members) {
       out[m].report = opt.report;
+      if (m != members.front()) out[m].report.solver = ilp::SolveStats{};
       if (!optimized.ok()) {
         degrade_to_original(out[m], "measure_optimized", optimized.code(),
                             optimized.status().detail());
@@ -281,6 +308,7 @@ std::vector<UseCaseResult> run_use_case_group(
       out[m].optimized = optimized.value();
       out[m].optimized.energy = energy::memory_energy(
           out[m].optimized.run, config.config, techs[m]);
+      if (m != members.front()) out[m].optimized.solver = ilp::SolveStats{};
     }
   }
   return out;
@@ -622,6 +650,28 @@ Sweep run_sweep(const SweepOptions& options) {
     }
   }
 
+  // One context graph + IPET constraint system per program, shared by all
+  // of its configurations, stages and worker threads (solves clone the
+  // system's immutable canonical basis, so sharing is bit-identical to
+  // rebuilding — see wcet::IpetSystem). A construction failure leaves the
+  // slot empty; the tasks then build their own inside the task boundary and
+  // the failure is quarantined per case, exactly as before.
+  struct ProgramIpet {
+    analysis::ContextGraph graph;
+    wcet::IpetSystem ipet;
+    explicit ProgramIpet(const ir::Program& program)
+        : graph(program), ipet(graph) {}
+  };
+  std::vector<std::unique_ptr<ProgramIpet>> systems(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!build_error[i].empty()) continue;
+    try {
+      systems[i] = std::make_unique<ProgramIpet>(programs[i]);
+    } catch (...) {
+      systems[i] = nullptr;
+    }
+  }
+
   const auto& configs = cache::paper_cache_configs();
   std::vector<Task> tasks;
   std::vector<UseCaseResult>& results = sweep.results;
@@ -683,18 +733,20 @@ Sweep run_sweep(const SweepOptions& options) {
         fill_failed(t, k, build_error[p]);
       return;
     }
+    const wcet::IpetSystem* shared =
+        systems[p] ? &systems[p]->ipet : nullptr;
     try {
       if (options.share_across_techs) {
-        std::vector<UseCaseResult> rs =
-            run_use_case_group(programs[p], *t.program, *t.config,
-                               options.techs, options.optimizer, &stages);
+        std::vector<UseCaseResult> rs = run_use_case_group(
+            programs[p], *t.program, *t.config, options.techs,
+            options.optimizer, &stages, shared);
         for (std::size_t k = 0; k < rs.size(); ++k)
           results[t.first + k] = std::move(rs[k]);
       } else {
         for (std::size_t k = 0; k < options.techs.size(); ++k)
           results[t.first + k] =
               run_use_case(programs[p], *t.program, *t.config,
-                           options.techs[k], options.optimizer);
+                           options.techs[k], options.optimizer, shared);
       }
     } catch (const std::exception& e) {
       for (std::size_t k = 0; k < options.techs.size(); ++k)
@@ -760,7 +812,12 @@ Sweep run_sweep(const SweepOptions& options) {
 
   // Health accounting, in deterministic grid order.
   sweep.report.total = results.size();
+  for (const std::unique_ptr<ProgramIpet>& s : systems)
+    if (s) s->ipet.charge_construction(sweep.report.solver);
   for (const UseCaseResult& r : results) {
+    sweep.report.solver.add(r.original.solver);
+    sweep.report.solver.add(r.report.solver);
+    sweep.report.solver.add(r.optimized.solver);
     switch (r.outcome) {
       case CaseOutcome::kCompleted:
         ++sweep.report.completed;

@@ -9,9 +9,14 @@
 #include "cache/config.hpp"
 #include "core/optimizer.hpp"
 #include "energy/model.hpp"
+#include "ilp/model.hpp"
 #include "ir/program.hpp"
 #include "sim/interpreter.hpp"
 #include "support/status.hpp"
+
+namespace ucp::wcet {
+class IpetSystem;
+}
 
 namespace ucp::exp {
 
@@ -24,6 +29,7 @@ struct Metrics {
   sim::RunMetrics run;              ///< τ_a(e) = run.mem_cycles
   energy::EnergyBreakdown energy;   ///< e_a(e)
   std::uint32_t code_bytes = 0;
+  ilp::SolveStats solver;           ///< ILP work behind tau_wcet
 
   double miss_rate() const { return run.cache.miss_rate(); }
 };
@@ -36,9 +42,14 @@ Metrics measure(const ir::Program& program, const cache::CacheConfig& config,
 /// Status-channel variant: IPET failure (solver budgets, infeasibility) and
 /// simulation budget exhaustion come back as a Status instead of an
 /// exception, so a sweep can quarantine the use case and keep running.
+/// `shared_ipet`, when given, must have been built from this exact program;
+/// the context graph and IPET constraint system are then reused instead of
+/// rebuilt (bit-identical results — see wcet::IpetSystem).
 Expected<Metrics> measure_checked(const ir::Program& program,
                                   const cache::CacheConfig& config,
-                                  energy::TechNode tech);
+                                  energy::TechNode tech,
+                                  const wcet::IpetSystem* shared_ipet =
+                                      nullptr);
 
 /// What happened to one use case in a sweep.
 enum class CaseOutcome : std::uint8_t {
@@ -103,7 +114,8 @@ UseCaseResult run_use_case(const ir::Program& program,
                            const std::string& program_name,
                            const cache::NamedCacheConfig& config,
                            energy::TechNode tech,
-                           const core::OptimizerOptions& options = {});
+                           const core::OptimizerOptions& options = {},
+                           const wcet::IpetSystem* shared_ipet = nullptr);
 
 /// Wall time spent per pipeline stage, summed across the use cases of one
 /// sweep (analysis + IPET + trace simulation count as "measure"; the
@@ -126,7 +138,8 @@ std::vector<UseCaseResult> run_use_case_group(
     const cache::NamedCacheConfig& config,
     const std::vector<energy::TechNode>& techs,
     const core::OptimizerOptions& options = {},
-    StageTimings* timings = nullptr);
+    StageTimings* timings = nullptr,
+    const wcet::IpetSystem* shared_ipet = nullptr);
 
 /// The full evaluation grid of the paper: every suite program × the 36
 /// configurations of Table 2 × {45nm, 32nm} = 2664 use cases (or a subset
@@ -192,6 +205,11 @@ struct SweepReport {
   std::uint64_t wall_ms = 0;       ///< compute wall-clock of the sweep
   double cases_per_sec = 0.0;
   StageTimings stages;             ///< summed across workers (CPU-ish time)
+  /// ILP work summed over the whole sweep (per-case solves plus the
+  /// once-per-program constraint-system constructions). Zero when the
+  /// results were served from the memo cache — the cache stores rows, not
+  /// work counters.
+  ilp::SolveStats solver;
 
   bool clean() const { return degraded == 0 && failed == 0; }
   void print(std::ostream& os) const;

@@ -75,10 +75,30 @@ enum class SolveStatus : std::uint8_t {
 
 std::string status_name(SolveStatus status);
 
+/// Work counters of one solver invocation (and, summed, of a whole sweep):
+/// where the pivots go, how often branch-and-bound actually branches, and
+/// how many simplex runs the warm-start machinery saved from a cold phase 1.
+struct SolveStats {
+  std::uint64_t lp_solves = 0;      ///< simplex runs (root + B&B nodes)
+  std::uint64_t pivots = 0;         ///< primal + dual pivots, all runs
+  std::uint64_t bb_nodes = 0;       ///< branch-and-bound nodes expanded
+  std::uint64_t warm_starts = 0;    ///< runs reinstated from a parent basis
+  std::uint64_t phase1_skipped = 0; ///< runs that needed no fresh phase 1
+
+  void add(const SolveStats& other) {
+    lp_solves += other.lp_solves;
+    pivots += other.pivots;
+    bb_nodes += other.bb_nodes;
+    warm_starts += other.warm_starts;
+    phase1_skipped += other.phase1_skipped;
+  }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;  ///< indexed by VarId
+  SolveStats stats;            ///< work spent producing this solution
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
   double value(VarId id) const;
@@ -89,13 +109,27 @@ struct SolveOptions {
   std::uint64_t max_pivots = 2'000'000;   ///< per simplex run
   std::uint64_t max_bb_nodes = 200'000;   ///< branch-and-bound node cap
   double int_tolerance = 1e-6;            ///< integrality threshold
+  /// Warm-start branch-and-bound children from the parent's optimal basis
+  /// via dual-simplex reinstatement instead of re-entering phase 1. Off is
+  /// only useful for differential testing and the micro benches.
+  bool warm_start = true;
 };
 
-/// Solves the LP relaxation with two-phase dense simplex (Bland's rule).
+/// Solves the LP relaxation with the sparse bounded-variable revised
+/// simplex (Dantzig pricing, Bland fallback, deterministic smallest-index
+/// tie-breaking).
 Solution solve_lp(const Model& model, const SolveOptions& options = {});
 
 /// Solves the integer program by LP-based branch-and-bound; variables not
 /// marked integer stay continuous.
 Solution solve_ilp(const Model& model, const SolveOptions& options = {});
+
+/// The retained dense-tableau two-phase simplex, kept verbatim as the
+/// differential-testing reference for the sparse kernel. Not on any
+/// production path: no fault points, no warm starts.
+Solution solve_lp_dense_reference(const Model& model,
+                                  const SolveOptions& options = {});
+Solution solve_ilp_dense_reference(const Model& model,
+                                   const SolveOptions& options = {});
 
 }  // namespace ucp::ilp

@@ -43,26 +43,14 @@ std::uint64_t node_cycles(const std::vector<std::uint32_t>& refs) {
 
 }  // namespace
 
-WcetResult compute_wcet(const ContextGraph& graph,
-                        const analysis::CacheAnalysisResult& classification,
-                        const cache::MemTiming& timing) {
+ilp::Model IpetSystem::build_model(const ContextGraph& graph) {
   const std::size_t num_nodes = graph.num_nodes();
   const auto& edges = graph.edges();
 
-  WcetResult result;
-  result.ref_cycles.resize(num_nodes);
-  for (NodeId v = 0; v < num_nodes; ++v) {
-    const auto& cls = classification.per_node[v];
-    result.ref_cycles[v].reserve(cls.size());
-    for (Classification c : cls)
-      result.ref_cycles[v].push_back(ref_cycles(c, timing));
-  }
-
-  // --- Build the ILP -------------------------------------------------------
   ilp::Model model;
 
   // One variable per real edge, plus a virtual source arc into the entry and
-  // one virtual sink arc out of every exit node.
+  // one virtual sink arc out of every exit node. Edge e gets VarId e.
   std::vector<ilp::VarId> edge_var(edges.size());
   for (std::size_t e = 0; e < edges.size(); ++e)
     edge_var[e] = model.add_var("x" + std::to_string(e));
@@ -111,7 +99,7 @@ WcetResult compute_wcet(const ContextGraph& graph,
     // the source, which has the right objective value but is not a path
     // (the classic IPET structural-flow pitfall).
     std::vector<ilp::Term> anti;
-    double has_back = false;
+    bool has_back = false;
     for (std::uint32_t ei : graph.in_edges(inst.rest_node)) {
       if (edges[ei].back) {
         anti.push_back({edge_var[ei], 1.0});
@@ -127,35 +115,70 @@ WcetResult compute_wcet(const ContextGraph& graph,
     model.add_constraint(std::move(anti), ilp::Rel::kLe, 0.0);
   }
 
-  // Objective: Σ_v t_w(v) * n_v, expressed over inflow arcs.
-  std::vector<double> var_coeff(model.num_vars(), 0.0);
+  return model;
+}
+
+IpetSystem::IpetSystem(const ContextGraph& graph)
+    : graph_(&graph),
+      model_(build_model(graph)),
+      source_var_(static_cast<ilp::VarId>(graph.edges().size())),
+      lp_(model_) {}
+
+namespace {
+
+/// Per-reference worst-case cycles of every node under (cls, timing) — the
+/// t_w table the objective coefficients and the WcetResult both need.
+std::vector<std::vector<std::uint32_t>> timing_table(
+    const ContextGraph& graph,
+    const analysis::CacheAnalysisResult& classification,
+    const cache::MemTiming& timing) {
+  std::vector<std::vector<std::uint32_t>> table(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto& cls = classification.per_node[v];
+    table[v].reserve(cls.size());
+    for (Classification c : cls) table[v].push_back(ref_cycles(c, timing));
+  }
+  return table;
+}
+
+}  // namespace
+
+WcetResult IpetSystem::solve(
+    const analysis::CacheAnalysisResult& classification,
+    const cache::MemTiming& timing) const {
+  const ContextGraph& graph = *graph_;
+  const std::size_t num_nodes = graph.num_nodes();
+  const auto& edges = graph.edges();
+
+  WcetResult result;
+  result.ref_cycles = timing_table(graph, classification, timing);
+
+  // Objective: Σ_v t_w(v) * n_v, expressed over inflow arcs (edge e has
+  // VarId e; the virtual source arc carries the entry node's weight).
+  std::vector<double> obj(model_.num_vars(), 0.0);
   for (NodeId v = 0; v < num_nodes; ++v) {
     const double tv = static_cast<double>(node_cycles(result.ref_cycles[v]));
     if (tv == 0.0) continue;
-    for (const ilp::Term& t : inflow_terms(v, tv))
-      var_coeff[static_cast<std::size_t>(t.var)] += t.coeff;
+    for (std::uint32_t ei : graph.in_edges(v))
+      obj[ei] += tv;
+    if (v == graph.entry_node()) obj[static_cast<std::size_t>(source_var_)] += tv;
   }
-  std::vector<ilp::Term> objective;
-  for (std::size_t j = 0; j < var_coeff.size(); ++j)
-    if (var_coeff[j] != 0.0)
-      objective.push_back({static_cast<ilp::VarId>(j), var_coeff[j]});
-  model.set_objective(std::move(objective), /*maximize=*/true);
 
-  // --- Solve ----------------------------------------------------------------
   if (UCP_FAULT_POINT("wcet.solve")) {
     result.status = ilp::SolveStatus::kIterationLimit;
     return result;
   }
-  const ilp::Solution solution = ilp::solve_ilp(model);
+  const ilp::Solution solution = lp_.solve_ilp_with(obj);
   result.status = solution.status;
+  result.stats = solution.stats;
   if (!solution.optimal()) return result;
 
   result.tau_mem =
       static_cast<std::uint64_t>(std::llround(solution.objective));
   result.edge_counts.assign(edges.size(), 0);
   for (std::size_t e = 0; e < edges.size(); ++e)
-    result.edge_counts[e] =
-        static_cast<std::uint64_t>(std::llround(solution.value(edge_var[e])));
+    result.edge_counts[e] = static_cast<std::uint64_t>(
+        std::llround(solution.value(static_cast<ilp::VarId>(e))));
   result.node_counts.assign(num_nodes, 0);
   for (NodeId v = 0; v < num_nodes; ++v) {
     std::uint64_t n = 0;
@@ -163,6 +186,39 @@ WcetResult compute_wcet(const ContextGraph& graph,
     if (v == graph.entry_node()) n += 1;
     result.node_counts[v] = n;
   }
+  return result;
+}
+
+ilp::Model IpetSystem::model_with_objective(
+    const analysis::CacheAnalysisResult& classification,
+    const cache::MemTiming& timing) const {
+  const ContextGraph& graph = *graph_;
+  const auto table = timing_table(graph, classification, timing);
+
+  std::vector<double> var_coeff(model_.num_vars(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const double tv = static_cast<double>(node_cycles(table[v]));
+    if (tv == 0.0) continue;
+    for (std::uint32_t ei : graph.in_edges(v)) var_coeff[ei] += tv;
+    if (v == graph.entry_node())
+      var_coeff[static_cast<std::size_t>(source_var_)] += tv;
+  }
+  std::vector<ilp::Term> objective;
+  for (std::size_t j = 0; j < var_coeff.size(); ++j)
+    if (var_coeff[j] != 0.0)
+      objective.push_back({static_cast<ilp::VarId>(j), var_coeff[j]});
+
+  ilp::Model model = model_;
+  model.set_objective(std::move(objective), /*maximize=*/true);
+  return model;
+}
+
+WcetResult compute_wcet(const ContextGraph& graph,
+                        const analysis::CacheAnalysisResult& classification,
+                        const cache::MemTiming& timing) {
+  const IpetSystem system(graph);
+  WcetResult result = system.solve(classification, timing);
+  system.charge_construction(result.stats);
   return result;
 }
 

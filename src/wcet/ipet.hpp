@@ -7,6 +7,7 @@
 #include "analysis/context_graph.hpp"
 #include "cache/config.hpp"
 #include "ilp/model.hpp"
+#include "ilp/sparse.hpp"
 #include "support/status.hpp"
 
 namespace ucp::wcet {
@@ -34,6 +35,8 @@ struct WcetResult {
   std::vector<std::vector<std::uint32_t>> ref_cycles;
   /// Worst-case flow per context edge (same indexing as graph.edges()).
   std::vector<std::uint64_t> edge_counts;
+  /// Solver work behind this result (pivots, B&B nodes, warm starts).
+  ilp::SolveStats stats;
 
   bool ok() const { return status == ilp::SolveStatus::kOptimal; }
 
@@ -44,10 +47,66 @@ struct WcetResult {
   }
 };
 
+/// The IPET ILP of one context graph, built once and re-solved many times.
+///
+/// The constraint matrix (flow conservation, VIVU loop bounds,
+/// anti-circulation) depends only on the graph topology; the cache
+/// classification and memory timing enter purely through the objective
+/// coefficients. An IpetSystem therefore factors the expensive part — the
+/// sparse LP snapshot including its one-time phase 1 — out of the per-solve
+/// cost: the optimizer's initial and final solves, the locking baselines,
+/// and all cache configurations of one program swap objective vectors over
+/// the same canonical basis. Solves clone that immutable snapshot, so a
+/// const IpetSystem is safe to share across sweep worker threads and its
+/// answers never depend on which caller solved first.
+class IpetSystem {
+ public:
+  explicit IpetSystem(const analysis::ContextGraph& graph);
+
+  const analysis::ContextGraph& graph() const { return *graph_; }
+
+  /// Solves max Σ t_w(bb)·n_bb for this classification/timing pair.
+  /// Bit-identical to `compute_wcet` on the same graph.
+  WcetResult solve(const analysis::CacheAnalysisResult& classification,
+                   const cache::MemTiming& timing) const;
+
+  /// A standalone copy of the ILP with the objective for
+  /// (classification, timing) installed — what `compute_wcet` historically
+  /// built per call. Feed it to the dense reference solver in differential
+  /// tests, or to the one-shot `ilp::solve_ilp` in micro benches.
+  ilp::Model model_with_objective(
+      const analysis::CacheAnalysisResult& classification,
+      const cache::MemTiming& timing) const;
+
+  /// Pivots spent building the canonical feasible basis (one-time phase 1);
+  /// not part of any per-solve stats.
+  std::uint64_t construction_pivots() const {
+    return lp_.construction_pivots();
+  }
+
+  /// Folds the one-time construction cost into an aggregate: adds the
+  /// construction pivots and retracts one phase1_skipped credit (the first
+  /// solve skipped its phase 1 only because construction paid for it).
+  /// Call exactly once per IpetSystem when summing end-to-end solver work.
+  void charge_construction(ilp::SolveStats& stats) const {
+    stats.pivots += lp_.construction_pivots();
+    if (stats.phase1_skipped > 0) --stats.phase1_skipped;
+  }
+
+ private:
+  static ilp::Model build_model(const analysis::ContextGraph& graph);
+
+  const analysis::ContextGraph* graph_;
+  ilp::Model model_;  ///< constraints + bounds; objective left empty
+  ilp::VarId source_var_ = 0;
+  ilp::SparseLp lp_;
+};
+
 /// Builds and solves the IPET ILP (Section 3.2-3.3): one flow variable per
 /// context edge plus virtual source/sink arcs, flow conservation at every
 /// node, `n(rest header) <= (bound-1) * n(first header)` per VIVU loop
-/// instance, maximizing Σ t_w(bb)·n_bb.
+/// instance, maximizing Σ t_w(bb)·n_bb. One-shot convenience over
+/// IpetSystem; repeated solves on one graph should share an IpetSystem.
 WcetResult compute_wcet(const analysis::ContextGraph& graph,
                         const analysis::CacheAnalysisResult& classification,
                         const cache::MemTiming& timing);

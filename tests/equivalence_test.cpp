@@ -189,6 +189,65 @@ TEST(Equivalence, GroupPathDegradedRowsMatchPerCase) {
   }
 }
 
+// --- solver-kernel fault gates ----------------------------------------------
+// The sparse simplex consults ilp.pivot at every pivot and ilp.bb_node at
+// every branch-and-bound node. A one-shot fault on either site must hit the
+// same solve of the same use case on every run (the sweep schedule, the
+// per-program system prebuild and the solver itself are all deterministic),
+// quarantine exactly that case, and leave every row — including the
+// quarantined one — bit-identical between repeats. This pins both the
+// containment of solver budget exhaustion and the determinism of the
+// warm-started branch-and-bound under it.
+
+Sweep strided_sweep_with_fault(const char* site) {
+  SweepOptions options;
+  options.programs = {"bs", "fdct"};
+  options.config_stride = 12;  // k1, k13, k25
+  options.threads = 1;
+  options.progress_every = 0;
+  fault::ScopedFault f(site);
+  return run_sweep(options);
+}
+
+void expect_solver_fault_contained(const char* site) {
+  fault::disarm_all();
+  const Sweep a = strided_sweep_with_fault(site);
+  const Sweep b = strided_sweep_with_fault(site);
+
+  // The fault must actually land: some case degrades or fails with the
+  // solver's iteration-limit error code instead of vanishing silently.
+  EXPECT_FALSE(a.report.clean()) << site;
+  ASSERT_FALSE(a.report.quarantine.empty()) << site;
+  bool saw_iteration_limit = false;
+  for (const DegradedCase& q : a.report.quarantine)
+    saw_iteration_limit |= q.code == ErrorCode::kIterationLimit;
+  EXPECT_TRUE(saw_iteration_limit) << site;
+
+  // And it must land identically every time.
+  ASSERT_EQ(a.results.size(), b.results.size()) << site;
+  EXPECT_EQ(sweep_results_fingerprint(a.results),
+            sweep_results_fingerprint(b.results))
+      << site;
+  ASSERT_EQ(a.report.quarantine.size(), b.report.quarantine.size()) << site;
+  for (std::size_t i = 0; i < a.report.quarantine.size(); ++i) {
+    EXPECT_EQ(a.report.quarantine[i].program, b.report.quarantine[i].program)
+        << site;
+    EXPECT_EQ(a.report.quarantine[i].config_id,
+              b.report.quarantine[i].config_id)
+        << site;
+    EXPECT_EQ(a.report.quarantine[i].stage, b.report.quarantine[i].stage)
+        << site;
+  }
+}
+
+TEST(Equivalence, PivotFaultQuarantinesDeterministically) {
+  expect_solver_fault_contained("ilp.pivot");
+}
+
+TEST(Equivalence, BbNodeFaultQuarantinesDeterministically) {
+  expect_solver_fault_contained("ilp.bb_node");
+}
+
 TEST(Equivalence, GroupPathFailedRowsMatchPerCase) {
   // Same idea for the hard-failure channel: a baseline measurement fault
   // fails all group members exactly like the per-case path.
