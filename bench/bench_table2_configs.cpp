@@ -11,7 +11,18 @@
 //                      process state) and fail on any result divergence
 //   --threads N        worker threads (default: hardware concurrency)
 //   --programs a,b     restrict the sweep to a program subset
+//   --journal PATH     crash-safe checkpoint journal: a killed sweep
+//                      resumes from the last durable row on the next run
+//   --attempts N       retry-with-degradation ladder depth (sweep mode
+//                      defaults to 3; 1 disables retries)
+//   --deadline-ms N    per-task watchdog deadline (sweep mode defaults to
+//                      120000; 0 disables the watchdog)
+//
+// SIGINT/SIGTERM stop the sweep cooperatively: finished rows are already
+// durable in the journal, the health report (with the quarantine summary)
+// is printed, and the bench exits with 128+signal.
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -33,7 +44,20 @@ struct Args {
   std::uint32_t stride = 1;
   std::uint32_t threads = 0;
   std::vector<std::string> programs;
+  std::string journal;
+  std::uint32_t attempts = 0;     ///< 0 = mode default
+  std::int64_t deadline_ms = -1;  ///< -1 = mode default
 };
+
+// Written by the signal handler, read after run_sweep returns.
+volatile std::sig_atomic_t g_signal = 0;
+
+// Async-signal-safe: set the flag and ask the sweep to stop pulling tasks.
+// Finished rows are already fsync'd in the journal; nothing else to save.
+void handle_stop_signal(int signum) {
+  g_signal = signum;
+  ucp::exp::request_sweep_interrupt();
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -52,11 +76,18 @@ Args parse(int argc, char** argv) {
       std::stringstream ss(argv[++i]);
       std::string item;
       while (std::getline(ss, item, ',')) args.programs.push_back(item);
+    } else if (a == "--journal" && i + 1 < argc) {
+      args.journal = argv[++i];
+    } else if (a == "--attempts" && i + 1 < argc) {
+      args.attempts = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      args.deadline_ms = static_cast<std::int64_t>(std::stoll(argv[++i]));
     } else {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: " << argv[0]
                 << " [--sweep[=STRIDE]] [--perf-smoke] [--threads N]"
-                   " [--programs a,b,c]\n";
+                   " [--programs a,b,c] [--journal PATH] [--attempts N]"
+                   " [--deadline-ms N]\n";
       std::exit(2);
     }
   }
@@ -70,6 +101,14 @@ ucp::exp::SweepOptions sweep_options(const Args& args) {
   options.threads = args.threads;
   // No cache_path: this bench exists to *measure* the sweep, so it always
   // computes (the figure benches share the memo cache instead).
+  options.journal_path = args.journal;
+  // Production sweep defaults: full ladder, generous watchdog. The ladder's
+  // budget escalation only changes rows whose first attempt failed, so a
+  // clean sweep is bit-identical with or without it.
+  options.max_attempts = args.attempts != 0 ? args.attempts : 3;
+  options.case_deadline_ms =
+      args.deadline_ms >= 0 ? static_cast<std::uint32_t>(args.deadline_ms)
+                            : 120000;
   return options;
 }
 
@@ -86,6 +125,15 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
      << "  \"failed\": " << r.failed << ",\n"
      << "  \"config_stride\": " << args.stride << ",\n"
      << "  \"threads\": " << r.threads_used << ",\n"
+     << "  \"attempts_max\": " << (args.attempts != 0 ? args.attempts : 3)
+     << ",\n"
+     << "  \"retried\": " << r.retried << ",\n"
+     << "  \"recovered\": " << r.recovered << ",\n"
+     << "  \"resumed_rows\": " << r.resumed_rows << ",\n"
+     << "  \"audited\": " << r.audited << ",\n"
+     << "  \"audit_violations\": " << r.audit_violations << ",\n"
+     << "  \"audit_inconclusive\": " << r.audit_inconclusive << ",\n"
+     << "  \"journal\": \"" << args.journal << "\",\n"
      << "  \"wall_seconds\": " << static_cast<double>(r.wall_ms) / 1000.0
      << ",\n"
      << "  \"cases_per_sec\": " << r.cases_per_sec << ",\n"
@@ -93,7 +141,9 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
      << "    \"measure\": "
      << static_cast<double>(r.stages.measure_ns) / 1e9 << ",\n"
      << "    \"optimize\": "
-     << static_cast<double>(r.stages.optimize_ns) / 1e9 << "\n"
+     << static_cast<double>(r.stages.optimize_ns) / 1e9 << ",\n"
+     << "    \"audit\": "
+     << static_cast<double>(r.stages.audit_ns) / 1e9 << "\n"
      << "  },\n"
      << "  \"solver_stats\": {\n"
      << "    \"lp_solves\": " << r.solver.lp_solves << ",\n"
@@ -111,8 +161,28 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
 
 int run_sweep_mode(const Args& args) {
   using namespace ucp;
+  // Cooperative shutdown: ^C / SIGTERM stop the sweep at the next task
+  // boundary, the journal keeps every finished row, and the report below
+  // shows exactly what was (and was not) computed.
+  exp::clear_sweep_interrupt();
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
   const exp::Sweep sweep = exp::run_sweep(sweep_options(args));
   sweep.report.print(std::cout);
+  if (sweep.report.interrupted) {
+    // Partial grid: never write BENCH_sweep.json (it would masquerade as a
+    // complete perf sample); the journal already holds the finished rows.
+    std::cout << "[bench] interrupted by signal " << static_cast<int>(g_signal)
+              << "; " << sweep.report.completed
+              << " finished rows are durable"
+              << (args.journal.empty() ? " only in memory (no --journal)"
+                                       : " in " + args.journal)
+              << "\n";
+    return 128 + static_cast<int>(g_signal != 0 ? g_signal : SIGINT);
+  }
   const std::string fp = exp::sweep_results_fingerprint(sweep.results);
   std::cout << "[bench] result fingerprint " << fp << "\n";
   write_bench_json(sweep, args, fp);

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
 
 namespace ucp::analysis {
@@ -132,7 +133,11 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
     queued[id] = true;
   }
 
+  std::uint32_t pops = 0;
   while (!work.empty()) {
+    // Cancellation point: the fixpoint is the longest uninterruptible
+    // stretch of a measurement, so the watchdog needs a poll inside it.
+    if ((++pops & 0x3F) == 0) throw_if_cancelled("analyze_cache fixpoint");
     const NodeId id = work.front();
     work.pop_front();
     queued[id] = false;
@@ -281,7 +286,10 @@ IncrementalCacheAnalysis::TrialResult IncrementalCacheAnalysis::analyze_trial(
     work.push_back(v);
     queued[v] = 1;
   }
+  std::uint32_t pops = 0;
   while (!work.empty()) {
+    if ((++pops & 0x3F) == 0)
+      throw_if_cancelled("incremental re-analysis fixpoint");
     const NodeId v = work.front();
     work.pop_front();
     queued[v] = 0;

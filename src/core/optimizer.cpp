@@ -13,7 +13,9 @@
 #include "ir/layout.hpp"
 #include "ir/verify.hpp"
 #include "sim/interpreter.hpp"
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
+#include "support/checked.hpp"
 #include "support/fault_injection.hpp"
 #include "wcet/ipet.hpp"
 
@@ -104,6 +106,15 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
             std::chrono::steady_clock::now() - start_time);
     return elapsed.count() >= static_cast<std::int64_t>(options.deadline_ms);
   };
+  // Cooperative cancellation (watchdog / SIGINT). Like a deadline, a cancel
+  // degrades to the identity transform — never a crash.
+  auto cancelled = [&] {
+    if (!cancellation_requested()) return false;
+    degrade(ErrorCode::kCancelled,
+            "optimization cancelled by the supervisor on '" + input.name() +
+                "'");
+    return true;
+  };
 
   // The CFG never changes during optimization (prefetches are straight-line
   // insertions), so one context graph — and one IPET constraint system,
@@ -159,7 +170,7 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     std::uint64_t per_exec = 0;
     for (analysis::Classification c : cls_row)
       per_exec += wcet::ref_cycles(c, timing);
-    return per_exec * n_w[v];
+    return checked_mul(per_exec, n_w[v], "node tau contribution");
   };
   std::vector<std::uint64_t> node_tau;
   std::uint64_t tau_base_sum = 0;
@@ -183,6 +194,7 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   std::set<std::pair<ir::InstrId, ir::InstrId>> tried;
 
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    if (cancelled()) return result;
     if (deadline_exceeded()) {
       degrade(ErrorCode::kDeadlineExceeded,
               "optimization deadline expired before pass " +
@@ -229,6 +241,7 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     for (const Candidate& c : candidates) {
       if (report.insertions.size() >= options.max_prefetches) break;
       if (report.candidates_evaluated >= eval_budget) break;
+      if (cancelled()) return result;
       if (deadline_exceeded()) {
         degrade(ErrorCode::kDeadlineExceeded,
                 "optimization deadline expired mid-pass on '" +

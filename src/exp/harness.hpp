@@ -62,6 +62,20 @@ enum class CaseOutcome : std::uint8_t {
 
 const char* case_outcome_name(CaseOutcome outcome);
 
+/// What the always-on soundness auditor concluded about one use case. The
+/// auditor re-derives the accepted optimization's memory contribution over
+/// an *independent* path — the dense-tableau reference ILP solver plus the
+/// concrete cache simulator — and checks it against Theorem 1 and the sparse
+/// solver's answer. It shares no code with the paths it audits below the
+/// model layer, and none of its fault points.
+struct AuditRecord {
+  bool performed = false;     ///< auditor ran on this case
+  bool violated = false;      ///< Theorem 1 or sparse/dense agreement broken
+  bool inconclusive = false;  ///< reference solver hit its own budget
+  std::uint64_t tau_dense = 0;  ///< dense-reference τ_w (0 if not recomputed)
+  std::string detail;           ///< human-readable verdict when not clean
+};
+
 /// One (program, cache configuration, technology) use case, fully processed:
 /// original vs optimized binaries, as in Section 5.
 struct UseCaseResult {
@@ -79,6 +93,16 @@ struct UseCaseResult {
   ErrorCode fail_code = ErrorCode::kOk;  ///< cause when outcome != completed
   std::string fail_stage;   ///< "optimize", "measure_original", ... or empty
   std::string fail_detail;  ///< human-readable cause
+
+  // --- supervision (retry ladder + auditor) --------------------------------
+  /// Ladder attempts consumed (1 = first try sufficed). Attempt 2 raises
+  /// the solver/optimizer budgets; attempt 3 falls back to the identity
+  /// transform, which needs no optimization to be Theorem-1 sound.
+  std::uint32_t attempts = 1;
+  /// 0 = clean first-try completion; 1 = recovered by the escalated-budget
+  /// retry; 2 = quarantined degraded; 3 = quarantined failed.
+  std::uint32_t degradation_level = 0;
+  AuditRecord audit;
 
   bool quarantined() const { return outcome != CaseOutcome::kCompleted; }
 
@@ -123,6 +147,7 @@ UseCaseResult run_use_case(const ir::Program& program,
 struct StageTimings {
   std::uint64_t measure_ns = 0;
   std::uint64_t optimize_ns = 0;
+  std::uint64_t audit_ns = 0;  ///< soundness auditor (see AuditRecord)
 };
 
 /// Runs one (program, configuration) pair for several technology nodes at
@@ -139,7 +164,8 @@ std::vector<UseCaseResult> run_use_case_group(
     const std::vector<energy::TechNode>& techs,
     const core::OptimizerOptions& options = {},
     StageTimings* timings = nullptr,
-    const wcet::IpetSystem* shared_ipet = nullptr);
+    const wcet::IpetSystem* shared_ipet = nullptr,
+    bool audit_soundness = false);
 
 /// The full evaluation grid of the paper: every suite program × the 36
 /// configurations of Table 2 × {45nm, 32nm} = 2664 use cases (or a subset
@@ -174,6 +200,28 @@ struct SweepOptions {
   /// equivalence suite switches it off to pin that claim against the
   /// per-case reference path.
   bool share_across_techs = true;
+  /// Crash-safe checkpoint journal. Every finished task appends its rows
+  /// (checksummed, fsync'd) before they count as done; a killed sweep
+  /// re-opened with the same journal path resumes from the last durable row
+  /// and produces bit-identical results. Empty = no journal. Unlike the memo
+  /// cache, the journal stores partial grids and quarantined rows.
+  std::string journal_path;
+  /// Retry-with-degradation ladder depth per use case. 1 = no retries (a
+  /// quarantined row stays quarantined — the equivalence suite pins this).
+  /// 2 adds an escalated-budget retry for retryable failures; 3 adds the
+  /// final rung, the Theorem-1-sound identity transform (upgrades a failed
+  /// row to degraded when the baseline measures under escalated budgets).
+  std::uint32_t max_attempts = 1;
+  /// Watchdog wall-clock deadline per task, in ms; 0 disables the watchdog.
+  /// An over-deadline task is cooperatively cancelled (kCancelled) and fed
+  /// to the retry ladder like any other retryable failure.
+  std::uint32_t case_deadline_ms = 0;
+  /// Always-on soundness auditor: after every accepted optimization,
+  /// re-derive the memory contribution via the dense-tableau reference
+  /// solver + cache simulator and check Theorem 1 and sparse/dense
+  /// agreement. Violations demote the case to quarantined (kAuditFailed) —
+  /// reported, never aborted.
+  bool audit_soundness = true;
 };
 
 /// One quarantined use case of a sweep: which case, which stage failed, why.
@@ -200,6 +248,16 @@ struct SweepReport {
   std::string cache_note;    ///< e.g. why a memo file was rejected
   std::vector<DegradedCase> quarantine;  ///< one entry per non-completed case
 
+  // --- supervision ---------------------------------------------------------
+  std::size_t retried = 0;    ///< cases that consumed more than one attempt
+  std::size_t recovered = 0;  ///< cases completed by the escalated retry
+  std::size_t resumed_rows = 0;  ///< rows restored from the journal
+  std::size_t audited = 0;       ///< cases the soundness auditor examined
+  std::size_t audit_violations = 0;    ///< auditor contradicted the optimizer
+  std::size_t audit_inconclusive = 0;  ///< reference solver budget exhausted
+  bool interrupted = false;  ///< stopped early by request_sweep_interrupt()
+  std::string journal_note;  ///< journal state (resumed/reset/disabled/...)
+
   // --- performance accounting (zero when served from the memo cache) -------
   std::uint32_t threads_used = 0;
   std::uint64_t wall_ms = 0;       ///< compute wall-clock of the sweep
@@ -222,6 +280,16 @@ struct Sweep {
 };
 
 Sweep run_sweep(const SweepOptions& options = {});
+
+// --- cooperative sweep interruption ----------------------------------------
+// Async-signal-safe: a SIGINT/SIGTERM handler may call
+// request_sweep_interrupt() directly. Workers stop pulling new tasks, the
+// journal keeps every finished row, and run_sweep returns with
+// report.interrupted set; unrun cases come back quarantined ("interrupted").
+
+void request_sweep_interrupt();
+bool sweep_interrupt_requested();
+void clear_sweep_interrupt();
 
 // --- sweep memo cache (hardened) -------------------------------------------
 // Format v2: a `# ucp-sweep-cache v<N> grid=<fingerprint>` header line, the

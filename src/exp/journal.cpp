@@ -1,0 +1,411 @@
+#include "exp/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "energy/model.hpp"
+#include "support/durable_io.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ucp::exp {
+
+namespace {
+
+const char kJournalMagic[] = "# ucp-sweep-journal v";
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kJournalCells = 35;  ///< data cells + trailing checksum
+
+std::uint64_t fnv1a(std::string_view s,
+                    std::uint64_t h = 1469598103934665603ull) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& cell, std::uint64_t& out) {
+  if (cell.empty() ||
+      cell.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(cell.c_str(), &end, 10);
+  if (errno != 0 || end != cell.c_str() + cell.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_hex64(const std::string& cell, std::uint64_t& out) {
+  if (cell.size() != 16 ||
+      cell.find_first_not_of("0123456789abcdef") != std::string::npos)
+    return false;
+  out = 0;
+  for (const char c : cell)
+    out = (out << 4) | static_cast<std::uint64_t>(
+                           c <= '9' ? c - '0' : c - 'a' + 10);
+  return true;
+}
+
+/// Energies are journaled as the exact bit pattern of the double, not a
+/// decimal rendering: resume must reproduce the uninterrupted run bit for
+/// bit, and round-tripping through decimal cannot guarantee that.
+std::string double_bits(double v) {
+  return to_hex(std::bit_cast<std::uint64_t>(v));
+}
+
+/// Free-text cells (failure stage/detail) may contain the separator; escape
+/// backslash, comma and newline so the row stays one line of N cells.
+std::string escape_cell(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case ',':
+        out += "\\c";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_cell(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char next = s[++i];
+    out += next == 'c' ? ',' : next == 'n' ? '\n' : next;
+  }
+  return out;
+}
+
+std::string journal_header(const std::string& grid_fp,
+                           const std::string& selection_fp) {
+  return std::string(kJournalMagic) + std::to_string(kJournalVersion) +
+         " grid=" + grid_fp + " sel=" + selection_fp;
+}
+
+}  // namespace
+
+std::string SweepJournal::selection_fingerprint(
+    const SweepOptions& options, const std::vector<std::string>& names) {
+  std::uint64_t h = fnv1a("ucp-sweep-selection");
+  for (const std::string& n : names) h = fnv1a(n + ";", h);
+  h = fnv1a("stride=" + std::to_string(options.config_stride), h);
+  for (const energy::TechNode t : options.techs)
+    h = fnv1a(energy::tech_name(t), h);
+  h = fnv1a("share=" + std::to_string(options.share_across_techs), h);
+  h = fnv1a("attempts=" + std::to_string(options.max_attempts), h);
+  h = fnv1a("deadline=" + std::to_string(options.case_deadline_ms), h);
+  h = fnv1a("audit=" + std::to_string(options.audit_soundness), h);
+  // Optimizer knobs that influence which rows a sweep produces.
+  const core::OptimizerOptions& o = options.optimizer;
+  std::ostringstream opt;
+  opt << "opt=" << o.max_passes << '/' << o.require_effectiveness << '/'
+      << o.require_acet_non_increase << '/'
+      << static_cast<int>(o.accept_rule) << '/' << o.final_audit << '/'
+      << o.max_prefetches << '/' << o.max_evaluations << '/' << o.deadline_ms
+      << '/' << o.incremental_reanalysis;
+  h = fnv1a(opt.str(), h);
+  return to_hex(h);
+}
+
+std::string SweepJournal::journal_row(const UseCaseResult& r,
+                                      std::size_t index) {
+  const std::uint32_t audit_flags =
+      (r.audit.performed ? 1u : 0u) | (r.audit.violated ? 2u : 0u) |
+      (r.audit.inconclusive ? 4u : 0u);
+  ilp::SolveStats solver = r.original.solver;
+  solver.add(r.report.solver);
+  solver.add(r.optimized.solver);
+  std::ostringstream row;
+  row << "row," << index << ',' << escape_cell(r.program) << ','
+      << r.config_id << ',' << energy::tech_name(r.tech) << ','
+      << static_cast<int>(r.outcome) << ',' << static_cast<int>(r.fail_code)
+      << ',' << escape_cell(r.fail_stage) << ',' << r.attempts << ','
+      << r.degradation_level << ',' << audit_flags << ','
+      << r.audit.tau_dense << ',' << r.original.tau_wcet << ','
+      << r.original.run.mem_cycles << ',' << r.original.run.instructions
+      << ',' << r.original.run.total_cycles << ','
+      << r.original.run.cache.fetches << ',' << r.original.run.cache.misses
+      << ',' << double_bits(r.original.energy.total_nj()) << ','
+      << r.optimized.tau_wcet << ',' << r.optimized.run.mem_cycles << ','
+      << r.optimized.run.instructions << ',' << r.optimized.run.total_cycles
+      << ',' << r.optimized.run.cache.fetches << ','
+      << r.optimized.run.cache.misses << ','
+      << double_bits(r.optimized.energy.total_nj()) << ','
+      << r.report.insertions.size() << ',' << r.report.candidates_found
+      << ',' << solver.lp_solves << ',' << solver.pivots << ','
+      << solver.bb_nodes << ',' << solver.warm_starts << ','
+      << solver.phase1_skipped << ',' << escape_cell(r.fail_detail);
+  const std::string prefix = row.str();
+  return prefix + ',' + to_hex(fnv1a(prefix));
+}
+
+bool SweepJournal::parse_journal_row(const std::string& line,
+                                     std::size_t& index, UseCaseResult& r) {
+  // Split on unescaped commas ("\c" is an escaped comma inside a cell).
+  std::vector<std::string> cells(1);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      cells.back() += line[i];
+      cells.back() += line[i + 1];
+      ++i;
+    } else if (line[i] == ',') {
+      cells.emplace_back();
+    } else {
+      cells.back() += line[i];
+    }
+  }
+  if (cells.size() != kJournalCells || cells[0] != "row") return false;
+  const std::size_t checksum_at = line.rfind(',');
+  if (checksum_at == std::string::npos ||
+      to_hex(fnv1a(std::string_view(line).substr(0, checksum_at))) !=
+          cells.back())
+    return false;
+
+  std::uint64_t u[28];
+  const int cols[] = {1, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17,
+                      19, 20, 21, 22, 23, 24, 26, 27, 28, 29, 30, 31, 32};
+  for (std::size_t i = 0; i < std::size(cols); ++i)
+    if (!parse_u64(cells[static_cast<std::size_t>(cols[i])], u[i]))
+      return false;
+  std::uint64_t e_orig = 0, e_opt = 0;
+  if (!parse_hex64(cells[18], e_orig) || !parse_hex64(cells[25], e_opt))
+    return false;
+  if (u[1] > static_cast<std::uint64_t>(CaseOutcome::kFailed)) return false;
+  if (u[2] > static_cast<std::uint64_t>(ErrorCode::kAuditFailed))
+    return false;
+
+  r = UseCaseResult{};
+  index = static_cast<std::size_t>(u[0]);
+  r.program = unescape_cell(cells[2]);
+  r.config_id = cells[3];
+  if (cells[4] == "45nm") {
+    r.tech = energy::TechNode::k45nm;
+  } else if (cells[4] == "32nm") {
+    r.tech = energy::TechNode::k32nm;
+  } else {
+    return false;
+  }
+  r.outcome = static_cast<CaseOutcome>(u[1]);
+  r.fail_code = static_cast<ErrorCode>(u[2]);
+  r.fail_stage = unescape_cell(cells[7]);
+  r.attempts = static_cast<std::uint32_t>(u[3]);
+  r.degradation_level = static_cast<std::uint32_t>(u[4]);
+  r.audit.performed = (u[5] & 1u) != 0;
+  r.audit.violated = (u[5] & 2u) != 0;
+  r.audit.inconclusive = (u[5] & 4u) != 0;
+  r.audit.tau_dense = u[6];
+  r.original.tau_wcet = u[7];
+  r.original.run.mem_cycles = u[8];
+  r.original.run.instructions = u[9];
+  r.original.run.total_cycles = u[10];
+  r.original.run.cache.fetches = u[11];
+  r.original.run.cache.misses = u[12];
+  // Only the total matters downstream; park it in one component (exact:
+  // the journaled value IS the bit pattern of total_nj()).
+  r.original.energy.cache_dynamic_nj = std::bit_cast<double>(e_orig);
+  r.optimized.tau_wcet = u[13];
+  r.optimized.run.mem_cycles = u[14];
+  r.optimized.run.instructions = u[15];
+  r.optimized.run.total_cycles = u[16];
+  r.optimized.run.cache.fetches = u[17];
+  r.optimized.run.cache.misses = u[18];
+  r.optimized.energy.cache_dynamic_nj = std::bit_cast<double>(e_opt);
+  r.report.insertions.resize(static_cast<std::size_t>(u[19]));
+  r.report.candidates_found = static_cast<std::size_t>(u[20]);
+  // The task's summed solver work rides in the report slot so a resumed
+  // sweep reports the same end-to-end solver totals as an uninterrupted one.
+  r.report.solver.lp_solves = u[21];
+  r.report.solver.pivots = u[22];
+  r.report.solver.bb_nodes = u[23];
+  r.report.solver.warm_starts = u[24];
+  r.report.solver.phase1_skipped = u[25];
+  r.fail_detail = unescape_cell(cells[33]);
+  // Reconstruct the report invariants degrade_to_original / the optimizer
+  // maintain; none of these enter the fingerprint row.
+  r.report.code = r.quarantined() ? r.fail_code : ErrorCode::kOk;
+  r.report.detail = r.fail_detail;
+  r.report.tau_original = r.original.tau_wcet;
+  r.report.tau_optimized = r.optimized.tau_wcet;
+  r.report.tau_fixed_final = r.optimized.tau_wcet;
+  return true;
+}
+
+Status SweepJournal::open(
+    const std::string& path, const std::string& grid_fp,
+    const std::string& selection_fp, std::vector<UseCaseResult>& rows,
+    std::vector<bool>& have_row,
+    const std::function<bool(std::size_t, const UseCaseResult&)>&
+        matches_grid) {
+  close();
+  path_ = path;
+  resumed_ = 0;
+  const std::string header = journal_header(grid_fp, selection_fp);
+
+  std::string reset_reason;
+  long truncate_at = -1;  ///< byte offset of the first invalid line
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      note_ = "journal started at '" + path + "'";
+    } else {
+      std::string line;
+      long offset = 0;
+      if (!std::getline(is, line)) {
+        reset_reason = "empty journal";
+      } else if (line != header) {
+        reset_reason =
+            line.rfind(kJournalMagic, 0) == 0
+                ? "grid/selection fingerprint changed since last run"
+                : "not a sweep journal";
+      } else {
+        offset = static_cast<long>(line.size()) + 1;
+        while (std::getline(is, line)) {
+          std::size_t index = 0;
+          UseCaseResult r;
+          const bool valid = parse_journal_row(line, index, r) &&
+                             index < rows.size() && matches_grid(index, r);
+          if (!valid) {
+            // Torn tail (crash mid-append) or foreign bytes: drop this line
+            // and everything after it; every earlier row checksummed clean.
+            truncate_at = offset;
+            break;
+          }
+          if (have_row[index]) {
+            // Duplicate index: a task re-appended in full after a torn tail
+            // left part of it. Identical content is harmless; divergent
+            // content is corruption and truncates like a torn tail.
+            if (journal_row(rows[index], index) != line) {
+              truncate_at = offset;
+              break;
+            }
+          } else {
+            rows[index] = std::move(r);
+            have_row[index] = true;
+            ++resumed_;
+          }
+          offset += static_cast<long>(line.size()) + 1;
+        }
+        note_ = resumed_ > 0
+                    ? "resumed " + std::to_string(resumed_) +
+                          " journaled rows from '" + path + "'" +
+                          (truncate_at >= 0 ? " (torn tail truncated)" : "")
+                    : "journal at '" + path + "' held no reusable rows";
+      }
+    }
+  }
+
+  if (!reset_reason.empty()) {
+    // Stale or foreign journal: checkpoints for a different sweep are
+    // worthless. Start over with a fresh header.
+    std::fill(have_row.begin(), have_row.end(), false);
+    resumed_ = 0;
+    note_ = "journal reset (" + reset_reason + ")";
+    std::remove(path.c_str());
+  } else if (truncate_at >= 0) {
+    if (::truncate(path.c_str(), truncate_at) != 0)
+      return Status(ErrorCode::kInternal,
+                    "cannot truncate torn journal tail of '" + path +
+                        "': " + std::strerror(errno));
+  }
+
+  const bool creating = !std::ifstream(path).good();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (!file_)
+    return Status(ErrorCode::kInternal,
+                  "cannot open journal '" + path + "' for append: " +
+                      std::strerror(errno));
+  if (creating) {
+    const std::string first = header + "\n";
+    if (std::fwrite(first.data(), 1, first.size(), file_) != first.size() ||
+        std::fflush(file_) != 0) {
+      close();
+      return Status(ErrorCode::kInternal,
+                    "cannot write journal header to '" + path + "'");
+    }
+    Status synced = support::fsync_fd(fileno(file_), "journal '" + path + "'");
+    if (synced.ok()) synced = support::fsync_parent(path);
+    if (!synced.ok()) {
+      close();
+      return synced;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SweepJournal::append(const std::vector<UseCaseResult>& results,
+                            std::size_t first, std::size_t count) {
+  if (!active())
+    return Status(ErrorCode::kInternal, "journal is not active");
+  std::string buffer;
+  for (std::size_t k = 0; k < count; ++k)
+    buffer += journal_row(results[first + k], first + k) + "\n";
+
+  if (UCP_FAULT_POINT("io.journal_kill")) {
+    // Simulated power loss mid-append: flush a *partial* record to disk and
+    // die without unwinding. The recovery test asserts the torn tail is
+    // truncated on resume and the rows before it survive.
+    const std::size_t torn = buffer.size() > 7 ? buffer.size() - 7 : 0;
+    std::fwrite(buffer.data(), 1, torn, file_);
+    std::fflush(file_);
+    ::fsync(fileno(file_));
+    ::raise(SIGKILL);
+  }
+
+  const bool injected = UCP_FAULT_POINT("io.journal_write");
+  if (injected ||
+      std::fwrite(buffer.data(), 1, buffer.size(), file_) != buffer.size() ||
+      std::fflush(file_) != 0) {
+    // A sweep without checkpoints beats no sweep: disable the journal and
+    // let the caller report it.
+    const std::string why =
+        injected ? "injected journal write failure"
+                 : std::string("journal append failed: ") +
+                       std::strerror(errno);
+    close();
+    return Status(ErrorCode::kInternal, why);
+  }
+  return support::fsync_fd(fileno(file_), "journal '" + path_ + "'");
+}
+
+void SweepJournal::close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace ucp::exp

@@ -1,0 +1,84 @@
+#pragma once
+
+// Crash-safe sweep checkpoint journal.
+//
+// The memo cache (harness.hpp) stores only *finished, clean, full-grid*
+// sweeps; the journal is its complement for the failure path: an append-only
+// row log that survives kill -9 at any byte. Every finished task's rows are
+// appended, checksummed and fsync'd before the task counts as done, so a
+// re-opened journal resumes the sweep from the last durable row and the
+// combined result set is bit-identical to an uninterrupted run.
+//
+// Durability discipline:
+//  - the header (version + grid + selection fingerprints) is written and
+//    fsync'd — file and parent directory — when the journal is created;
+//  - appends go through fwrite + fflush + fsync before returning;
+//  - every row carries a trailing FNV-1a checksum; a torn tail (partial
+//    last record after a crash mid-append) fails its checksum and is
+//    truncated away on open, never trusted;
+//  - a header that does not match the current grid/selection fingerprints
+//    resets the journal (stale checkpoints are worthless, not dangerous).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+#include "support/status.hpp"
+
+namespace ucp::exp {
+
+class SweepJournal {
+ public:
+  SweepJournal() = default;
+  ~SweepJournal() { close(); }
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Opens (or creates) the journal at `path` for the sweep identified by
+  /// `grid_fp` + `selection_fp`. Valid rows whose index passes
+  /// `matches_grid` are restored into `rows` / `have_row` (both pre-sized
+  /// to the result count); everything from the first invalid row onward is
+  /// truncated. On success the journal is active() and ready for appends.
+  /// `note()` afterwards describes what happened (started / resumed N rows /
+  /// reset: why).
+  Status open(const std::string& path, const std::string& grid_fp,
+              const std::string& selection_fp,
+              std::vector<UseCaseResult>& rows, std::vector<bool>& have_row,
+              const std::function<bool(std::size_t, const UseCaseResult&)>&
+                  matches_grid);
+
+  /// Appends `count` result rows starting at `first` (their grid indices)
+  /// and makes them durable. A write failure disables the journal (the
+  /// sweep continues without checkpoints) and is returned as a Status.
+  /// Not thread-safe; the sweep serializes appends.
+  Status append(const std::vector<UseCaseResult>& results, std::size_t first,
+                std::size_t count);
+
+  bool active() const { return file_ != nullptr; }
+  const std::string& note() const { return note_; }
+  std::size_t resumed_rows() const { return resumed_; }
+
+  void close();
+
+  /// Fingerprint of everything that must match for journal rows to be
+  /// reusable: the resolved program list, configuration subset, tech nodes,
+  /// sharing mode, supervision knobs and optimizer options.
+  static std::string selection_fingerprint(
+      const SweepOptions& options, const std::vector<std::string>& names);
+
+  /// One serialized journal row (with trailing checksum), and its inverse.
+  static std::string journal_row(const UseCaseResult& result,
+                                 std::size_t index);
+  static bool parse_journal_row(const std::string& line, std::size_t& index,
+                                UseCaseResult& result);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string note_;
+  std::size_t resumed_ = 0;
+};
+
+}  // namespace ucp::exp

@@ -25,6 +25,7 @@
 
 #include "ilp/model.hpp"
 #include "ilp/sparse.hpp"
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
 #include "support/fault_injection.hpp"
 
@@ -262,6 +263,7 @@ struct SimplexWorker {
     std::uint64_t since_refresh = 0;
     const std::uint64_t bland_after = 4 * (mm + nn) + 64;
     while (true) {
+      throw_if_cancelled("sparse simplex (primal)");
       if (iters++ > options.max_pivots ||
           (with_fault && UCP_FAULT_POINT("ilp.pivot")))
         return SolveStatus::kIterationLimit;
@@ -390,6 +392,7 @@ struct SimplexWorker {
         }
       }
       if (!any) return SolveStatus::kOptimal;
+      throw_if_cancelled("sparse simplex (phase 1)");
       if (iters++ > max_pivots ||
           (with_fault && UCP_FAULT_POINT("ilp.pivot")))
         return SolveStatus::kIterationLimit;
@@ -547,6 +550,7 @@ struct SimplexWorker {
         }
       }
       if (r < 0) return SolveStatus::kOptimal;
+      throw_if_cancelled("sparse simplex (dual)");
       if (iters++ > options.max_pivots || UCP_FAULT_POINT("ilp.pivot"))
         return SolveStatus::kIterationLimit;
       const bool bland = iters > bland_after;
@@ -779,6 +783,7 @@ Solution SparseLp::solve_ilp_with(const std::vector<double>& obj,
   SolveStatus worst_failure = SolveStatus::kInfeasible;
 
   while (!stack.empty()) {
+    throw_if_cancelled("branch-and-bound");
     if (++nodes > options.max_bb_nodes || UCP_FAULT_POINT("ilp.bb_node")) {
       if (!have_best) best.status = SolveStatus::kIterationLimit;
       best.stats = stats;

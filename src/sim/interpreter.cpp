@@ -1,7 +1,9 @@
 #include "sim/interpreter.hpp"
 
 #include "ir/dominators.hpp"
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
+#include "support/checked.hpp"
 #include "support/fault_injection.hpp"
 
 namespace ucp::sim {
@@ -181,14 +183,22 @@ Expected<RunMetrics> Interpreter::try_run() {
                           ") exhausted in program '" + program_.name() +
                           "' (missing halt?)");
       }
+      // Watchdog poll on the Status channel (every 4096 instructions): a
+      // cancelled run returns cleanly instead of burning its step budget.
+      if ((metrics.instructions & 0xFFF) == 0 && cancellation_requested()) {
+        return Status(ErrorCode::kCancelled,
+                      "simulation of '" + program_.name() +
+                          "' cancelled by the supervisor");
+      }
       const std::uint32_t address = layout_.address(in.id);
       const cache::FetchResult fetch =
           cache_.fetch(layout_.block_of_address(address), now);
-      now += fetch.cycles;
-      metrics.mem_cycles += fetch.cycles;
+      now = checked_add(now, fetch.cycles, "sim cycle clock");
+      metrics.mem_cycles =
+          checked_add(metrics.mem_cycles, fetch.cycles, "sim mem cycles");
       if (trace_) trace_(in, address, fetch);
 
-      now += execute(in, now);
+      now = checked_add(now, execute(in, now), "sim cycle clock");
       ++metrics.instructions;
       if (in.op == ir::Opcode::kPrefetch) ++metrics.prefetch_instructions;
 

@@ -1,0 +1,84 @@
+#pragma once
+
+// Cooperative cancellation for the supervised sweep runtime.
+//
+// A CancellationToken is a single atomic flag owned by the supervisor (one
+// per sweep worker slot). The worker installs it into thread-local storage
+// with a CancelScope; the long-running kernels under it — the cache-analysis
+// fixpoints, the simplex pivot loops, the interpreter step loop and the
+// optimizer's candidate walk — poll `cancellation_requested()` at their
+// existing budget-check cadence. The unset fast path is one thread-local
+// load, so the checks are free on un-supervised runs (tests, benches,
+// library users that never install a scope).
+//
+// Two exits exist by design:
+//  - kernels that already speak the Status channel (the interpreter, the
+//    optimizer's pass loop) return ErrorCode::kCancelled and degrade
+//    gracefully, keeping whatever sound partial state they have;
+//  - deep pure-compute kernels (fixpoints, simplex pivots) throw
+//    CancelledError, which the sweep's task boundary catches and converts
+//    into a quarantined row. Everything in between is RAII, so the throw is
+//    safe, and the retry ladder then re-runs the case with a fresh token.
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace ucp {
+
+/// One supervisor-owned cancellation flag. `cancel()` may be called from any
+/// thread (the watchdog); `cancelled()` is a relaxed load. Reset between
+/// tasks by the owning worker only.
+class CancellationToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+namespace detail {
+inline thread_local const CancellationToken* g_cancel_token = nullptr;
+}
+
+/// Installs `token` as the calling thread's active token for the scope's
+/// lifetime; nests (the previous token is restored on exit).
+class CancelScope {
+ public:
+  explicit CancelScope(const CancellationToken* token)
+      : previous_(detail::g_cancel_token) {
+    detail::g_cancel_token = token;
+  }
+  ~CancelScope() { detail::g_cancel_token = previous_; }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  const CancellationToken* previous_;
+};
+
+/// True iff the calling thread runs under a cancelled token. Cheap enough
+/// for per-pivot polling: a thread-local load plus, when a scope is
+/// installed, one relaxed atomic load.
+inline bool cancellation_requested() {
+  const CancellationToken* token = detail::g_cancel_token;
+  return token != nullptr && token->cancelled();
+}
+
+/// Thrown by deep compute kernels on cancellation; the sweep task boundary
+/// converts it into a quarantined (kCancelled) row.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled by supervisor in " + where) {}
+};
+
+inline void throw_if_cancelled(const char* where) {
+  if (cancellation_requested()) throw CancelledError(where);
+}
+
+}  // namespace ucp

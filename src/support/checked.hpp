@@ -1,0 +1,42 @@
+#pragma once
+
+// Overflow-checked unsigned arithmetic for the cycle/energy accumulators.
+//
+// τ_w sums products of per-execution cycles and worst-case counts; on a
+// pathological (or corrupted) input those can overflow std::uint64_t and
+// silently wrap, which would understate a WCET bound — the one failure mode
+// a sound analyzer must never have. These helpers make every such
+// accumulation trap as an InternalError instead, which the sweep's task
+// boundary contains like any other bug-class exception (the case is
+// quarantined, the sweep survives).
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace ucp {
+
+/// a + b, throwing InternalError on std::uint64_t overflow.
+inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b,
+                                 const char* what = "checked_add") {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw InternalError(std::string(what) + ": uint64 overflow in " +
+                        std::to_string(a) + " + " + std::to_string(b));
+  }
+  return out;
+}
+
+/// a * b, throwing InternalError on std::uint64_t overflow.
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b,
+                                 const char* what = "checked_mul") {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw InternalError(std::string(what) + ": uint64 overflow in " +
+                        std::to_string(a) + " * " + std::to_string(b));
+  }
+  return out;
+}
+
+}  // namespace ucp

@@ -1,0 +1,25 @@
+#pragma once
+
+// POSIX durability helpers for the crash-safe sweep artifacts (journal,
+// memo cache). A rename alone publishes atomically but does not persist: a
+// power loss can still surface the old name, a zero-length file, or a torn
+// tail. The durable sequence is fsync(temp) → rename → fsync(parent dir),
+// and append-style writers fsync their descriptor after each batch.
+
+#include <string>
+
+#include "support/status.hpp"
+
+namespace ucp::support {
+
+/// fsync(2) the file at `path` (opened read-only; Linux permits that).
+Status fsync_path(const std::string& path);
+
+/// fsync(2) the parent directory of `path`, making a rename/creation of the
+/// entry itself durable.
+Status fsync_parent(const std::string& path);
+
+/// fsync(2) an already-open descriptor.
+Status fsync_fd(int fd, const std::string& what);
+
+}  // namespace ucp::support

@@ -24,6 +24,10 @@ const char* const kSites[] = {
     "exp.task",        // sweep worker task boundary (arbitrary exception)
     "exp.cache_read",  // sweep memo load boundary
     "exp.cache_write", // sweep memo save boundary
+    "io.journal_write",   // sweep journal append (durable checkpoint write)
+    "io.journal_kill",    // hard-kill (SIGKILL) mid-append, torn record left
+    "supervisor.cancel",  // watchdog cancellation at task registration
+    "audit.mismatch",     // soundness auditor forced to report a violation
 };
 
 struct SiteState {

@@ -34,6 +34,8 @@ enum class ErrorCode : std::uint8_t {
   kFaultInjected,        ///< forced by the fault-injection registry
   kDegraded,             ///< result fell back to the safe identity transform
   kInternal,             ///< unexpected exception contained at a boundary
+  kCancelled,            ///< cooperatively cancelled (watchdog / SIGINT)
+  kAuditFailed,          ///< soundness auditor contradicted the optimizer
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -64,6 +66,10 @@ inline const char* error_code_name(ErrorCode code) {
       return "degraded";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kAuditFailed:
+      return "audit-failed";
   }
   return "unknown";
 }

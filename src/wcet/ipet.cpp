@@ -4,6 +4,7 @@
 #include <string>
 
 #include "support/check.hpp"
+#include "support/checked.hpp"
 #include "support/fault_injection.hpp"
 
 namespace ucp::wcet {
@@ -235,7 +236,8 @@ std::uint64_t tau_with_fixed_counts(
     std::uint64_t per_exec = 0;
     for (Classification c : classification.per_node[v])
       per_exec += ref_cycles(c, timing);
-    tau += per_exec * counts[v];
+    tau = checked_add(tau, checked_mul(per_exec, counts[v], "tau node term"),
+                      "tau accumulation");
   }
   return tau;
 }

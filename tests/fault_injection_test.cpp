@@ -5,8 +5,10 @@
 // baseline and Theorem 1 holds trivially (wcet_ratio == 1).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -166,6 +168,50 @@ TEST(FaultRegistry, AllComputeSitesAreRegistered) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }
+}
+
+TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
+  // Arm every registered site with an unreachable skip count: nothing ever
+  // fires, but hit accounting is on while any site is armed, so the battery
+  // below proves each registered fault point still sits on an executed
+  // path. A site whose code path decays (or whose UCP_FAULT_POINT call is
+  // dropped in a refactor) fails here instead of silently becoming
+  // untestable.
+  fault::disarm_all();
+  constexpr std::uint64_t kNeverFires = std::uint64_t{1} << 40;
+  const auto& sites = fault::known_sites();
+  for (const std::string& site : sites) fault::arm(site, kNeverFires);
+  std::vector<std::uint64_t> before;
+  for (const std::string& site : sites) before.push_back(fault::hit_count(site));
+
+  // The battery: one journaled, audited, watchdog-supervised sweep with the
+  // full retry ladder, plus a memo-cache save/load round trip. Together
+  // these reach every registered site, including the supervision and
+  // durable-I/O ones.
+  const std::string tmp =
+      testing::TempDir() + "fault_battery." + std::to_string(::getpid());
+  const std::string journal = tmp + ".journal";
+  const std::string cache = tmp + ".cache";
+  std::remove(journal.c_str());
+  std::remove(cache.c_str());
+
+  SweepOptions options = small_sweep();
+  options.journal_path = journal;
+  options.max_attempts = 3;
+  options.case_deadline_ms = 120000;  // watchdog on, far from firing
+  const Sweep sweep = run_sweep(options);
+  EXPECT_TRUE(sweep.report.clean());
+  ASSERT_TRUE(save_sweep_cache(cache, sweep.results).ok());
+  EXPECT_TRUE(load_sweep_cache(cache).ok());
+
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_GT(fault::hit_count(sites[i]), before[i])
+        << "fault site '" << sites[i]
+        << "' was not exercised by the coverage battery";
+  }
+  fault::disarm_all();
+  std::remove(journal.c_str());
+  std::remove(cache.c_str());
 }
 
 }  // namespace

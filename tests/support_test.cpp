@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
 
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
+#include "support/checked.hpp"
 #include "support/fault_injection.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -221,6 +226,65 @@ TEST(FaultInjection, ScopedFaultDisarmsOnExit) {
     // Not consumed inside the scope.
   }
   EXPECT_FALSE(fault::should_fail("wcet.solve"));
+}
+
+TEST(Checked, PassThroughOnHealthyValues) {
+  EXPECT_EQ(checked_add(2, 3), 5u);
+  EXPECT_EQ(checked_mul(6, 7), 42u);
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(checked_add(max, 0), max);
+  EXPECT_EQ(checked_mul(max, 1), max);
+}
+
+TEST(Checked, OverflowTrapsAsInternalError) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_THROW(checked_add(max, 1, "tau accumulation"), InternalError);
+  EXPECT_THROW(checked_mul(std::uint64_t{1} << 33, std::uint64_t{1} << 33,
+                           "node tau contribution"),
+               InternalError);
+  try {
+    checked_add(max, max, "sim cycle clock");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("sim cycle clock"),
+              std::string::npos);
+  }
+}
+
+TEST(Cancellation, NoInstalledScopeMeansNeverCancelled) {
+  EXPECT_FALSE(cancellation_requested());
+  EXPECT_NO_THROW(throw_if_cancelled("unit test"));
+}
+
+TEST(Cancellation, TokenIsScopedAndNests) {
+  CancellationToken outer;
+  CancelScope scope(&outer);
+  EXPECT_FALSE(cancellation_requested());
+  outer.cancel();
+  EXPECT_TRUE(cancellation_requested());
+  {
+    // A fresh nested token shadows the cancelled outer one (the retry
+    // ladder re-runs a cancelled task under a reset token this way).
+    CancellationToken inner;
+    CancelScope nested(&inner);
+    EXPECT_FALSE(cancellation_requested());
+  }
+  EXPECT_TRUE(cancellation_requested());
+  outer.reset();
+  EXPECT_FALSE(cancellation_requested());
+}
+
+TEST(Cancellation, ThrowCarriesTheKernelLocation) {
+  CancellationToken token;
+  CancelScope scope(&token);
+  token.cancel();
+  try {
+    throw_if_cancelled("simplex pivot loop");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("simplex pivot loop"),
+              std::string::npos);
+  }
 }
 
 TEST(CsvWriter, EscapesSpecials) {
