@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace ucp;
   bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   struct Variant {
     std::string name;

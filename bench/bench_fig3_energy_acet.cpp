@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace ucp;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   std::cout << "Figure 3: average improvement per cache size "
                "(Inequations 10-12)\n\n";

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace ucp;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   std::cout << "Figure 4: average miss rate per cache size, original vs "
                "optimized\n\n";

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace ucp;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   struct Row {
     std::uint32_t base_capacity = 0;

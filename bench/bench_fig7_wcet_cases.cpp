@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace ucp;
   bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   std::cout << "Figure 7: per-use-case WCET ratio at 32nm "
                "(Inequation 12)\n\n";

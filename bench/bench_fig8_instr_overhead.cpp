@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace ucp;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   std::cout << "Figure 8: executed-instruction ratio (optimized/original) "
                "per cache size\n\n";

@@ -58,6 +58,7 @@ SchemeMetrics simulate(const ir::Program& program,
 int main(int argc, char** argv) {
   using namespace ucp;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   std::vector<std::string> programs = args.programs;
   if (programs.empty())

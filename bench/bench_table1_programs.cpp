@@ -4,12 +4,15 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ir/layout.hpp"
 #include "suite/suite.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ucp;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::ObsSession obs_session(args);
 
   std::cout << "Table 1: the Mälardalen-like benchmark suite\n\n";
   TextTable table({"id", "program", "category", "blocks", "instrs",

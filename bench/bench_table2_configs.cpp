@@ -17,11 +17,19 @@
 //                      defaults to 3; 1 disables retries)
 //   --deadline-ms N    per-task watchdog deadline (sweep mode defaults to
 //                      120000; 0 disables the watchdog)
+//   --trace=FILE       write a Chrome trace_event JSON of the sweep
+//   --metrics=FILE     write the metrics registry snapshot (JSON)
+//   --profile          print the top-spans profile table after the sweep
+//   --trace-smoke      observability gate: run a small sweep with tracing
+//                      off and on, fail on any fingerprint divergence,
+//                      missing pipeline layer in the trace, or slowdown
+//                      beyond the overhead budget
 //
 // SIGINT/SIGTERM stop the sweep cooperatively: finished rows are already
 // durable in the journal, the health report (with the quarantine summary)
 // is printed, and the bench exits with 128+signal.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -29,11 +37,16 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cache/config.hpp"
 #include "energy/model.hpp"
 #include "exp/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -41,6 +54,10 @@ namespace {
 struct Args {
   bool sweep = false;
   bool perf_smoke = false;
+  bool trace_smoke = false;
+  bool profile = false;
+  std::string trace_path;
+  std::string metrics_path;
   std::uint32_t stride = 1;
   std::uint32_t threads = 0;
   std::vector<std::string> programs;
@@ -70,6 +87,14 @@ Args parse(int argc, char** argv) {
       args.stride = static_cast<std::uint32_t>(std::stoul(a.substr(8)));
     } else if (a == "--perf-smoke") {
       args.perf_smoke = true;
+    } else if (a == "--trace-smoke") {
+      args.trace_smoke = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args.trace_path = a.substr(8);
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      args.metrics_path = a.substr(10);
+    } else if (a == "--profile") {
+      args.profile = true;
     } else if (a == "--threads" && i + 1 < argc) {
       args.threads = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (a == "--programs" && i + 1 < argc) {
@@ -85,9 +110,10 @@ Args parse(int argc, char** argv) {
     } else {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: " << argv[0]
-                << " [--sweep[=STRIDE]] [--perf-smoke] [--threads N]"
-                   " [--programs a,b,c] [--journal PATH] [--attempts N]"
-                   " [--deadline-ms N]\n";
+                << " [--sweep[=STRIDE]] [--perf-smoke] [--trace-smoke]"
+                   " [--threads N] [--programs a,b,c] [--journal PATH]"
+                   " [--attempts N] [--deadline-ms N] [--trace=FILE]"
+                   " [--metrics=FILE] [--profile]\n";
       std::exit(2);
     }
   }
@@ -145,13 +171,13 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
      << "    \"audit\": "
      << static_cast<double>(r.stages.audit_ns) / 1e9 << "\n"
      << "  },\n"
-     << "  \"solver_stats\": {\n"
-     << "    \"lp_solves\": " << r.solver.lp_solves << ",\n"
-     << "    \"pivots\": " << r.solver.pivots << ",\n"
-     << "    \"bb_nodes\": " << r.solver.bb_nodes << ",\n"
-     << "    \"warm_starts\": " << r.solver.warm_starts << ",\n"
-     << "    \"phase1_skipped\": " << r.solver.phase1_skipped << "\n"
-     << "  },\n"
+     // One code path for every metrics consumer: the sweep publishes its
+     // row-derived exp.sweep.* counters (solver totals included) into the
+     // obs registry, and this is the same snapshot --metrics files and the
+     // journal annotation carry.
+     << "  \"metrics\": " << ucp::obs::snapshot_json(
+            ucp::obs::registry().snapshot())
+     << ",\n"
      << "  \"result_fingerprint\": \"" << fingerprint << "\"\n"
      << "}\n";
   std::cout << "[bench] wrote BENCH_sweep.json (" << r.total << " cases, "
@@ -161,6 +187,12 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
 
 int run_sweep_mode(const Args& args) {
   using namespace ucp;
+  // Metrics are always on in sweep mode (BENCH_sweep.json embeds the
+  // snapshot); tracing/profiling only when asked for.
+  bench::ObsSession obs_session(args.trace_path, args.metrics_path,
+                                args.profile);
+  obs::set_enabled(true);
+
   // Cooperative shutdown: ^C / SIGTERM stop the sweep at the next task
   // boundary, the journal keeps every finished row, and the report below
   // shows exactly what was (and was not) computed.
@@ -220,11 +252,83 @@ int run_perf_smoke(const Args& args) {
   return 0;
 }
 
+int run_trace_smoke(const Args& args) {
+  using namespace ucp;
+  // Same small slice as --perf-smoke: big enough to cross every pipeline
+  // layer, small enough for CI budgets.
+  Args smoke = args;
+  if (smoke.stride == 1) smoke.stride = 12;
+  if (smoke.programs.empty()) smoke.programs = {"bs", "fdct", "crc"};
+  const exp::SweepOptions options = sweep_options(smoke);
+
+  // min-of-2 wall clock per configuration damps scheduler noise, and the
+  // first (discarded-by-min) disabled run doubles as process warmup.
+  auto timed = [&](bool instrumented, std::string& fp) {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (int rep = 0; rep < 2; ++rep) {
+      obs::set_enabled(instrumented);
+      obs::set_trace_enabled(instrumented);
+      const exp::Sweep sweep = exp::run_sweep(options);
+      obs::set_enabled(false);
+      obs::set_trace_enabled(false);
+      fp = exp::sweep_results_fingerprint(sweep.results);
+      best = std::min<std::uint64_t>(best, sweep.report.wall_ms);
+    }
+    return best;
+  };
+
+  obs::reset_trace();
+  std::string fp_off;
+  std::string fp_on;
+  const std::uint64_t ms_off = timed(false, fp_off);
+  const std::uint64_t ms_on = timed(true, fp_on);
+
+  int failures = 0;
+  if (fp_off != fp_on) {
+    std::cerr << "[trace-smoke] FAIL: tracing changed the results (" << fp_off
+              << " vs " << fp_on << ")\n";
+    ++failures;
+  }
+
+  const std::vector<obs::TraceEvent> events = obs::drain_trace();
+  for (const char* layer :
+       {"analysis.", "ilp.", "wcet.", "core.", "sim.", "exp."}) {
+    const bool found =
+        std::any_of(events.begin(), events.end(), [&](const obs::TraceEvent& e) {
+          return std::string_view(e.name).rfind(layer, 0) == 0;
+        });
+    if (!found) {
+      std::cerr << "[trace-smoke] FAIL: no '" << layer
+                << "*' span in the trace — a pipeline layer lost its "
+                   "instrumentation\n";
+      ++failures;
+    }
+  }
+
+  // Overhead budget: full instrumentation may add at most 1% to the wall
+  // clock, with an absolute floor because a smoke sweep is sub-second and
+  // scheduler noise alone exceeds 1% at that scale.
+  const double budget = static_cast<double>(ms_off) * 1.01 + 150.0;
+  if (static_cast<double>(ms_on) > budget) {
+    std::cerr << "[trace-smoke] FAIL: instrumented sweep took " << ms_on
+              << "ms vs " << ms_off << "ms baseline (budget " << budget
+              << "ms)\n";
+    ++failures;
+  }
+
+  std::cout << "[trace-smoke] " << (failures == 0 ? "OK" : "FAIL") << ": "
+            << events.size() << " spans, baseline " << ms_off
+            << "ms, instrumented " << ms_on << "ms, fingerprint " << fp_off
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ucp;
   const Args args = parse(argc, argv);
+  if (args.trace_smoke) return run_trace_smoke(args);
   if (args.perf_smoke) return run_perf_smoke(args);
   if (args.sweep) return run_sweep_mode(args);
 

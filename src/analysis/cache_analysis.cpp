@@ -1,7 +1,10 @@
 #include "analysis/cache_analysis.hpp"
 
+#include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/cancellation.hpp"
 #include "support/check.hpp"
 
@@ -115,6 +118,7 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
                                   const cache::CacheConfig& config) {
   UCP_REQUIRE(program.num_blocks() == graph.program().num_blocks(),
               "program CFG does not match the context graph");
+  obs::Span span("analysis.cache.fixpoint");
   const std::size_t n = graph.num_nodes();
 
   CacheAnalysisResult result;
@@ -133,6 +137,10 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
     queued[id] = true;
   }
 
+  // Instrumentation aggregates locally; one registry add after convergence
+  // (never per iteration — see DESIGN.md §11 hot-path discipline).
+  std::uint64_t joins = 0;
+  std::size_t peak_worklist = work.size();
   std::uint32_t pops = 0;
   while (!work.empty()) {
     // Cancellation point: the fixpoint is the longest uninterruptible
@@ -155,14 +163,31 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
     for (std::uint32_t ei : graph.out_edges(id)) {
       const CgEdge& e = graph.edges()[ei];
       bool was_in = has_in[e.to];
+      ++joins;
       if (merge_in(result.in_states[e.to], was_in, result.out_states[id])) {
         has_in[e.to] = true;
         if (!queued[e.to]) {
           work.push_back(e.to);
           queued[e.to] = true;
+          peak_worklist = std::max(peak_worklist, work.size());
         }
       }
     }
+  }
+
+  if (obs::enabled()) {
+    static obs::Counter& c_runs =
+        obs::registry().counter("analysis.cache.fixpoints");
+    static obs::Counter& c_pops =
+        obs::registry().counter("analysis.cache.worklist_pops");
+    static obs::Counter& c_joins =
+        obs::registry().counter("analysis.cache.joins");
+    static obs::Gauge& g_peak =
+        obs::registry().gauge("analysis.cache.peak_worklist");
+    c_runs.increment();
+    c_pops.add(pops);
+    c_joins.add(joins);
+    g_peak.set_max(static_cast<std::int64_t>(peak_worklist));
   }
 
   // Final classification pass with the converged states.
@@ -206,6 +231,11 @@ IncrementalCacheAnalysis::TrialResult IncrementalCacheAnalysis::analyze_trial(
   UCP_REQUIRE(trial.num_blocks() == graph_->program().num_blocks(),
               "trial program CFG does not match the context graph");
   ++trials_;
+  if (obs::enabled()) {
+    static obs::Counter& c_trials =
+        obs::registry().counter("analysis.incremental.trials");
+    c_trials.increment();
+  }
   TrialResult t{ir::Layout(trial, config_.block_bytes), {}, {}, {}, {}};
 
   // Blocks whose abstract transfer changed: an edit to the instruction list
@@ -257,6 +287,11 @@ IncrementalCacheAnalysis::TrialResult IncrementalCacheAnalysis::analyze_trial(
   }
   const std::size_t m = t.affected.size();
   nodes_reanalyzed_ += m;
+  if (obs::enabled()) {
+    static obs::Counter& c_nodes =
+        obs::registry().counter("analysis.incremental.nodes_reanalyzed");
+    c_nodes.add(m);
+  }
 
   const MustMay empty{AbstractCache(config_), AbstractCache(config_)};
   t.in_states.assign(m, empty);

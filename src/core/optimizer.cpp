@@ -12,6 +12,8 @@
 #include "core/wcet_path.hpp"
 #include "ir/layout.hpp"
 #include "ir/verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/interpreter.hpp"
 #include "support/cancellation.hpp"
 #include "support/check.hpp"
@@ -85,6 +87,53 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   OptimizationResult result{input, {}};
   OptimizationReport& report = result.report;
   ir::Program& p = result.program;
+
+  // One registry publish per run, on every exit path (the candidate walk
+  // has many early degrade returns). Counter values are the report's own —
+  // route one source of truth into the registry, don't recount.
+  obs::Span span("core.optimizer.run");
+  struct ReportPublisher {
+    const OptimizationReport& report;
+    ~ReportPublisher() {
+      if (!obs::enabled()) return;
+      static obs::Counter& c_runs =
+          obs::registry().counter("core.optimizer.runs");
+      static obs::Counter& c_found =
+          obs::registry().counter("core.optimizer.candidates_found");
+      static obs::Counter& c_eval =
+          obs::registry().counter("core.optimizer.candidates_evaluated");
+      static obs::Counter& c_accepted =
+          obs::registry().counter("core.optimizer.insertions_accepted");
+      static obs::Counter& c_ineff =
+          obs::registry().counter("core.optimizer.rejected_ineffective");
+      static obs::Counter& c_unprof =
+          obs::registry().counter("core.optimizer.rejected_unprofitable");
+      static obs::Counter& c_acet =
+          obs::registry().counter("core.optimizer.rejected_acet");
+      static obs::Counter& c_surv =
+          obs::registry().counter("core.optimizer.rejected_cannot_survive");
+      static obs::Counter& c_passes =
+          obs::registry().counter("core.optimizer.passes");
+      static obs::Counter& c_full =
+          obs::registry().counter("core.optimizer.full_reanalyses");
+      static obs::Counter& c_incr =
+          obs::registry().counter("core.optimizer.incremental_reanalyses");
+      static obs::Counter& c_nodes =
+          obs::registry().counter("core.optimizer.nodes_reanalyzed");
+      c_runs.increment();
+      c_found.add(report.candidates_found);
+      c_eval.add(report.candidates_evaluated);
+      c_accepted.add(report.insertions.size());
+      c_ineff.add(report.rejected_ineffective);
+      c_unprof.add(report.rejected_unprofitable);
+      c_acet.add(report.rejected_acet);
+      c_surv.add(report.rejected_cannot_survive);
+      c_passes.add(report.passes);
+      c_full.add(report.full_reanalyses);
+      c_incr.add(report.incremental_reanalyses);
+      c_nodes.add(report.nodes_reanalyzed);
+    }
+  } publisher{report};
 
   // Degradation to the identity transform: the returned program is the
   // unmodified input (trivially Theorem-1 sound), with the cause recorded.

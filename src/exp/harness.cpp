@@ -22,6 +22,9 @@
 #include "analysis/context_graph.hpp"
 #include "exp/journal.hpp"
 #include "ir/layout.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "suite/suite.hpp"
 #include "support/cancellation.hpp"
 #include "support/check.hpp"
@@ -698,6 +701,53 @@ void clear_sweep_interrupt() {
   g_sweep_interrupt.store(false, std::memory_order_relaxed);
 }
 
+void publish_sweep_metrics(const Sweep& sweep) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  auto add = [&](const char* name, std::uint64_t value) {
+    reg.counter(name).add(value);
+  };
+
+  add("exp.sweep.cases", sweep.report.total);
+  add("exp.sweep.completed", sweep.report.completed);
+  add("exp.sweep.degraded", sweep.report.degraded);
+  add("exp.sweep.failed", sweep.report.failed);
+  add("exp.sweep.degenerate_ratios", sweep.report.degenerate_ratios);
+  add("exp.sweep.retried", sweep.report.retried);
+  add("exp.sweep.recovered", sweep.report.recovered);
+  add("exp.sweep.resumed_rows", sweep.report.resumed_rows);
+  add("exp.sweep.audited", sweep.report.audited);
+  add("exp.sweep.audit_violations", sweep.report.audit_violations);
+  add("exp.sweep.audit_inconclusive", sweep.report.audit_inconclusive);
+
+  add("exp.sweep.lp_solves", sweep.report.solver.lp_solves);
+  add("exp.sweep.pivots", sweep.report.solver.pivots);
+  add("exp.sweep.bb_nodes", sweep.report.solver.bb_nodes);
+  add("exp.sweep.warm_starts", sweep.report.solver.warm_starts);
+  add("exp.sweep.phase1_skipped", sweep.report.solver.phase1_skipped);
+
+  std::uint64_t attempts = 0, insertions = 0, cand_found = 0, cand_eval = 0;
+  std::uint64_t passes = 0, full_re = 0, incr_re = 0, nodes_re = 0;
+  for (const UseCaseResult& r : sweep.results) {
+    attempts += r.attempts;
+    insertions += r.report.insertions.size();
+    cand_found += r.report.candidates_found;
+    cand_eval += r.report.candidates_evaluated;
+    passes += r.report.passes;
+    full_re += r.report.full_reanalyses;
+    incr_re += r.report.incremental_reanalyses;
+    nodes_re += r.report.nodes_reanalyzed;
+  }
+  add("exp.sweep.attempts", attempts);
+  add("exp.sweep.insertions", insertions);
+  add("exp.sweep.candidates_found", cand_found);
+  add("exp.sweep.candidates_evaluated", cand_eval);
+  add("exp.sweep.optimizer_passes", passes);
+  add("exp.sweep.full_reanalyses", full_re);
+  add("exp.sweep.incremental_reanalyses", incr_re);
+  add("exp.sweep.nodes_reanalyzed", nodes_re);
+}
+
 Sweep run_sweep(const SweepOptions& options) {
   Sweep sweep;
   // Serve (a filtered view of) the memoized full sweep when available.
@@ -808,6 +858,14 @@ Sweep run_sweep(const SweepOptions& options) {
   }
   results.resize(tasks.size() * options.techs.size());
 
+  // Unified operator feedback: progress lines and the retry/audit/journal
+  // notice channels share one reporter (one clock, one rate limit), so a
+  // many-threaded sweep cannot flood the terminal however much news the
+  // subsystems have.
+  obs::ProgressReporter::Options reporter_options;
+  reporter_options.enabled = options.progress_every != 0;
+  obs::ProgressReporter reporter(reporter_options);
+
   // Crash-safe checkpoint journal: restore every durable row, then run only
   // the tasks that are not fully journaled. Restored rows are byte-for-byte
   // what the killed sweep computed, so the combined result set is
@@ -833,8 +891,10 @@ Sweep run_sweep(const SweepOptions& options) {
     if (!opened.ok())
       sweep.report.journal_note +=
           " — journaling disabled: " + opened.message();
-    if (!opened.ok() || options.progress_every != 0)
+    if (!opened.ok())
       std::cerr << "  [sweep] " << sweep.report.journal_note << "\n";
+    else
+      reporter.announce(sweep.report.journal_note);
   }
   std::size_t resumed_cases = 0;
   std::vector<bool> task_pending(tasks.size(), true);
@@ -862,9 +922,19 @@ Sweep run_sweep(const SweepOptions& options) {
                      return tasks[a].weight > tasks[b].weight;
                    });
 
+  // Declare the work ahead in the scheduler's own weight units so the ETA
+  // tracks completed *work*, not completed case counts (under heaviest-first
+  // scheduling the early cases are the slow ones, so a case-count ETA is
+  // badly biased at both ends of the run).
+  std::uint64_t total_weight = 0;
+  std::uint64_t resumed_weight = 0;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    total_weight += tasks[t].weight;
+    if (!task_pending[t]) resumed_weight += tasks[t].weight;
+  }
+  reporter.begin(results.size(), total_weight, resumed_cases, resumed_weight);
+
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{resumed_cases};
-  std::atomic<std::int64_t> last_progress_ms{-10000};
   std::mutex stage_mutex;
   const auto sweep_start = std::chrono::steady_clock::now();
   auto now_ms = [&] {
@@ -1056,6 +1126,48 @@ Sweep run_sweep(const SweepOptions& options) {
       else if (rows[k].outcome == CaseOutcome::kFailed)
         rows[k].degradation_level = 3;
     }
+
+    if (attempts > 1)
+      reporter.notice("retry", *t.program + "/" + t.config->id + " took " +
+                                   std::to_string(attempts) + " attempts");
+    for (const UseCaseResult& r : rows) {
+      if (r.audit.violated)
+        reporter.notice("audit", "soundness violation at " + r.program + "/" +
+                                     r.config_id);
+      else if (r.audit.inconclusive)
+        reporter.notice("audit", "inconclusive audit at " + r.program + "/" +
+                                     r.config_id);
+    }
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::registry();
+      static obs::Counter& c_tasks = reg.counter("exp.task.runs");
+      static obs::Counter& c_attempts = reg.counter("exp.task.attempts");
+      static obs::Counter& c_completed =
+          reg.counter("exp.task.cases_completed");
+      static obs::Counter& c_degraded = reg.counter("exp.task.cases_degraded");
+      static obs::Counter& c_failed = reg.counter("exp.task.cases_failed");
+      static obs::Counter& c_audited = reg.counter("exp.task.cases_audited");
+      static obs::Counter& c_violations =
+          reg.counter("exp.task.audit_violations");
+      c_tasks.increment();
+      c_attempts.add(attempts);
+      for (const UseCaseResult& r : rows) {
+        switch (r.outcome) {
+          case CaseOutcome::kCompleted:
+            c_completed.increment();
+            break;
+          case CaseOutcome::kDegraded:
+            c_degraded.increment();
+            break;
+          case CaseOutcome::kFailed:
+            c_failed.increment();
+            break;
+        }
+        if (r.audit.performed) c_audited.increment();
+        if (r.audit.violated) c_violations.increment();
+      }
+    }
+
     for (std::size_t k = 0; k < n; ++k)
       results[t.first + k] = std::move(rows[k]);
 
@@ -1072,33 +1184,10 @@ Sweep run_sweep(const SweepOptions& options) {
         if (!appended.ok()) {
           sweep.report.journal_note +=
               "; journaling disabled mid-sweep: " + appended.message();
-          std::cerr << "  [sweep] journal: " << appended.message() << "\n";
+          reporter.notice("journal", appended.message());
         }
       }
     }
-  };
-
-  auto progress = [&](std::size_t cases_done) {
-    if (options.progress_every == 0) return;
-    const std::size_t total = results.size();
-    const auto elapsed_ms =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - sweep_start)
-            .count();
-    // Rate limit: at most one line per second no matter how many workers
-    // finish tasks simultaneously; the final case always reports.
-    std::int64_t last = last_progress_ms.load(std::memory_order_relaxed);
-    if (cases_done < total && elapsed_ms - last < 1000) return;
-    if (!last_progress_ms.compare_exchange_strong(last, elapsed_ms))
-      return;  // another worker just printed
-    const double secs = static_cast<double>(elapsed_ms) / 1000.0;
-    const double rate =
-        secs > 0.0 ? static_cast<double>(cases_done) / secs : 0.0;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(total - cases_done) / rate : 0.0;
-    std::fprintf(stderr,
-                 "  [sweep] %zu/%zu use cases (%.1f cases/s, ETA %.0fs)\n",
-                 cases_done, total, rate, eta);
   };
 
   auto worker = [&](std::size_t slot_index) {
@@ -1110,10 +1199,22 @@ Sweep run_sweep(const SweepOptions& options) {
       const std::size_t at = next.fetch_add(1);
       if (at >= order.size()) break;
       const Task& t = tasks[order[at]];
-      run_task(t, slot, local);
-      const std::size_t d =
-          done.fetch_add(options.techs.size()) + options.techs.size();
-      progress(d);
+      {
+        obs::Span span("exp.task.run");
+        // Every task is enqueued at sweep start, so elapsed time at pop IS
+        // the queue wait; the remainder of the scope is the run time.
+        const std::int64_t popped_ms = now_ms();
+        run_task(t, slot, local);
+        if (obs::enabled()) {
+          static obs::Histogram& h_wait =
+              obs::registry().histogram("exp.task.queue_wait_ms");
+          static obs::Histogram& h_run =
+              obs::registry().histogram("exp.task.run_ms");
+          h_wait.record(static_cast<std::uint64_t>(popped_ms));
+          h_run.record(static_cast<std::uint64_t>(now_ms() - popped_ms));
+        }
+      }
+      reporter.case_done(options.techs.size(), t.weight);
     }
     std::lock_guard<std::mutex> lock(stage_mutex);
     sweep.report.stages.measure_ns += local.measure_ns;
@@ -1152,7 +1253,6 @@ Sweep run_sweep(const SweepOptions& options) {
     supervising.store(false, std::memory_order_relaxed);
     watchdog_thread.join();
   }
-  journal.close();
 
   // An interrupted sweep returns what it has: journaled + finished rows are
   // real results; everything unrun is quarantined as "interrupted" so the
@@ -1216,6 +1316,19 @@ Sweep run_sweep(const SweepOptions& options) {
           r.program, r.config_id, r.tech, r.outcome, r.fail_stage,
           r.fail_code, r.fail_detail});
   }
+
+  // Publish the authoritative row-derived counters, then merge the metrics
+  // snapshot into the journal as a comment (skipped on resume, so it never
+  // perturbs checkpointing). An annotation failure is a warning, not a
+  // sweep failure — sinks are observers.
+  publish_sweep_metrics(sweep);
+  if (journal.active() && obs::enabled()) {
+    const Status annotated = journal.annotate(
+        "metrics " + obs::snapshot_json(obs::registry().snapshot()));
+    if (!annotated.ok()) reporter.notice("journal", annotated.message());
+  }
+  journal.close();
+  reporter.finish();
 
   // Persist only full default grids; partial sweeps would poison the memo
   // for the other figure benches, and a degraded sweep must never be served

@@ -281,6 +281,17 @@ struct Sweep {
 
 Sweep run_sweep(const SweepOptions& options = {});
 
+/// Publishes the sweep's health report into the obs metrics registry as the
+/// authoritative `exp.sweep.*` counters: outcome totals, supervision
+/// accounting and the summed solver/optimizer work, all derived from the
+/// finished rows. Unlike the live per-layer counters (ilp.solve.*,
+/// core.optimizer.*, ...) these also cover journal-resumed rows that never
+/// executed in this process, and they are what BENCH_sweep.json and the
+/// journal metrics annotation report. run_sweep calls this before
+/// returning; it is a no-op while obs is disabled, and it never publishes
+/// wall-clock-derived values (fingerprints must stay machine-independent).
+void publish_sweep_metrics(const Sweep& sweep);
+
 // --- cooperative sweep interruption ----------------------------------------
 // Async-signal-safe: a SIGINT/SIGTERM handler may call
 // request_sweep_interrupt() directly. Workers stop pulling new tasks, the

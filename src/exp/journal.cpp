@@ -294,6 +294,12 @@ Status SweepJournal::open(
       } else {
         offset = static_cast<long>(line.size()) + 1;
         while (std::getline(is, line)) {
+          if (line.empty() || line[0] == '#') {
+            // Annotation comment (e.g. "# metrics {...}"): observability
+            // metadata, not row data — skip it, keep the offset accounting.
+            offset += static_cast<long>(line.size()) + 1;
+            continue;
+          }
           std::size_t index = 0;
           UseCaseResult r;
           const bool valid = parse_journal_row(line, index, r) &&
@@ -397,6 +403,26 @@ Status SweepJournal::append(const std::vector<UseCaseResult>& results,
                        std::strerror(errno);
     close();
     return Status(ErrorCode::kInternal, why);
+  }
+  return support::fsync_fd(fileno(file_), "journal '" + path_ + "'");
+}
+
+Status SweepJournal::annotate(const std::string& text) {
+  if (!active())
+    return Status(ErrorCode::kInternal, "journal is not active");
+  // Comments are skipped (and offset-accounted) by open(), so annotations
+  // never perturb resume. Newlines would turn one comment into a torn-tail
+  // candidate; flatten them.
+  std::string line = "# ";
+  for (const char c : text) line += c == '\n' ? ' ' : c;
+  line += '\n';
+  if (UCP_FAULT_POINT("obs.sink_write") ||
+      std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    // Annotations are observability, not checkpoints: report the failure
+    // but leave the journal active — rows still append.
+    return Status(ErrorCode::kInternal,
+                  "journal annotation failed on '" + path_ + "'");
   }
   return support::fsync_fd(fileno(file_), "journal '" + path_ + "'");
 }

@@ -56,6 +56,14 @@ class SweepJournal {
   Status append(const std::vector<UseCaseResult>& results, std::size_t first,
                 std::size_t count);
 
+  /// Appends `text` as a `# `-prefixed comment line (newlines flattened).
+  /// Comments are skipped on open, so annotations never affect resume; the
+  /// sweep uses this to merge the end-of-run metrics snapshot into the
+  /// journal. Sits behind the obs.sink_write fault point: a failure is
+  /// reported but leaves the journal active (annotations are observability,
+  /// not checkpoints).
+  Status annotate(const std::string& text);
+
   bool active() const { return file_ != nullptr; }
   const std::string& note() const { return note_; }
   std::size_t resumed_rows() const { return resumed_; }

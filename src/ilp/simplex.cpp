@@ -25,6 +25,8 @@
 
 #include "ilp/model.hpp"
 #include "ilp/sparse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/cancellation.hpp"
 #include "support/check.hpp"
 #include "support/fault_injection.hpp"
@@ -740,14 +742,39 @@ Solution extract(const detail::SimplexWorker& w, SolveStatus status,
 
 }  // namespace
 
+namespace {
+
+/// One registry add per solve, after the stats are final — the simplex's
+/// inner loops never touch shared atomics (DESIGN.md §11).
+void publish_solve_stats(const SolveStats& stats) {
+  if (!obs::enabled()) return;
+  static obs::Counter& c_solves =
+      obs::registry().counter("ilp.solve.lp_solves");
+  static obs::Counter& c_pivots = obs::registry().counter("ilp.solve.pivots");
+  static obs::Counter& c_nodes = obs::registry().counter("ilp.solve.bb_nodes");
+  static obs::Counter& c_warm =
+      obs::registry().counter("ilp.solve.warm_starts");
+  static obs::Counter& c_skip =
+      obs::registry().counter("ilp.solve.phase1_skipped");
+  c_solves.add(stats.lp_solves);
+  c_pivots.add(stats.pivots);
+  c_nodes.add(stats.bb_nodes);
+  c_warm.add(stats.warm_starts);
+  c_skip.add(stats.phase1_skipped);
+}
+
+}  // namespace
+
 Solution SparseLp::solve_lp_with(const std::vector<double>& obj,
                                  const SolveOptions& options) const {
+  obs::Span span("ilp.solve.lp");
   SolveStats stats;
   stats.lp_solves = 1;
   if (canonical_status_ != SolveStatus::kOptimal) {
     Solution solution;
     solution.status = canonical_status_;
     solution.stats = stats;
+    publish_solve_stats(solution.stats);
     return solution;
   }
   stats.phase1_skipped = 1;
@@ -757,7 +784,9 @@ Solution SparseLp::solve_lp_with(const std::vector<double>& obj,
   w.compute_reduced_costs();
   const SolveStatus status = w.primal(options, stats, /*with_fault=*/true);
   if (status == SolveStatus::kOptimal) w.refresh_basic_values();
-  return extract(w, status, stats);
+  Solution solution = extract(w, status, stats);
+  publish_solve_stats(solution.stats);
+  return solution;
 }
 
 Solution SparseLp::solve_ilp_with(const std::vector<double>& obj,
@@ -772,6 +801,7 @@ Solution SparseLp::solve_ilp_with(const std::vector<double>& obj,
     std::shared_ptr<const detail::SimplexWorker> parent;  ///< optimal state
   };
 
+  obs::Span span("ilp.solve.bb");
   Solution best;
   best.status = SolveStatus::kInfeasible;
   bool have_best = false;
@@ -787,6 +817,7 @@ Solution SparseLp::solve_ilp_with(const std::vector<double>& obj,
     if (++nodes > options.max_bb_nodes || UCP_FAULT_POINT("ilp.bb_node")) {
       if (!have_best) best.status = SolveStatus::kIterationLimit;
       best.stats = stats;
+      publish_solve_stats(best.stats);
       return best;
     }
     stats.bb_nodes = nodes;
@@ -900,6 +931,7 @@ Solution SparseLp::solve_ilp_with(const std::vector<double>& obj,
 
   if (!have_best) best.status = worst_failure;
   best.stats = stats;
+  publish_solve_stats(best.stats);
   return best;
 }
 

@@ -1,0 +1,110 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+
+namespace ucp::obs {
+
+namespace {
+std::int64_t steady_ms() {
+  return static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ProgressReporter::ProgressReporter(const Options& options)
+    : options_(options), epoch_ms_(steady_ms()) {}
+
+std::int64_t ProgressReporter::now_ms() const { return steady_ms() - epoch_ms_; }
+
+void ProgressReporter::begin(std::uint64_t total_cases,
+                             std::uint64_t total_weight,
+                             std::uint64_t resumed_cases,
+                             std::uint64_t resumed_weight) {
+  total_cases_ = total_cases;
+  total_weight_ = total_weight;
+  resumed_cases_ = resumed_cases;
+  resumed_weight_ = resumed_weight;
+  done_cases_.store(resumed_cases, std::memory_order_relaxed);
+  done_weight_.store(resumed_weight, std::memory_order_relaxed);
+  epoch_ms_ = steady_ms();
+  last_progress_ms_.store(-1000000, std::memory_order_relaxed);
+}
+
+void ProgressReporter::case_done(std::uint64_t cases, std::uint64_t weight) {
+  const std::uint64_t done =
+      done_cases_.fetch_add(cases, std::memory_order_relaxed) + cases;
+  const std::uint64_t done_weight =
+      done_weight_.fetch_add(weight, std::memory_order_relaxed) + weight;
+  if (!options_.enabled) return;
+
+  const std::int64_t elapsed = now_ms();
+  std::int64_t last = last_progress_ms_.load(std::memory_order_relaxed);
+  // Rate limit: at most one line per interval no matter how many workers
+  // finish tasks simultaneously; the final case always reports.
+  if (done < total_cases_ &&
+      elapsed - last < static_cast<std::int64_t>(options_.min_interval_ms))
+    return;
+  if (!last_progress_ms_.compare_exchange_strong(last, elapsed))
+    return;  // another worker just printed
+
+  const double secs = static_cast<double>(elapsed) / 1000.0;
+  const double case_rate =
+      secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+  // Weight-based ETA: remaining scheduled work over completed-work
+  // throughput, with journal-restored weight excluded from the numerator.
+  const std::uint64_t earned =
+      done_weight > resumed_weight_ ? done_weight - resumed_weight_ : 0;
+  const double weight_rate =
+      secs > 0.0 ? static_cast<double>(earned) / secs : 0.0;
+  const std::uint64_t remaining =
+      total_weight_ > done_weight ? total_weight_ - done_weight : 0;
+  const double eta =
+      weight_rate > 0.0 ? static_cast<double>(remaining) / weight_rate : 0.0;
+  const double work_pct =
+      total_weight_ > 0 ? 100.0 * static_cast<double>(done_weight) /
+                              static_cast<double>(total_weight_)
+                        : 0.0;
+  std::fprintf(stream(),
+               "  [sweep] %llu/%llu use cases (%.1f cases/s, %.1f%% of "
+               "work, ETA %.0fs)\n",
+               static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(total_cases_), case_rate,
+               work_pct, eta);
+}
+
+void ProgressReporter::notice(const char* channel, const std::string& message) {
+  if (!options_.enabled) return;
+  const std::int64_t now = now_ms();
+  {
+    std::lock_guard<std::mutex> lock(channels_mutex_);
+    Channel& ch = channels_[channel];
+    if (now - ch.last_ms <
+        static_cast<std::int64_t>(options_.min_interval_ms)) {
+      ++ch.suppressed;
+      return;
+    }
+    ch.last_ms = now;
+  }
+  std::fprintf(stream(), "  [sweep:%s] %s\n", channel, message.c_str());
+}
+
+void ProgressReporter::announce(const std::string& message) {
+  if (!options_.enabled) return;
+  std::fprintf(stream(), "  [sweep] %s\n", message.c_str());
+}
+
+void ProgressReporter::finish() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(channels_mutex_);
+  for (auto& [name, ch] : channels_) {
+    if (ch.suppressed == 0) continue;
+    std::fprintf(stream(), "  [sweep:%s] ... and %llu more %s notices\n",
+                 name.c_str(), static_cast<unsigned long long>(ch.suppressed),
+                 name.c_str());
+    ch.suppressed = 0;
+  }
+}
+
+}  // namespace ucp::obs

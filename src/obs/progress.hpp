@@ -1,0 +1,91 @@
+#pragma once
+
+// Unified, rate-limited operator feedback for long runs.
+//
+// One ProgressReporter replaces the per-feature stderr printing that used to
+// grow with each subsystem (sweep progress lines, retry-ladder notices,
+// auditor notices, journal state): every channel shares one clock, one
+// output stream and one rate-limiting discipline, so a 48-thread sweep can
+// never flood the terminal no matter how many subsystems have news.
+//
+// ETA discipline: the estimate divides *remaining scheduled work* by
+// *completed-work throughput*, both in the scheduler's weight units
+// (instructions × cache sets), not in case counts. Under heaviest-first
+// scheduling the early cases are the slowest ones, so a case-count ETA
+// reads far too pessimistic at the start and far too optimistic at the end;
+// weight throughput is scale-free against that ordering. Rows restored from
+// a journal count as already-done work but are excluded from the
+// throughput numerator — they were free.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include <atomic>
+
+namespace ucp::obs {
+
+class ProgressReporter {
+ public:
+  struct Options {
+    bool enabled = true;              ///< false = all channels silent
+    std::uint64_t min_interval_ms = 1000;  ///< per channel, including progress
+    std::FILE* out = nullptr;         ///< nullptr = stderr
+  };
+
+  ProgressReporter() : ProgressReporter(Options()) {}
+  explicit ProgressReporter(const Options& options);
+
+  /// Declares the work ahead. `resumed_*` is work already done before this
+  /// run started (journal restores): counted as done, excluded from
+  /// throughput.
+  void begin(std::uint64_t total_cases, std::uint64_t total_weight,
+             std::uint64_t resumed_cases, std::uint64_t resumed_weight);
+
+  /// Thread-safe completion tick. Emits at most one progress line per
+  /// interval regardless of thread count; the final case always reports.
+  void case_done(std::uint64_t cases, std::uint64_t weight);
+
+  /// Rate-limited named notice channel ("retry", "audit", "journal", ...).
+  /// At most one line per channel per interval; the rest are counted, and
+  /// `finish()` reports the suppressed totals so silence is never silent
+  /// data loss.
+  void notice(const char* channel, const std::string& message);
+
+  /// Unconditional line (journal open note, cache decisions). Not
+  /// rate-limited; still honours `enabled`.
+  void announce(const std::string& message);
+
+  /// Flushes the suppressed-notice accounting ("... and N more retry
+  /// notices").
+  void finish();
+
+  std::uint64_t done_cases() const {
+    return done_cases_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::int64_t now_ms() const;
+  std::FILE* stream() const { return options_.out ? options_.out : stderr; }
+
+  Options options_;
+  std::uint64_t total_cases_ = 0;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t resumed_cases_ = 0;
+  std::uint64_t resumed_weight_ = 0;
+  std::atomic<std::uint64_t> done_cases_{0};
+  std::atomic<std::uint64_t> done_weight_{0};
+  std::atomic<std::int64_t> last_progress_ms_{-1000000};
+  std::int64_t epoch_ms_ = 0;
+
+  struct Channel {
+    std::int64_t last_ms = -1000000;
+    std::uint64_t suppressed = 0;
+  };
+  std::mutex channels_mutex_;
+  std::map<std::string, Channel> channels_;
+};
+
+}  // namespace ucp::obs

@@ -1,0 +1,132 @@
+#include "obs/sink.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "support/fault_injection.hpp"
+#include "support/table.hpp"
+
+namespace ucp::obs {
+
+namespace {
+
+/// "layer" from "layer.component.op" — the Chrome `cat` field.
+std::string span_category(const char* name) {
+  const char* dot = std::strchr(name, '.');
+  return dot ? std::string(name, dot) : std::string(name);
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  // Microseconds with fixed 3-decimal fraction, no locale, no double
+  // rounding: Chrome/Perfetto accept fractional `ts`/`dur`.
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const std::uint64_t frac = ns % 1000;
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + frac / 10 % 10);
+  out += static_cast<char>('0' + frac % 10);
+}
+
+Status write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr || UCP_FAULT_POINT("obs.sink_write")) {
+    if (f != nullptr) std::fclose(f);
+    return Status(ErrorCode::kInternal, "cannot open sink file " + path);
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !flushed || !closed) {
+    return Status(ErrorCode::kInternal, "short write to sink file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += ev.name;  // span names are literals from our own taxonomy
+    out += "\",\"cat\":\"";
+    out += span_category(ev.name);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_us(out, ev.start_ns);
+    out += ",\"dur\":";
+    append_us(out, ev.dur_ns);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"args\":{\"excl_us\":";
+    append_us(out, ev.excl_ns);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status write_trace_file(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  return write_text_file(path, trace_json(events));
+}
+
+Status write_metrics_file(const std::string& path, const Snapshot& snapshot) {
+  return write_text_file(path, snapshot_json(snapshot) + "\n");
+}
+
+std::string profile_table(const std::vector<TraceEvent>& events,
+                          std::size_t top_n) {
+  if (events.empty()) return {};
+
+  struct Agg {
+    std::uint64_t calls = 0;
+    std::uint64_t incl_ns = 0;
+    std::uint64_t excl_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& ev : events) {
+    Agg& a = by_name[ev.name];
+    a.calls += 1;
+    a.incl_ns += ev.dur_ns;
+    a.excl_ns += ev.excl_ns;
+  }
+
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.incl_ns != b.second.incl_ns)
+      return a.second.incl_ns > b.second.incl_ns;
+    return a.first < b.first;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  const double top_incl_ms =
+      rows.empty() ? 0.0 : static_cast<double>(rows.front().second.incl_ns) / 1e6;
+  TextTable table({"span", "calls", "incl ms", "excl ms", "mean us", "% top"});
+  for (const auto& [name, a] : rows) {
+    const double incl_ms = static_cast<double>(a.incl_ns) / 1e6;
+    const double excl_ms = static_cast<double>(a.excl_ns) / 1e6;
+    const double mean_us =
+        a.calls == 0 ? 0.0 : static_cast<double>(a.incl_ns) / 1e3 /
+                                 static_cast<double>(a.calls);
+    const double pct =
+        top_incl_ms == 0.0 ? 0.0 : 100.0 * incl_ms / top_incl_ms;
+    table.add_row({name, std::to_string(a.calls), format_double(incl_ms, 3),
+                   format_double(excl_ms, 3), format_double(mean_us, 1),
+                   format_double(pct, 1)});
+  }
+  std::ostringstream os;
+  os << "-- profile: top spans by inclusive time --\n";
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace ucp::obs

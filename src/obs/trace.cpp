@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace ucp::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t trace_epoch() {
+  static const std::uint64_t epoch = steady_ns();
+  return epoch;
+}
+
+/// One open span on a thread's stack. The stack itself is touched only by
+/// the owning thread; no lock needed.
+struct Frame {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t child_ns;  ///< summed durations of already-closed children
+};
+
+/// Per-thread trace state. Owned jointly by the thread (TLS shared_ptr) and
+/// the global buffer list, so a thread may exit while drain_trace() still
+/// reads its closed spans. `events` is the only cross-thread field; its
+/// mutex is uncontended except during a drain.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::vector<Frame> stack;  // thread-private
+  std::uint32_t tid = 0;
+};
+
+struct BufferList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+BufferList& buffer_list() {
+  static BufferList* list = new BufferList();  // leaked: outlives TLS teardown
+  return *list;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferList& list = buffer_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    b->tid = list.next_tid++;
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  if (on) trace_epoch();  // pin the epoch before the first span
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() { return steady_ns() - trace_epoch(); }
+
+Span::Span(const char* name) : name_(name) {
+  if (!trace_enabled()) return;
+  armed_ = true;
+  start_ns_ = trace_now_ns();
+  local_buffer().stack.push_back(Frame{name_, start_ns_, 0});
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  const std::uint64_t end_ns = trace_now_ns();
+  ThreadBuffer& buf = local_buffer();
+  // The matching frame is the top of this thread's stack by construction
+  // (spans are scoped objects, so they unwind LIFO on one thread).
+  const Frame frame = buf.stack.back();
+  buf.stack.pop_back();
+  const std::uint64_t dur = end_ns - frame.start_ns;
+  if (!buf.stack.empty()) buf.stack.back().child_ns += dur;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.start_ns = frame.start_ns;
+  ev.dur_ns = dur;
+  ev.excl_ns = dur >= frame.child_ns ? dur - frame.child_ns : 0;
+  ev.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(ev);
+}
+
+std::vector<TraceEvent> drain_trace() {
+  std::vector<TraceEvent> all;
+  BufferList& list = buffer_list();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const auto& buf : list.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+    buf->events.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns;  // parents before equal-start kids
+            });
+  return all;
+}
+
+void reset_trace() {
+  BufferList& list = buffer_list();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const auto& buf : list.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::size_t open_span_depth() { return local_buffer().stack.size(); }
+
+}  // namespace ucp::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+// Hierarchical RAII tracing — the timing half of ucp::obs.
+//
+// A Span brackets one operation; spans nest through a thread-local stack,
+// so every closed span knows its duration *and* how much of it was spent in
+// child spans (exclusive time = duration - children). Closed spans land in
+// per-thread buffers that `drain_trace()` collects into one deterministic,
+// (start, tid)-sorted event list for the sinks (Chrome trace JSON, profile
+// table).
+//
+// Cost discipline: `Span` construction when tracing is disabled is one
+// relaxed atomic load and a branch — no clock read, no TLS touch. Span
+// names must be string literals (or otherwise outlive the trace): events
+// store the pointer, not a copy. Naming follows `layer.component.op`; the
+// segment before the first '.' becomes the Chrome `cat` field.
+
+#include <cstdint>
+#include <vector>
+
+namespace ucp::obs {
+
+/// Tracing switch, independent of the metrics switch (`obs::enabled()`):
+/// metrics-only runs skip clock reads entirely. Relaxed load.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// One closed span. Times are nanoseconds since the process trace epoch
+/// (first clock use), from std::chrono::steady_clock.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t excl_ns = 0;  ///< dur_ns minus time in child spans
+  std::uint32_t tid = 0;      ///< dense per-process thread index, from 0
+};
+
+/// RAII span. Arms itself on construction iff tracing is enabled at that
+/// moment, and closes (recording one TraceEvent) on destruction iff it
+/// armed — so toggling tracing mid-span can lose that one span but never
+/// unbalances the thread's stack.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Moves every thread's closed spans out of the per-thread buffers into one
+/// list sorted by (start_ns, tid). Safe to call at any time from any
+/// thread; spans still open stay with their threads.
+std::vector<TraceEvent> drain_trace();
+
+/// Discards all buffered spans (open spans on other threads still close
+/// into their buffers afterwards). Tests use this between runs.
+void reset_trace();
+
+/// Number of spans currently open on the calling thread — 0 when balanced.
+std::size_t open_span_depth();
+
+/// Nanoseconds since the trace epoch, for callers that correlate their own
+/// timestamps with trace events.
+std::uint64_t trace_now_ns();
+
+}  // namespace ucp::obs

@@ -1,6 +1,8 @@
 #include "sim/interpreter.hpp"
 
 #include "ir/dominators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/cancellation.hpp"
 #include "support/check.hpp"
 #include "support/checked.hpp"
@@ -148,8 +150,29 @@ RunMetrics Interpreter::run() {
 }
 
 Expected<RunMetrics> Interpreter::try_run() {
+  obs::Span span("sim.interp.run");
   RunMetrics metrics;
   std::uint64_t now = 0;
+
+  // One registry publish per run on any exit (the interpreter's per-
+  // instruction loop must stay free of shared atomics).
+  struct RunPublisher {
+    const RunMetrics& metrics;
+    ~RunPublisher() {
+      if (!obs::enabled()) return;
+      static obs::Counter& c_runs = obs::registry().counter("sim.interp.runs");
+      static obs::Counter& c_instr =
+          obs::registry().counter("sim.interp.instructions");
+      static obs::Counter& c_mem =
+          obs::registry().counter("sim.interp.mem_cycles");
+      static obs::Counter& c_pf =
+          obs::registry().counter("sim.interp.prefetch_instructions");
+      c_runs.increment();
+      c_instr.add(metrics.instructions);
+      c_mem.add(metrics.mem_cycles);
+      c_pf.add(metrics.prefetch_instructions);
+    }
+  } publisher{metrics};
 
   ir::BlockId current = program_.entry();
   ir::BlockId previous = ir::kInvalidBlock;

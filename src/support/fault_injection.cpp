@@ -28,6 +28,7 @@ const char* const kSites[] = {
     "io.journal_kill",    // hard-kill (SIGKILL) mid-append, torn record left
     "supervisor.cancel",  // watchdog cancellation at task registration
     "audit.mismatch",     // soundness auditor forced to report a violation
+    "obs.sink_write",     // trace/metrics sink I/O (degrades to a warning)
 };
 
 struct SiteState {

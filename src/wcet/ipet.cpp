@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/checked.hpp"
 #include "support/fault_injection.hpp"
@@ -147,6 +148,7 @@ std::vector<std::vector<std::uint32_t>> timing_table(
 WcetResult IpetSystem::solve(
     const analysis::CacheAnalysisResult& classification,
     const cache::MemTiming& timing) const {
+  obs::Span span("wcet.ipet.solve");
   const ContextGraph& graph = *graph_;
   const std::size_t num_nodes = graph.num_nodes();
   const auto& edges = graph.edges();

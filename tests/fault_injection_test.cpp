@@ -16,6 +16,8 @@
 #include "cache/config.hpp"
 #include "energy/model.hpp"
 #include "exp/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "suite/suite.hpp"
 #include "support/fault_injection.hpp"
 
@@ -203,6 +205,12 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
   EXPECT_TRUE(sweep.report.clean());
   ASSERT_TRUE(save_sweep_cache(cache, sweep.results).ok());
   EXPECT_TRUE(load_sweep_cache(cache).ok());
+
+  // The observability sinks sit on the same battery: one metrics-snapshot
+  // write passes the obs.sink_write fault point.
+  const std::string sink = tmp + ".metrics.json";
+  EXPECT_TRUE(obs::write_metrics_file(sink, obs::registry().snapshot()).ok());
+  std::remove(sink.c_str());
 
   for (std::size_t i = 0; i < sites.size(); ++i) {
     EXPECT_GT(fault::hit_count(sites[i]), before[i])

@@ -1,0 +1,372 @@
+// ucp::obs — spans, metrics, sinks and the progress reporter.
+//
+// The load-bearing properties: span stacks balance across threads and the
+// exclusive-time arithmetic is exact; histogram buckets follow the
+// documented power-of-two mapping; snapshots are deterministic; the trace
+// sink emits well-formed Chrome JSON; and — the contract everything else
+// rests on — enabling full instrumentation leaves sweep rows and their
+// fingerprint bit-identical.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "exp/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ucp::obs {
+namespace {
+
+// Every test leaves the process as it found it: obs off, buffers empty.
+class ObsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    set_trace_enabled(false);
+    reset_trace();
+    registry().reset_values();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_trace_enabled(false);
+    reset_trace();
+    registry().reset_values();
+  }
+};
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(7), 3);
+  EXPECT_EQ(Histogram::bucket_index(8), 4);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64);
+
+  EXPECT_EQ(Histogram::bucket_range(0), (std::pair<std::uint64_t,
+                                                   std::uint64_t>{0, 0}));
+  EXPECT_EQ(Histogram::bucket_range(1), (std::pair<std::uint64_t,
+                                                   std::uint64_t>{1, 1}));
+  EXPECT_EQ(Histogram::bucket_range(2), (std::pair<std::uint64_t,
+                                                   std::uint64_t>{2, 3}));
+  EXPECT_EQ(Histogram::bucket_range(64).second, ~std::uint64_t{0});
+  // Ranges tile the whole uint64 line: each bucket starts one past the
+  // previous end, and membership round-trips through bucket_index.
+  for (int i = 1; i < Histogram::kBuckets; ++i) {
+    const auto prev = Histogram::bucket_range(i - 1);
+    const auto cur = Histogram::bucket_range(i);
+    EXPECT_EQ(cur.first, prev.second + 1) << "bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(cur.first), i);
+    EXPECT_EQ(Histogram::bucket_index(cur.second), i);
+  }
+
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(1000)), 1u);
+}
+
+TEST_F(ObsTest, SnapshotIsDeterministicAndSorted) {
+  auto workload = [] {
+    registry().counter("test.b.count").add(3);
+    registry().counter("test.a.count").increment();
+    registry().gauge("test.peak").set_max(7);
+    registry().gauge("test.peak").set_max(4);  // below the peak: no effect
+    registry().histogram("test.h").record(5);
+    registry().histogram("test.h").record(0);
+  };
+
+  workload();
+  const Snapshot first = registry().snapshot();
+  const std::string first_json = snapshot_json(first);
+  registry().reset_values();
+  workload();
+  const Snapshot second = registry().snapshot();
+
+  EXPECT_EQ(first.counters, second.counters);
+  EXPECT_EQ(first.gauges, second.gauges);
+  ASSERT_EQ(first.histograms.size(), second.histograms.size());
+  for (std::size_t i = 0; i < first.histograms.size(); ++i) {
+    EXPECT_EQ(first.histograms[i].name, second.histograms[i].name);
+    EXPECT_EQ(first.histograms[i].count, second.histograms[i].count);
+    EXPECT_EQ(first.histograms[i].buckets, second.histograms[i].buckets);
+  }
+  EXPECT_EQ(first_json, snapshot_json(second));
+
+  EXPECT_TRUE(std::is_sorted(first.counters.begin(), first.counters.end()));
+  // reset_values keeps registrations (and instrument addresses) alive.
+  EXPECT_EQ(registry().counter("test.a.count").value(), 1u);
+  registry().reset_values();
+  EXPECT_EQ(registry().counter("test.a.count").value(), 0u);
+  EXPECT_EQ(registry().snapshot().counters.size(), first.counters.size());
+}
+
+TEST_F(ObsTest, SpanStacksBalanceAcrossThreads) {
+  set_trace_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([] {
+      Span outer("test.outer.op");
+      for (int j = 0; j < 3; ++j) Span inner("test.inner.op");
+      EXPECT_EQ(open_span_depth(), 1u);  // outer still open on this thread
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  set_trace_enabled(false);
+
+  const std::vector<TraceEvent> events = drain_trace();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 4);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.start_ns != b.start_ns
+                                          ? a.start_ns < b.start_ns
+                                          : a.tid < b.tid;
+                             }));
+
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, list] : by_tid) {
+    const TraceEvent* outer = nullptr;
+    std::uint64_t inner_total = 0;
+    std::size_t inners = 0;
+    for (const TraceEvent* e : list) {
+      if (std::string(e->name) == "test.outer.op") {
+        EXPECT_EQ(outer, nullptr) << "one outer span per thread";
+        outer = e;
+      } else {
+        EXPECT_EQ(std::string(e->name), "test.inner.op");
+        EXPECT_EQ(e->excl_ns, e->dur_ns);  // leaves have no children
+        inner_total += e->dur_ns;
+        ++inners;
+      }
+    }
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(inners, 3u);
+    // Exact exclusive-time arithmetic: children's durations are subtracted
+    // from the parent at close, nothing more.
+    EXPECT_GE(outer->dur_ns, inner_total);
+    EXPECT_EQ(outer->excl_ns, outer->dur_ns - inner_total);
+  }
+  EXPECT_EQ(open_span_depth(), 0u);
+}
+
+TEST_F(ObsTest, TraceJsonIsWellFormedAndExact) {
+  // Synthetic events pin the serialization exactly: ns -> µs with three
+  // decimals, cat = segment before the first '.', excl_us in args.
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{"analysis.cache.fixpoint", 1500, 2500, 1000, 0});
+  events.push_back(TraceEvent{"exp.task.run", 2000000, 3000000, 500, 3});
+  const std::string json = trace_json(events);
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"analysis.cache.fixpoint\",\"cat\":"
+                      "\"analysis\",\"ph\":\"X\",\"ts\":1.500,\"dur\":2.500"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"exp\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"excl_us\":1.000}"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+
+  // Structural parse-back: braces and brackets balance and never go
+  // negative (span names contain no quoting hazards by construction).
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  EXPECT_EQ(trace_json({}),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST_F(ObsTest, SinkFailureDegradesToStatus) {
+  const Snapshot snapshot = registry().snapshot();
+  {
+    fault::ScopedFault f("obs.sink_write");
+    const std::string path =
+        testing::TempDir() + "obs_faulted." + std::to_string(::getpid());
+    const Status s = write_metrics_file(path, snapshot);
+    EXPECT_FALSE(s.ok());
+    std::remove(path.c_str());
+  }
+  // Unwritable path: Status, not an exception — sinks may never throw into
+  // a sweep.
+  EXPECT_FALSE(
+      write_trace_file("/nonexistent-dir/obs.trace.json", {}).ok());
+}
+
+TEST_F(ObsTest, ProgressReporterWeightEtaAndNoticeLimiting) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  ProgressReporter::Options options;
+  options.enabled = true;
+  options.min_interval_ms = 1000000;  // only the final case may report
+  options.out = out;
+  ProgressReporter reporter(options);
+  // 2 of 6 cases (and 90 of 100 weight units) resumed from a journal: the
+  // remaining work is light, so the ETA must not read 4/6 of the runtime.
+  reporter.begin(6, 100, 2, 90);
+  reporter.case_done(1, 2);  // first tick always reports
+  reporter.case_done(1, 2);  // within the interval: suppressed
+  reporter.notice("retry", "first retry notice");
+  reporter.notice("retry", "suppressed retry notice");
+  reporter.notice("audit", "audit notice");
+  reporter.case_done(2, 5);  // final case always reports
+  EXPECT_EQ(reporter.done_cases(), 6u);
+  reporter.finish();
+
+  std::fflush(out);
+  std::rewind(out);
+  std::string text;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, out) != nullptr) text += buf;
+  std::fclose(out);
+
+  // First and final ticks report; the middle one is rate-limited away.
+  EXPECT_NE(text.find("3/6 use cases"), std::string::npos);
+  EXPECT_EQ(text.find("4/6 use cases"), std::string::npos);
+  EXPECT_NE(text.find("6/6 use cases"), std::string::npos);
+  EXPECT_EQ(text.find("6/6 use cases"), text.rfind("6/6 use cases"));
+  EXPECT_NE(text.find("99.0% of work"), std::string::npos);
+  // One retry line, the second suppressed but reported by finish().
+  EXPECT_NE(text.find("[sweep:retry] first retry notice"), std::string::npos);
+  EXPECT_EQ(text.find("suppressed retry notice"), std::string::npos);
+  EXPECT_NE(text.find("[sweep:retry] ... and 1 more retry notices"),
+            std::string::npos);
+  EXPECT_NE(text.find("[sweep:audit] audit notice"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledReporterIsSilent) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  ProgressReporter::Options options;
+  options.enabled = false;
+  options.out = out;
+  ProgressReporter reporter(options);
+  reporter.begin(2, 2, 0, 0);
+  reporter.case_done(2, 2);
+  reporter.notice("retry", "never shown");
+  reporter.announce("never shown");
+  reporter.finish();
+  std::fflush(out);
+  EXPECT_EQ(std::ftell(out), 0L);
+  std::fclose(out);
+  EXPECT_EQ(reporter.done_cases(), 2u);  // accounting still works
+}
+
+exp::SweepOptions tiny_sweep() {
+  exp::SweepOptions options;
+  options.programs = {"bs", "fdct"};
+  options.config_stride = 12;
+  options.techs = {energy::TechNode::k45nm};
+  options.threads = 2;
+  options.progress_every = 0;
+  return options;
+}
+
+TEST_F(ObsTest, FullInstrumentationLeavesSweepBitIdentical) {
+  // The acceptance contract: --trace/--metrics observe, never perturb.
+  const exp::Sweep plain = exp::run_sweep(tiny_sweep());
+  const std::string fp_plain = exp::sweep_results_fingerprint(plain.results);
+
+  set_enabled(true);
+  set_trace_enabled(true);
+  const exp::Sweep traced = exp::run_sweep(tiny_sweep());
+  set_enabled(false);
+  set_trace_enabled(false);
+  const std::string fp_traced = exp::sweep_results_fingerprint(traced.results);
+
+  EXPECT_EQ(fp_plain, fp_traced);
+  ASSERT_EQ(plain.results.size(), traced.results.size());
+  for (std::size_t i = 0; i < plain.results.size(); ++i) {
+    EXPECT_EQ(plain.results[i].optimized.tau_wcet,
+              traced.results[i].optimized.tau_wcet);
+    EXPECT_EQ(plain.results[i].original.run.total_cycles,
+              traced.results[i].original.run.total_cycles);
+  }
+
+  // The instrumented run actually observed all five pipeline layers.
+  const std::vector<TraceEvent> events = drain_trace();
+  for (const char* prefix :
+       {"analysis.", "ilp.", "wcet.", "core.", "sim.", "exp."}) {
+    EXPECT_TRUE(std::any_of(events.begin(), events.end(),
+                            [&](const TraceEvent& e) {
+                              return std::string(e.name).rfind(prefix, 0) == 0;
+                            }))
+        << "no span under '" << prefix << "'";
+  }
+  const Snapshot snapshot = registry().snapshot();
+  auto counter_value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : snapshot.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  EXPECT_GT(counter_value("analysis.cache.fixpoints"), 0u);
+  EXPECT_GT(counter_value("ilp.solve.lp_solves"), 0u);
+  EXPECT_GT(counter_value("core.optimizer.runs"), 0u);
+  EXPECT_GT(counter_value("sim.interp.runs"), 0u);
+  EXPECT_EQ(counter_value("exp.sweep.cases"), traced.results.size());
+  EXPECT_EQ(counter_value("exp.sweep.completed"), traced.report.completed);
+  EXPECT_EQ(counter_value("exp.sweep.lp_solves"),
+            traced.report.solver.lp_solves);
+}
+
+TEST_F(ObsTest, JournalMetricsAnnotationSurvivesResume) {
+  const std::string journal = testing::TempDir() + "obs_journal." +
+                              std::to_string(::getpid()) + ".journal";
+  std::remove(journal.c_str());
+  exp::SweepOptions options = tiny_sweep();
+  options.journal_path = journal;
+
+  set_enabled(true);
+  const exp::Sweep first = exp::run_sweep(options);
+  set_enabled(false);
+  ASSERT_TRUE(first.report.clean());
+  const std::string fp_first = exp::sweep_results_fingerprint(first.results);
+
+  // The metrics snapshot rides in the journal as a comment line.
+  bool annotated = false;
+  {
+    std::ifstream is(journal);
+    std::string line;
+    while (std::getline(is, line))
+      if (line.rfind("# metrics {", 0) == 0) annotated = true;
+  }
+  EXPECT_TRUE(annotated);
+
+  // A resumed run skips the comment, restores every row and reproduces the
+  // fingerprint bit-for-bit.
+  const exp::Sweep second = exp::run_sweep(options);
+  EXPECT_EQ(second.report.resumed_rows, first.results.size());
+  EXPECT_EQ(exp::sweep_results_fingerprint(second.results), fp_first);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace ucp::obs
