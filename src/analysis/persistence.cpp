@@ -10,34 +10,48 @@ namespace ucp::analysis {
 
 namespace {
 
-/// One cache set in the persistence domain: blocks with a saturating age in
-/// [0, assoc]; age == assoc means "may have been evicted at some point".
+/// One cache set in the persistence domain. For each block seen on some
+/// path we track the set of DISTINCT other blocks accessed since its last
+/// access (LRU evicts b only after `assoc` distinct conflicts), plus a
+/// sticky "may have been evicted" flag set the moment the conflict set
+/// saturates. The flag never resets: persistence is a whole-execution
+/// property, so one possible eviction anywhere disqualifies the block.
+///
+/// This is the conflict-counting formulation; the classical aging domain
+/// (age others only up to the accessed block's own age, join by max age)
+/// under-counts conflicts across joins and misclassifies loop headers whose
+/// bodies overflow the set — the soundness fuzzer finds that within a few
+/// hundred seeds.
 class PersistSet {
  public:
   explicit PersistSet(std::uint8_t assoc) : assoc_(assoc) {}
 
-  int age_of(MemBlockId block) const {
-    const auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), block,
-        [](const AgedBlock& e, MemBlockId b) { return e.block < b; });
-    if (it != entries_.end() && it->block == block) return it->age;
-    return -1;
+  /// True if `block` may have been evicted since it was last loaded.
+  /// Blocks never seen on any path are not (their first access is the one
+  /// miss first-miss permits).
+  bool may_be_evicted(MemBlockId block) const {
+    const auto it = find(entries_, block);
+    return it != entries_.end() && it->block == block && it->evicted;
   }
 
   void update(MemBlockId block) {
-    const int old_age = age_of(block);
-    const int threshold = old_age < 0 ? assoc_ : old_age;
-    for (AgedBlock& e : entries_) {
-      if (e.block == block) continue;
-      if (e.age < threshold && e.age < assoc_) ++e.age;  // saturate
+    for (Tracked& e : entries_) {
+      if (e.block == block || e.evicted) continue;
+      const auto c = std::lower_bound(e.conflicts.begin(), e.conflicts.end(),
+                                      block);
+      if (c != e.conflicts.end() && *c == block) continue;
+      e.conflicts.insert(c, block);
+      if (e.conflicts.size() >= assoc_) {
+        e.evicted = true;
+        e.conflicts.clear();  // canonical: evicted entries carry no set
+      }
     }
-    const auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), block,
-        [](const AgedBlock& e, MemBlockId b) { return e.block < b; });
+    const auto it = find(entries_, block);
     if (it != entries_.end() && it->block == block) {
-      it->age = 0;
+      it->conflicts.clear();  // re-access: future eviction needs assoc NEW
+                              // distinct conflicts (evicted stays sticky)
     } else {
-      entries_.insert(it, AgedBlock{block, 0});
+      entries_.insert(it, Tracked{block, false, {}});
     }
   }
 
@@ -53,8 +67,17 @@ class PersistSet {
       } else if (ia == a.entries_.end() || ib->block < ia->block) {
         out.entries_.push_back(*ib++);
       } else {
-        out.entries_.push_back(
-            AgedBlock{ia->block, std::max(ia->age, ib->age)});
+        Tracked merged{ia->block, ia->evicted || ib->evicted, {}};
+        if (!merged.evicted) {
+          std::set_union(ia->conflicts.begin(), ia->conflicts.end(),
+                         ib->conflicts.begin(), ib->conflicts.end(),
+                         std::back_inserter(merged.conflicts));
+          if (merged.conflicts.size() >= out.assoc_) {
+            merged.evicted = true;
+            merged.conflicts.clear();
+          }
+        }
+        out.entries_.push_back(std::move(merged));
         ++ia;
         ++ib;
       }
@@ -65,8 +88,31 @@ class PersistSet {
   friend bool operator==(const PersistSet&, const PersistSet&) = default;
 
  private:
+  struct Tracked {
+    MemBlockId block;
+    bool evicted = false;
+    /// Distinct conflicting blocks since the last access; sorted, empty
+    /// once `evicted` (the flag subsumes it). Size < assoc by invariant.
+    std::vector<MemBlockId> conflicts;
+
+    friend bool operator==(const Tracked&, const Tracked&) = default;
+  };
+
+  static std::vector<Tracked>::const_iterator find(
+      const std::vector<Tracked>& entries, MemBlockId block) {
+    return std::lower_bound(
+        entries.begin(), entries.end(), block,
+        [](const Tracked& e, MemBlockId b) { return e.block < b; });
+  }
+  static std::vector<Tracked>::iterator find(std::vector<Tracked>& entries,
+                                             MemBlockId block) {
+    return std::lower_bound(
+        entries.begin(), entries.end(), block,
+        [](const Tracked& e, MemBlockId b) { return e.block < b; });
+  }
+
   std::uint8_t assoc_;
-  std::vector<AgedBlock> entries_;  // sorted by block id
+  std::vector<Tracked> entries_;  // sorted by block id
 };
 
 struct PersistCache {
@@ -156,7 +202,6 @@ PersistenceResult analyze_persistence(const ContextGraph& graph,
 
   PersistenceResult result;
   result.per_node.assign(n, {});
-  const int evicted_age = static_cast<int>(config.assoc);
   for (NodeId id = 0; id < n; ++id) {
     PersistCache state = in_states[id];
     const ir::BasicBlock& bb = program.block(graph.node(id).block);
@@ -164,10 +209,9 @@ PersistenceResult analyze_persistence(const ContextGraph& graph,
     flags.reserve(bb.instrs.size());
     for (const ir::Instruction& in : bb.instrs) {
       const MemBlockId block = layout.mem_block(in.id);
-      const int age = state.set_for(block).age_of(block);
       // Persistent: the block may be absent (not yet loaded: the one
-      // allowed first miss) but must never have reached the eviction age.
-      flags.push_back(age < evicted_age);
+      // allowed first miss) but must never have become evictable.
+      flags.push_back(!state.set_for(block).may_be_evicted(block));
       state.update(block);
       if (in.is_prefetch()) state.update(layout.mem_block(in.pf_target));
     }

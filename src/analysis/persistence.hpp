@@ -15,11 +15,16 @@ namespace ucp::analysis {
 /// block is "first-miss": it contributes at most one miss over the whole
 /// execution, no matter how often it runs.
 ///
-/// The domain extends must-ages with a saturating eviction age: blocks age
-/// under conflicting accesses as in the must domain but are retained at
-/// the virtual age `assoc` ("possibly evicted") instead of being dropped;
-/// joins take the union with maximal age. A block whose age never reaches
-/// `assoc` at its reference point is persistent.
+/// The domain counts DISTINCT conflicting blocks: for each block (per
+/// cache set) it tracks the set of other blocks accessed since its last
+/// access, with a sticky "may have been evicted" flag once that set
+/// reaches `assoc`; joins take the pointwise union. LRU evicts a block
+/// only after `assoc` distinct conflicts, so an unset flag at the
+/// reference point (or a block never seen at all — the one allowed first
+/// miss) proves first-miss. The classical aging formulation (age others
+/// up to the accessed block's own age, join by max) under-counts
+/// conflicts across joins and is unsound; the soundness fuzzer
+/// reproduces that within a few hundred seeds.
 ///
 /// In this codebase VIVU's FIRST/REST peeling already separates cold
 /// misses from steady-state behaviour, so persistence mostly confirms the

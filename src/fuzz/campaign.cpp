@@ -1,0 +1,386 @@
+#include "fuzz/campaign.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/shrink.hpp"
+#include "gen/generator.hpp"
+#include "obs/metrics.hpp"
+#include "support/durable_io.hpp"
+#include "support/fault_injection.hpp"
+#include "support/rng.hpp"
+
+namespace ucp::fuzz {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s,
+                    std::uint64_t h = 1469598103934665603ull) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Compute-path sites crossed with the oracles when fault_every > 0.
+/// exp.* and io.* sites are NOT on check_program's path; every site here
+/// degrades the case to an explained skip or an identity optimization —
+/// except fuzz.oracle, which forces a (replayable, explained) violation.
+const std::vector<std::string>& cross_fault_sites() {
+  static const std::vector<std::string> sites = {
+      "sim.step",       "ilp.pivot",     "ilp.bb_node", "wcet.solve",
+      "core.reanalyze", "core.deadline", "gen.build",   "fuzz.oracle",
+  };
+  return sites;
+}
+
+/// The paper cache configuration a case runs under.
+const cache::NamedCacheConfig& case_config(const CampaignOptions& options,
+                                           std::uint32_t index) {
+  const auto& grid = cache::paper_cache_configs();
+  if (options.config_rotation == 0) return cache::paper_cache_config("k7");
+  const std::size_t i =
+      (static_cast<std::size_t>(index) * options.config_rotation) %
+      grid.size();
+  return grid[i];
+}
+
+// --- campaign journal -------------------------------------------------------
+// Same durability discipline as the sweep journal, smaller scope: a header
+// binding the root seed and options that affect verdicts, then one
+// checksummed verdict line per finished case. The header deliberately
+// EXCLUDES the case count: seeds derive from split_seed(root, index), so a
+// 200-case journal resumes seamlessly into a 1000-case run of the same
+// campaign.
+
+constexpr const char* kJournalMagic = "# ucp-fuzz-journal v1";
+
+std::string journal_header(const CampaignOptions& options) {
+  std::ostringstream os;
+  os << kJournalMagic << " seed=" << to_hex(options.seed)
+     << " rotation=" << options.config_rotation
+     << " fault_every=" << options.fault_every;
+  return os.str();
+}
+
+class CampaignJournal {
+ public:
+  ~CampaignJournal() { close(); }
+
+  void open(const std::string& path, const CampaignOptions& options,
+            std::vector<CaseVerdict>& resumed, std::string& note) {
+    path_ = path;
+    const std::string header = journal_header(options);
+    // Read back whatever is durable; truncate at the first invalid row.
+    std::string keep;
+    std::size_t keep_rows = 0;
+    {
+      std::ifstream in(path);
+      std::string line;
+      bool first = true;
+      bool valid = true;
+      while (valid && std::getline(in, line)) {
+        if (first) {
+          first = false;
+          if (line != header) {
+            note = "reset: header mismatch (different campaign options)";
+            keep.clear();
+            break;
+          }
+          keep += line + "\n";
+          continue;
+        }
+        const auto tab = line.rfind('\t');
+        if (tab == std::string::npos ||
+            line.substr(tab + 1) != to_hex(fnv1a(line.substr(0, tab)))) {
+          valid = false;  // torn tail; truncate from here
+          break;
+        }
+        CaseVerdict v;
+        if (!CaseVerdict::parse(line.substr(0, tab), v)) {
+          valid = false;
+          break;
+        }
+        if (v.index != resumed.size()) {
+          valid = false;  // out-of-order row; distrust the rest
+          break;
+        }
+        resumed.push_back(std::move(v));
+        keep += line + "\n";
+        ++keep_rows;
+      }
+    }
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+      note = "disabled: cannot open '" + path + "'";
+      return;
+    }
+    if (keep.empty()) keep = header + "\n";
+    std::fwrite(keep.data(), 1, keep.size(), file_);
+    std::fflush(file_);
+    support::fsync_fd(fileno(file_), path_);
+    support::fsync_parent(path_);
+    if (note.empty())
+      note = keep_rows > 0 ? "resumed " + std::to_string(keep_rows) + " case(s)"
+                           : "started";
+  }
+
+  void append(const CaseVerdict& verdict) {
+    if (file_ == nullptr) return;
+    const std::string body = verdict.line();
+    const std::string row = body + "\t" + to_hex(fnv1a(body)) + "\n";
+    if (std::fwrite(row.data(), 1, row.size(), file_) != row.size()) {
+      close();  // journal write failure: continue without checkpoints
+      return;
+    }
+    std::fflush(file_);
+    support::fsync_fd(fileno(file_), path_);
+  }
+
+  void close() {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace
+
+std::string CaseVerdict::line() const {
+  std::ostringstream os;
+  os << "case " << index << " seed=" << to_hex(case_seed)
+     << " config=" << config_id
+     << " fault=" << (fault_site.empty() ? "-" : fault_site)
+     << " oracle=" << oracle_name(violation)
+     << " ok=" << (pipeline_ok ? 1 : 0) << " tau=" << tau_original
+     << " tau_opt=" << tau_optimized << " sim=" << sim_mem_cycles
+     << " instr=" << instructions << " pf=" << prefetches;
+  return os.str();
+}
+
+bool CaseVerdict::parse(const std::string& line, CaseVerdict& out) {
+  std::istringstream is(line);
+  std::string kw;
+  if (!(is >> kw) || kw != "case") return false;
+  if (!(is >> out.index)) return false;
+  std::string field;
+  auto take = [&field](const char* key, std::string& value) {
+    const std::string prefix = std::string(key) + "=";
+    if (field.compare(0, prefix.size(), prefix) != 0) return false;
+    value = field.substr(prefix.size());
+    return true;
+  };
+  try {
+    std::string v;
+    if (!(is >> field) || !take("seed", v)) return false;
+    out.case_seed = std::stoull(v, nullptr, 16);
+    if (!(is >> field) || !take("config", out.config_id)) return false;
+    if (!(is >> field) || !take("fault", out.fault_site)) return false;
+    if (out.fault_site == "-") out.fault_site.clear();
+    if (!(is >> field) || !take("oracle", v)) return false;
+    out.violation = oracle_from_name(v);
+    if (!(is >> field) || !take("ok", v)) return false;
+    out.pipeline_ok = v == "1";
+    if (!(is >> field) || !take("tau", v)) return false;
+    out.tau_original = std::stoull(v);
+    if (!(is >> field) || !take("tau_opt", v)) return false;
+    out.tau_optimized = std::stoull(v);
+    if (!(is >> field) || !take("sim", v)) return false;
+    out.sim_mem_cycles = std::stoull(v);
+    if (!(is >> field) || !take("instr", v)) return false;
+    out.instructions = std::stoull(v);
+    if (!(is >> field) || !take("pf", v)) return false;
+    out.prefetches = std::stoull(v);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+
+  CampaignJournal journal;
+  if (!options.journal_path.empty()) {
+    std::vector<CaseVerdict> resumed;
+    journal.open(options.journal_path, options, resumed,
+                 result.journal_note);
+    result.verdicts = std::move(resumed);
+    if (result.verdicts.size() > options.cases)
+      result.verdicts.resize(options.cases);
+    result.resumed = result.verdicts.size();
+  }
+
+  for (std::uint32_t i = static_cast<std::uint32_t>(result.verdicts.size());
+       i < options.cases; ++i) {
+    const std::uint64_t case_seed = split_seed(options.seed, i);
+    const cache::NamedCacheConfig& named = case_config(options, i);
+
+    CaseVerdict verdict;
+    verdict.index = i;
+    verdict.case_seed = case_seed;
+    verdict.config_id = named.id;
+
+    const bool arm_fault =
+        options.fault_every > 0 && (i + 1) % options.fault_every == 0;
+    if (arm_fault) {
+      const auto& sites = cross_fault_sites();
+      verdict.fault_site =
+          sites[(i / options.fault_every) % sites.size()];
+    }
+
+    OracleOptions oracle_options;
+    oracle_options.config = named.config;
+    oracle_options.timing =
+        energy::derive_timing(named.config, energy::TechNode::k45nm);
+
+    // Knobs and program derive from independent streams of the case seed,
+    // so neither sampling step can perturb the other.
+    Rng knob_rng(split_seed(case_seed, 0));
+    const gen::GenKnobs knobs = gen::sample_knobs(knob_rng);
+    const std::uint64_t gen_seed = split_seed(case_seed, 1);
+
+    ir::Program program("pending");
+    bool generated = false;
+    if (!verdict.fault_site.empty()) fault::arm(verdict.fault_site);
+    try {
+      program = gen::generate_program(gen_seed, knobs);
+      generated = true;
+      const OracleReport report = check_program(program, oracle_options);
+      verdict.violation = report.violation;
+      verdict.pipeline_ok = report.pipeline_ok;
+      verdict.note = report.violated() ? report.detail : report.pipeline_note;
+      verdict.tau_original = report.tau_original;
+      verdict.tau_optimized = report.tau_optimized;
+      verdict.sim_mem_cycles = report.sim_mem_cycles;
+      verdict.instructions = report.instructions;
+      verdict.prefetches = report.prefetches;
+    } catch (const std::exception& e) {
+      if (generated) {
+        // check_program contains pipeline exceptions itself; one escaping
+        // here is unexpected — surface it as a runtime violation.
+        verdict.violation = Oracle::kRuntime;
+        verdict.note = e.what();
+      } else {
+        // Generator failure: explained when its fault site was armed,
+        // otherwise a generator bug the campaign must surface.
+        verdict.pipeline_ok = false;
+        verdict.violation = verdict.fault_site == "gen.build"
+                                ? Oracle::kNone
+                                : Oracle::kRuntime;
+        verdict.note = std::string("generator: ") + e.what();
+      }
+    }
+    fault::disarm_all();
+
+    if (verdict.violated()) {
+      const bool explained = !verdict.fault_site.empty();
+      if (!explained) ++result.unexplained;
+
+      if (!options.corpus_dir.empty() && generated) {
+        CorpusEntry entry;
+        entry.seed = gen_seed;
+        entry.knobs = knobs.to_string();
+        entry.expect = verdict.violation;
+        entry.detail = verdict.note;
+        entry.fault_site = verdict.fault_site;
+        entry.config_id = named.id;
+        entry.program = program;
+
+        if (options.shrink && verdict.fault_site.empty()) {
+          // Same-oracle-kind predicate; verify-gating happens inside the
+          // shrinker. One-shot fault violations are gone by now, so the
+          // shrinker's pre-check fails for them and the repro stays
+          // unshrunk (hence the fault_site guard above skips the attempt).
+          const Oracle kind = verdict.violation;
+          const ShrinkResult shrunk = shrink_program(
+              program,
+              [&](const ir::Program& candidate) {
+                return check_program(candidate, oracle_options).violation ==
+                       kind;
+              });
+          if (shrunk.reproduced) {
+            entry.program = shrunk.program;
+            entry.detail +=
+                " (shrunk " + std::to_string(shrunk.accepted) + " steps)";
+            ++result.shrunk;
+          } else {
+            entry.detail += " (unreproducible; unshrunk)";
+          }
+        }
+        std::ostringstream file;
+        file << options.corpus_dir << "/repro_" << to_hex(case_seed) << "_"
+             << oracle_name(verdict.violation) << ".ucp";
+        entry.name = file.str();
+        if (write_corpus_entry(file.str(), entry).ok())
+          result.repro_paths.push_back(file.str());
+      }
+    }
+
+    if (options.trace) std::cerr << "[fuzz] " << verdict.line() << "\n";
+    journal.append(verdict);
+    result.verdicts.push_back(std::move(verdict));
+
+    if (options.progress_every > 0 && (i + 1) % options.progress_every == 0)
+      std::cerr << "[fuzz] " << (i + 1) << "/" << options.cases
+                << " cases\n";
+  }
+  journal.close();
+
+  // Totals + fingerprint over ALL verdicts (resumed ones included), so an
+  // interrupted+resumed campaign reports exactly like an uninterrupted one.
+  std::uint64_t h = fnv1a("ucp-fuzz-verdicts");
+  result.violations = result.unexplained = result.skipped = result.faulted =
+      0;
+  for (const CaseVerdict& v : result.verdicts) {
+    h = fnv1a(v.line(), h);
+    if (v.violated()) {
+      ++result.violations;
+      if (v.fault_site.empty()) ++result.unexplained;
+    }
+    if (!v.pipeline_ok) ++result.skipped;
+    if (!v.fault_site.empty()) ++result.faulted;
+  }
+  result.fingerprint = to_hex(h);
+
+  // Publish-at-end authoritative totals (mirrors publish_sweep_metrics).
+  if (obs::enabled()) {
+    auto& r = obs::registry();
+    r.counter("fuzz.campaign.cases").add(result.verdicts.size());
+    r.counter("fuzz.campaign.violations").add(result.violations);
+    r.counter("fuzz.campaign.unexplained").add(result.unexplained);
+    r.counter("fuzz.campaign.skipped").add(result.skipped);
+    r.counter("fuzz.campaign.faulted").add(result.faulted);
+    r.counter("fuzz.campaign.shrunk").add(result.shrunk);
+    r.counter("fuzz.campaign.resumed").add(result.resumed);
+    auto& instr_hist = r.histogram("fuzz.case.instructions");
+    auto& tau_hist = r.histogram("fuzz.case.tau_original");
+    for (const CaseVerdict& v : result.verdicts) {
+      instr_hist.record(v.instructions);
+      tau_hist.record(v.tau_original);
+    }
+  }
+  return result;
+}
+
+}  // namespace ucp::fuzz

@@ -1,0 +1,209 @@
+#include "fuzz/shrink.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/verify.hpp"
+#include "obs/metrics.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ucp::fuzz {
+
+namespace {
+
+/// Appends a copy of `in` (sans id, which append() reassigns) to `bb`.
+void copy_instr(ir::Program& out, ir::BlockId bb, const ir::Instruction& in,
+                std::unordered_map<ir::InstrId, ir::InstrId>& id_map) {
+  ir::Instruction copy = in;
+  copy.id = ir::kInvalidInstr;
+  const ir::InstrId fresh = out.append(bb, copy);
+  id_map[in.id] = fresh;
+}
+
+}  // namespace
+
+ir::Program rebuild_reachable(const ir::Program& program) {
+  // BFS from the entry over successor lists.
+  std::vector<bool> reach(program.num_blocks(), false);
+  std::vector<ir::BlockId> order;
+  if (program.entry() != ir::kInvalidBlock &&
+      program.entry() < program.num_blocks()) {
+    std::vector<ir::BlockId> work = {program.entry()};
+    reach[program.entry()] = true;
+    while (!work.empty()) {
+      const ir::BlockId b = work.back();
+      work.pop_back();
+      order.push_back(b);
+      for (ir::BlockId s : program.block(b).succs)
+        if (s < program.num_blocks() && !reach[s]) {
+          reach[s] = true;
+          work.push_back(s);
+        }
+    }
+  }
+  // Renumber in ORIGINAL block order (not BFS order) so the rebuild is a
+  // pure deletion — surviving blocks keep their relative positions and the
+  // instruction layout stays recognizable across shrink steps.
+  std::vector<ir::BlockId> remap(program.num_blocks(), ir::kInvalidBlock);
+  ir::Program out(program.name());
+  std::unordered_map<ir::InstrId, ir::InstrId> id_map;
+  for (ir::BlockId b = 0; b < program.num_blocks(); ++b) {
+    if (!reach[b]) continue;
+    const ir::BasicBlock& bb = program.block(b);
+    const ir::BlockId nb = out.add_block(bb.label);
+    remap[b] = nb;
+    for (const ir::Instruction& in : bb.instrs) copy_instr(out, nb, in, id_map);
+  }
+  for (ir::BlockId b = 0; b < program.num_blocks(); ++b) {
+    if (!reach[b]) continue;
+    for (ir::BlockId s : program.block(b).succs) {
+      // A successor may itself be unreachable only if the CFG was already
+      // malformed; keep the dangling id so verify reports it.
+      out.block(remap[b]).succs.push_back(
+          s < program.num_blocks() && remap[s] != ir::kInvalidBlock
+              ? remap[s]
+              : s);
+    }
+  }
+  if (program.entry() != ir::kInvalidBlock &&
+      remap[program.entry()] != ir::kInvalidBlock)
+    out.set_entry(remap[program.entry()]);
+  for (const auto& [header, bound] : program.loop_bounds())
+    if (header < program.num_blocks() && remap[header] != ir::kInvalidBlock)
+      out.set_loop_bound(remap[header], bound);
+  // Remap prefetch targets; a target whose instruction was dropped becomes
+  // dangling, which verify rejects (the candidate is then discarded).
+  for (ir::BlockId b = 0; b < out.num_blocks(); ++b)
+    for (auto& in : out.block(b).instrs)
+      if (in.op == ir::Opcode::kPrefetch) {
+        const auto it = id_map.find(in.pf_target);
+        if (it != id_map.end()) in.pf_target = it->second;
+      }
+  out.set_data(program.data());
+  return out;
+}
+
+namespace {
+
+/// True iff `candidate` is well-formed and still fails the same way.
+bool keep(const ir::Program& candidate, const StillFails& still_fails,
+          ShrinkResult& r, const ShrinkOptions& options, bool& out_of_budget) {
+  if (r.checks >= options.max_checks) {
+    out_of_budget = true;
+    return false;
+  }
+  if (!ir::verify_issues(candidate).empty()) return false;
+  ++r.checks;
+  return still_fails(candidate);
+}
+
+}  // namespace
+
+ShrinkResult shrink_program(const ir::Program& input,
+                            const StillFails& still_fails,
+                            const ShrinkOptions& options) {
+  static obs::Counter& steps_counter =
+      obs::registry().counter("fuzz.shrink.steps");
+
+  ShrinkResult r{ir::Program(input), false, false, 0, 0, 0};
+  // Pre-check: an unreproducible failure (e.g. caused by a one-shot
+  // injected fault that is no longer armed) must not be "shrunk" — every
+  // candidate would trivially pass the predicate's negation and the loop
+  // would minimize the program to an unrelated husk.
+  ++r.checks;
+  if (!still_fails(input)) return r;
+  r.reproduced = true;
+
+  bool out_of_budget = false;
+  bool progress = true;
+  while (progress) {
+    if (UCP_FAULT_POINT("fuzz.shrink")) {
+      r.aborted = true;
+      break;
+    }
+    progress = false;
+    ++r.rounds;
+
+    // Pass 1: delete one instruction at a time (never the terminator — that
+    // would change the block's arity class; branch collapses are pass 2).
+    for (ir::BlockId b = 0; b < r.program.num_blocks(); ++b) {
+      for (std::size_t i = 0; i < r.program.block(b).instrs.size();) {
+        const ir::Instruction& in = r.program.block(b).instrs[i];
+        const bool last = i + 1 == r.program.block(b).instrs.size();
+        if ((last && ir::is_terminator(in.op)) ||
+            r.program.block(b).instrs.size() == 1) {
+          ++i;
+          continue;
+        }
+        ir::Program candidate(r.program);
+        candidate.erase(b, i);
+        if (keep(candidate, still_fails, r, options, out_of_budget)) {
+          r.program = std::move(candidate);
+          ++r.accepted;
+          if (obs::enabled()) steps_counter.increment();
+          progress = true;
+          // i now indexes the next instruction; don't advance.
+        } else {
+          if (out_of_budget) break;
+          ++i;
+        }
+      }
+      if (out_of_budget) break;
+    }
+
+    // Pass 2: collapse one branch to an unconditional jump (try each arm),
+    // then drop whatever became unreachable.
+    for (ir::BlockId b = 0;
+         !out_of_budget && b < r.program.num_blocks(); ++b) {
+      const ir::BasicBlock& bb = r.program.block(b);
+      if (bb.instrs.empty() || !ir::is_branch(bb.instrs.back().op) ||
+          bb.succs.size() != 2)
+        continue;
+      bool collapsed = false;
+      for (int arm = 0; arm < 2 && !collapsed; ++arm) {
+        ir::Program candidate(r.program);
+        ir::BasicBlock& cbb = candidate.block(b);
+        const ir::BlockId target = cbb.succs[static_cast<std::size_t>(arm)];
+        cbb.instrs.back().op = ir::Opcode::kJump;
+        cbb.instrs.back().cond = ir::Cond::kEq;
+        cbb.instrs.back().rs1 = 0;
+        cbb.instrs.back().rs2 = 0;
+        cbb.instrs.back().imm = 0;
+        cbb.succs = {target};
+        ir::Program rebuilt = rebuild_reachable(candidate);
+        if (keep(rebuilt, still_fails, r, options, out_of_budget)) {
+          r.program = std::move(rebuilt);
+          ++r.accepted;
+          if (obs::enabled()) steps_counter.increment();
+          progress = true;
+          collapsed = true;  // block ids shifted; restart this pass cleanly
+          b = static_cast<ir::BlockId>(-1);  // ++b wraps to 0
+        }
+      }
+    }
+
+    // Pass 3: halve the data image from the tail (loads/stores mask their
+    // addresses, so a shorter image often still reproduces).
+    while (!out_of_budget && r.program.data().size() > 1) {
+      ir::Program candidate(r.program);
+      std::vector<std::int64_t> data = candidate.data();
+      data.resize(data.size() / 2);
+      candidate.set_data(std::move(data));
+      if (keep(candidate, still_fails, r, options, out_of_budget)) {
+        r.program = std::move(candidate);
+        ++r.accepted;
+        if (obs::enabled()) steps_counter.increment();
+        progress = true;
+      } else {
+        break;
+      }
+    }
+    if (out_of_budget) {
+      r.aborted = true;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace ucp::fuzz

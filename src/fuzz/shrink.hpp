@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ucp::fuzz {
+
+/// Predicate over candidate programs during shrinking: true iff the
+/// candidate still exhibits the SAME failure (same oracle kind) as the
+/// original repro. Candidates are pre-gated by `ir::verify`, so the
+/// predicate only ever sees well-formed programs.
+using StillFails = std::function<bool(const ir::Program&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations; delta-debugging converges long
+  /// before this on generator-sized programs, the cap just bounds a
+  /// pathological predicate.
+  std::size_t max_checks = 4000;
+};
+
+struct ShrinkResult {
+  ir::Program program;       ///< smallest failing program found
+  bool reproduced = false;   ///< pre-check: the INPUT satisfied the predicate
+  bool aborted = false;      ///< fuzz.shrink fault or max_checks exhausted
+  std::size_t checks = 0;    ///< predicate evaluations spent
+  std::size_t accepted = 0;  ///< shrink steps that kept the failure
+  std::size_t rounds = 0;    ///< full passes until fixpoint
+};
+
+/// Rebuilds `program` keeping only blocks reachable from the entry:
+/// blocks are renumbered densely, successor lists and prefetch targets
+/// remapped, loop bounds of surviving headers carried over. Used by the
+/// shrinker after collapsing a branch, and exposed for tests.
+ir::Program rebuild_reachable(const ir::Program& program);
+
+/// Greedy delta-debugging minimizer. Each round tries, in deterministic
+/// order: deleting one instruction (non-terminator), collapsing one branch
+/// to an unconditional jump (then dropping unreachable blocks), and
+/// truncating trailing data words; every candidate must pass `ir::verify`
+/// AND `still_fails` to be kept. Rounds repeat until a fixpoint. If the
+/// input itself does not satisfy the predicate (e.g. the original failure
+/// came from a one-shot injected fault), the input is returned unshrunk
+/// with `reproduced == false`.
+ShrinkResult shrink_program(const ir::Program& input,
+                            const StillFails& still_fails,
+                            const ShrinkOptions& options = {});
+
+}  // namespace ucp::fuzz

@@ -1,0 +1,395 @@
+#include "ir/text_codec.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ucp::ir {
+
+namespace {
+
+constexpr const char* kMagic = "ucp-program v1";
+constexpr std::size_t kDataWordsPerLine = 16;
+
+const std::unordered_map<std::string, Opcode>& opcode_by_name() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, Opcode>();
+    for (int i = 0; i <= static_cast<int>(Opcode::kNop); ++i) {
+      const auto op = static_cast<Opcode>(i);
+      (*m)[opcode_name(op)] = op;
+    }
+    return m;
+  }();
+  return *map;
+}
+
+const std::unordered_map<std::string, Cond>& cond_by_name() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, Cond>();
+    for (int i = 0; i <= static_cast<int>(Cond::kGe); ++i) {
+      const auto c = static_cast<Cond>(i);
+      (*m)[cond_name(c)] = c;
+    }
+    return m;
+  }();
+  return *map;
+}
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  throw InvalidArgument("program text line " + std::to_string(line_no) +
+                        ": " + what);
+}
+
+/// Tokenizer over one line; reports errors with the line number baked in.
+class LineTokens {
+ public:
+  LineTokens(const std::string& line, std::size_t line_no)
+      : is_(line), line_no_(line_no) {}
+
+  std::string word(const char* what) {
+    std::string w;
+    if (!(is_ >> w)) parse_error(line_no_, std::string("missing ") + what);
+    return w;
+  }
+
+  std::int64_t integer(const char* what) {
+    const std::string w = word(what);
+    try {
+      std::size_t used = 0;
+      const std::int64_t v = std::stoll(w, &used);
+      if (used != w.size()) throw std::invalid_argument(w);
+      return v;
+    } catch (const std::exception&) {
+      parse_error(line_no_, std::string("bad ") + what + " '" + w + "'");
+    }
+  }
+
+  std::uint32_t index(const char* what) {
+    const std::int64_t v = integer(what);
+    if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX))
+      parse_error(line_no_, std::string(what) + " out of range");
+    return static_cast<std::uint32_t>(v);
+  }
+
+  bool done() {
+    std::string rest;
+    return !(is_ >> rest);
+  }
+
+  void expect_done() {
+    std::string rest;
+    if (is_ >> rest)
+      parse_error(line_no_, "unexpected trailing token '" + rest + "'");
+  }
+
+ private:
+  std::istringstream is_;
+  std::size_t line_no_;
+};
+
+}  // namespace
+
+std::string to_text(const Program& program) {
+  // File-position renumbering for instruction ids.
+  std::unordered_map<InstrId, InstrId> renum;
+  InstrId next = 0;
+  for (const BasicBlock& bb : program.blocks())
+    for (const Instruction& in : bb.instrs) renum[in.id] = next++;
+
+  std::ostringstream os;
+  os << "# " << kMagic << "\n";
+  os << "program " << program.name() << "\n";
+  os << "entry " << program.entry() << "\n";
+  for (const auto& [header, bound] : program.loop_bounds())
+    os << "loop_bound " << header << " " << bound << "\n";
+  if (!program.data().empty()) {
+    os << "data " << program.data().size() << "\n";
+    for (std::size_t i = 0; i < program.data().size();
+         i += kDataWordsPerLine) {
+      os << " ";
+      const std::size_t end =
+          std::min(program.data().size(), i + kDataWordsPerLine);
+      for (std::size_t j = i; j < end; ++j) os << " " << program.data()[j];
+      os << "\n";
+    }
+  }
+  for (const BasicBlock& bb : program.blocks()) {
+    os << "block " << bb.id << " " << bb.label << "\n";
+    os << "  succs";
+    for (BlockId s : bb.succs) os << " " << s;
+    os << "\n";
+    for (const Instruction& in : bb.instrs) {
+      os << "  " << opcode_name(in.op);
+      switch (in.op) {
+        case Opcode::kMovImm:
+          os << " r" << int(in.rd) << " " << in.imm;
+          break;
+        case Opcode::kMov:
+          os << " r" << int(in.rd) << " r" << int(in.rs1);
+          break;
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kDiv:
+        case Opcode::kRem:
+        case Opcode::kAnd:
+        case Opcode::kOr:
+        case Opcode::kXor:
+        case Opcode::kShl:
+        case Opcode::kShr:
+        case Opcode::kSar:
+          os << " r" << int(in.rd) << " r" << int(in.rs1) << " r"
+             << int(in.rs2);
+          break;
+        case Opcode::kAddImm:
+          os << " r" << int(in.rd) << " r" << int(in.rs1) << " " << in.imm;
+          break;
+        case Opcode::kLoad:
+          os << " r" << int(in.rd) << " r" << int(in.rs1) << " " << in.imm;
+          break;
+        case Opcode::kStore:
+          os << " r" << int(in.rs1) << " " << in.imm << " r" << int(in.rs2);
+          break;
+        case Opcode::kBranch:
+          os << " " << cond_name(in.cond) << " r" << int(in.rs1) << " r"
+             << int(in.rs2);
+          break;
+        case Opcode::kBranchImm:
+          os << " " << cond_name(in.cond) << " r" << int(in.rs1) << " "
+             << in.imm;
+          break;
+        case Opcode::kJump:
+        case Opcode::kHalt:
+        case Opcode::kNop:
+          break;
+        case Opcode::kPrefetch: {
+          const auto it = renum.find(in.pf_target);
+          UCP_REQUIRE(it != renum.end(),
+                      "to_text: prefetch target #" +
+                          std::to_string(in.pf_target) +
+                          " does not name an instruction");
+          os << " #" << it->second;
+          break;
+        }
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+std::uint8_t parse_reg(const std::string& w, std::size_t line_no) {
+  if (w.size() < 2 || w[0] != 'r')
+    parse_error(line_no, "expected register, got '" + w + "'");
+  for (std::size_t i = 1; i < w.size(); ++i)
+    if (w[i] < '0' || w[i] > '9')
+      parse_error(line_no, "expected register, got '" + w + "'");
+  const long v = std::stol(w.substr(1));
+  if (v < 0 || v > 255)
+    parse_error(line_no, "register out of range '" + w + "'");
+  return static_cast<std::uint8_t>(v);
+}
+
+Cond parse_cond(const std::string& w, std::size_t line_no) {
+  const auto it = cond_by_name().find(w);
+  if (it == cond_by_name().end())
+    parse_error(line_no, "unknown condition '" + w + "'");
+  return it->second;
+}
+
+}  // namespace
+
+Program from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  Program program("");
+  bool seen_program = false;
+  BlockId current = kInvalidBlock;
+  bool current_has_succs = false;
+  // Prefetch targets refer to file positions; append() assigns exactly those
+  // ids in file order, so `#N` parses directly into pf_target.
+  std::size_t data_words_left = 0;
+  std::vector<std::int64_t> data;
+  std::int64_t entry = -1;
+  std::map<BlockId, std::uint32_t> loop_bounds;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (data_words_left > 0) {
+      std::istringstream ws(line);
+      std::string w;
+      while (ws >> w) {
+        if (data_words_left == 0)
+          parse_error(line_no, "more data words than declared");
+        try {
+          data.push_back(std::stoll(w));
+        } catch (const std::exception&) {
+          parse_error(line_no, "bad data word '" + w + "'");
+        }
+        --data_words_left;
+      }
+      continue;
+    }
+
+    std::istringstream head(line);
+    std::string kw;
+    if (!(head >> kw)) continue;  // blank line
+    if (kw[0] == '#') continue;   // comment
+
+    if (kw == "program") {
+      std::string name;
+      if (!(head >> name)) parse_error(line_no, "missing program name");
+      program = Program(name);
+      seen_program = true;
+    } else if (kw == "entry") {
+      LineTokens t(line.substr(line.find(kw) + kw.size()), line_no);
+      entry = t.integer("entry block id");
+      t.expect_done();
+    } else if (kw == "loop_bound") {
+      LineTokens t(line.substr(line.find(kw) + kw.size()), line_no);
+      const std::uint32_t header = t.index("loop header id");
+      const std::uint32_t bound = t.index("loop bound");
+      t.expect_done();
+      loop_bounds[header] = bound;
+    } else if (kw == "data") {
+      LineTokens t(line.substr(line.find(kw) + kw.size()), line_no);
+      data_words_left = t.index("data word count");
+      t.expect_done();
+      data.reserve(data_words_left);
+    } else if (kw == "block") {
+      if (!seen_program) parse_error(line_no, "block before program header");
+      LineTokens t(line.substr(line.find(kw) + kw.size()), line_no);
+      const std::uint32_t id = t.index("block id");
+      std::string label = t.word("block label");
+      t.expect_done();
+      const BlockId got = program.add_block(label);
+      if (got != id)
+        parse_error(line_no, "block ids must be sequential: expected block " +
+                                 std::to_string(got));
+      current = got;
+      current_has_succs = false;
+    } else if (kw == "succs") {
+      if (current == kInvalidBlock)
+        parse_error(line_no, "succs outside a block");
+      if (current_has_succs)
+        parse_error(line_no, "duplicate succs line");
+      std::istringstream t(line);
+      std::string skip;
+      t >> skip;
+      std::string w;
+      while (t >> w) {
+        try {
+          program.block(current).succs.push_back(
+              static_cast<BlockId>(std::stoul(w)));
+        } catch (const std::exception&) {
+          parse_error(line_no, "bad successor id '" + w + "'");
+        }
+      }
+      current_has_succs = true;
+    } else {
+      // An instruction line.
+      if (current == kInvalidBlock)
+        parse_error(line_no, "instruction outside a block");
+      const auto it = opcode_by_name().find(kw);
+      if (it == opcode_by_name().end())
+        parse_error(line_no, "unknown opcode '" + kw + "'");
+      Instruction in;
+      in.op = it->second;
+      LineTokens t(line.substr(line.find(kw) + kw.size()), line_no);
+      switch (in.op) {
+        case Opcode::kMovImm:
+          in.rd = parse_reg(t.word("rd"), line_no);
+          in.imm = t.integer("imm");
+          break;
+        case Opcode::kMov:
+          in.rd = parse_reg(t.word("rd"), line_no);
+          in.rs1 = parse_reg(t.word("rs1"), line_no);
+          break;
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kDiv:
+        case Opcode::kRem:
+        case Opcode::kAnd:
+        case Opcode::kOr:
+        case Opcode::kXor:
+        case Opcode::kShl:
+        case Opcode::kShr:
+        case Opcode::kSar:
+          in.rd = parse_reg(t.word("rd"), line_no);
+          in.rs1 = parse_reg(t.word("rs1"), line_no);
+          in.rs2 = parse_reg(t.word("rs2"), line_no);
+          break;
+        case Opcode::kAddImm:
+        case Opcode::kLoad:
+          in.rd = parse_reg(t.word("rd"), line_no);
+          in.rs1 = parse_reg(t.word("rs1"), line_no);
+          in.imm = t.integer("imm");
+          break;
+        case Opcode::kStore:
+          in.rs1 = parse_reg(t.word("rs1"), line_no);
+          in.imm = t.integer("imm");
+          in.rs2 = parse_reg(t.word("rs2"), line_no);
+          break;
+        case Opcode::kBranch:
+          in.cond = parse_cond(t.word("cond"), line_no);
+          in.rs1 = parse_reg(t.word("rs1"), line_no);
+          in.rs2 = parse_reg(t.word("rs2"), line_no);
+          break;
+        case Opcode::kBranchImm:
+          in.cond = parse_cond(t.word("cond"), line_no);
+          in.rs1 = parse_reg(t.word("rs1"), line_no);
+          in.imm = t.integer("imm");
+          break;
+        case Opcode::kJump:
+        case Opcode::kHalt:
+        case Opcode::kNop:
+          break;
+        case Opcode::kPrefetch: {
+          const std::string w = t.word("prefetch target");
+          if (w.size() < 2 || w[0] != '#')
+            parse_error(line_no, "expected #<instr>, got '" + w + "'");
+          try {
+            in.pf_target = static_cast<InstrId>(std::stoul(w.substr(1)));
+          } catch (const std::exception&) {
+            parse_error(line_no, "bad prefetch target '" + w + "'");
+          }
+          break;
+        }
+      }
+      t.expect_done();
+      program.append(current, in);
+    }
+  }
+
+  if (!seen_program) parse_error(line_no, "missing program header");
+  if (data_words_left > 0)
+    parse_error(line_no, "data section ended " +
+                             std::to_string(data_words_left) +
+                             " words short");
+  if (entry >= 0) {
+    if (entry >= static_cast<std::int64_t>(program.num_blocks()))
+      throw InvalidArgument("program text: entry block " +
+                            std::to_string(entry) + " does not exist");
+    program.set_entry(static_cast<BlockId>(entry));
+  }
+  for (const auto& [header, bound] : loop_bounds) {
+    if (header >= program.num_blocks())
+      throw InvalidArgument("program text: loop_bound header bb" +
+                            std::to_string(header) + " does not exist");
+    program.set_loop_bound(header, bound);
+  }
+  if (!data.empty()) program.set_data(std::move(data));
+  return program;
+}
+
+}  // namespace ucp::ir

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ucp::ir {
+
+/// Canonical line-oriented text form of a Program, used by the fuzz corpus
+/// (`tests/corpus/*.ucp`) and by shrink-repro triage. The writer renumbers
+/// instruction ids to their file positions (insert/erase leave id gaps that
+/// have no semantic meaning) and remaps prefetch targets accordingly, so
+/// serialize(parse(text)) == text for any codec output, and two programs
+/// with identical structure serialize byte-identically regardless of their
+/// id-allocation history.
+std::string to_text(const Program& program);
+
+/// Parses codec text back into a Program. Throws InvalidArgument with a
+/// line-numbered message on malformed input. Parsing does not run
+/// `ir::verify`; corpus loaders verify explicitly so a malformed repro is
+/// reported as a corpus problem, not a parse crash.
+Program from_text(const std::string& text);
+
+}  // namespace ucp::ir

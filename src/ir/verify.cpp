@@ -7,44 +7,127 @@
 
 namespace ucp::ir {
 
+const char* verify_code_name(VerifyCode code) {
+  switch (code) {
+    case VerifyCode::kNoEntry:
+      return "no-entry";
+    case VerifyCode::kNoBlocks:
+      return "no-blocks";
+    case VerifyCode::kDuplicateInstrId:
+      return "duplicate-instr-id";
+    case VerifyCode::kEmptyBlock:
+      return "empty-block";
+    case VerifyCode::kMidBlockTerminator:
+      return "mid-block-terminator";
+    case VerifyCode::kBadDestRegister:
+      return "bad-dest-register";
+    case VerifyCode::kBadSourceRegister:
+      return "bad-source-register";
+    case VerifyCode::kBadPrefetchTarget:
+      return "bad-prefetch-target";
+    case VerifyCode::kDanglingPrefetchTarget:
+      return "dangling-prefetch-target";
+    case VerifyCode::kBranchArity:
+      return "branch-arity";
+    case VerifyCode::kJumpArity:
+      return "jump-arity";
+    case VerifyCode::kHaltArity:
+      return "halt-arity";
+    case VerifyCode::kFallthroughArity:
+      return "fallthrough-arity";
+    case VerifyCode::kSuccessorOutOfRange:
+      return "successor-out-of-range";
+    case VerifyCode::kNoHalt:
+      return "no-halt";
+    case VerifyCode::kMissingLoopBound:
+      return "missing-loop-bound";
+    case VerifyCode::kLoopAnalysisFailed:
+      return "loop-analysis-failed";
+  }
+  return "unknown";
+}
+
 namespace {
 
-void check_instruction(const Program& program, const BasicBlock& bb,
-                       const Instruction& in, bool is_last,
-                       std::vector<std::string>& problems) {
-  std::ostringstream where;
-  where << "bb" << bb.id << " instr#" << in.id << " (" << opcode_name(in.op)
-        << ")";
+/// Collects issues, rendering the "[code] where: what" message once so every
+/// consumer (strings, throw, shrinker) sees the same text.
+class IssueSink {
+ public:
+  explicit IssueSink(std::vector<VerifyIssue>& out) : out_(out) {}
 
+  void program_level(VerifyCode code, const std::string& what) {
+    push(code, kInvalidBlock, kInvalidInstr, -1, what);
+  }
+  void at_block(VerifyCode code, const BasicBlock& bb,
+                const std::string& what, std::int32_t succ_index = -1) {
+    std::ostringstream where;
+    where << "bb" << bb.id << " [" << bb.label << "]";
+    if (succ_index >= 0) where << " succ#" << succ_index;
+    push(code, bb.id, kInvalidInstr, succ_index, where.str() + ": " + what);
+  }
+  void at_instr(VerifyCode code, const BasicBlock& bb, const Instruction& in,
+                const std::string& what) {
+    std::ostringstream where;
+    where << "bb" << bb.id << " instr#" << in.id << " ("
+          << opcode_name(in.op) << ")";
+    push(code, bb.id, in.id, -1, where.str() + ": " + what);
+  }
+
+ private:
+  void push(VerifyCode code, BlockId block, InstrId instr,
+            std::int32_t succ_index, const std::string& what) {
+    VerifyIssue issue;
+    issue.code = code;
+    issue.block = block;
+    issue.instr = instr;
+    issue.succ_index = succ_index;
+    issue.message = "[" + std::string(verify_code_name(code)) + "] " + what;
+    out_.push_back(std::move(issue));
+  }
+
+  std::vector<VerifyIssue>& out_;
+};
+
+void check_instruction(const Program& program, const BasicBlock& bb,
+                       const Instruction& in, bool is_last, IssueSink& sink) {
   if (is_terminator(in.op) && !is_last) {
-    problems.push_back(where.str() + ": terminator in the middle of a block");
+    sink.at_instr(VerifyCode::kMidBlockTerminator, bb, in,
+                  "terminator in the middle of a block");
   }
   if (writes_register(in.op) && in.rd >= kNumRegs) {
-    problems.push_back(where.str() + ": destination register out of range");
+    sink.at_instr(VerifyCode::kBadDestRegister, bb, in,
+                  "destination register r" + std::to_string(in.rd) +
+                      " out of range");
   }
   if (in.rs1 >= kNumRegs || in.rs2 >= kNumRegs) {
-    problems.push_back(where.str() + ": source register out of range");
+    const std::uint8_t bad = in.rs1 >= kNumRegs ? in.rs1 : in.rs2;
+    sink.at_instr(VerifyCode::kBadSourceRegister, bb, in,
+                  "source register r" + std::to_string(bad) +
+                      " out of range");
   }
   if (in.op == Opcode::kPrefetch) {
     if (in.pf_target == kInvalidInstr ||
         in.pf_target >= program.num_instr_ids()) {
-      problems.push_back(where.str() + ": invalid prefetch target id");
+      sink.at_instr(VerifyCode::kBadPrefetchTarget, bb, in,
+                    "invalid prefetch target id #" +
+                        std::to_string(in.pf_target));
     }
   }
 }
 
 }  // namespace
 
-std::vector<std::string> verify(const Program& program) {
-  std::vector<std::string> problems;
+std::vector<VerifyIssue> verify_issues(const Program& program) {
+  std::vector<VerifyIssue> issues;
+  IssueSink sink(issues);
 
   if (program.entry() == kInvalidBlock) {
-    problems.emplace_back("program has no entry block");
-    return problems;
+    sink.program_level(VerifyCode::kNoEntry, "program has no entry block");
+    return issues;
   }
   if (program.num_blocks() == 0) {
-    problems.emplace_back("program has no blocks");
-    return problems;
+    sink.program_level(VerifyCode::kNoBlocks, "program has no blocks");
+    return issues;
   }
 
   // Collect existing instruction ids for prefetch-target validation.
@@ -52,66 +135,85 @@ std::vector<std::string> verify(const Program& program) {
   for (const BasicBlock& bb : program.blocks())
     for (const Instruction& in : bb.instrs) {
       if (!ids.insert(in.id).second) {
-        std::ostringstream os;
-        os << "duplicate instruction id #" << in.id;
-        problems.push_back(os.str());
+        sink.at_instr(VerifyCode::kDuplicateInstrId, bb, in,
+                      "duplicate instruction id #" + std::to_string(in.id));
       }
     }
 
   bool any_halt = false;
   for (const BasicBlock& bb : program.blocks()) {
-    std::ostringstream bb_name;
-    bb_name << "bb" << bb.id << " [" << bb.label << "]";
-
     if (bb.instrs.empty()) {
-      problems.push_back(bb_name.str() + ": empty basic block");
+      sink.at_block(VerifyCode::kEmptyBlock, bb, "empty basic block");
       continue;
     }
     for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
       check_instruction(program, bb, bb.instrs[i],
-                        i + 1 == bb.instrs.size(), problems);
+                        i + 1 == bb.instrs.size(), sink);
       if (bb.instrs[i].op == Opcode::kPrefetch &&
           bb.instrs[i].pf_target != kInvalidInstr &&
           ids.find(bb.instrs[i].pf_target) == ids.end()) {
-        problems.push_back(bb_name.str() +
-                           ": prefetch target refers to a removed instruction");
+        sink.at_instr(VerifyCode::kDanglingPrefetchTarget, bb, bb.instrs[i],
+                      "prefetch target #" +
+                          std::to_string(bb.instrs[i].pf_target) +
+                          " refers to a removed instruction");
       }
     }
 
     const Opcode last = bb.instrs.back().op;
     const std::size_t nsucc = bb.succs.size();
     if (is_branch(last) && nsucc != 2) {
-      problems.push_back(bb_name.str() + ": branch needs exactly 2 successors");
+      sink.at_block(VerifyCode::kBranchArity, bb,
+                    "branch needs exactly 2 successors, has " +
+                        std::to_string(nsucc));
     } else if (last == Opcode::kJump && nsucc != 1) {
-      problems.push_back(bb_name.str() + ": jump needs exactly 1 successor");
+      sink.at_block(VerifyCode::kJumpArity, bb,
+                    "jump needs exactly 1 successor, has " +
+                        std::to_string(nsucc));
     } else if (last == Opcode::kHalt) {
       any_halt = true;
       if (nsucc != 0)
-        problems.push_back(bb_name.str() + ": halt must have no successors");
+        sink.at_block(VerifyCode::kHaltArity, bb,
+                      "halt must have no successors, has " +
+                          std::to_string(nsucc));
     } else if (!is_terminator(last) && nsucc != 1) {
-      problems.push_back(bb_name.str() +
-                         ": fallthrough block needs exactly 1 successor");
+      sink.at_block(VerifyCode::kFallthroughArity, bb,
+                    "fallthrough block needs exactly 1 successor, has " +
+                        std::to_string(nsucc));
     }
-    for (BlockId s : bb.succs) {
-      if (s >= program.num_blocks())
-        problems.push_back(bb_name.str() + ": successor id out of range");
+    for (std::size_t s = 0; s < bb.succs.size(); ++s) {
+      if (bb.succs[s] >= program.num_blocks())
+        sink.at_block(VerifyCode::kSuccessorOutOfRange, bb,
+                      "successor bb" + std::to_string(bb.succs[s]) +
+                          " out of range",
+                      static_cast<std::int32_t>(s));
     }
   }
-  if (!any_halt) problems.emplace_back("program has no halt instruction");
-  if (!problems.empty()) return problems;  // CFG too broken for loop checks
+  if (!any_halt)
+    sink.program_level(VerifyCode::kNoHalt,
+                       "program has no halt instruction");
+  if (!issues.empty()) return issues;  // CFG too broken for loop checks
 
   // Loop bounds: every natural loop header needs a flow fact.
   try {
     for (const NaturalLoop& loop : find_natural_loops(program)) {
       if (!program.has_loop_bound(loop.header)) {
-        std::ostringstream os;
-        os << "loop headed by bb" << loop.header << " has no loop bound";
-        problems.push_back(os.str());
+        sink.at_block(VerifyCode::kMissingLoopBound,
+                      program.block(loop.header),
+                      "loop headed by bb" + std::to_string(loop.header) +
+                          " has no loop bound");
       }
     }
   } catch (const InvalidArgument& e) {
-    problems.emplace_back(std::string("loop analysis failed: ") + e.what());
+    sink.program_level(VerifyCode::kLoopAnalysisFailed,
+                       std::string("loop analysis failed: ") + e.what());
   }
+  return issues;
+}
+
+std::vector<std::string> verify(const Program& program) {
+  std::vector<std::string> problems;
+  for (VerifyIssue& issue : verify_issues(program))
+    problems.push_back(std::move(issue.message));
   return problems;
 }
 

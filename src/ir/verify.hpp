@@ -1,11 +1,49 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "ir/program.hpp"
 
 namespace ucp::ir {
+
+/// What a verifier finding is about. Every code names one structural rule;
+/// the fuzz shrinker and triage tooling dispatch on it, so codes are stable
+/// identifiers, not presentation details.
+enum class VerifyCode : std::uint8_t {
+  kNoEntry,              ///< program has no entry block
+  kNoBlocks,             ///< program has no blocks at all
+  kDuplicateInstrId,     ///< one instruction id appears twice
+  kEmptyBlock,           ///< basic block with no instructions
+  kMidBlockTerminator,   ///< terminator before the last instruction
+  kBadDestRegister,      ///< rd out of range
+  kBadSourceRegister,    ///< rs1/rs2 out of range
+  kBadPrefetchTarget,    ///< pf_target invalid or never allocated
+  kDanglingPrefetchTarget,  ///< pf_target refers to a removed instruction
+  kBranchArity,          ///< branch terminator without exactly 2 successors
+  kJumpArity,            ///< jump terminator without exactly 1 successor
+  kHaltArity,            ///< halt terminator with successors
+  kFallthroughArity,     ///< fallthrough block without exactly 1 successor
+  kSuccessorOutOfRange,  ///< successor block id does not exist
+  kNoHalt,               ///< no halt instruction anywhere
+  kMissingLoopBound,     ///< natural-loop header without a flow fact
+  kLoopAnalysisFailed,   ///< CFG too irregular for loop detection
+};
+
+const char* verify_code_name(VerifyCode code);
+
+/// One structural problem, locatable: `block`/`instr`/`succ_index` name the
+/// offending block, instruction and successor slot when the rule concerns
+/// one (kInvalidBlock / kInvalidInstr / -1 otherwise). `message` is the
+/// human-readable rendering with the same location baked in.
+struct VerifyIssue {
+  VerifyCode code = VerifyCode::kNoEntry;
+  BlockId block = kInvalidBlock;
+  InstrId instr = kInvalidInstr;
+  std::int32_t succ_index = -1;
+  std::string message;
+};
 
 /// Structural well-formedness checks a program must pass before any
 /// analysis, simulation, or optimization is run:
@@ -17,7 +55,11 @@ namespace ucp::ir {
 ///  - every natural-loop header carries a loop bound (flow fact);
 ///  - prefetch targets refer to existing instructions;
 ///  - the CFG is reducible (every retreating edge targets a dominator).
-/// Returns the list of problems found (empty = valid).
+/// Returns the issues found (empty = valid), each naming the offending
+/// block/instruction/edge.
+std::vector<VerifyIssue> verify_issues(const Program& program);
+
+/// Message-only view of `verify_issues` (legacy interface).
 std::vector<std::string> verify(const Program& program);
 
 /// Throws InvalidArgument listing all problems if `verify` finds any.

@@ -29,6 +29,9 @@ const char* const kSites[] = {
     "supervisor.cancel",  // watchdog cancellation at task registration
     "audit.mismatch",     // soundness auditor forced to report a violation
     "obs.sink_write",     // trace/metrics sink I/O (degrades to a warning)
+    "gen.build",          // synthetic generator program-construction boundary
+    "fuzz.oracle",        // forced oracle violation (pins the triage path)
+    "fuzz.shrink",        // shrink-step boundary (abandons minimization)
 };
 
 struct SiteState {

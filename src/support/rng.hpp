@@ -71,4 +71,21 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+/// Derives an independent per-stream seed from a campaign root seed.
+/// Case i of a fuzz campaign always seeds its Rng with
+/// `split_seed(root, i)`, so a single case can be replayed in isolation
+/// (and a resumed campaign continues bit-identically) without replaying
+/// the generator stream of every preceding case. Two SplitMix64 finalizer
+/// rounds over (root, stream) decorrelate adjacent stream indices.
+inline std::uint64_t split_seed(std::uint64_t root, std::uint64_t stream) {
+  std::uint64_t z = root + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  for (int round = 0; round < 2; ++round) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    z += 0x9e3779b97f4a7c15ULL;
+  }
+  return z;
+}
+
 }  // namespace ucp

@@ -16,10 +16,14 @@
 #include "cache/config.hpp"
 #include "energy/model.hpp"
 #include "exp/harness.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/shrink.hpp"
+#include "gen/generator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "suite/suite.hpp"
 #include "support/fault_injection.hpp"
+#include "support/rng.hpp"
 
 namespace ucp::exp {
 namespace {
@@ -205,6 +209,28 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
   EXPECT_TRUE(sweep.report.clean());
   ASSERT_TRUE(save_sweep_cache(cache, sweep.results).ok());
   EXPECT_TRUE(load_sweep_cache(cache).ok());
+
+  // The fuzz sites (gen.build, fuzz.oracle, fuzz.shrink) sit on the
+  // synthetic-program path: one generated case through the oracle battery
+  // plus one direct shrink pass both the generator-boundary and the
+  // triage-path fault points.
+  {
+    Rng knob_rng(split_seed(9, 0));
+    const gen::GenKnobs knobs = gen::sample_knobs(knob_rng);
+    const ir::Program generated =
+        gen::generate_program(split_seed(9, 1), knobs);
+    fuzz::OracleOptions oracle_options;
+    const auto& named = cache::paper_cache_config("k7");
+    oracle_options.config = named.config;
+    oracle_options.timing =
+        energy::derive_timing(named.config, energy::TechNode::k45nm);
+    const fuzz::OracleReport report =
+        fuzz::check_program(generated, oracle_options);
+    EXPECT_FALSE(report.violated()) << report.detail;
+    const fuzz::ShrinkResult shrunk = fuzz::shrink_program(
+        generated, [](const ir::Program&) { return true; });
+    EXPECT_TRUE(shrunk.reproduced);
+  }
 
   // The observability sinks sit on the same battery: one metrics-snapshot
   // write passes the obs.sink_write fault point.

@@ -1,0 +1,178 @@
+// Synthetic-program generator and text-codec suites: determinism (within
+// and across processes), well-formedness of every generated program, and
+// canonical round-tripping through the text codec.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.hpp"
+#include "cache/config.hpp"
+#include "energy/model.hpp"
+#include "gen/generator.hpp"
+#include "ir/layout.hpp"
+#include "ir/text_codec.hpp"
+#include "ir/verify.hpp"
+#include "sim/interpreter.hpp"
+#include "support/fault_injection.hpp"
+#include "support/rng.hpp"
+
+namespace ucp {
+namespace {
+
+TEST(SplitSeed, StreamsAreDistinctAndDeterministic) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 256; ++stream) {
+    const std::uint64_t s = split_seed(42, stream);
+    EXPECT_EQ(s, split_seed(42, stream));
+    EXPECT_TRUE(seen.insert(s).second)
+        << "stream " << stream << " collided";
+  }
+  // Different roots give different streams (seed isolation).
+  EXPECT_NE(split_seed(1, 0), split_seed(2, 0));
+}
+
+TEST(Generator, SameSeedSameKnobsIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng_a(seed), rng_b(seed);
+    const gen::GenKnobs knobs_a = gen::sample_knobs(rng_a);
+    const gen::GenKnobs knobs_b = gen::sample_knobs(rng_b);
+    EXPECT_EQ(knobs_a.to_string(), knobs_b.to_string());
+    const ir::Program a = gen::generate_program(seed * 1000, knobs_a);
+    const ir::Program b = gen::generate_program(seed * 1000, knobs_b);
+    EXPECT_EQ(ir::to_text(a), ir::to_text(b)) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const gen::GenKnobs knobs;
+  EXPECT_NE(ir::to_text(gen::generate_program(1, knobs)),
+            ir::to_text(gen::generate_program(2, knobs)));
+}
+
+TEST(Generator, EveryProgramPassesVerification) {
+  int with_control_flow = 0;
+  int with_loops = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(split_seed(999, seed));
+    const gen::GenKnobs knobs = gen::sample_knobs(rng);
+    const ir::Program p = gen::generate_program(seed, knobs);
+    const auto issues = ir::verify_issues(p);
+    EXPECT_TRUE(issues.empty())
+        << "seed " << seed << ": " << issues.front().message;
+    ASSERT_GE(p.num_blocks(), 1u);
+    if (p.num_blocks() > 1) ++with_control_flow;
+    if (!p.loop_bounds().empty()) ++with_loops;
+  }
+  // A rare seed may roll pure straight-line code, but the population must
+  // overwhelmingly exercise branching and loops or the fuzzer is toothless.
+  EXPECT_GT(with_control_flow, 85);
+  EXPECT_GT(with_loops, 50);
+}
+
+TEST(Generator, ProgramsRunWithinDeclaredLoopBounds) {
+  const cache::NamedCacheConfig& named = cache::paper_cache_config("k7");
+  const cache::MemTiming timing =
+      energy::derive_timing(named.config, energy::TechNode::k45nm);
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(split_seed(1234, seed));
+    const gen::GenKnobs knobs = gen::sample_knobs(rng);
+    const ir::Program p = gen::generate_program(seed, knobs);
+    const ir::Layout layout(p, named.config.block_bytes);
+    cache::CacheSim cache_sim(named.config, timing);
+    sim::Interpreter interp(p, layout, cache_sim);
+    const auto run = interp.try_run();
+    // A step-budget skip is acceptable; a loop-bound violation means the
+    // generator emitted an unsound flow fact and must fail the suite.
+    if (!run.ok()) {
+      EXPECT_NE(run.status().code(), ErrorCode::kLoopBoundViolated)
+          << "seed " << seed << ": " << run.status().message();
+      EXPECT_EQ(run.status().code(), ErrorCode::kStepBudgetExhausted)
+          << "seed " << seed << ": " << run.status().message();
+    } else {
+      EXPECT_GT(run->instructions, 0u);
+    }
+  }
+}
+
+TEST(Generator, KnobValidationRejectsBadInput) {
+  gen::GenKnobs knobs;
+  knobs.working_set_words = 100;  // not a power of two
+  EXPECT_THROW(gen::generate_program(1, knobs), InvalidArgument);
+  knobs = gen::GenKnobs{};
+  knobs.max_loop_bound = 1;
+  EXPECT_THROW(gen::generate_program(1, knobs), InvalidArgument);
+}
+
+TEST(Generator, BuildFaultSiteSurfacesAsInvalidArgument) {
+  fault::ScopedFault fault("gen.build");
+  EXPECT_THROW(gen::generate_program(1, gen::GenKnobs{}), InvalidArgument);
+}
+
+// The determinism the corpus and campaign rely on: two PROCESSES, same
+// seed and knobs, byte-identical serialization. In-process determinism
+// cannot see ASLR-dependent ordering bugs (pointer-keyed maps, hash seeds);
+// this can.
+TEST(Generator, TwoProcessDeterminism) {
+  const std::string path = testing::TempDir() + "gen_two_proc." +
+                           std::to_string(::getpid()) + ".txt";
+  std::remove(path.c_str());
+
+  auto generate_text = [] {
+    Rng rng(split_seed(77, 0));
+    const gen::GenKnobs knobs = gen::sample_knobs(rng);
+    return ir::to_text(gen::generate_program(77, knobs));
+  };
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << generate_text();
+    out.close();
+    std::_Exit(out ? 0 : 1);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string from_child((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+  EXPECT_EQ(from_child, generate_text());
+  std::remove(path.c_str());
+}
+
+TEST(TextCodec, RoundTripsGeneratedPrograms) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(split_seed(5555, seed));
+    const gen::GenKnobs knobs = gen::sample_knobs(rng);
+    const ir::Program p = gen::generate_program(seed, knobs);
+    const std::string text = ir::to_text(p);
+    const ir::Program back = ir::from_text(text);
+    // Canonical form: serialize(parse(text)) == text, byte for byte.
+    EXPECT_EQ(ir::to_text(back), text) << "seed " << seed;
+    EXPECT_TRUE(ir::verify_issues(back).empty());
+    EXPECT_EQ(back.num_blocks(), p.num_blocks());
+    EXPECT_EQ(back.data(), p.data());
+  }
+}
+
+TEST(TextCodec, RejectsMalformedInput) {
+  EXPECT_THROW(ir::from_text("not a program"), InvalidArgument);
+  EXPECT_THROW(ir::from_text("# ucp-program v1\nentry 0\n"), InvalidArgument);
+  EXPECT_THROW(
+      ir::from_text("# ucp-program v1\nprogram p\nentry 0\nblock 0 a\n"
+                    "  bogus_opcode r1 r2 r3\n"),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ucp

@@ -255,6 +255,97 @@ TEST(Verify, CatchesBadRegister) {
   EXPECT_THROW(verify_or_throw(p), InvalidArgument);
 }
 
+// Structured diagnostics: each issue names the offending block, instruction
+// or successor slot, and carries a stable code the fuzz triage dispatches on.
+TEST(VerifyIssues, BranchArityNamesTheBlock) {
+  Program p("bad");
+  const BlockId bb = p.add_block("entry");
+  p.set_entry(bb);
+  Instruction br;
+  br.op = Opcode::kBranch;
+  p.append(bb, br);
+  p.block(bb).succs = {bb};
+  const auto issues = verify_issues(p);
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const auto& issue : issues)
+    if (issue.code == VerifyCode::kBranchArity) {
+      found = true;
+      EXPECT_EQ(issue.block, bb);
+      EXPECT_NE(issue.message.find(verify_code_name(issue.code)),
+                std::string::npos);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifyIssues, BadRegisterNamesTheInstruction) {
+  Program p("badreg");
+  const BlockId bb = p.add_block("entry");
+  p.set_entry(bb);
+  Instruction in;
+  in.op = Opcode::kMovImm;
+  in.rd = 40;
+  const InstrId bad = p.append(bb, in);
+  Instruction halt;
+  halt.op = Opcode::kHalt;
+  p.append(bb, halt);
+  const auto issues = verify_issues(p);
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const auto& issue : issues)
+    if (issue.code == VerifyCode::kBadDestRegister) {
+      found = true;
+      EXPECT_EQ(issue.block, bb);
+      EXPECT_EQ(issue.instr, bad);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifyIssues, SuccessorOutOfRangeNamesTheEdgeSlot) {
+  Program p("badsucc");
+  const BlockId bb = p.add_block("entry");
+  p.set_entry(bb);
+  Instruction jump;
+  jump.op = Opcode::kJump;
+  p.append(bb, jump);
+  p.block(bb).succs = {static_cast<BlockId>(99)};
+  const auto issues = verify_issues(p);
+  bool found = false;
+  for (const auto& issue : issues)
+    if (issue.code == VerifyCode::kSuccessorOutOfRange) {
+      found = true;
+      EXPECT_EQ(issue.block, bb);
+      EXPECT_EQ(issue.succ_index, 0);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifyIssues, MissingEntryAndEmptyBlockHaveDistinctCodes) {
+  Program none("empty");
+  const auto no_entry = verify_issues(none);
+  ASSERT_FALSE(no_entry.empty());
+  EXPECT_EQ(no_entry.front().code, VerifyCode::kNoEntry);
+
+  Program p("emptyblock");
+  const BlockId bb = p.add_block("entry");
+  p.set_entry(bb);
+  const auto issues = verify_issues(p);
+  bool empty_block = false;
+  for (const auto& issue : issues)
+    if (issue.code == VerifyCode::kEmptyBlock && issue.block == bb)
+      empty_block = true;
+  EXPECT_TRUE(empty_block);
+}
+
+TEST(VerifyIssues, EveryCodeHasAStableName) {
+  for (int c = 0; c <= static_cast<int>(VerifyCode::kLoopAnalysisFailed);
+       ++c) {
+    const char* name = verify_code_name(static_cast<VerifyCode>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
 TEST(Layout, AddressesAreSequential) {
   Program p = straight_line();
   const Layout layout(p, 16);
