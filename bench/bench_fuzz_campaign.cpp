@@ -133,6 +133,24 @@ int main(int argc, char** argv) {
     } else if (a == "--progress" && i + 1 < argc) {
       options.progress_every =
           static_cast<std::uint32_t>(parse_u64(argv[++i]));
+    } else if (a == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<std::uint32_t>(parse_u64(argv[++i]));
+    } else if (a == "--shard" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos) {
+        std::cerr << "--shard expects i/N (e.g. --shard 0/4)\n";
+        return 2;
+      }
+      options.shard_index =
+          static_cast<std::uint32_t>(parse_u64(spec.substr(0, slash)));
+      options.shard_count =
+          static_cast<std::uint32_t>(parse_u64(spec.substr(slash + 1)));
+      if (options.shard_count == 0 ||
+          options.shard_index >= options.shard_count) {
+        std::cerr << "--shard " << spec << ": need 0 <= i < N\n";
+        return 2;
+      }
     } else if (a == "--write-exemplars" && i + 1 < argc) {
       exemplar_dir = argv[++i];
     } else if (a.rfind("--metrics=", 0) == 0) {
@@ -147,6 +165,7 @@ int main(int argc, char** argv) {
                 << " [--seed N] [--cases N] [--shrink|--no-shrink]"
                    " [--rotation N] [--fault-every N] [--corpus DIR]"
                    " [--journal FILE] [--trace-cases] [--progress N]"
+                   " [--threads N] [--shard i/N]"
                    " [--write-exemplars DIR] [--metrics=FILE]"
                    " [--trace=FILE] [--profile]\n";
       return 2;

@@ -24,6 +24,25 @@
 //                      off and on, fail on any fingerprint divergence,
 //                      missing pipeline layer in the trace, or slowdown
 //                      beyond the overhead budget
+//   --shard i/N        run only shard i of N (deterministic round-robin
+//                      partition of the heaviest-first schedule); requires
+//                      --journal, prints the shard fingerprint, writes no
+//                      BENCH_sweep.json (a shard is not the sweep)
+//   --merge-journals a.jnl,b.jnl,...
+//                      reassemble a complete set of shard journals:
+//                      validates grid+selection fingerprints and shard
+//                      ownership, rejects overlaps and gaps, re-derives
+//                      the global sweep fingerprint and the row-derived
+//                      metrics, and (with --merge-out) writes the merged
+//                      journal byte-identical to a single-process run's
+//   --merge-out PATH   destination for the merged journal
+//   --scaling[=T1,T2]  thread-scaling benchmark: run the same sweep at
+//                      each thread count (default 1,2,4,8), assert one
+//                      fingerprint, record the curve in BENCH_sweep.json
+//   --scaling-smoke    CI gate: reduced slice at threads {1,4}; fails on
+//                      fingerprint divergence, and on < 1.5x speedup when
+//                      the host actually has >= 4 cores (skipped, loudly,
+//                      on smaller machines)
 //
 // SIGINT/SIGTERM stop the sweep cooperatively: finished rows are already
 // durable in the journal, the health report (with the quarantine summary)
@@ -38,12 +57,14 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "cache/config.hpp"
 #include "energy/model.hpp"
 #include "exp/harness.hpp"
+#include "exp/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
@@ -64,6 +85,13 @@ struct Args {
   std::string journal;
   std::uint32_t attempts = 0;     ///< 0 = mode default
   std::int64_t deadline_ms = -1;  ///< -1 = mode default
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::vector<std::string> merge_inputs;
+  std::string merge_out;
+  bool scaling = false;
+  bool scaling_smoke = false;
+  std::vector<std::uint32_t> scaling_threads;  ///< empty = mode default
 };
 
 // Written by the signal handler, read after run_sweep returns.
@@ -107,13 +135,47 @@ Args parse(int argc, char** argv) {
       args.attempts = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (a == "--deadline-ms" && i + 1 < argc) {
       args.deadline_ms = static_cast<std::int64_t>(std::stoll(argv[++i]));
+    } else if (a == "--shard" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos) {
+        std::cerr << "--shard expects i/N (e.g. --shard 0/4)\n";
+        std::exit(2);
+      }
+      args.shard_index =
+          static_cast<std::uint32_t>(std::stoul(spec.substr(0, slash)));
+      args.shard_count =
+          static_cast<std::uint32_t>(std::stoul(spec.substr(slash + 1)));
+      if (args.shard_count == 0 || args.shard_index >= args.shard_count) {
+        std::cerr << "--shard " << spec << ": need 0 <= i < N\n";
+        std::exit(2);
+      }
+    } else if (a == "--merge-journals" && i + 1 < argc) {
+      std::stringstream ss(argv[++i]);
+      std::string item;
+      while (std::getline(ss, item, ',')) args.merge_inputs.push_back(item);
+    } else if (a == "--merge-out" && i + 1 < argc) {
+      args.merge_out = argv[++i];
+    } else if (a == "--scaling") {
+      args.scaling = true;
+    } else if (a.rfind("--scaling=", 0) == 0) {
+      args.scaling = true;
+      std::stringstream ss(a.substr(10));
+      std::string item;
+      while (std::getline(ss, item, ','))
+        args.scaling_threads.push_back(
+            static_cast<std::uint32_t>(std::stoul(item)));
+    } else if (a == "--scaling-smoke") {
+      args.scaling_smoke = true;
     } else {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: " << argv[0]
                 << " [--sweep[=STRIDE]] [--perf-smoke] [--trace-smoke]"
                    " [--threads N] [--programs a,b,c] [--journal PATH]"
-                   " [--attempts N] [--deadline-ms N] [--trace=FILE]"
-                   " [--metrics=FILE] [--profile]\n";
+                   " [--attempts N] [--deadline-ms N] [--shard i/N]"
+                   " [--merge-journals a,b,...] [--merge-out PATH]"
+                   " [--scaling[=T1,T2,...]] [--scaling-smoke]"
+                   " [--trace=FILE] [--metrics=FILE] [--profile]\n";
       std::exit(2);
     }
   }
@@ -135,11 +197,22 @@ ucp::exp::SweepOptions sweep_options(const Args& args) {
   options.case_deadline_ms =
       args.deadline_ms >= 0 ? static_cast<std::uint32_t>(args.deadline_ms)
                             : 120000;
+  options.shard_index = args.shard_index;
+  options.shard_count = args.shard_count;
   return options;
 }
 
+/// One point of the thread-scaling curve (--scaling mode).
+struct ScalingPoint {
+  std::uint32_t threads = 0;
+  std::uint64_t wall_ms = 0;
+  double cases_per_sec = 0.0;
+  std::string fingerprint;
+};
+
 void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
-                      const std::string& fingerprint) {
+                      const std::string& fingerprint,
+                      const std::vector<ScalingPoint>* scaling = nullptr) {
   const ucp::exp::SweepReport& r = sweep.report;
   std::ofstream os("BENCH_sweep.json", std::ios::trunc);
   os.precision(6);
@@ -170,7 +243,22 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
      << static_cast<double>(r.stages.optimize_ns) / 1e9 << ",\n"
      << "    \"audit\": "
      << static_cast<double>(r.stages.audit_ns) / 1e9 << "\n"
-     << "  },\n"
+     << "  },\n";
+  if (scaling != nullptr && !scaling->empty()) {
+    os << "  \"scaling\": [\n";
+    for (std::size_t i = 0; i < scaling->size(); ++i) {
+      const ScalingPoint& p = (*scaling)[i];
+      os << "    {\"threads\": " << p.threads << ", \"wall_seconds\": "
+         << static_cast<double>(p.wall_ms) / 1000.0
+         << ", \"cases_per_sec\": " << p.cases_per_sec
+         << ", \"fingerprint\": \"" << p.fingerprint << "\"}"
+         << (i + 1 < scaling->size() ? ",\n" : "\n");
+    }
+    os << "  ],\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n";
+  }
+  os
      // One code path for every metrics consumer: the sweep publishes its
      // row-derived exp.sweep.* counters (solver totals included) into the
      // obs registry, and this is the same snapshot --metrics files and the
@@ -216,9 +304,143 @@ int run_sweep_mode(const Args& args) {
     return 128 + static_cast<int>(g_signal != 0 ? g_signal : SIGINT);
   }
   const std::string fp = exp::sweep_results_fingerprint(sweep.results);
+  if (args.shard_count > 1) {
+    // A shard is not the sweep: report its own (shard-local) fingerprint
+    // and row count for the merge step, but never write BENCH_sweep.json —
+    // that file means "the full grid ran".
+    std::cout << "[bench] shard " << args.shard_index << "/"
+              << args.shard_count << " fingerprint " << fp << " ("
+              << sweep.results.size() << " rows)"
+              << (args.journal.empty() ? " — WARNING: no --journal, rows "
+                                         "cannot be merged"
+                                       : "")
+              << "\n";
+    return 0;
+  }
   std::cout << "[bench] result fingerprint " << fp << "\n";
   write_bench_json(sweep, args, fp);
   return 0;
+}
+
+int run_merge_mode(const Args& args) {
+  using namespace ucp;
+  obs::set_enabled(true);
+  // The options must describe the *same sweep* the shards ran (programs,
+  // stride, attempts, deadline); the merge re-derives the plan from them
+  // and validates every journal against it.
+  Args unsharded = args;
+  unsharded.shard_index = 0;
+  unsharded.shard_count = 1;
+  Expected<exp::JournalMerge> merged = exp::merge_sweep_journals(
+      args.merge_inputs, sweep_options(unsharded), args.merge_out);
+  if (!merged.ok()) {
+    std::cerr << "[merge] FAIL: " << merged.status().message() << "\n";
+    return 1;
+  }
+
+  // Rebuild the sweep view from the merged rows. Everything row-derived —
+  // outcome totals, quarantine, solver sums, the exp.sweep.* counters and
+  // the fingerprint — is exactly what a single-process run reports;
+  // process-local measurements (wall clock, stage timings, construction
+  // charges) are not derivable from rows and stay zero.
+  exp::Sweep sweep;
+  sweep.results = std::move(merged->results);
+  sweep.report = exp::derive_row_report(sweep.results);
+  sweep.report.journal_note =
+      "merged " + std::to_string(merged->shard_count) + " shard journals";
+  exp::publish_sweep_metrics(sweep);
+  sweep.report.print(std::cout);
+  std::cout << "[merge] " << merged->rows << " rows from "
+            << merged->shard_count << " shards, sweep fingerprint "
+            << merged->fingerprint << "\n";
+  if (!args.merge_out.empty())
+    std::cout << "[merge] wrote merged journal to " << args.merge_out
+              << "\n";
+  Args reported = unsharded;
+  reported.journal = args.merge_out;
+  write_bench_json(sweep, reported, merged->fingerprint);
+  return 0;
+}
+
+int run_scaling(const Args& args, bool smoke) {
+  using namespace ucp;
+  Args base = args;
+  std::vector<std::uint32_t> thread_counts = args.scaling_threads;
+  if (smoke) {
+    // Same reduced slice as --perf-smoke: crosses scheduling, sharing and
+    // the optimizer, small enough for CI budgets.
+    if (base.stride == 1) base.stride = 12;
+    if (base.programs.empty()) base.programs = {"bs", "fdct", "crc"};
+    if (thread_counts.empty()) thread_counts = {1, 4};
+  } else if (thread_counts.empty()) {
+    thread_counts = {1, 2, 4, 8};
+  }
+  obs::set_enabled(true);
+
+  std::vector<ScalingPoint> curve;
+  exp::Sweep last;
+  for (const std::uint32_t t : thread_counts) {
+    Args at = base;
+    at.threads = t;
+    exp::Sweep sweep = exp::run_sweep(sweep_options(at));
+    ScalingPoint p;
+    p.threads = t;
+    p.wall_ms = sweep.report.wall_ms;
+    p.cases_per_sec = sweep.report.cases_per_sec;
+    p.fingerprint = exp::sweep_results_fingerprint(sweep.results);
+    std::cout << "[scaling] threads " << t << ": "
+              << static_cast<double>(p.wall_ms) / 1000.0 << "s ("
+              << p.cases_per_sec << " cases/s), fingerprint "
+              << p.fingerprint << "\n";
+    curve.push_back(p);
+    last = std::move(sweep);
+  }
+
+  int failures = 0;
+  for (const ScalingPoint& p : curve) {
+    if (p.fingerprint != curve.front().fingerprint) {
+      std::cerr << "[scaling] FAIL: threads " << p.threads
+                << " diverged from threads " << curve.front().threads << " ("
+                << p.fingerprint << " vs " << curve.front().fingerprint
+                << ")\n";
+      ++failures;
+    }
+  }
+
+  const std::uint32_t max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  const double speedup =
+      curve.back().wall_ms > 0
+          ? static_cast<double>(curve.front().wall_ms) /
+                static_cast<double>(curve.back().wall_ms)
+          : 0.0;
+  std::cout << "[scaling] speedup at " << max_threads << " threads: "
+            << speedup << "x (host has " << std::thread::hardware_concurrency()
+            << " cores)\n";
+  if (smoke) {
+    // The speedup gate only means something when the host can actually run
+    // the workers in parallel; on smaller machines the determinism half of
+    // the gate still ran, so skip the perf half loudly rather than fail.
+    if (std::thread::hardware_concurrency() >= max_threads) {
+      if (speedup < 1.5) {
+        std::cerr << "[scaling] FAIL: speedup " << speedup << "x at "
+                  << max_threads << " threads is below the 1.5x floor\n";
+        ++failures;
+      }
+    } else {
+      std::cout << "[scaling] SKIP speedup floor: host has only "
+                << std::thread::hardware_concurrency() << " cores for "
+                << max_threads << " threads\n";
+    }
+  } else if (failures == 0) {
+    write_bench_json(last, base, curve.front().fingerprint, &curve);
+  }
+  std::cout << "[scaling] " << (failures == 0 ? "OK" : "FAIL")
+            << ": one fingerprint across threads {";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    std::cout << thread_counts[i] << (i + 1 < thread_counts.size() ? "," : "");
+  std::cout << "}\n";
+  return failures == 0 ? 0 : 1;
 }
 
 int run_perf_smoke(const Args& args) {
@@ -328,6 +550,9 @@ int run_trace_smoke(const Args& args) {
 int main(int argc, char** argv) {
   using namespace ucp;
   const Args args = parse(argc, argv);
+  if (!args.merge_inputs.empty()) return run_merge_mode(args);
+  if (args.scaling_smoke) return run_scaling(args, /*smoke=*/true);
+  if (args.scaling) return run_scaling(args, /*smoke=*/false);
   if (args.trace_smoke) return run_trace_smoke(args);
   if (args.perf_smoke) return run_perf_smoke(args);
   if (args.sweep) return run_sweep_mode(args);

@@ -30,6 +30,7 @@
 #include "support/check.hpp"
 #include "support/durable_io.hpp"
 #include "support/fault_injection.hpp"
+#include "support/parallel.hpp"
 #include "wcet/ipet.hpp"
 
 namespace ucp::exp {
@@ -748,10 +749,104 @@ void publish_sweep_metrics(const Sweep& sweep) {
   add("exp.sweep.nodes_reanalyzed", nodes_re);
 }
 
+SweepPlan build_sweep_plan(const SweepOptions& options) {
+  SweepPlan plan;
+  plan.names = options.programs;
+  if (plan.names.empty()) {
+    for (const suite::BenchmarkInfo& info : suite::all_benchmarks())
+      plan.names.push_back(info.name);
+  }
+
+  // Build every program once; a sweep re-measures each against 36 configs,
+  // and the builders are deterministic, so the 36 rebuilds were pure waste.
+  // A builder failure marks all of that program's cases failed (same rows
+  // the per-case task boundary used to produce).
+  plan.build_errors.assign(plan.names.size(), std::string());
+  std::vector<std::uint64_t> instr_count(plan.names.size(), 1);
+  plan.programs.reserve(plan.names.size());
+  for (std::size_t i = 0; i < plan.names.size(); ++i) {
+    try {
+      plan.programs.push_back(suite::build_benchmark(plan.names[i]));
+      std::uint64_t instrs = 0;
+      for (ir::BlockId b = 0; b < plan.programs.back().num_blocks(); ++b)
+        instrs += plan.programs.back().block(b).instrs.size();
+      instr_count[i] = std::max<std::uint64_t>(1, instrs);
+    } catch (const std::exception& e) {
+      plan.programs.push_back(ir::Program("unbuildable"));
+      plan.build_errors[i] = e.what();
+    }
+  }
+
+  const auto& configs = cache::paper_cache_configs();
+  for (std::size_t p = 0; p < plan.names.size(); ++p) {
+    for (std::size_t c = 0; c < configs.size(); c += options.config_stride) {
+      // Analysis cost grows with context nodes (~ instructions) and with
+      // abstract state width (~ cache sets); the product ranks the heavy
+      // (big program, many sets) cases well enough for scheduling.
+      plan.tasks.push_back(SweepPlan::Task{
+          p, c, plan.tasks.size() * options.techs.size(),
+          instr_count[p] * configs[c].config.num_sets()});
+    }
+  }
+  plan.result_rows = plan.tasks.size() * options.techs.size();
+
+  // Heaviest-first schedule over the whole selection: workers pull from an
+  // atomic cursor over this order, so the longest-running cases start first
+  // and cannot serialize the sweep's tail. Ties keep grid order, which
+  // keeps the schedule — and therefore shard ownership, journal row order
+  // and any fault-injection hit — deterministic.
+  plan.schedule.resize(plan.tasks.size());
+  std::iota(plan.schedule.begin(), plan.schedule.end(), std::size_t{0});
+  std::stable_sort(plan.schedule.begin(), plan.schedule.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return plan.tasks[a].weight > plan.tasks[b].weight;
+                   });
+  return plan;
+}
+
+SweepReport derive_row_report(const std::vector<UseCaseResult>& results) {
+  SweepReport report;
+  report.total = results.size();
+  for (const UseCaseResult& r : results) {
+    report.solver.add(r.original.solver);
+    report.solver.add(r.report.solver);
+    report.solver.add(r.optimized.solver);
+    switch (r.outcome) {
+      case CaseOutcome::kCompleted:
+        ++report.completed;
+        break;
+      case CaseOutcome::kDegraded:
+        ++report.degraded;
+        break;
+      case CaseOutcome::kFailed:
+        ++report.failed;
+        break;
+    }
+    if (r.any_degenerate_ratio()) ++report.degenerate_ratios;
+    if (r.attempts > 1) ++report.retried;
+    if (r.degradation_level == 1) ++report.recovered;
+    if (r.audit.performed) ++report.audited;
+    if (r.audit.violated) ++report.audit_violations;
+    if (r.audit.inconclusive) ++report.audit_inconclusive;
+    if (r.quarantined())
+      report.quarantine.push_back(DegradedCase{
+          r.program, r.config_id, r.tech, r.outcome, r.fail_stage,
+          r.fail_code, r.fail_detail});
+  }
+  return report;
+}
+
 Sweep run_sweep(const SweepOptions& options) {
+  UCP_CHECK_MSG(options.shard_count >= 1 &&
+                    options.shard_index < options.shard_count,
+                "invalid sweep shard " + std::to_string(options.shard_index) +
+                    "/" + std::to_string(options.shard_count));
+  const bool sharded = options.shard_count > 1;
   Sweep sweep;
-  // Serve (a filtered view of) the memoized full sweep when available.
-  if (!options.cache_path.empty()) {
+  // Serve (a filtered view of) the memoized full sweep when available. A
+  // sharded run never consults the memo: the cache stores finished full
+  // grids, and a shard neither produces nor wants one.
+  if (!options.cache_path.empty() && !sharded) {
     Expected<std::vector<UseCaseResult>> cached =
         load_sweep_cache(options.cache_path);
     if (cached.ok()) {
@@ -787,38 +882,24 @@ Sweep run_sweep(const SweepOptions& options) {
   // Materialize the grid as (program, configuration) tasks; the tech nodes
   // run inside one task (sharing work when their timings coincide) and land
   // at consecutive result indices, so the output order stays the
-  // program -> config -> tech grid order regardless of scheduling.
-  struct Task {
-    const std::string* program;
-    const cache::NamedCacheConfig* config;
-    std::size_t first;     ///< index of the first result of this task
-    std::uint64_t weight;  ///< scheduling heaviness estimate
-  };
-  std::vector<std::string> names = options.programs;
-  if (names.empty()) {
-    for (const suite::BenchmarkInfo& info : suite::all_benchmarks())
-      names.push_back(info.name);
-  }
+  // program -> config -> tech grid order regardless of scheduling. The plan
+  // — task list, weights and heaviest-first schedule — is the shared
+  // deterministic contract between sharded producers and the journal merge.
+  SweepPlan plan = build_sweep_plan(options);
+  const std::vector<std::string>& names = plan.names;
+  const std::vector<ir::Program>& programs = plan.programs;
+  const std::vector<std::string>& build_error = plan.build_errors;
+  const std::vector<SweepPlan::Task>& tasks = plan.tasks;
+  const auto& configs = cache::paper_cache_configs();
 
-  // Build every program once; a sweep re-measures each against 36 configs,
-  // and the builders are deterministic, so the 36 rebuilds were pure waste.
-  // A builder failure marks all of that program's cases failed (same rows
-  // the per-case task boundary used to produce).
-  std::vector<ir::Program> programs;
-  std::vector<std::string> build_error(names.size());
-  std::vector<std::uint64_t> instr_count(names.size(), 1);
-  programs.reserve(names.size());
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    try {
-      programs.push_back(suite::build_benchmark(names[i]));
-      std::uint64_t instrs = 0;
-      for (ir::BlockId b = 0; b < programs.back().num_blocks(); ++b)
-        instrs += programs.back().block(b).instrs.size();
-      instr_count[i] = std::max<std::uint64_t>(1, instrs);
-    } catch (const std::exception& e) {
-      programs.push_back(ir::Program("unbuildable"));
-      build_error[i] = e.what();
-    }
+  // Shard ownership: position j of the schedule belongs to shard j mod N.
+  // Round-robin over the weight-sorted order spreads the heavy head evenly,
+  // so shards are load-balanced without any coordination.
+  std::vector<bool> owned(tasks.size(), true);
+  if (sharded) {
+    for (std::size_t pos = 0; pos < plan.schedule.size(); ++pos)
+      owned[plan.schedule[pos]] =
+          SweepPlan::shard_of(pos, options.shard_count) == options.shard_index;
   }
 
   // One context graph + IPET constraint system per program, shared by all
@@ -843,20 +924,8 @@ Sweep run_sweep(const SweepOptions& options) {
     }
   }
 
-  const auto& configs = cache::paper_cache_configs();
-  std::vector<Task> tasks;
   std::vector<UseCaseResult>& results = sweep.results;
-  for (std::size_t p = 0; p < names.size(); ++p) {
-    for (std::size_t c = 0; c < configs.size(); c += options.config_stride) {
-      // Analysis cost grows with context nodes (~ instructions) and with
-      // abstract state width (~ cache sets); the product ranks the heavy
-      // (big program, many sets) cases well enough for scheduling.
-      tasks.push_back(Task{&names[p], &configs[c], tasks.size() *
-                               options.techs.size(),
-                           instr_count[p] * configs[c].config.num_sets()});
-    }
-  }
-  results.resize(tasks.size() * options.techs.size());
+  results.resize(plan.result_rows);
 
   // Unified operator feedback: progress lines and the retry/audit/journal
   // notice channels share one reporter (one clock, one rate limit), so a
@@ -869,23 +938,25 @@ Sweep run_sweep(const SweepOptions& options) {
   // Crash-safe checkpoint journal: restore every durable row, then run only
   // the tasks that are not fully journaled. Restored rows are byte-for-byte
   // what the killed sweep computed, so the combined result set is
-  // bit-identical to an uninterrupted run.
+  // bit-identical to an uninterrupted run. A sharded journal restores (and
+  // accepts) only rows this shard owns.
   SweepJournal journal;
-  std::mutex journal_mutex;
   std::vector<bool> have_row(results.size(), false);
   if (!options.journal_path.empty()) {
     auto matches_grid = [&](std::size_t idx, const UseCaseResult& r) {
       const std::size_t per_task = options.techs.size();
       const std::size_t t = idx / per_task;
       const std::size_t k = idx % per_task;
-      return t < tasks.size() && r.program == *tasks[t].program &&
-             r.config_id == tasks[t].config->id &&
+      return t < tasks.size() && owned[t] &&
+             r.program == names[tasks[t].program] &&
+             r.config_id == configs[tasks[t].config].id &&
              r.tech == options.techs[k];
     };
     const Status opened = journal.open(
         options.journal_path, sweep_grid_fingerprint(),
-        SweepJournal::selection_fingerprint(options, names), results,
-        have_row, matches_grid);
+        SweepJournal::selection_fingerprint(options, names),
+        options.shard_index, options.shard_count, results, have_row,
+        matches_grid);
     sweep.report.journal_note = journal.note();
     sweep.report.resumed_rows = journal.resumed_rows();
     if (!opened.ok())
@@ -899,6 +970,10 @@ Sweep run_sweep(const SweepOptions& options) {
   std::size_t resumed_cases = 0;
   std::vector<bool> task_pending(tasks.size(), true);
   for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (!owned[t]) {
+      task_pending[t] = false;
+      continue;
+    }
     bool complete = true;
     for (std::size_t k = 0; k < options.techs.size(); ++k)
       complete = complete && have_row[tasks[t].first + k];
@@ -908,31 +983,93 @@ Sweep run_sweep(const SweepOptions& options) {
     }
   }
 
-  // Heaviest-first dynamic schedule over the pending tasks: workers pull
-  // from an atomic cursor over the weight-sorted order, so the
-  // longest-running cases start first and cannot serialize the sweep's
-  // tail. Ties keep grid order, which keeps the schedule (and any
-  // fault-injection hit) deterministic.
+  // Dynamic claim order: the pending subset of the plan's heaviest-first
+  // schedule. Workers pull from an atomic cursor over it.
   std::vector<std::size_t> order;
   order.reserve(tasks.size());
-  for (std::size_t t = 0; t < tasks.size(); ++t)
+  for (const std::size_t t : plan.schedule)
     if (task_pending[t]) order.push_back(t);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return tasks[a].weight > tasks[b].weight;
-                   });
 
   // Declare the work ahead in the scheduler's own weight units so the ETA
   // tracks completed *work*, not completed case counts (under heaviest-first
   // scheduling the early cases are the slow ones, so a case-count ETA is
   // badly biased at both ends of the run).
+  std::size_t owned_cases = 0;
   std::uint64_t total_weight = 0;
   std::uint64_t resumed_weight = 0;
   for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (!owned[t]) continue;
+    owned_cases += options.techs.size();
     total_weight += tasks[t].weight;
     if (!task_pending[t]) resumed_weight += tasks[t].weight;
   }
-  reporter.begin(results.size(), total_weight, resumed_cases, resumed_weight);
+  reporter.begin(owned_cases, total_weight, resumed_cases, resumed_weight);
+
+  // Deterministic journal flush order (DESIGN.md §13). Finished rows stay
+  // buffered in `results` until the flush frontier — a cursor over the
+  // owned tasks in schedule order — reaches them, so the journal's byte
+  // stream is identical at every thread count: rows appear in schedule
+  // order, never completion order. Workers only mark their task ready
+  // under a cheap bookkeeping lock; whichever worker finds the frontier
+  // unattended becomes the single active flusher and appends the whole
+  // ready run as one batch (one fsync), with no lock held during the I/O.
+  // Crash window: a completed-but-unflushed task (at most one per worker
+  // plus the batch in flight) is recomputed on resume — bounded work loss,
+  // and recomputation is deterministic so the journal still completes
+  // exactly.
+  std::vector<std::size_t> flush_list;  ///< owned tasks, schedule order
+  std::vector<std::size_t> flush_pos(tasks.size(), 0);
+  for (const std::size_t t : plan.schedule) {
+    if (!owned[t]) continue;
+    flush_pos[t] = flush_list.size();
+    flush_list.push_back(t);
+  }
+  // Rows already durable from a resumed journal are skipped per task (a
+  // torn tail can leave part of a task); `have_row` is frozen after open,
+  // so the skip counts are stable.
+  std::vector<std::size_t> flush_skip(flush_list.size(), 0);
+  std::vector<char> flush_ready(flush_list.size(), 0);
+  for (std::size_t i = 0; i < flush_list.size(); ++i) {
+    const SweepPlan::Task& t = tasks[flush_list[i]];
+    std::size_t k0 = 0;
+    while (k0 < options.techs.size() && have_row[t.first + k0]) ++k0;
+    flush_skip[i] = k0;
+    if (!task_pending[flush_list[i]]) flush_ready[i] = 1;
+  }
+  std::size_t flush_frontier = 0;
+  bool flusher_active = false;
+  std::mutex flush_mutex;  ///< guards flush_* state and the journal note
+
+  auto flush_task_done = [&](std::size_t task_id) {
+    std::unique_lock<std::mutex> lock(flush_mutex);
+    flush_ready[flush_pos[task_id]] = 1;
+    if (flusher_active) return;  // the active flusher will pick it up
+    flusher_active = true;
+    for (;;) {
+      std::vector<std::pair<std::size_t, std::size_t>> batch;
+      while (flush_frontier < flush_list.size() &&
+             flush_ready[flush_frontier] != 0) {
+        const SweepPlan::Task& t = tasks[flush_list[flush_frontier]];
+        const std::size_t skip = flush_skip[flush_frontier];
+        if (skip < options.techs.size())
+          batch.emplace_back(t.first + skip, options.techs.size() - skip);
+        ++flush_frontier;
+      }
+      if (batch.empty()) {
+        flusher_active = false;
+        return;
+      }
+      if (!journal.active()) continue;  // disabled mid-sweep: drop the batch
+      lock.unlock();
+      const Status appended = journal.append_batch(results, batch);
+      lock.lock();
+      if (!appended.ok()) {
+        sweep.report.journal_note +=
+            "; journaling disabled mid-sweep: " + appended.message();
+        reporter.notice("journal", appended.message());
+      }
+    }
+  };
 
   std::atomic<std::size_t> next{0};
   std::mutex stage_mutex;
@@ -961,15 +1098,16 @@ Sweep run_sweep(const SweepOptions& options) {
   for (std::uint32_t w = 0; w < threads; ++w)
     slots.push_back(std::make_unique<WorkerSlot>());
 
-  auto fill_rows_failed = [&](const Task& t, std::vector<UseCaseResult>& rows,
+  auto fill_rows_failed = [&](const SweepPlan::Task& t,
+                              std::vector<UseCaseResult>& rows,
                               ErrorCode code, const std::string& stage,
                               const std::string& detail) {
     for (std::size_t k = 0; k < options.techs.size(); ++k) {
       UseCaseResult& r = rows[k];
       r = UseCaseResult{};
-      r.program = *t.program;
-      r.config_id = t.config->id;
-      r.config = t.config->config;
+      r.program = names[t.program];
+      r.config_id = configs[t.config].id;
+      r.config = configs[t.config].config;
       r.tech = options.techs[k];
       r.outcome = CaseOutcome::kFailed;
       r.fail_code = code;
@@ -981,23 +1119,23 @@ Sweep run_sweep(const SweepOptions& options) {
   // One attempt at one task. *Every* exception is contained here —
   // including CancelledError from the deep kernels — so one pathological
   // use case can never std::terminate a 2664-case sweep.
-  auto run_attempt = [&](const Task& t,
+  auto run_attempt = [&](const SweepPlan::Task& t,
                          const core::OptimizerOptions& opt_options,
                          StageTimings& stages,
                          std::vector<UseCaseResult>& rows) {
-    const std::size_t p = static_cast<std::size_t>(t.program - names.data());
+    const std::size_t p = t.program;
     rows.assign(options.techs.size(), UseCaseResult{});
     const wcet::IpetSystem* shared =
         systems[p] ? &systems[p]->ipet : nullptr;
     try {
       if (options.share_across_techs) {
         std::vector<UseCaseResult> rs = run_use_case_group(
-            programs[p], *t.program, *t.config, options.techs, opt_options,
-            &stages, shared, options.audit_soundness);
+            programs[p], names[p], configs[t.config], options.techs,
+            opt_options, &stages, shared, options.audit_soundness);
         for (std::size_t k = 0; k < rs.size(); ++k) rows[k] = std::move(rs[k]);
       } else {
         for (std::size_t k = 0; k < options.techs.size(); ++k)
-          rows[k] = run_use_case(programs[p], *t.program, *t.config,
+          rows[k] = run_use_case(programs[p], names[p], configs[t.config],
                                  options.techs[k], opt_options, shared);
       }
     } catch (const CancelledError& e) {
@@ -1039,8 +1177,9 @@ Sweep run_sweep(const SweepOptions& options) {
   //   rung 3: the identity transform — no optimization at all, trivially
   //           Theorem-1 sound — recorded as *degraded* with the original
   //           failure as its cause (an upgrade when the row had no baseline).
-  auto run_task = [&](const Task& t, WorkerSlot& slot, StageTimings& stages) {
-    const std::size_t p = static_cast<std::size_t>(t.program - names.data());
+  auto run_task = [&](const SweepPlan::Task& t, WorkerSlot& slot,
+                      StageTimings& stages) {
+    const std::size_t p = t.program;
     const std::size_t n = options.techs.size();
     std::vector<UseCaseResult> rows;
     std::uint32_t attempts = 1;
@@ -1128,8 +1267,9 @@ Sweep run_sweep(const SweepOptions& options) {
     }
 
     if (attempts > 1)
-      reporter.notice("retry", *t.program + "/" + t.config->id + " took " +
-                                   std::to_string(attempts) + " attempts");
+      reporter.notice("retry", names[t.program] + "/" + configs[t.config].id +
+                                   " took " + std::to_string(attempts) +
+                                   " attempts");
     for (const UseCaseResult& r : rows) {
       if (r.audit.violated)
         reporter.notice("audit", "soundness violation at " + r.program + "/" +
@@ -1170,51 +1310,47 @@ Sweep run_sweep(const SweepOptions& options) {
 
     for (std::size_t k = 0; k < n; ++k)
       results[t.first + k] = std::move(rows[k]);
-
-    // Checkpoint the finished task before it counts as done. Only rows not
-    // already durable are appended (a torn tail can leave part of a task);
-    // recomputation is deterministic, so the suffix completes the journaled
-    // prefix exactly.
-    std::size_t k0 = 0;
-    while (k0 < n && have_row[t.first + k0]) ++k0;
-    if (k0 < n) {
-      std::lock_guard<std::mutex> lock(journal_mutex);
-      if (journal.active()) {
-        const Status appended = journal.append(results, t.first + k0, n - k0);
-        if (!appended.ok()) {
-          sweep.report.journal_note +=
-              "; journaling disabled mid-sweep: " + appended.message();
-          reporter.notice("journal", appended.message());
-        }
-      }
-    }
   };
 
   auto worker = [&](std::size_t slot_index) {
     WorkerSlot& slot = *slots[slot_index];
     CancelScope scope(&slot.token);
     StageTimings local;
+    // The slot is claimable from the moment the worker starts and again the
+    // instant each task finishes; claimable-to-claim is the wait the
+    // *scheduler* caused, as opposed to time spent behind earlier tasks.
+    std::int64_t free_since_ms = now_ms();
     for (;;) {
       if (sweep_interrupt_requested()) break;
       const std::size_t at = next.fetch_add(1);
       if (at >= order.size()) break;
-      const Task& t = tasks[order[at]];
+      const SweepPlan::Task& t = tasks[order[at]];
       {
         obs::Span span("exp.task.run");
-        // Every task is enqueued at sweep start, so elapsed time at pop IS
-        // the queue wait; the remainder of the scope is the run time.
-        const std::int64_t popped_ms = now_ms();
+        const std::int64_t claimed_ms = now_ms();
         run_task(t, slot, local);
         if (obs::enabled()) {
+          // Two distinct waits (DESIGN.md §13): enqueue_to_claim_ms counts
+          // from sweep start (every task is enqueued when the schedule is
+          // built), so it grows with queue position by construction — a
+          // depth profile, not a health signal. queue_wait_ms is
+          // claimable-to-claim: how long a free worker slot sat idle before
+          // this claim; ~0 whenever workers are saturated.
+          static obs::Histogram& h_enqueue =
+              obs::registry().histogram("exp.task.enqueue_to_claim_ms");
           static obs::Histogram& h_wait =
               obs::registry().histogram("exp.task.queue_wait_ms");
           static obs::Histogram& h_run =
               obs::registry().histogram("exp.task.run_ms");
-          h_wait.record(static_cast<std::uint64_t>(popped_ms));
-          h_run.record(static_cast<std::uint64_t>(now_ms() - popped_ms));
+          h_enqueue.record(static_cast<std::uint64_t>(claimed_ms));
+          h_wait.record(
+              static_cast<std::uint64_t>(claimed_ms - free_since_ms));
+          h_run.record(static_cast<std::uint64_t>(now_ms() - claimed_ms));
         }
       }
+      flush_task_done(order[at]);
       reporter.case_done(options.techs.size(), t.weight);
+      free_since_ms = now_ms();
     }
     std::lock_guard<std::mutex> lock(stage_mutex);
     sweep.report.stages.measure_ns += local.measure_ns;
@@ -1255,18 +1391,21 @@ Sweep run_sweep(const SweepOptions& options) {
   }
 
   // An interrupted sweep returns what it has: journaled + finished rows are
-  // real results; everything unrun is quarantined as "interrupted" so the
-  // health report can never pass it off as a full grid.
+  // real results; everything unrun (among the tasks this shard owns) is
+  // quarantined as "interrupted" so the health report can never pass it off
+  // as a full grid.
   bool any_unrun = false;
-  for (const Task& t : tasks) {
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    if (!owned[ti]) continue;
+    const SweepPlan::Task& t = tasks[ti];
     if (!results[t.first].program.empty()) continue;
     any_unrun = true;
     for (std::size_t k = 0; k < options.techs.size(); ++k) {
       UseCaseResult& r = results[t.first + k];
       r = UseCaseResult{};
-      r.program = *t.program;
-      r.config_id = t.config->id;
-      r.config = t.config->config;
+      r.program = names[t.program];
+      r.config_id = configs[t.config].id;
+      r.config = configs[t.config].config;
       r.tech = options.techs[k];
       r.outcome = CaseOutcome::kFailed;
       r.fail_code = ErrorCode::kCancelled;
@@ -1277,6 +1416,19 @@ Sweep run_sweep(const SweepOptions& options) {
   }
   sweep.report.interrupted = any_unrun && sweep_interrupt_requested();
 
+  // A sharded sweep returns only the rows it owns — still in grid order;
+  // merge_sweep_journals reassembles the full grid from the shard journals.
+  if (sharded) {
+    std::vector<UseCaseResult> own;
+    own.reserve(owned_cases);
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      if (!owned[ti]) continue;
+      for (std::size_t k = 0; k < options.techs.size(); ++k)
+        own.push_back(std::move(results[tasks[ti].first + k]));
+    }
+    results = std::move(own);
+  }
+
   sweep.report.wall_ms = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - sweep_start)
@@ -1286,36 +1438,27 @@ Sweep run_sweep(const SweepOptions& options) {
                                  (static_cast<double>(sweep.report.wall_ms) /
                                   1000.0);
 
-  // Health accounting, in deterministic grid order.
-  sweep.report.total = results.size();
+  // Health accounting, in deterministic grid order. The row-derived half is
+  // shared with the journal merge (derive_row_report), so a merged N-shard
+  // result reports exactly what an unsharded run derives from the same
+  // rows; the construction charge below is the per-process remainder.
+  {
+    SweepReport derived = derive_row_report(results);
+    sweep.report.total = derived.total;
+    sweep.report.completed = derived.completed;
+    sweep.report.degraded = derived.degraded;
+    sweep.report.failed = derived.failed;
+    sweep.report.degenerate_ratios = derived.degenerate_ratios;
+    sweep.report.retried = derived.retried;
+    sweep.report.recovered = derived.recovered;
+    sweep.report.audited = derived.audited;
+    sweep.report.audit_violations = derived.audit_violations;
+    sweep.report.audit_inconclusive = derived.audit_inconclusive;
+    sweep.report.quarantine = std::move(derived.quarantine);
+    sweep.report.solver.add(derived.solver);
+  }
   for (const std::unique_ptr<ProgramIpet>& s : systems)
     if (s) s->ipet.charge_construction(sweep.report.solver);
-  for (const UseCaseResult& r : results) {
-    sweep.report.solver.add(r.original.solver);
-    sweep.report.solver.add(r.report.solver);
-    sweep.report.solver.add(r.optimized.solver);
-    switch (r.outcome) {
-      case CaseOutcome::kCompleted:
-        ++sweep.report.completed;
-        break;
-      case CaseOutcome::kDegraded:
-        ++sweep.report.degraded;
-        break;
-      case CaseOutcome::kFailed:
-        ++sweep.report.failed;
-        break;
-    }
-    if (r.any_degenerate_ratio()) ++sweep.report.degenerate_ratios;
-    if (r.attempts > 1) ++sweep.report.retried;
-    if (r.degradation_level == 1) ++sweep.report.recovered;
-    if (r.audit.performed) ++sweep.report.audited;
-    if (r.audit.violated) ++sweep.report.audit_violations;
-    if (r.audit.inconclusive) ++sweep.report.audit_inconclusive;
-    if (r.quarantined())
-      sweep.report.quarantine.push_back(DegradedCase{
-          r.program, r.config_id, r.tech, r.outcome, r.fail_stage,
-          r.fail_code, r.fail_detail});
-  }
 
   // Publish the authoritative row-derived counters, then merge the metrics
   // snapshot into the journal as a comment (skipped on resume, so it never
@@ -1333,7 +1476,7 @@ Sweep run_sweep(const SweepOptions& options) {
   // Persist only full default grids; partial sweeps would poison the memo
   // for the other figure benches, and a degraded sweep must never be served
   // as if it were the true result set.
-  if (!options.cache_path.empty() && options.programs.empty() &&
+  if (!options.cache_path.empty() && !sharded && options.programs.empty() &&
       options.config_stride == 1 && options.techs.size() == 2 &&
       sweep.report.clean()) {
     const Status saved = save_sweep_cache(options.cache_path, results);
@@ -1345,35 +1488,7 @@ Sweep run_sweep(const SweepOptions& options) {
 
 void parallel_for_index(std::size_t n, std::uint32_t threads,
                         const std::function<void(std::size_t)>& fn) {
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> aborted{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::uint32_t workers =
-      threads != 0 ? threads
-                   : std::max(1u, std::thread::hardware_concurrency());
-  // Task boundary: capture the first exception instead of letting it escape
-  // a worker thread (which would std::terminate), abandon remaining
-  // indices, and rethrow on the calling thread once the pool has drained.
-  auto worker = [&] {
-    for (;;) {
-      if (aborted.load(std::memory_order_relaxed)) return;
-      const std::size_t idx = next.fetch_add(1);
-      if (idx >= n) return;
-      try {
-        fn(idx);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        aborted.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  for (std::uint32_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
-  worker();
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  support::parallel_for_index(n, threads, fn);
 }
 
 std::vector<SizeAggregate> aggregate_by_size(

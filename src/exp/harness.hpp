@@ -222,6 +222,15 @@ struct SweepOptions {
   /// agreement. Violations demote the case to quarantined (kAuditFailed) —
   /// reported, never aborted.
   bool audit_soundness = true;
+  /// Process-level sharding: run only shard `shard_index` of `shard_count`.
+  /// Tasks are dealt round-robin over the heaviest-first schedule order, so
+  /// shards are load-balanced and the partition is a pure function of the
+  /// grid (no coordination between shard processes). A sharded sweep
+  /// returns only its own rows (grid order preserved); its journal carries
+  /// a `shard=i/N` header and merge_sweep_journals() reassembles the full
+  /// grid bit-identically. shard_count == 1 is the ordinary full sweep.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 /// One quarantined use case of a sweep: which case, which stage failed, why.
@@ -281,6 +290,48 @@ struct Sweep {
 
 Sweep run_sweep(const SweepOptions& options = {});
 
+/// The materialized, deterministic execution plan of a sweep: the resolved
+/// program list (built once, with per-program build errors and instruction
+/// counts), the (program, configuration) task grid in grid order, and the
+/// heaviest-first schedule order workers claim tasks in. The plan is a pure
+/// function of SweepOptions, shared by run_sweep, the shard partition and
+/// the journal merge — so a sharded run and a later merge agree on task
+/// ownership and row order byte for byte.
+struct SweepPlan {
+  struct Task {
+    std::size_t program = 0;    ///< index into `names` / `programs`
+    std::size_t config = 0;     ///< index into cache::paper_cache_configs()
+    std::size_t first = 0;      ///< index of the task's first result row
+    std::uint64_t weight = 0;   ///< scheduling heaviness estimate
+  };
+  std::vector<std::string> names;      ///< resolved program names
+  std::vector<ir::Program> programs;   ///< built programs (or placeholders)
+  std::vector<std::string> build_errors;  ///< per program; "" = built clean
+  std::vector<Task> tasks;             ///< grid order
+  std::vector<std::size_t> schedule;   ///< task indices, heaviest first
+  std::size_t result_rows = 0;         ///< tasks.size() * techs.size()
+
+  /// Owning shard of the task at `schedule_pos`: round-robin over the
+  /// heaviest-first order, so every shard gets an interleaved (balanced)
+  /// slice of the heavy and light tasks.
+  static std::uint32_t shard_of(std::size_t schedule_pos,
+                                std::uint32_t shard_count) {
+    return shard_count <= 1
+               ? 0
+               : static_cast<std::uint32_t>(schedule_pos % shard_count);
+  }
+};
+
+SweepPlan build_sweep_plan(const SweepOptions& options);
+
+/// Derives the row-dependent half of a SweepReport — outcome totals,
+/// supervision accounting, summed per-row solver work, the quarantine list.
+/// Pure function of the rows: identical however they were computed
+/// (threads, shards, journal resume, merge). run_sweep layers the
+/// process-scoped fields (wall clock, threads_used, journal/cache notes,
+/// IPET construction charges) on top.
+SweepReport derive_row_report(const std::vector<UseCaseResult>& results);
+
 /// Publishes the sweep's health report into the obs metrics registry as the
 /// authoritative `exp.sweep.*` counters: outcome totals, supervision
 /// accounting and the summed solver/optimizer work, all derived from the
@@ -334,10 +385,9 @@ Expected<std::vector<UseCaseResult>> load_sweep_cache(
     const std::string& path);
 
 /// Runs fn(0..n-1) on a worker pool (0 threads = hardware concurrency).
-/// Used by benches whose grids differ from the standard sweep. An exception
-/// escaping `fn` no longer terminates the process: the first one is
-/// captured at the task boundary, remaining indices are abandoned, and the
-/// exception is rethrown on the calling thread after the pool drains.
+/// Used by benches whose grids differ from the standard sweep. Thin alias
+/// of support::parallel_for_index: exceptions surface deterministically as
+/// the error of the lowest failing index (see support/parallel.hpp).
 void parallel_for_index(std::size_t n, std::uint32_t threads,
                         const std::function<void(std::size_t)>& fn);
 

@@ -21,8 +21,11 @@ namespace ucp::exp {
 namespace {
 
 const char kJournalMagic[] = "# ucp-sweep-journal v";
-constexpr std::uint32_t kJournalVersion = 1;
-constexpr std::size_t kJournalCells = 35;  ///< data cells + trailing checksum
+// v2: rows are journaled in deterministic heaviest-first schedule order (v1
+// journaled them in nondeterministic completion order), and sharded sweeps
+// declare their slice in the header. v1 journals reset on open.
+constexpr std::uint32_t kJournalVersion = 2;
+constexpr std::size_t kJournalCells = 40;  ///< data cells + trailing checksum
 
 std::uint64_t fnv1a(std::string_view s,
                     std::uint64_t h = 1469598103934665603ull) {
@@ -111,9 +114,18 @@ std::string unescape_cell(const std::string& s) {
 }
 
 std::string journal_header(const std::string& grid_fp,
-                           const std::string& selection_fp) {
-  return std::string(kJournalMagic) + std::to_string(kJournalVersion) +
-         " grid=" + grid_fp + " sel=" + selection_fp;
+                           const std::string& selection_fp,
+                           std::uint32_t shard_index,
+                           std::uint32_t shard_count) {
+  std::string header = std::string(kJournalMagic) +
+                       std::to_string(kJournalVersion) + " grid=" + grid_fp +
+                       " sel=" + selection_fp;
+  // Unsharded journals carry no shard field, so a merged N-shard journal is
+  // byte-identical to a single-process one starting from the header.
+  if (shard_count > 1)
+    header += " shard=" + std::to_string(shard_index) + "/" +
+              std::to_string(shard_count);
+  return header;
 }
 
 }  // namespace
@@ -166,6 +178,9 @@ std::string SweepJournal::journal_row(const UseCaseResult& r,
       << r.optimized.run.cache.misses << ','
       << double_bits(r.optimized.energy.total_nj()) << ','
       << r.report.insertions.size() << ',' << r.report.candidates_found
+      << ',' << r.report.candidates_evaluated << ',' << r.report.passes
+      << ',' << r.report.full_reanalyses << ','
+      << r.report.incremental_reanalyses << ',' << r.report.nodes_reanalyzed
       << ',' << solver.lp_solves << ',' << solver.pivots << ','
       << solver.bb_nodes << ',' << solver.warm_starts << ','
       << solver.phase1_skipped << ',' << escape_cell(r.fail_detail);
@@ -195,9 +210,10 @@ bool SweepJournal::parse_journal_row(const std::string& line,
           cells.back())
     return false;
 
-  std::uint64_t u[28];
-  const int cols[] = {1, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17,
-                      19, 20, 21, 22, 23, 24, 26, 27, 28, 29, 30, 31, 32};
+  std::uint64_t u[31];
+  const int cols[] = {1,  5,  6,  8,  9,  10, 11, 12, 13, 14, 15,
+                      16, 17, 19, 20, 21, 22, 23, 24, 26, 27, 28,
+                      29, 30, 31, 32, 33, 34, 35, 36, 37};
   for (std::size_t i = 0; i < std::size(cols); ++i)
     if (!parse_u64(cells[static_cast<std::size_t>(cols[i])], u[i]))
       return false;
@@ -246,14 +262,21 @@ bool SweepJournal::parse_journal_row(const std::string& line,
   r.optimized.energy.cache_dynamic_nj = std::bit_cast<double>(e_opt);
   r.report.insertions.resize(static_cast<std::size_t>(u[19]));
   r.report.candidates_found = static_cast<std::size_t>(u[20]);
+  // Optimizer work accounting rides in the row so resumed and merged
+  // sweeps publish the same exp.sweep.* metrics as an uninterrupted run.
+  r.report.candidates_evaluated = static_cast<std::size_t>(u[21]);
+  r.report.passes = static_cast<std::size_t>(u[22]);
+  r.report.full_reanalyses = static_cast<std::size_t>(u[23]);
+  r.report.incremental_reanalyses = static_cast<std::size_t>(u[24]);
+  r.report.nodes_reanalyzed = static_cast<std::size_t>(u[25]);
   // The task's summed solver work rides in the report slot so a resumed
   // sweep reports the same end-to-end solver totals as an uninterrupted one.
-  r.report.solver.lp_solves = u[21];
-  r.report.solver.pivots = u[22];
-  r.report.solver.bb_nodes = u[23];
-  r.report.solver.warm_starts = u[24];
-  r.report.solver.phase1_skipped = u[25];
-  r.fail_detail = unescape_cell(cells[33]);
+  r.report.solver.lp_solves = u[26];
+  r.report.solver.pivots = u[27];
+  r.report.solver.bb_nodes = u[28];
+  r.report.solver.warm_starts = u[29];
+  r.report.solver.phase1_skipped = u[30];
+  r.fail_detail = unescape_cell(cells[38]);
   // Reconstruct the report invariants degrade_to_original / the optimizer
   // maintain; none of these enter the fingerprint row.
   r.report.code = r.quarantined() ? r.fail_code : ErrorCode::kOk;
@@ -266,14 +289,16 @@ bool SweepJournal::parse_journal_row(const std::string& line,
 
 Status SweepJournal::open(
     const std::string& path, const std::string& grid_fp,
-    const std::string& selection_fp, std::vector<UseCaseResult>& rows,
+    const std::string& selection_fp, std::uint32_t shard_index,
+    std::uint32_t shard_count, std::vector<UseCaseResult>& rows,
     std::vector<bool>& have_row,
     const std::function<bool(std::size_t, const UseCaseResult&)>&
         matches_grid) {
   close();
   path_ = path;
   resumed_ = 0;
-  const std::string header = journal_header(grid_fp, selection_fp);
+  const std::string header =
+      journal_header(grid_fp, selection_fp, shard_index, shard_count);
 
   std::string reset_reason;
   long truncate_at = -1;  ///< byte offset of the first invalid line
@@ -289,7 +314,7 @@ Status SweepJournal::open(
       } else if (line != header) {
         reset_reason =
             line.rfind(kJournalMagic, 0) == 0
-                ? "grid/selection fingerprint changed since last run"
+                ? "grid/selection/shard fingerprint changed since last run"
                 : "not a sweep journal";
       } else {
         offset = static_cast<long>(line.size()) + 1;
@@ -374,11 +399,19 @@ Status SweepJournal::open(
 
 Status SweepJournal::append(const std::vector<UseCaseResult>& results,
                             std::size_t first, std::size_t count) {
+  return append_batch(results, {{first, count}});
+}
+
+Status SweepJournal::append_batch(
+    const std::vector<UseCaseResult>& results,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges) {
   if (!active())
     return Status(ErrorCode::kInternal, "journal is not active");
   std::string buffer;
-  for (std::size_t k = 0; k < count; ++k)
-    buffer += journal_row(results[first + k], first + k) + "\n";
+  for (const auto& [first, count] : ranges)
+    for (std::size_t k = 0; k < count; ++k)
+      buffer += journal_row(results[first + k], first + k) + "\n";
+  if (buffer.empty()) return Status::Ok();
 
   if (UCP_FAULT_POINT("io.journal_kill")) {
     // Simulated power loss mid-append: flush a *partial* record to disk and
@@ -432,6 +465,198 @@ void SweepJournal::close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+}
+
+namespace {
+
+/// Parses "<magic><version> grid=<fp> sel=<fp>[ shard=<i>/<N>]". Returns
+/// false on anything else (including other versions: row-order semantics
+/// changed in v2, so older journals cannot be merged).
+bool parse_merge_header(const std::string& line, std::string& grid_fp,
+                        std::string& sel_fp, std::uint64_t& shard_index,
+                        std::uint64_t& shard_count) {
+  const std::string magic =
+      std::string(kJournalMagic) + std::to_string(kJournalVersion) + " grid=";
+  if (line.rfind(magic, 0) != 0) return false;
+  std::string rest = line.substr(magic.size());
+  const std::size_t sel_at = rest.find(" sel=");
+  if (sel_at == std::string::npos) return false;
+  grid_fp = rest.substr(0, sel_at);
+  rest = rest.substr(sel_at + 5);
+  shard_index = 0;
+  shard_count = 1;
+  const std::size_t shard_at = rest.find(" shard=");
+  if (shard_at == std::string::npos) {
+    sel_fp = rest;
+    return true;
+  }
+  sel_fp = rest.substr(0, shard_at);
+  const std::string shard = rest.substr(shard_at + 7);
+  const std::size_t slash = shard.find('/');
+  if (slash == std::string::npos) return false;
+  return parse_u64(shard.substr(0, slash), shard_index) &&
+         parse_u64(shard.substr(slash + 1), shard_count) &&
+         shard_count > 1 && shard_index < shard_count;
+}
+
+}  // namespace
+
+Expected<JournalMerge> merge_sweep_journals(
+    const std::vector<std::string>& inputs, const SweepOptions& options,
+    const std::string& output_path) {
+  if (inputs.empty())
+    return Status(ErrorCode::kInternal, "no journals to merge");
+
+  // The plan is the deterministic contract every shard derived its slice
+  // from: it fixes the grid layout (row index -> program/config/tech), the
+  // schedule order (row order of the merged journal) and shard ownership.
+  SweepPlan plan = build_sweep_plan(options);
+  const auto& configs = cache::paper_cache_configs();
+  const std::string grid_fp = sweep_grid_fingerprint();
+  const std::string sel_fp =
+      SweepJournal::selection_fingerprint(options, plan.names);
+  std::vector<std::size_t> schedule_pos(plan.tasks.size(), 0);
+  for (std::size_t pos = 0; pos < plan.schedule.size(); ++pos)
+    schedule_pos[plan.schedule[pos]] = pos;
+
+  JournalMerge merge;
+  merge.results.resize(plan.result_rows);
+  merge.rows = plan.result_rows;
+  std::vector<std::string> row_line(plan.result_rows);
+  std::vector<bool> have(plan.result_rows, false);
+  std::vector<bool> shard_seen;
+
+  for (const std::string& path : inputs) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+      return Status(ErrorCode::kNotFound, "cannot open journal '" + path +
+                                              "' for merge");
+    auto reject = [&](const std::string& why) {
+      return Status(ErrorCode::kCorruptCache,
+                    "journal '" + path + "': " + why);
+    };
+    std::string line;
+    if (!std::getline(is, line)) return reject("empty file");
+    std::string got_grid, got_sel;
+    std::uint64_t shard_index = 0, shard_count = 1;
+    if (!parse_merge_header(line, got_grid, got_sel, shard_index,
+                            shard_count))
+      return reject("not a v" + std::to_string(kJournalVersion) +
+                    " sweep journal header: '" + line + "'");
+    if (got_grid != grid_fp)
+      return reject("grid fingerprint mismatch (journal " + got_grid +
+                    ", sweep " + grid_fp + ")");
+    if (got_sel != sel_fp)
+      return reject("selection fingerprint mismatch (journal " + got_sel +
+                    ", sweep " + sel_fp + ")");
+    if (shard_seen.empty()) {
+      merge.shard_count = static_cast<std::uint32_t>(shard_count);
+      shard_seen.assign(static_cast<std::size_t>(shard_count), false);
+    } else if (shard_count != shard_seen.size()) {
+      return reject("shard count mismatch (declares " +
+                    std::to_string(shard_count) + " shards, earlier input " +
+                    std::to_string(shard_seen.size()) + ")");
+    }
+    if (shard_seen[static_cast<std::size_t>(shard_index)])
+      return reject("duplicate shard " + std::to_string(shard_index) + "/" +
+                    std::to_string(shard_count));
+    shard_seen[static_cast<std::size_t>(shard_index)] = true;
+
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#') continue;  // annotations
+      std::size_t index = 0;
+      UseCaseResult r;
+      if (!SweepJournal::parse_journal_row(line, index, r))
+        // A torn tail is legal in a crashed journal, but a *merge* needs
+        // every row; fail loudly rather than silently dropping the tail.
+        return reject("invalid or torn row (merge requires complete shard "
+                      "journals; re-run the shard to completion)");
+      if (index >= plan.result_rows)
+        return reject("row index " + std::to_string(index) +
+                      " outside the sweep grid");
+      const std::size_t t = index / options.techs.size();
+      const std::size_t k = index % options.techs.size();
+      if (r.program != plan.names[plan.tasks[t].program] ||
+          r.config_id != configs[plan.tasks[t].config].id ||
+          r.tech != options.techs[k])
+        return reject("row " + std::to_string(index) +
+                      " does not match the sweep grid");
+      if (SweepPlan::shard_of(schedule_pos[t], merge.shard_count) !=
+          shard_index)
+        return reject("row " + std::to_string(index) +
+                      " is not owned by shard " +
+                      std::to_string(shard_index) + "/" +
+                      std::to_string(shard_count));
+      if (have[index]) {
+        // Within one shard a task may be re-appended after a torn tail;
+        // identical content is harmless, divergence is corruption.
+        if (row_line[index] != line)
+          return reject("row " + std::to_string(index) +
+                        " appears twice with divergent content");
+        continue;
+      }
+      merge.results[index] = std::move(r);
+      row_line[index] = line;
+      have[index] = true;
+    }
+  }
+
+  for (std::size_t s = 0; s < shard_seen.size(); ++s)
+    if (!shard_seen[s])
+      return Status(ErrorCode::kCorruptCache,
+                    "shard " + std::to_string(s) + "/" +
+                        std::to_string(shard_seen.size()) +
+                        " is missing from the merge inputs");
+  std::size_t missing = 0;
+  std::size_t first_missing = plan.result_rows;
+  for (std::size_t i = 0; i < have.size(); ++i) {
+    if (have[i]) continue;
+    ++missing;
+    first_missing = std::min(first_missing, i);
+  }
+  if (missing > 0)
+    return Status(ErrorCode::kCorruptCache,
+                  std::to_string(missing) +
+                      " grid rows missing from the merge inputs (first: row " +
+                      std::to_string(first_missing) +
+                      ") — every shard must have run to completion");
+
+  merge.fingerprint = sweep_results_fingerprint(merge.results);
+
+  if (!output_path.empty()) {
+    // Reassemble the byte-identical unsharded journal: same header (no
+    // shard field), same rows, same deterministic schedule order, and the
+    // original row bytes (never re-serialized). Published durably —
+    // temp + fsync + rename — like the memo cache.
+    const std::string tmp = output_path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os)
+        return Status(ErrorCode::kInternal,
+                      "cannot open '" + tmp + "' for writing");
+      os << journal_header(grid_fp, sel_fp, 0, 1) << '\n';
+      for (const std::size_t t : plan.schedule) {
+        const std::size_t first = plan.tasks[t].first;
+        for (std::size_t k = 0; k < options.techs.size(); ++k)
+          os << row_line[first + k] << '\n';
+      }
+      os.flush();
+      if (!os) {
+        std::remove(tmp.c_str());
+        return Status(ErrorCode::kInternal, "write to '" + tmp + "' failed");
+      }
+    }
+    Status synced = support::fsync_path(tmp);
+    if (synced.ok() && std::rename(tmp.c_str(), output_path.c_str()) != 0)
+      synced = Status(ErrorCode::kInternal, "rename '" + tmp + "' -> '" +
+                                                output_path + "' failed");
+    if (synced.ok()) synced = support::fsync_parent(output_path);
+    if (!synced.ok()) {
+      std::remove(tmp.c_str());
+      return synced;
+    }
+  }
+  return merge;
 }
 
 }  // namespace ucp::exp

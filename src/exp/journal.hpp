@@ -10,18 +10,28 @@
 // combined result set is bit-identical to an uninterrupted run.
 //
 // Durability discipline:
-//  - the header (version + grid + selection fingerprints) is written and
-//    fsync'd — file and parent directory — when the journal is created;
+//  - the header (version + grid + selection fingerprints, plus the shard
+//    slice for sharded sweeps) is written and fsync'd — file and parent
+//    directory — when the journal is created;
 //  - appends go through fwrite + fflush + fsync before returning;
 //  - every row carries a trailing FNV-1a checksum; a torn tail (partial
 //    last record after a crash mid-append) fails its checksum and is
 //    truncated away on open, never trusted;
-//  - a header that does not match the current grid/selection fingerprints
-//    resets the journal (stale checkpoints are worthless, not dangerous).
+//  - a header that does not match the current grid/selection/shard
+//    fingerprints resets the journal (stale checkpoints are worthless, not
+//    dangerous).
+//
+// Row order (format v2): rows appear in the sweep's deterministic
+// heaviest-first schedule order, whatever the thread count — workers buffer
+// finished rows and a single flusher appends them when the schedule
+// frontier reaches them (DESIGN.md §13). The journal of an N-thread run is
+// therefore byte-identical to a 1-thread run's, and merge_sweep_journals
+// can reassemble shard journals into the byte-identical unsharded file.
 
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/harness.hpp"
@@ -37,24 +47,36 @@ class SweepJournal {
   SweepJournal& operator=(const SweepJournal&) = delete;
 
   /// Opens (or creates) the journal at `path` for the sweep identified by
-  /// `grid_fp` + `selection_fp`. Valid rows whose index passes
-  /// `matches_grid` are restored into `rows` / `have_row` (both pre-sized
-  /// to the result count); everything from the first invalid row onward is
-  /// truncated. On success the journal is active() and ready for appends.
-  /// `note()` afterwards describes what happened (started / resumed N rows /
+  /// `grid_fp` + `selection_fp`, owned by shard `shard_index` of
+  /// `shard_count` (0 of 1 = unsharded; the header only names the shard
+  /// when sharded). Valid rows whose index passes `matches_grid` are
+  /// restored into `rows` / `have_row` (both pre-sized to the result
+  /// count); everything from the first invalid row onward is truncated. On
+  /// success the journal is active() and ready for appends. `note()`
+  /// afterwards describes what happened (started / resumed N rows /
   /// reset: why).
   Status open(const std::string& path, const std::string& grid_fp,
-              const std::string& selection_fp,
-              std::vector<UseCaseResult>& rows, std::vector<bool>& have_row,
+              const std::string& selection_fp, std::uint32_t shard_index,
+              std::uint32_t shard_count, std::vector<UseCaseResult>& rows,
+              std::vector<bool>& have_row,
               const std::function<bool(std::size_t, const UseCaseResult&)>&
                   matches_grid);
 
   /// Appends `count` result rows starting at `first` (their grid indices)
   /// and makes them durable. A write failure disables the journal (the
   /// sweep continues without checkpoints) and is returned as a Status.
-  /// Not thread-safe; the sweep serializes appends.
+  /// Not thread-safe; the sweep's single flusher serializes appends.
   Status append(const std::vector<UseCaseResult>& results, std::size_t first,
                 std::size_t count);
+
+  /// Appends several row ranges as one batch with a single fflush + fsync:
+  /// the deterministic flusher uses this so a frontier advance over many
+  /// buffered tasks costs one durability round-trip, not one per task.
+  /// Ranges become durable together; a crash mid-batch loses (at most) a
+  /// checksummed-away torn tail.
+  Status append_batch(
+      const std::vector<UseCaseResult>& results,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges);
 
   /// Appends `text` as a `# `-prefixed comment line (newlines flattened).
   /// Comments are skipped on open, so annotations never affect resume; the
@@ -88,5 +110,27 @@ class SweepJournal {
   std::string note_;
   std::size_t resumed_ = 0;
 };
+
+/// Result of merging shard journals back into one sweep.
+struct JournalMerge {
+  std::vector<UseCaseResult> results;  ///< full grid, grid order
+  std::uint32_t shard_count = 0;       ///< shard count declared by the inputs
+  std::size_t rows = 0;                ///< result rows reassembled
+  std::string fingerprint;             ///< re-derived global sweep fingerprint
+};
+
+/// Merges the journals of a complete set of `--shard i/N` runs of the sweep
+/// described by `options` (shard fields ignored). Validates that every
+/// input carries the sweep's grid + selection fingerprints and a distinct
+/// shard slot of one common N, that every row belongs to the shard that
+/// journaled it, and that the union is exactly the full grid — overlapping
+/// rows must be byte-identical and gaps are an error, never padded. On
+/// success, when `output_path` is non-empty, writes a merged journal there
+/// (durably: temp + fsync + rename) that is byte-identical to the journal
+/// an unsharded run would have produced — same header, same rows, same
+/// deterministic schedule order.
+Expected<JournalMerge> merge_sweep_journals(
+    const std::vector<std::string>& inputs, const SweepOptions& options,
+    const std::string& output_path);
 
 }  // namespace ucp::exp

@@ -1,9 +1,11 @@
 #include "fuzz/campaign.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "support/durable_io.hpp"
 #include "support/fault_injection.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace ucp::fuzz {
@@ -77,6 +80,10 @@ std::string journal_header(const CampaignOptions& options) {
   os << kJournalMagic << " seed=" << to_hex(options.seed)
      << " rotation=" << options.config_rotation
      << " fault_every=" << options.fault_every;
+  // Only sharded campaigns name their slice, so pre-shard journals (and
+  // unsharded ones) keep resuming unchanged.
+  if (options.shard_count > 1)
+    os << " shard=" << options.shard_index << "/" << options.shard_count;
   return os.str();
 }
 
@@ -118,8 +125,14 @@ class CampaignJournal {
           valid = false;
           break;
         }
-        if (v.index != resumed.size()) {
-          valid = false;  // out-of-order row; distrust the rest
+        // Rows must follow this campaign's owned-index sequence: the r-th
+        // row is case shard_index + r * shard_count (identity when
+        // unsharded). Anything else is out of order; distrust the rest.
+        const std::uint32_t shards = std::max(1u, options.shard_count);
+        if (v.index !=
+            options.shard_index +
+                static_cast<std::uint32_t>(resumed.size()) * shards) {
+          valid = false;
           break;
         }
         resumed.push_back(std::move(v));
@@ -219,20 +232,43 @@ bool CaseVerdict::parse(const std::string& line, CaseVerdict& out) {
 
 CampaignResult run_campaign(const CampaignOptions& options) {
   CampaignResult result;
+  const std::uint32_t shards = std::max(1u, options.shard_count);
+
+  // The fault registry is process-global: an armed one-shot site would fire
+  // on whichever thread hits it first, mis-attributing the fault to the
+  // wrong case. Fault campaigns therefore stay single-threaded.
+  std::uint32_t threads = std::max(1u, options.threads);
+  if (options.fault_every > 0 && threads > 1) {
+    threads = 1;
+    result.journal_note =
+        "threads forced to 1 (fault injection is process-global)";
+  }
+
+  // Owned cases, increasing index: all of them, or this shard's i % N slice.
+  std::vector<std::uint32_t> own;
+  own.reserve(options.cases / shards + 1);
+  for (std::uint32_t i = 0; i < options.cases; ++i)
+    if (shards == 1 || i % shards == options.shard_index % shards)
+      own.push_back(i);
 
   CampaignJournal journal;
   if (!options.journal_path.empty()) {
     std::vector<CaseVerdict> resumed;
-    journal.open(options.journal_path, options, resumed,
-                 result.journal_note);
+    std::string note;
+    journal.open(options.journal_path, options, resumed, note);
+    result.journal_note += result.journal_note.empty() ? note : "; " + note;
     result.verdicts = std::move(resumed);
-    if (result.verdicts.size() > options.cases)
-      result.verdicts.resize(options.cases);
+    // A journal from a longer run of the same campaign may hold cases past
+    // this run's count; indices are increasing, so trim from the tail.
+    while (!result.verdicts.empty() &&
+           result.verdicts.back().index >= options.cases)
+      result.verdicts.pop_back();
     result.resumed = result.verdicts.size();
   }
 
-  for (std::uint32_t i = static_cast<std::uint32_t>(result.verdicts.size());
-       i < options.cases; ++i) {
+  std::mutex side_mutex;  ///< guards repro_paths and the shrunk counter
+
+  auto run_case = [&](std::uint32_t i) {
     const std::uint64_t case_seed = split_seed(options.seed, i);
     const cache::NamedCacheConfig& named = case_config(options, i);
 
@@ -294,9 +330,8 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     fault::disarm_all();
 
     if (verdict.violated()) {
-      const bool explained = !verdict.fault_site.empty();
-      if (!explained) ++result.unexplained;
-
+      // (unexplained/violation totals are recomputed over all verdicts at
+      // the end; nothing to count here.)
       if (!options.corpus_dir.empty() && generated) {
         CorpusEntry entry;
         entry.seed = gen_seed;
@@ -323,6 +358,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
             entry.program = shrunk.program;
             entry.detail +=
                 " (shrunk " + std::to_string(shrunk.accepted) + " steps)";
+            std::lock_guard<std::mutex> lock(side_mutex);
             ++result.shrunk;
           } else {
             entry.detail += " (unreproducible; unshrunk)";
@@ -332,19 +368,44 @@ CampaignResult run_campaign(const CampaignOptions& options) {
         file << options.corpus_dir << "/repro_" << to_hex(case_seed) << "_"
              << oracle_name(verdict.violation) << ".ucp";
         entry.name = file.str();
-        if (write_corpus_entry(file.str(), entry).ok())
+        if (write_corpus_entry(file.str(), entry).ok()) {
+          std::lock_guard<std::mutex> lock(side_mutex);
           result.repro_paths.push_back(file.str());
+        }
       }
     }
+    return verdict;
+  };
 
-    if (options.trace) std::cerr << "[fuzz] " << verdict.line() << "\n";
-    journal.append(verdict);
-    result.verdicts.push_back(std::move(verdict));
-
-    if (options.progress_every > 0 && (i + 1) % options.progress_every == 0)
-      std::cerr << "[fuzz] " << (i + 1) << "/" << options.cases
-                << " cases\n";
-  }
+  // Remaining owned cases run on the worker pool; each lands in its slot,
+  // and a completion frontier emits trace lines, journal rows and progress
+  // in index order — so every byte of output is identical at any thread
+  // count, and the journal stays a resumable prefix.
+  const std::size_t start = result.verdicts.size();
+  std::vector<CaseVerdict> slots(own.size() - start);
+  std::vector<char> slot_done(slots.size(), 0);
+  std::size_t frontier = 0;
+  std::mutex flush_mutex;
+  auto flush_done = [&](std::size_t k) {
+    std::lock_guard<std::mutex> lock(flush_mutex);
+    slot_done[k] = 1;
+    while (frontier < slots.size() && slot_done[frontier] != 0) {
+      const CaseVerdict& v = slots[frontier];
+      if (options.trace) std::cerr << "[fuzz] " << v.line() << "\n";
+      journal.append(v);
+      ++frontier;
+      const std::size_t emitted = start + frontier;
+      if (options.progress_every > 0 &&
+          emitted % options.progress_every == 0)
+        std::cerr << "[fuzz] " << emitted << "/" << own.size()
+                  << " cases\n";
+    }
+  };
+  support::parallel_for_index(slots.size(), threads, [&](std::size_t k) {
+    slots[k] = run_case(own[start + k]);
+    flush_done(k);
+  });
+  for (CaseVerdict& v : slots) result.verdicts.push_back(std::move(v));
   journal.close();
 
   // Totals + fingerprint over ALL verdicts (resumed ones included), so an

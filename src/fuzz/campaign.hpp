@@ -27,6 +27,17 @@ struct CampaignOptions {
   std::string journal_path;     ///< checkpoint/resume journal; "" = none
   bool trace = false;           ///< per-case verdict lines on stderr
   std::uint32_t progress_every = 0;  ///< progress line period; 0 = silent
+  /// Worker threads (0 = 1). Cases are seed-independent, so any thread
+  /// count produces the same verdicts; the journal, trace lines and
+  /// fingerprint stay in index order via a completion frontier. Forced to
+  /// 1 when fault_every > 0: the fault registry is process-global, so an
+  /// armed site could otherwise fire on the wrong thread's case.
+  std::uint32_t threads = 1;
+  /// Run only cases with index % shard_count == shard_index (0/1 = all).
+  /// Shard journals bind their slice in the header; verdicts and the
+  /// fingerprint cover only the owned cases.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 /// Deterministic per-case verdict. `line()` is the canonical serialized

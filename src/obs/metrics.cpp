@@ -9,6 +9,20 @@ namespace {
 std::atomic<bool> g_enabled{false};
 }  // namespace
 
+namespace internal {
+
+unsigned this_thread_shard() {
+  static std::atomic<unsigned> next{0};
+  // Round-robin assignment on first use keeps any K ≤ kShards concurrently
+  // hot threads on distinct cells; ids survive pool teardown/rebuild (a new
+  // pool's threads simply continue the rotation).
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
@@ -26,9 +40,11 @@ std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(int index) {
 }
 
 void Histogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
 }
 
 Registry& Registry::instance() {

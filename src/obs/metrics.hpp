@@ -2,7 +2,7 @@
 
 // Typed metrics in a central registry — the counting half of ucp::obs.
 //
-// Design contract (DESIGN.md §11):
+// Design contract (DESIGN.md §11, §13):
 //  - disabled-by-default: every instrumentation site guards on
 //    `obs::enabled()`, a single relaxed atomic load, so the disabled cost
 //    is one load + branch (measured ≤1% on the perf smoke);
@@ -10,10 +10,14 @@
 //    aggregate locally and `add()` once per analysis/solve/run;
 //  - instruments have stable addresses for the lifetime of the process, so
 //    call sites cache `static Counter& c = registry().counter(...)`;
-//  - snapshots are deterministic: entries come back sorted by name, and no
-//    wall-clock value is ever stored in a counter or gauge (durations go
-//    into *_ms / *_ns histograms only, whose bucket *counts* are
-//    machine-dependent and therefore never fingerprinted).
+//  - counters and histograms are internally sharded across cache-line-
+//    padded per-thread cells, so a 16-worker sweep never serializes on one
+//    contended atomic; reads merge the shards (addition commutes, so the
+//    merged value is deterministic for a deterministic set of adds);
+//  - snapshots are deterministic: entries come back sorted by name, shard
+//    merge included, and no wall-clock value is ever stored in a counter or
+//    gauge (durations go into *_ms / *_ns histograms only, whose bucket
+//    *counts* are machine-dependent and therefore never fingerprinted).
 //
 // Naming convention: `layer.component.op`, e.g. `analysis.cache.joins`,
 // `ilp.solve.pivots`, `exp.task.attempts`.
@@ -36,18 +40,48 @@ namespace ucp::obs {
 bool enabled();
 void set_enabled(bool on);
 
-/// Monotonic event count.
+namespace internal {
+
+/// Shard fan-out of the per-thread instrument cells. Power of two; large
+/// enough that a 16-worker sweep rarely maps two hot threads to one cell,
+/// small enough that merging on read stays trivial.
+inline constexpr unsigned kShards = 16;
+
+/// Stable per-thread shard slot, assigned round-robin on first use.
+unsigned this_thread_shard();
+
+/// One cache line per cell so two threads incrementing different shards of
+/// the same instrument never false-share.
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonic event count, sharded per thread. `add` touches only the
+/// calling thread's cell; `value` merges the shards. The merge is a sum of
+/// relaxed loads: exact once writers are quiescent (how every snapshot is
+/// taken), momentarily approximate while they race — fine for a counter.
 class Counter {
  public:
-  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void add(std::uint64_t n) {
+    shards_[internal::this_thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
   void increment() { add(1); }
   std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const internal::ShardCell& cell : shards_)
+      total += cell.value.load(std::memory_order_relaxed);
+    return total;
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void reset() {
+    for (internal::ShardCell& cell : shards_)
+      cell.value.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  internal::ShardCell shards_[internal::kShards];
 };
 
 /// Point-in-time level; `set_max` keeps the high-water mark (peak worklist
@@ -72,6 +106,9 @@ class Gauge {
 /// i >= 1 holds [2^(i-1), 2^i - 1]. 65 buckets cover the full uint64 range
 /// with no configuration and a deterministic bucket→range mapping that the
 /// schema (docs/schemas/metrics_snapshot.schema.json) can state once.
+/// Like Counter, records land in a per-thread shard (the whole bucket array
+/// is sharded, so two worker threads recording never share a line) and
+/// reads merge the shards by summation.
 class Histogram {
  public:
   static constexpr int kBuckets = 65;
@@ -81,23 +118,38 @@ class Histogram {
   static std::pair<std::uint64_t, std::uint64_t> bucket_range(int index);
 
   void record(std::uint64_t v) {
-    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(v, std::memory_order_relaxed);
+    Shard& shard = shards_[internal::this_thread_shard()];
+    shard.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
   }
   std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+      total += shard.count.load(std::memory_order_relaxed);
+    return total;
   }
-  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+      total += shard.sum.load(std::memory_order_relaxed);
+    return total;
+  }
   std::uint64_t bucket(int index) const {
-    return buckets_[index].load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+      total += shard.buckets[index].load(std::memory_order_relaxed);
+    return total;
   }
   void reset();
 
  private:
-  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[internal::kShards];
 };
 
 /// Deterministic point-in-time copy of the registry, sorted by name.

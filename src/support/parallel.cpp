@@ -1,0 +1,56 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ucp::support {
+
+void parallel_for_index(std::size_t n, std::uint32_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  std::atomic<std::size_t> next{0};
+  // Indices >= fail_bound are abandoned; everything below it still runs, so
+  // a lower-index failure can still be observed and take precedence.
+  std::atomic<std::size_t> fail_bound{std::numeric_limits<std::size_t>::max()};
+  std::size_t first_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::uint32_t workers =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  // Task boundary: capture exceptions instead of letting them escape a
+  // worker thread (which would std::terminate), keep the error of the
+  // lowest failing index, and rethrow it on the calling thread once the
+  // pool has drained.
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= n || idx >= fail_bound.load(std::memory_order_relaxed))
+        return;
+      try {
+        fn(idx);
+      } catch (...) {
+        std::size_t bound = fail_bound.load(std::memory_order_relaxed);
+        while (idx < bound && !fail_bound.compare_exchange_weak(
+                                  bound, idx, std::memory_order_relaxed)) {
+        }
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (idx < first_index) {
+          first_index = idx;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::uint32_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ucp::support

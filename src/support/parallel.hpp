@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared worker-pool index loop.
+//
+// One primitive serves every fan-out in the tree (sweep grids, fuzz
+// campaigns, micro benches): run fn(0..n-1) on a pool of `threads` workers
+// pulling indices from an atomic cursor.
+//
+// Error discipline — deterministic first-*index* propagation: when fn
+// throws, the exception surfacing to the caller is the one from the LOWEST
+// failing index, not from whichever thread happened to fail first.
+// Concretely:
+//  - a failure at index k stops the claiming of indices > k (indices below
+//    k that are already claimed or still claimable keep running, because in
+//    the sequential semantics they would have run before k);
+//  - a later failure at a lower index replaces the recorded error;
+//  - after the pool drains, the recorded (lowest-index) exception is
+//    rethrown on the calling thread.
+// With failure a deterministic property of the index, the surfaced error is
+// therefore identical at every thread count, matching threads == 1.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ucp::support {
+
+/// Runs fn(0..n-1) on a worker pool (0 threads = hardware concurrency).
+/// Exceptions follow the deterministic first-failing-index discipline
+/// documented above; indices greater than the lowest failing index may be
+/// abandoned (never silently: the rethrown error marks the run failed).
+void parallel_for_index(std::size_t n, std::uint32_t threads,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace ucp::support

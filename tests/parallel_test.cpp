@@ -1,0 +1,262 @@
+// Parallel-determinism suite: the sweep's bit-identity claims must hold at
+// every thread count and across process shards. Pins (a) thread-count
+// invariance of the result fingerprint AND the journal file bytes, (b) the
+// shard/merge round trip — two shard journals merged back into a byte-
+// identical full-grid journal with identical row-derived metrics, (c)
+// SIGKILL + resume of one shard feeding a still-bit-identical merge, and
+// (d) the deterministic lowest-failing-index error discipline of
+// support::parallel_for_index that all of the above is built on.
+//
+// Journal byte comparisons run with obs disabled: an obs-enabled sweep
+// appends a trailing `# metrics {...}` annotation (a comment, excluded from
+// resume and from the merge), which a merged journal does not carry.
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "exp/harness.hpp"
+#include "exp/journal.hpp"
+#include "obs/metrics.hpp"
+#include "support/fault_injection.hpp"
+#include "support/parallel.hpp"
+
+namespace ucp::exp {
+namespace {
+
+/// Reduced but non-trivial grid: three programs of different weight classes
+/// (fdct reaches the optimizer's candidate walk, bs covers the no-candidate
+/// path, crc adds a third weight) x three configurations x both tech nodes
+/// = 18 rows over 9 tasks, enough for a 2-shard split to own >= 4 tasks
+/// each and for threads {1,2,4} to actually interleave.
+SweepOptions reduced_sweep(std::uint32_t threads,
+                           const std::string& journal = "") {
+  SweepOptions options;
+  options.programs = {"bs", "fdct", "crc"};
+  options.config_stride = 12;  // k1, k13, k25
+  options.threads = threads;
+  options.progress_every = 0;
+  options.journal_path = journal;
+  return options;
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name + "." + std::to_string(::getpid())) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Row-derived metrics snapshot of a result set: what publish_sweep_metrics
+/// emits when the report is re-derived purely from the rows. Two result
+/// sets with bit-identical rows must produce byte-identical snapshots.
+std::string row_metrics_snapshot(const std::vector<UseCaseResult>& results) {
+  Sweep view;
+  view.results = results;
+  view.report = derive_row_report(results);
+  obs::set_enabled(true);
+  obs::registry().reset_values();
+  publish_sweep_metrics(view);
+  const std::string json = obs::snapshot_json(obs::registry().snapshot());
+  obs::set_enabled(false);
+  obs::registry().reset_values();
+  return json;
+}
+
+TEST(Parallel, ThreadCountInvariantFingerprintAndJournalBytes) {
+  obs::set_enabled(false);
+  fault::disarm_all();
+  std::string want_fp;
+  std::string want_journal;
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    TempFile journal("parallel_threads_journal");
+    const Sweep sweep = run_sweep(reduced_sweep(threads, journal.path));
+    ASSERT_TRUE(sweep.report.clean()) << "threads=" << threads;
+    EXPECT_EQ(sweep.report.threads_used, threads);
+    const std::string fp = sweep_results_fingerprint(sweep.results);
+    const std::string bytes = read_file(journal.path);
+    ASSERT_FALSE(bytes.empty());
+    if (want_fp.empty()) {
+      want_fp = fp;
+      want_journal = bytes;
+      continue;
+    }
+    EXPECT_EQ(fp, want_fp) << "fingerprint diverged at threads=" << threads;
+    EXPECT_EQ(bytes, want_journal)
+        << "journal bytes diverged at threads=" << threads;
+  }
+}
+
+TEST(Parallel, TwoShardMergeIsByteIdenticalToSingleProcess) {
+  obs::set_enabled(false);
+  fault::disarm_all();
+
+  TempFile single_journal("parallel_single_journal");
+  const Sweep single = run_sweep(reduced_sweep(2, single_journal.path));
+  ASSERT_TRUE(single.report.clean());
+  const std::string want_fp = sweep_results_fingerprint(single.results);
+  const std::string want_bytes = read_file(single_journal.path);
+
+  TempFile shard0_journal("parallel_shard0_journal");
+  TempFile shard1_journal("parallel_shard1_journal");
+  SweepOptions shard0 = reduced_sweep(2, shard0_journal.path);
+  shard0.shard_index = 0;
+  shard0.shard_count = 2;
+  SweepOptions shard1 = reduced_sweep(2, shard1_journal.path);
+  shard1.shard_index = 1;
+  shard1.shard_count = 2;
+  const Sweep s0 = run_sweep(shard0);
+  const Sweep s1 = run_sweep(shard1);
+  ASSERT_TRUE(s0.report.clean());
+  ASSERT_TRUE(s1.report.clean());
+  EXPECT_EQ(s0.results.size() + s1.results.size(), single.results.size());
+
+  TempFile merged_journal("parallel_merged_journal");
+  const auto merged = merge_sweep_journals(
+      {shard0_journal.path, shard1_journal.path}, reduced_sweep(1),
+      merged_journal.path);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(merged->shard_count, 2u);
+  EXPECT_EQ(merged->rows, single.results.size());
+  EXPECT_EQ(merged->fingerprint, want_fp);
+  EXPECT_EQ(sweep_results_fingerprint(merged->results), want_fp);
+  EXPECT_EQ(read_file(merged_journal.path), want_bytes)
+      << "merged journal is not byte-identical to the single-process one";
+
+  // Row-derived metrics of the merged grid are indistinguishable from the
+  // single-process sweep's.
+  EXPECT_EQ(row_metrics_snapshot(merged->results),
+            row_metrics_snapshot(single.results));
+
+  // Incomplete or overlapping shard sets must be rejected, never guessed at.
+  TempFile reject_out("parallel_reject_out");
+  const auto missing = merge_sweep_journals({shard0_journal.path},
+                                            reduced_sweep(1), reject_out.path);
+  EXPECT_FALSE(missing.ok());
+  const auto duplicate = merge_sweep_journals(
+      {shard0_journal.path, shard0_journal.path}, reduced_sweep(1),
+      reject_out.path);
+  EXPECT_FALSE(duplicate.ok());
+}
+
+TEST(Parallel, KilledShardResumesAndMergesBitIdentical) {
+  obs::set_enabled(false);
+  fault::disarm_all();
+
+  TempFile reference_journal("parallel_ref_journal");
+  const Sweep reference = run_sweep(reduced_sweep(1, reference_journal.path));
+  ASSERT_TRUE(reference.report.clean());
+  const std::string want_fp = sweep_results_fingerprint(reference.results);
+  const std::string want_bytes = read_file(reference_journal.path);
+
+  TempFile shard0_journal("parallel_kill0_journal");
+  TempFile shard1_journal("parallel_kill1_journal");
+  SweepOptions shard0 = reduced_sweep(1, shard0_journal.path);
+  shard0.shard_index = 0;
+  shard0.shard_count = 2;
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child: the second journal append of shard 0 writes a torn record and
+    // dies by raise(SIGKILL) — a power cut mid-checkpoint on one shard of a
+    // fleet.
+    fault::arm("io.journal_kill", /*skip=*/1);
+    run_sweep(shard0);
+    std::_Exit(42);  // only reached if the fault never fired
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited normally; the kill fault did not fire";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Resume shard 0 in this (never-armed) process; run shard 1 cleanly.
+  const Sweep resumed = run_sweep(shard0);
+  EXPECT_TRUE(resumed.report.clean());
+  EXPECT_GT(resumed.report.resumed_rows, 0u);
+  EXPECT_LT(resumed.report.resumed_rows, resumed.results.size());
+
+  SweepOptions shard1 = reduced_sweep(1, shard1_journal.path);
+  shard1.shard_index = 1;
+  shard1.shard_count = 2;
+  ASSERT_TRUE(run_sweep(shard1).report.clean());
+
+  TempFile merged_journal("parallel_kill_merged");
+  const auto merged = merge_sweep_journals(
+      {shard0_journal.path, shard1_journal.path}, reduced_sweep(1),
+      merged_journal.path);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(merged->fingerprint, want_fp);
+  EXPECT_EQ(read_file(merged_journal.path), want_bytes);
+}
+
+TEST(Parallel, LowestFailingIndexWinsAtEveryThreadCount) {
+  // Failure is a deterministic property of the index (13 and 57 both
+  // throw); the surfaced exception must be index 13's at every thread
+  // count, exactly as with threads == 1 — even when a worker hits 57 first.
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      std::vector<std::atomic<char>> ran(100);
+      std::string caught;
+      try {
+        support::parallel_for_index(ran.size(), threads, [&](std::size_t i) {
+          ran[i].store(1, std::memory_order_relaxed);
+          if (i == 13 || i == 57)
+            throw std::runtime_error("fail@" + std::to_string(i));
+        });
+      } catch (const std::runtime_error& e) {
+        caught = e.what();
+      }
+      EXPECT_EQ(caught, "fail@13") << "threads=" << threads;
+      // Indices below the lowest failing one would all have run under the
+      // sequential semantics, so they must have run here too.
+      for (std::size_t i = 0; i < 13; ++i)
+        EXPECT_TRUE(ran[i].load(std::memory_order_relaxed))
+            << "index " << i << " abandoned at threads=" << threads;
+    }
+  }
+}
+
+TEST(Parallel, ShardedInstrumentsSumExactlyAcrossThreads) {
+  // Counter/Histogram shard per thread and merge on read; concurrent
+  // recording must lose nothing once the writers are quiescent.
+  obs::Counter counter;
+  obs::Histogram histogram;
+  constexpr std::size_t kEvents = 8000;
+  std::uint64_t want_sum = 0;
+  for (std::size_t i = 0; i < kEvents; ++i) want_sum += i % 17;
+  support::parallel_for_index(kEvents, 8, [&](std::size_t i) {
+    counter.increment();
+    histogram.record(i % 17);
+  });
+  EXPECT_EQ(counter.value(), kEvents);
+  EXPECT_EQ(histogram.count(), kEvents);
+  EXPECT_EQ(histogram.sum(), want_sum);
+  std::uint64_t bucketed = 0;
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b)
+    bucketed += histogram.bucket(b);
+  EXPECT_EQ(bucketed, kEvents);
+}
+
+}  // namespace
+}  // namespace ucp::exp
