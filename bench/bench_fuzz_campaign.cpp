@@ -124,6 +124,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(parse_u64(argv[++i]));
     } else if (a == "--fault-every" && i + 1 < argc) {
       options.fault_every = static_cast<std::uint32_t>(parse_u64(argv[++i]));
+    } else if (a == "--large-scale" && i + 1 < argc) {
+      options.large_scale = static_cast<std::uint32_t>(parse_u64(argv[++i]));
     } else if (a == "--corpus" && i + 1 < argc) {
       options.corpus_dir = argv[++i];
     } else if (a == "--journal" && i + 1 < argc) {
@@ -163,7 +165,8 @@ int main(int argc, char** argv) {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: " << argv[0]
                 << " [--seed N] [--cases N] [--shrink|--no-shrink]"
-                   " [--rotation N] [--fault-every N] [--corpus DIR]"
+                   " [--rotation N] [--fault-every N] [--large-scale N]"
+                   " [--corpus DIR]"
                    " [--journal FILE] [--trace-cases] [--progress N]"
                    " [--threads N] [--shard i/N]"
                    " [--write-exemplars DIR] [--metrics=FILE]"

@@ -102,6 +102,38 @@ void BM_AbstractCacheCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_AbstractCacheCopy);
 
+// The hash-consing payoff at the join points: joining a state with a
+// shared-payload copy of itself is a pointer compare (the dominant
+// reconvergence case once the interner collapses identical out-states),
+// while the same join against an equal-but-unshared state walks every set.
+analysis::AbstractCache filled_cache() {
+  analysis::AbstractCache cache(kConfig);
+  for (cache::MemBlockId b = 0; b < 2u * kConfig.num_sets(); ++b) {
+    cache.update_must(b);
+    cache.update_may(b);
+  }
+  return cache;
+}
+
+void BM_AbstractCacheJoinKernel(benchmark::State& state, bool shared) {
+  const analysis::AbstractCache a = filled_cache();
+  const analysis::AbstractCache b = shared ? a : filled_cache();
+  analysis::AbstractCache acc = a;
+  for (auto _ : state) {
+    const bool changed = acc.join_must_with(b);
+    benchmark::DoNotOptimize(changed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+void BM_AbstractCacheJoinShared(benchmark::State& state) {
+  BM_AbstractCacheJoinKernel(state, /*shared=*/true);
+}
+void BM_AbstractCacheJoinRaw(benchmark::State& state) {
+  BM_AbstractCacheJoinKernel(state, /*shared=*/false);
+}
+BENCHMARK(BM_AbstractCacheJoinShared);
+BENCHMARK(BM_AbstractCacheJoinRaw);
+
 void BM_Interpreter(benchmark::State& state, const char* name) {
   const ir::Program program = suite::build_benchmark(name);
   for (auto _ : state) {
@@ -164,6 +196,37 @@ void BM_IpetSystemResolve(benchmark::State& state, const char* name) {
 }
 BENCHMARK_CAPTURE(BM_IpetSystemResolve, fdct, "fdct");
 BENCHMARK_CAPTURE(BM_IpetSystemResolve, statemate, "statemate");
+
+// ILP presolve on/off over the whole IpetSystem life cycle (build the
+// sparse snapshot including its one-time phase 1, then solve once): the
+// reduction pays for itself when the eliminated equality rows save more
+// construction/solve pivots than the presolve passes cost. `rows` records
+// what the simplex actually factorizes in each mode.
+void BM_IpetBuildSolveKernel(benchmark::State& state, const char* name,
+                             bool presolve) {
+  const ir::Program program = suite::build_benchmark(name);
+  const ir::Layout layout(program, kConfig.block_bytes);
+  const analysis::ContextGraph graph(program);
+  const auto cls = analysis::analyze_cache(graph, layout, kConfig);
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    const wcet::IpetSystem system(graph, wcet::IpetOptions{presolve});
+    const auto wcet = system.solve(cls, kTiming);
+    rows = system.lp_rows();
+    benchmark::DoNotOptimize(wcet.tau_mem);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+void BM_IpetBuildSolvePresolved(benchmark::State& state, const char* name) {
+  BM_IpetBuildSolveKernel(state, name, /*presolve=*/true);
+}
+void BM_IpetBuildSolveUnreduced(benchmark::State& state, const char* name) {
+  BM_IpetBuildSolveKernel(state, name, /*presolve=*/false);
+}
+BENCHMARK_CAPTURE(BM_IpetBuildSolvePresolved, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_IpetBuildSolveUnreduced, fdct, "fdct");
+BENCHMARK_CAPTURE(BM_IpetBuildSolvePresolved, statemate, "statemate");
+BENCHMARK_CAPTURE(BM_IpetBuildSolveUnreduced, statemate, "statemate");
 
 // Sparse revised simplex vs the retained dense-tableau reference on the
 // same IPET model — the per-pivot/per-solve cost gap of the rewrite.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <queue>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -104,18 +106,48 @@ void classify_block(const MustMay& in, const ir::BasicBlock& bb,
   }
 }
 
+/// Hash-consing table for converged-enough abstract states: canonicalizes a
+/// freshly computed out-state to the first structurally equal state seen in
+/// this fixpoint run. After canonicalization, equal states share one COW
+/// payload, so the "did the out-state change?" reconvergence test and every
+/// downstream join against an identical state degenerate to a pointer
+/// compare. Scoped per analysis run — states never leak across programs or
+/// configs, and the table dies with the run.
+class StateInterner {
+ public:
+  /// Canonicalizes `c` in place; returns true iff `c` was redirected to an
+  /// existing (deduplicated) payload.
+  bool intern(AbstractCache& c) {
+    std::vector<AbstractCache>& bucket = map_[c.content_hash()];
+    for (const AbstractCache& canon : bucket) {
+      if (canon == c) {
+        if (canon.shares_storage_with(c)) return false;
+        c = canon;
+        return true;
+      }
+    }
+    bucket.push_back(c);
+    return false;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<AbstractCache>> map_;
+};
+
 }  // namespace
 
 CacheAnalysisResult analyze_cache(const ContextGraph& graph,
                                   const ir::Layout& layout,
-                                  const cache::CacheConfig& config) {
-  return analyze_cache(graph, graph.program(), layout, config);
+                                  const cache::CacheConfig& config,
+                                  FixpointMode mode) {
+  return analyze_cache(graph, graph.program(), layout, config, mode);
 }
 
 CacheAnalysisResult analyze_cache(const ContextGraph& graph,
                                   const ir::Program& program,
                                   const ir::Layout& layout,
-                                  const cache::CacheConfig& config) {
+                                  const cache::CacheConfig& config,
+                                  FixpointMode mode) {
   UCP_REQUIRE(program.num_blocks() == graph.program().num_blocks(),
               "program CFG does not match the context graph");
   obs::Span span("analysis.cache.fixpoint");
@@ -129,48 +161,123 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
   std::vector<bool> has_in(n, false);
   has_in[graph.entry_node()] = true;  // cold cache at program start
 
-  // Worklist fixpoint in topological order (only REST back edges iterate).
-  std::deque<NodeId> work;
-  std::vector<bool> queued(n, false);
-  for (NodeId id : graph.topo_order()) {
-    work.push_back(id);
-    queued[id] = true;
-  }
-
   // Instrumentation aggregates locally; one registry add after convergence
   // (never per iteration — see DESIGN.md §11 hot-path discipline).
   std::uint64_t joins = 0;
-  std::size_t peak_worklist = work.size();
+  std::uint64_t deduped = 0;
+  std::size_t peak_worklist = 0;
   std::uint32_t pops = 0;
-  while (!work.empty()) {
-    // Cancellation point: the fixpoint is the longest uninterruptible
-    // stretch of a measurement, so the watchdog needs a poll inside it.
-    if ((++pops & 0x3F) == 0) throw_if_cancelled("analyze_cache fixpoint");
-    const NodeId id = work.front();
-    work.pop_front();
-    queued[id] = false;
-    if (!has_in[id]) continue;  // no predecessor state yet
 
-    const ir::BasicBlock& bb = program.block(graph.node(id).block);
-    MustMay out = transfer_block(result.in_states[id], bb, layout);
-    // Any non-empty block caches its own memory blocks, so a freshly
-    // computed out-state never equals the empty initializer; an unchanged
-    // out-state therefore means successors already merged it.
-    const bool out_changed = !(out == result.out_states[id]);
-    result.out_states[id] = std::move(out);
-    if (!out_changed) continue;
+  if (mode == FixpointMode::kGlobalWorklist) {
+    // Legacy global FIFO worklist in topological order (only REST back
+    // edges iterate). Kept verbatim as the differential oracle for the
+    // SCC-sparse default below.
+    std::deque<NodeId> work;
+    std::vector<bool> queued(n, false);
+    for (NodeId id : graph.topo_order()) {
+      work.push_back(id);
+      queued[id] = true;
+    }
+    peak_worklist = work.size();
+    while (!work.empty()) {
+      // Cancellation point: the fixpoint is the longest uninterruptible
+      // stretch of a measurement, so the watchdog needs a poll inside it.
+      if ((++pops & 0x3F) == 0) throw_if_cancelled("analyze_cache fixpoint");
+      const NodeId id = work.front();
+      work.pop_front();
+      queued[id] = false;
+      if (!has_in[id]) continue;  // no predecessor state yet
 
-    for (std::uint32_t ei : graph.out_edges(id)) {
-      const CgEdge& e = graph.edges()[ei];
-      bool was_in = has_in[e.to];
-      ++joins;
-      if (merge_in(result.in_states[e.to], was_in, result.out_states[id])) {
-        has_in[e.to] = true;
-        if (!queued[e.to]) {
-          work.push_back(e.to);
-          queued[e.to] = true;
-          peak_worklist = std::max(peak_worklist, work.size());
+      const ir::BasicBlock& bb = program.block(graph.node(id).block);
+      MustMay out = transfer_block(result.in_states[id], bb, layout);
+      // Any non-empty block caches its own memory blocks, so a freshly
+      // computed out-state never equals the empty initializer; an unchanged
+      // out-state therefore means successors already merged it.
+      const bool out_changed = !(out == result.out_states[id]);
+      result.out_states[id] = std::move(out);
+      if (!out_changed) continue;
+
+      for (std::uint32_t ei : graph.out_edges(id)) {
+        const CgEdge& e = graph.edges()[ei];
+        bool was_in = has_in[e.to];
+        ++joins;
+        if (merge_in(result.in_states[e.to], was_in, result.out_states[id])) {
+          has_in[e.to] = true;
+          if (!queued[e.to]) {
+            work.push_back(e.to);
+            queued[e.to] = true;
+            peak_worklist = std::max(peak_worklist, work.size());
+          }
         }
+      }
+    }
+  } else {
+    // SCC-sparse fixpoint: finalize one SCC at a time in condensation
+    // order. A node's in-state only ever receives contributions from its
+    // own SCC (still iterating) or earlier SCCs (already final), so once an
+    // SCC reaches its local fixpoint its states are final — no global
+    // re-seeding, no revisiting. Trivial SCCs (single node, no self edge)
+    // are a single transfer. Within an SCC, a min-heap on topo position
+    // propagates states in ACFG order, which converges loop bodies in few
+    // sweeps. Out-states are hash-consed so the reconvergence test and
+    // identical-state joins are pointer compares.
+    StateInterner interner;
+    const std::vector<NodeId>& topo = graph.topo_order();
+    const std::vector<NodeId>& order = graph.scc_order();
+    const std::vector<std::uint32_t>& begin = graph.scc_begin();
+    std::vector<std::uint8_t> queued(n, 0);
+    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                        std::greater<std::uint32_t>>
+        heap;
+
+    const auto process = [&](NodeId id) {
+      if ((++pops & 0x3F) == 0) throw_if_cancelled("analyze_cache fixpoint");
+      if (!has_in[id]) return;  // no predecessor state yet
+
+      const ir::BasicBlock& bb = program.block(graph.node(id).block);
+      MustMay out = transfer_block(result.in_states[id], bb, layout);
+      deduped += interner.intern(out.must) ? 1 : 0;
+      deduped += interner.intern(out.may) ? 1 : 0;
+      // Canonicalized states make this a pointer compare on the hot
+      // (reconverged) path.
+      const bool out_changed = !(out == result.out_states[id]);
+      result.out_states[id] = std::move(out);
+      if (!out_changed) return;
+
+      const std::uint32_t my_scc = graph.scc_of(id);
+      for (std::uint32_t ei : graph.out_edges(id)) {
+        const CgEdge& e = graph.edges()[ei];
+        bool was_in = has_in[e.to];
+        ++joins;
+        if (merge_in(result.in_states[e.to], was_in, result.out_states[id])) {
+          has_in[e.to] = true;
+          // Successors in later SCCs keep the merged state and run when
+          // their SCC's turn comes; only same-SCC successors re-enter the
+          // local worklist (skip-propagation).
+          if (graph.scc_of(e.to) == my_scc && !queued[e.to]) {
+            queued[e.to] = 1;
+            heap.push(graph.topo_pos(e.to));
+            peak_worklist = std::max(peak_worklist, heap.size());
+          }
+        }
+      }
+    };
+
+    for (std::uint32_t s = 0; s < graph.scc_count(); ++s) {
+      if (graph.scc_trivial(s)) {
+        process(order[begin[s]]);
+        continue;
+      }
+      for (std::uint32_t i = begin[s]; i < begin[s + 1]; ++i) {
+        heap.push(graph.topo_pos(order[i]));
+        queued[order[i]] = 1;
+      }
+      peak_worklist = std::max(peak_worklist, heap.size());
+      while (!heap.empty()) {
+        const NodeId id = topo[heap.top()];
+        heap.pop();
+        queued[id] = 0;
+        process(id);
       }
     }
   }
@@ -182,11 +289,17 @@ CacheAnalysisResult analyze_cache(const ContextGraph& graph,
         obs::registry().counter("analysis.cache.worklist_pops");
     static obs::Counter& c_joins =
         obs::registry().counter("analysis.cache.joins");
+    static obs::Counter& c_sccs =
+        obs::registry().counter("analysis.cache.scc_count");
+    static obs::Counter& c_dedup =
+        obs::registry().counter("analysis.cache.states_deduped");
     static obs::Gauge& g_peak =
         obs::registry().gauge("analysis.cache.peak_worklist");
     c_runs.increment();
     c_pops.add(pops);
     c_joins.add(joins);
+    c_sccs.add(graph.scc_count());
+    c_dedup.add(deduped);
     g_peak.set_max(static_cast<std::int64_t>(peak_worklist));
   }
 
@@ -313,20 +426,24 @@ IncrementalCacheAnalysis::TrialResult IncrementalCacheAnalysis::analyze_trial(
     has_in[j] = 1;
   }
 
-  // Restricted worklist fixpoint over the affected subgraph, seeded in
-  // topological order like the full analysis.
-  std::deque<NodeId> work;
+  // Restricted worklist fixpoint over the affected subgraph; a min-heap on
+  // topo position propagates states in ACFG order (the fixpoint is the
+  // same unique lfp regardless — the heap only reaches it in fewer
+  // transfers when the closure spans loop nests).
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<std::uint32_t>>
+      work;
   std::vector<std::uint8_t> queued(n, 0);
   for (NodeId v : t.affected) {
-    work.push_back(v);
+    work.push(graph_->topo_pos(v));
     queued[v] = 1;
   }
   std::uint32_t pops = 0;
   while (!work.empty()) {
     if ((++pops & 0x3F) == 0)
       throw_if_cancelled("incremental re-analysis fixpoint");
-    const NodeId v = work.front();
-    work.pop_front();
+    const NodeId v = graph_->topo_order()[work.top()];
+    work.pop();
     queued[v] = 0;
     const std::size_t i = static_cast<std::size_t>(slot_of_[v]);
     if (!has_in[i]) continue;
@@ -344,7 +461,7 @@ IncrementalCacheAnalysis::TrialResult IncrementalCacheAnalysis::analyze_trial(
       const bool changed = merge_in(t.in_states[j], was_in, t.out_states[i]);
       has_in[j] = 1;
       if (changed && !queued[w]) {
-        work.push_back(w);
+        work.push(graph_->topo_pos(w));
         queued[w] = 1;
       }
     }

@@ -33,6 +33,7 @@ ContextGraph::ContextGraph(const ir::Program& program) : program_(&program) {
 
   build();
   compute_topo_order();
+  compute_sccs();
 }
 
 NodeId ContextGraph::intern(ir::BlockId block, const Context& ctx) {
@@ -174,6 +175,95 @@ void ContextGraph::compute_topo_order() {
   }
   UCP_CHECK_MSG(topo_.size() == nodes_.size(),
                 "context graph is cyclic beyond REST back edges");
+  topo_pos_.assign(nodes_.size(), 0);
+  for (std::uint32_t pos = 0; pos < topo_.size(); ++pos)
+    topo_pos_[topo_[pos]] = pos;
+}
+
+void ContextGraph::compute_sccs() {
+  // Iterative Tarjan over the full edge set (back edges included). Tarjan
+  // emits SCCs in reverse topological order of the condensation, so
+  // reversing the emission order numbers them source-to-sink — the order
+  // the sparse fixpoint consumes. Within an SCC, members are sorted by
+  // ACFG topological position: intra-SCC forward edges respect topo_, so
+  // one sorted pass per local iteration converges fastest.
+  const std::size_t n = nodes_.size();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+  std::vector<std::vector<NodeId>> comps;  // Tarjan emission order
+
+  struct Frame {
+    NodeId v;
+    std::uint32_t edge;  ///< next out-edge slot to explore
+  };
+  std::vector<Frame> dfs;
+  scc_id_.assign(n, 0);
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back(Frame{root, 0});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& outs = out_edges_[f.v];
+      if (f.edge < outs.size()) {
+        const NodeId w = edges_[outs[f.edge++]].to;
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        const NodeId v = f.v;
+        if (low[v] == index[v]) {
+          comps.emplace_back();
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            comps.back().push_back(w);
+          } while (w != v);
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
+      }
+    }
+  }
+
+  scc_count_ = static_cast<std::uint32_t>(comps.size());
+  scc_order_.clear();
+  scc_order_.reserve(n);
+  scc_begin_.assign(scc_count_ + 1, 0);
+  scc_trivial_.assign(scc_count_, 1);
+  for (std::uint32_t s = 0; s < scc_count_; ++s) {
+    std::vector<NodeId>& comp = comps[scc_count_ - 1 - s];  // reversed emission
+    std::sort(comp.begin(), comp.end(), [&](NodeId a, NodeId b) {
+      return topo_pos_[a] < topo_pos_[b];
+    });
+    scc_begin_[s] = static_cast<std::uint32_t>(scc_order_.size());
+    for (NodeId id : comp) {
+      scc_id_[id] = s;
+      scc_order_.push_back(id);
+    }
+    if (comp.size() > 1) scc_trivial_[s] = 0;
+  }
+  scc_begin_[scc_count_] = static_cast<std::uint32_t>(scc_order_.size());
+  for (const CgEdge& e : edges_) {
+    // Self edges keep a singleton SCC non-trivial (it must still iterate).
+    if (e.from == e.to) scc_trivial_[scc_id_[e.from]] = 0;
+    UCP_CHECK_MSG(scc_id_[e.from] <= scc_id_[e.to],
+                  "SCC numbering is not a condensation topological order");
+  }
 }
 
 const CgNode& ContextGraph::node(NodeId id) const {

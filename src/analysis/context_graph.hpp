@@ -84,6 +84,25 @@ class ContextGraph {
   /// order). Sources first.
   const std::vector<NodeId>& topo_order() const { return topo_; }
 
+  /// Position of a node in topo_order(). Intra-SCC iteration and the sparse
+  /// fixpoint's priority worklists order nodes by this key.
+  std::uint32_t topo_pos(NodeId id) const { return topo_pos_[id]; }
+
+  /// Strongly connected components of the full graph (back edges included),
+  /// computed once at construction. SCC ids are numbered in topological
+  /// order of the condensation: every edge satisfies
+  /// scc_of(from) <= scc_of(to), so the sparse fixpoint can finalize one
+  /// SCC at a time and never revisit an earlier one.
+  std::uint32_t scc_count() const { return scc_count_; }
+  std::uint32_t scc_of(NodeId id) const { return scc_id_[id]; }
+  /// Members of SCC `s`, in ACFG topological order:
+  /// scc_order()[scc_begin()[s] .. scc_begin()[s+1]).
+  const std::vector<NodeId>& scc_order() const { return scc_order_; }
+  const std::vector<std::uint32_t>& scc_begin() const { return scc_begin_; }
+  /// True iff SCC `s` is a single node without a self edge: one transfer
+  /// suffices, no local fixpoint iteration.
+  bool scc_trivial(std::uint32_t s) const { return scc_trivial_[s] != 0; }
+
   /// Nodes whose block ends in halt (ACFG sinks).
   const std::vector<NodeId>& exit_nodes() const { return exits_; }
 
@@ -93,6 +112,7 @@ class ContextGraph {
   NodeId intern(ir::BlockId block, const Context& ctx);
   void build();
   void compute_topo_order();
+  void compute_sccs();
 
   const ir::Program* program_;
   std::vector<CgNode> nodes_;
@@ -103,7 +123,15 @@ class ContextGraph {
   NodeId entry_ = kInvalidNode;
   std::vector<LoopInstance> loop_instances_;
   std::vector<NodeId> topo_;
+  std::vector<std::uint32_t> topo_pos_;
   std::vector<NodeId> exits_;
+
+  // Tarjan SCC decomposition, condensation-topologically numbered.
+  std::uint32_t scc_count_ = 0;
+  std::vector<std::uint32_t> scc_id_;
+  std::vector<NodeId> scc_order_;
+  std::vector<std::uint32_t> scc_begin_;
+  std::vector<std::uint8_t> scc_trivial_;
 
   // Loop structure of the underlying program.
   std::vector<ir::NaturalLoop> loops_;

@@ -170,21 +170,30 @@ AbstractCache::AbstractCache(const cache::CacheConfig& config) {
   config.validate();
   UCP_REQUIRE(config.assoc <= 255, "associativity too large for age domain");
   set_mask_ = config.num_sets() - 1;
-  sets_.assign(config.num_sets(),
-               AbstractSet(static_cast<std::uint8_t>(config.assoc)));
+  payload_ = std::make_shared<Payload>();
+  payload_->sets.assign(config.num_sets(),
+                        AbstractSet(static_cast<std::uint8_t>(config.assoc)));
 }
 
 const AbstractSet& AbstractCache::set_at(std::uint32_t index) const {
-  UCP_REQUIRE(index < sets_.size(), "set index out of range");
-  return sets_[index];
+  UCP_REQUIRE(index < payload_->sets.size(), "set index out of range");
+  return payload_->sets[index];
 }
+
+namespace {
+
+void require_same_geometry(const AbstractCache& a, const AbstractCache& b) {
+  UCP_REQUIRE(a.num_sets() == b.num_sets() &&
+                  (a.num_sets() == 0 ||
+                   a.set_at(0).assoc() == b.set_at(0).assoc()),
+              "joining caches of different geometry");
+}
+
+}  // namespace
 
 AbstractCache AbstractCache::join_must(const AbstractCache& a,
                                        const AbstractCache& b) {
-  UCP_REQUIRE(a.sets_.size() == b.sets_.size() &&
-                  (a.sets_.empty() ||
-                   a.sets_[0].assoc() == b.sets_[0].assoc()),
-              "joining caches of different geometry");
+  require_same_geometry(a, b);
   AbstractCache out = a;
   out.join_must_with(b);
   return out;
@@ -192,38 +201,54 @@ AbstractCache AbstractCache::join_must(const AbstractCache& a,
 
 AbstractCache AbstractCache::join_may(const AbstractCache& a,
                                       const AbstractCache& b) {
-  UCP_REQUIRE(a.sets_.size() == b.sets_.size() &&
-                  (a.sets_.empty() ||
-                   a.sets_[0].assoc() == b.sets_[0].assoc()),
-              "joining caches of different geometry");
+  require_same_geometry(a, b);
   AbstractCache out = a;
   out.join_may_with(b);
   return out;
 }
 
 bool AbstractCache::join_must_with(const AbstractCache& other) {
-  UCP_REQUIRE(sets_.size() == other.sets_.size(),
-              "joining caches of different geometry");
+  require_same_geometry(*this, other);
+  if (payload_ == other.payload_) return false;  // join(x, x) = x
+  detach();
+  // detach() copies when shared, so `other` can never alias payload_ here.
   bool changed = false;
-  for (std::size_t i = 0; i < sets_.size(); ++i)
-    changed |= sets_[i].join_must_with(other.sets_[i]);
+  for (std::size_t i = 0; i < payload_->sets.size(); ++i)
+    changed |= payload_->sets[i].join_must_with(other.payload_->sets[i]);
   return changed;
 }
 
 bool AbstractCache::join_may_with(const AbstractCache& other) {
-  UCP_REQUIRE(sets_.size() == other.sets_.size(),
-              "joining caches of different geometry");
+  require_same_geometry(*this, other);
+  if (payload_ == other.payload_) return false;  // join(x, x) = x
+  detach();
   bool changed = false;
-  for (std::size_t i = 0; i < sets_.size(); ++i)
-    changed |= sets_[i].join_may_with(other.sets_[i]);
+  for (std::size_t i = 0; i < payload_->sets.size(); ++i)
+    changed |= payload_->sets[i].join_may_with(other.payload_->sets[i]);
   return changed;
+}
+
+std::uint64_t AbstractCache::content_hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const AbstractSet& s : payload_->sets) {
+    mix(s.size() + 0x9e3779b97f4a7c15ull);
+    for (const AgedBlock& e : s.entries()) {
+      mix(e.block);
+      mix(e.age);
+    }
+  }
+  return h;
 }
 
 std::string AbstractCache::to_string() const {
   std::ostringstream os;
-  for (std::size_t i = 0; i < sets_.size(); ++i) {
-    if (sets_[i].size() == 0) continue;
-    os << "set" << i << " " << sets_[i].to_string() << "\n";
+  for (std::size_t i = 0; i < payload_->sets.size(); ++i) {
+    if (payload_->sets[i].size() == 0) continue;
+    os << "set" << i << " " << payload_->sets[i].to_string() << "\n";
   }
   return os.str();
 }

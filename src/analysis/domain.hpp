@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -76,28 +77,38 @@ class AbstractSet {
 
 /// A whole abstract cache state: one AbstractSet per cache set. The paper's
 /// c-hat : L -> P(S). Geometry (set count, associativity, set mapping) is
-/// borrowed from a shared CacheConfig instead of copied per state, so a
-/// state copy is one vector of inline-storage sets.
+/// borrowed from a shared CacheConfig instead of copied per state.
+///
+/// The set vector lives behind a refcounted copy-on-write payload: copying a
+/// state (worklist seeding, incremental-trial boundary snapshots, interning)
+/// bumps a refcount instead of cloning age vectors, and every mutator
+/// detaches first. Pointer equality of payloads is both a free equality
+/// witness and a join fast path (`join(x, x) = x`), which is what makes the
+/// hash-consing in the fixpoint driver pay off — identical states collapse
+/// to one allocation and compare in O(1).
 class AbstractCache {
  public:
   explicit AbstractCache(const cache::CacheConfig& config);
 
   std::uint32_t num_sets() const {
-    return static_cast<std::uint32_t>(sets_.size());
+    return static_cast<std::uint32_t>(payload_->sets.size());
   }
   std::uint32_t set_index_of(MemBlockId block) const {
     return block & set_mask_;
   }
-  AbstractSet& set_for_block(MemBlockId block) {
-    return sets_[set_index_of(block)];
-  }
   const AbstractSet& set_for_block(MemBlockId block) const {
-    return sets_[set_index_of(block)];
+    return payload_->sets[set_index_of(block)];
   }
   const AbstractSet& set_at(std::uint32_t index) const;
 
-  void update_must(MemBlockId block) { set_for_block(block).update_must(block); }
-  void update_may(MemBlockId block) { set_for_block(block).update_may(block); }
+  void update_must(MemBlockId block) {
+    detach();
+    payload_->sets[set_index_of(block)].update_must(block);
+  }
+  void update_may(MemBlockId block) {
+    detach();
+    payload_->sets[set_index_of(block)].update_may(block);
+  }
   bool must_contain(MemBlockId block) const {
     return set_for_block(block).contains(block);
   }
@@ -110,17 +121,38 @@ class AbstractCache {
   static AbstractCache join_may(const AbstractCache& a, const AbstractCache& b);
 
   /// In-place accumulating joins; *this becomes join(*this, other). Returns
-  /// true iff any set changed. No allocation on the hot path.
+  /// true iff any set changed. Joining a state with itself (shared payload)
+  /// is a pointer compare — the dominant reconvergence case under interning.
   bool join_must_with(const AbstractCache& other);
   bool join_may_with(const AbstractCache& other);
 
-  friend bool operator==(const AbstractCache&, const AbstractCache&) = default;
+  /// True iff both states alias one payload (=> equal, O(1)).
+  bool shares_storage_with(const AbstractCache& other) const {
+    return payload_ == other.payload_;
+  }
+
+  /// FNV-1a over the entry lists; the hash-consing key of the fixpoint's
+  /// state interner (deep equality confirms on collision).
+  std::uint64_t content_hash() const;
+
+  friend bool operator==(const AbstractCache& a, const AbstractCache& b) {
+    return a.set_mask_ == b.set_mask_ &&
+           (a.payload_ == b.payload_ || a.payload_->sets == b.payload_->sets);
+  }
 
   std::string to_string() const;
 
  private:
+  struct Payload {
+    std::vector<AbstractSet> sets;
+  };
+  void detach() {
+    if (payload_.use_count() != 1)
+      payload_ = std::make_shared<Payload>(*payload_);
+  }
+
   std::uint32_t set_mask_ = 0;  ///< num_sets - 1 (power of two)
-  std::vector<AbstractSet> sets_;
+  std::shared_ptr<Payload> payload_;
 };
 
 }  // namespace ucp::analysis

@@ -1,7 +1,7 @@
 #include "analysis/persistence.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <queue>
 
 #include "analysis/cache_analysis.hpp"
 #include "support/check.hpp"
@@ -161,18 +161,21 @@ PersistenceResult analyze_persistence(const ContextGraph& graph,
   std::vector<bool> has_in(n, false);
   has_in[graph.entry_node()] = true;
 
-  std::deque<NodeId> work;
-  std::vector<bool> queued(n, false);
-  for (NodeId id : graph.topo_order()) {
-    work.push_back(id);
-    queued[id] = true;
-  }
+  // SCC-sparse driver, mirroring analyze_cache: finalize one SCC at a time
+  // in condensation order with a topo-position min-heap. The persistence
+  // join allocates (set unions), so the transfers this skips — no global
+  // re-seeding, one transfer per trivial SCC — are the expensive kind. The
+  // lfp is unique, so the result matches the old global-FIFO loop exactly.
+  const std::vector<NodeId>& topo = graph.topo_order();
+  const std::vector<NodeId>& order = graph.scc_order();
+  const std::vector<std::uint32_t>& begin = graph.scc_begin();
+  std::vector<std::uint8_t> queued(n, 0);
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<std::uint32_t>>
+      heap;
 
-  while (!work.empty()) {
-    const NodeId id = work.front();
-    work.pop_front();
-    queued[id] = false;
-    if (!has_in[id]) continue;
+  const auto process = [&](NodeId id) {
+    if (!has_in[id]) return;
 
     PersistCache out = in_states[id];
     const ir::BasicBlock& bb = program.block(graph.node(id).block);
@@ -182,8 +185,9 @@ PersistenceResult analyze_persistence(const ContextGraph& graph,
     }
     const bool changed = !(out == out_states[id]);
     out_states[id] = std::move(out);
-    if (!changed) continue;
+    if (!changed) return;
 
+    const std::uint32_t my_scc = graph.scc_of(id);
     for (std::uint32_t ei : graph.out_edges(id)) {
       const CgEdge& e = graph.edges()[ei];
       PersistCache merged =
@@ -192,11 +196,28 @@ PersistenceResult analyze_persistence(const ContextGraph& graph,
       if (!has_in[e.to] || !(merged == in_states[e.to])) {
         in_states[e.to] = std::move(merged);
         has_in[e.to] = true;
-        if (!queued[e.to]) {
-          work.push_back(e.to);
-          queued[e.to] = true;
+        if (graph.scc_of(e.to) == my_scc && !queued[e.to]) {
+          heap.push(graph.topo_pos(e.to));
+          queued[e.to] = 1;
         }
       }
+    }
+  };
+
+  for (std::uint32_t s = 0; s < graph.scc_count(); ++s) {
+    if (graph.scc_trivial(s)) {
+      process(order[begin[s]]);
+      continue;
+    }
+    for (std::uint32_t i = begin[s]; i < begin[s + 1]; ++i) {
+      heap.push(graph.topo_pos(order[i]));
+      queued[order[i]] = 1;
+    }
+    while (!heap.empty()) {
+      const NodeId id = topo[heap.top()];
+      heap.pop();
+      queued[id] = 0;
+      process(id);
     }
   }
 

@@ -39,10 +39,11 @@ namespace {
 std::uint64_t fixed_tau(const ContextGraph& graph, const ir::Program& program,
                         const cache::CacheConfig& config,
                         const cache::MemTiming& timing,
-                        const std::vector<std::uint64_t>& counts) {
+                        const std::vector<std::uint64_t>& counts,
+                        analysis::FixpointMode mode) {
   const ir::Layout layout(program, config.block_bytes);
   const CacheAnalysisResult cls =
-      analysis::analyze_cache(graph, program, layout, config);
+      analysis::analyze_cache(graph, program, layout, config, mode);
   return wcet::tau_with_fixed_counts(graph, cls, timing, counts);
 }
 
@@ -174,7 +175,7 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
   std::optional<wcet::IpetSystem> own_ipet;
   if (!shared_ipet) {
     own_graph.emplace(input);
-    own_ipet.emplace(*own_graph);
+    own_ipet.emplace(*own_graph, wcet::IpetOptions{options.ipet_presolve});
   }
   const wcet::IpetSystem& ipet = shared_ipet ? *shared_ipet : *own_ipet;
   const ContextGraph& graph = ipet.graph();
@@ -191,7 +192,8 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     incr.emplace(graph, input, config);
   } else {
     const ir::Layout layout0(input, config.block_bytes);
-    cls0_scratch = analysis::analyze_cache(graph, layout0, config);
+    cls0_scratch =
+        analysis::analyze_cache(graph, layout0, config, options.fixpoint_mode);
   }
   const CacheAnalysisResult& cls0 = incr ? incr->result() : *cls0_scratch;
   const wcet::WcetResult wcet0 = ipet.solve(cls0, timing);
@@ -259,7 +261,8 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     std::optional<CacheAnalysisResult> cls_scratch;
     if (!incr) {
       layout_scratch.emplace(p, config.block_bytes);
-      cls_scratch = analysis::analyze_cache(graph, p, *layout_scratch, config);
+      cls_scratch = analysis::analyze_cache(graph, p, *layout_scratch, config,
+                                            options.fixpoint_mode);
     }
     const ir::Layout& layout = incr ? incr->layout() : *layout_scratch;
     const CacheAnalysisResult& cls = incr ? incr->result() : *cls_scratch;
@@ -350,7 +353,8 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
             tau_trial += node_contribution(t->cls[i], v);
           }
         } else {
-          tau_trial = fixed_tau(graph, trial, config, timing, n_w);
+          tau_trial = fixed_tau(graph, trial, config, timing, n_w,
+                                options.fixpoint_mode);
           ++report.full_reanalyses;
         }
         report.reanalysis_ns += static_cast<std::uint64_t>(
@@ -442,7 +446,8 @@ OptimizationResult optimize_prefetches(const ir::Program& input,
     std::optional<CacheAnalysisResult> cls_scratch;
     if (!incr) {
       const ir::Layout layout(p, config.block_bytes);
-      cls_scratch = analysis::analyze_cache(graph, p, layout, config);
+      cls_scratch = analysis::analyze_cache(graph, p, layout, config,
+                                            options.fixpoint_mode);
     }
     const CacheAnalysisResult& cls = incr ? incr->result() : *cls_scratch;
     const wcet::WcetResult wcet_final = ipet.solve(cls, timing);

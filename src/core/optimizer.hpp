@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cache_analysis.hpp"
 #include "cache/config.hpp"
 #include "ilp/model.hpp"
 #include "ir/program.hpp"
@@ -67,6 +68,16 @@ struct OptimizerOptions {
   /// unchanged between modes, since it influences which candidates get
   /// tried and therefore the output program.
   bool incremental_reanalysis = true;
+  /// Fixpoint driver for the optimizer's own from-scratch cache analyses
+  /// (base analysis when `incremental_reanalysis` is off, per-pass path
+  /// re-derivation, fixed-τ trials, final audit). Both modes compute the
+  /// same least fixpoint (DESIGN.md §14); the knob exists so the scaling
+  /// bench and equivalence suite can drive the pre-PR pipeline end to end.
+  analysis::FixpointMode fixpoint_mode = analysis::FixpointMode::kSccSparse;
+  /// Presolve toggle for the optimizer-owned IPET system (only consulted
+  /// when no shared system is passed in). Presolve is exact, so results are
+  /// identical either way; the knob exists for differential benchmarking.
+  bool ipet_presolve = true;
 };
 
 /// One accepted insertion.

@@ -726,6 +726,11 @@ void publish_sweep_metrics(const Sweep& sweep) {
   add("exp.sweep.bb_nodes", sweep.report.solver.bb_nodes);
   add("exp.sweep.warm_starts", sweep.report.solver.warm_starts);
   add("exp.sweep.phase1_skipped", sweep.report.solver.phase1_skipped);
+  // Of the pivots above, the one-time shared-IpetSystem construction share
+  // (charge_construction). Subtracting it recovers the pure per-solve total,
+  // which equals the live ilp.solve.pivots on clean single-attempt runs —
+  // the reconciliation identity pinned by the equivalence suite.
+  add("exp.sweep.construction_pivots", sweep.report.construction_pivots);
 
   std::uint64_t attempts = 0, insertions = 0, cand_found = 0, cand_eval = 0;
   std::uint64_t passes = 0, full_re = 0, incr_re = 0, nodes_re = 0;
@@ -1457,8 +1462,11 @@ Sweep run_sweep(const SweepOptions& options) {
     sweep.report.quarantine = std::move(derived.quarantine);
     sweep.report.solver.add(derived.solver);
   }
-  for (const std::unique_ptr<ProgramIpet>& s : systems)
-    if (s) s->ipet.charge_construction(sweep.report.solver);
+  for (const std::unique_ptr<ProgramIpet>& s : systems) {
+    if (!s) continue;
+    s->ipet.charge_construction(sweep.report.solver);
+    sweep.report.construction_pivots += s->ipet.construction_pivots();
+  }
 
   // Publish the authoritative row-derived counters, then merge the metrics
   // snapshot into the journal as a comment (skipped on resume, so it never

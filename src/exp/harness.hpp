@@ -277,6 +277,11 @@ struct SweepReport {
   /// results were served from the memo cache — the cache stores rows, not
   /// work counters.
   ilp::SolveStats solver;
+  /// The once-per-shared-IpetSystem phase-1 pivots folded into `solver`
+  /// above (charge_construction). Published as exp.sweep.construction_pivots
+  /// so the row-derived pivot total reconciles against the live
+  /// ilp.solve.{pivots,construction_pivots} counters (DESIGN.md §14).
+  std::uint64_t construction_pivots = 0;
 
   bool clean() const { return degraded == 0 && failed == 0; }
   void print(std::ostream& os) const;

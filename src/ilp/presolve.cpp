@@ -1,0 +1,495 @@
+#include "ilp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "support/check.hpp"
+
+namespace ucp::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kCoeffEps = 1e-11;
+constexpr double kIntTol = 1e-6;
+constexpr std::size_t kMaxPasses = 64;
+// Fill-in caps for implied-free substitution: a definition with more terms,
+// or a variable occurring in more other rows, is left alone (each expansion
+// splices the definition into every remaining occurrence).
+constexpr std::size_t kMaxSubstTerms = 8;
+constexpr std::size_t kMaxSubstOccurrences = 8;
+// Cascaded substitution can compound coefficients; magnitudes beyond this
+// abort the presolve (callers solve the original model) rather than risk
+// the activity arithmetic's fixed tolerances.
+constexpr double kMaxCoeff = 1e9;
+
+bool integral(double v) { return std::abs(v - std::round(v)) <= kIntTol; }
+
+struct WorkRow {
+  std::vector<Term> terms;  ///< canonical: root vars, merged, nonzero coeffs
+  Rel rel = Rel::kLe;       ///< kLe or kEq (kGe is normalized away)
+  double rhs = 0.0;
+  bool alive = true;
+};
+
+}  // namespace
+
+std::optional<Presolve> Presolve::reduce(const Model& model) {
+  const std::size_t n = model.num_vars();
+  std::vector<double> lo(n), up(n);
+  std::vector<std::uint8_t> integer(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Model::Var& var = model.var(static_cast<VarId>(v));
+    lo[v] = var.lower;
+    up[v] = var.upper;
+    integer[v] = var.integer ? 1 : 0;
+  }
+
+  // Union-find over variables; the smallest member index is the root, so
+  // reduction order (and therefore the reduced model) is deterministic.
+  std::vector<std::int32_t> parent(n);
+  for (std::size_t v = 0; v < n; ++v) parent[v] = static_cast<std::int32_t>(v);
+  const auto find = [&](std::int32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+
+  std::vector<std::uint8_t> fixed(n, 0);
+  std::vector<double> fx(n, 0.0);
+
+  bool infeasible = false;   // abort: caller solves the original model
+  bool nonintegral = false;  // abort: a fix would violate integrality
+  bool changed = false;
+
+  // Pins root `r` to `value` (bound- and integrality-checked).
+  const auto fix_root = [&](std::int32_t r, double value) {
+    if (fixed[r]) {
+      if (std::abs(fx[r] - value) > kEps) infeasible = true;
+      return;
+    }
+    if (value < lo[r] - kEps || value > up[r] + kEps) {
+      infeasible = true;
+      return;
+    }
+    if (integer[r] && std::abs(value - std::round(value)) > kIntTol) {
+      nonintegral = true;
+      return;
+    }
+    fixed[r] = 1;
+    fx[r] = integer[r] ? std::round(value) : value;
+    lo[r] = up[r] = fx[r];
+    changed = true;
+  };
+
+  // Merges the classes of x and y under x == y.
+  const auto alias = [&](std::int32_t x, std::int32_t y) {
+    std::int32_t rx = find(x), ry = find(y);
+    if (rx == ry) return;
+    if (rx > ry) std::swap(rx, ry);  // smallest index stays canonical
+    parent[ry] = rx;
+    lo[rx] = std::max(lo[rx], lo[ry]);
+    up[rx] = std::min(up[rx], up[ry]);
+    integer[rx] = integer[rx] | integer[ry];
+    if (lo[rx] > up[rx] + kEps) infeasible = true;
+    if (fixed[ry]) fix_root(rx, fx[ry]);
+    if (fixed[rx] && !fixed[ry]) {
+      // Bounds of the absorbed class must admit the pinned value.
+      if (fx[rx] < lo[rx] - kEps || fx[rx] > up[rx] + kEps) infeasible = true;
+      lo[rx] = up[rx] = fx[rx];
+    }
+    changed = true;
+  };
+
+  // Load rows, normalizing kGe to kLe by negation so the activity logic
+  // handles two relations only.
+  std::vector<WorkRow> rows(model.num_constraints());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Model::Constraint& c = model.constraints()[i];
+    rows[i].terms = c.terms;
+    rows[i].rhs = c.rhs;
+    rows[i].rel = c.rel;
+    if (c.rel == Rel::kGe) {
+      rows[i].rel = Rel::kLe;
+      rows[i].rhs = -rows[i].rhs;
+      for (Term& t : rows[i].terms) t.coeff = -t.coeff;
+    }
+  }
+
+  // Implied-free substitution records: subst_index[r] >= 0 marks root r as
+  // eliminated by substitutions[subst_index[r]].
+  std::vector<std::int32_t> subst_index(n, -1);
+  std::vector<Presolve::Substitution> substitutions;
+  bool blowup = false;  // coefficient magnitude escaped kMaxCoeff
+
+  // Rewrites `row` against the current fix/alias/substitution state: fixed
+  // variables fold into the rhs, aliases merge onto roots, substituted
+  // variables splice in their definitions (iteratively — a definition may
+  // itself reference later-substituted variables), zero coefficients drop.
+  std::vector<Term> scratch;
+  std::vector<Term> pending;
+  const auto canonicalize = [&](WorkRow& row) {
+    scratch.clear();
+    pending.assign(row.terms.begin(), row.terms.end());
+    while (!pending.empty()) {
+      const Term t = pending.back();
+      pending.pop_back();
+      const std::int32_t r = find(t.var);
+      if (fixed[r]) {
+        row.rhs -= t.coeff * fx[r];
+      } else if (subst_index[r] >= 0) {
+        // c*x with x == (s.rhs - Σ a_j x_j) / s.coeff.
+        const Presolve::Substitution& s = substitutions[subst_index[r]];
+        const double scale = t.coeff / s.coeff;
+        row.rhs -= scale * s.rhs;
+        for (const Term& d : s.terms) {
+          const double coeff = -scale * d.coeff;
+          if (std::abs(coeff) > kMaxCoeff) blowup = true;
+          pending.push_back(Term{d.var, coeff});
+        }
+      } else {
+        scratch.push_back(Term{r, t.coeff});
+      }
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Term& a, const Term& b) { return a.var < b.var; });
+    row.terms.clear();
+    for (const Term& t : scratch) {
+      if (!row.terms.empty() && row.terms.back().var == t.var) {
+        row.terms.back().coeff += t.coeff;
+      } else {
+        row.terms.push_back(t);
+      }
+    }
+    row.terms.erase(std::remove_if(row.terms.begin(), row.terms.end(),
+                                   [](const Term& t) {
+                                     return std::abs(t.coeff) <= kCoeffEps;
+                                   }),
+                    row.terms.end());
+  };
+
+  PresolveStats stats;
+  std::vector<std::uint32_t> occ(n, 0);
+  bool again = true;
+  while (again && !infeasible && !nonintegral && !blowup &&
+         stats.passes < kMaxPasses) {
+    again = false;
+    ++stats.passes;
+    // Occurrence census for the substitution fill-in cap. Mid-pass
+    // reductions leave it stale, which only skips borderline candidates
+    // until the next pass — never a correctness issue.
+    std::fill(occ.begin(), occ.end(), 0);
+    for (WorkRow& row : rows) {
+      if (!row.alive) continue;
+      canonicalize(row);
+      for (const Term& t : row.terms) ++occ[t.var];
+    }
+    for (WorkRow& row : rows) {
+      if (!row.alive) continue;
+      changed = false;
+      canonicalize(row);
+
+      if (row.terms.empty()) {
+        const bool consistent = row.rel == Rel::kEq
+                                    ? std::abs(row.rhs) <= kEps
+                                    : row.rhs >= -kEps;
+        if (!consistent) {
+          infeasible = true;
+          break;
+        }
+        row.alive = false;
+        ++stats.empty_rows;
+        again = true;
+        continue;
+      }
+
+      if (row.terms.size() == 1) {
+        const Term t = row.terms.front();
+        const std::int32_t r = t.var;  // canonical root, unfixed
+        const double bound = row.rhs / t.coeff;
+        if (row.rel == Rel::kEq) {
+          fix_root(r, bound);
+        } else if (t.coeff > 0) {
+          if (bound < up[r] - kEps) {
+            up[r] = bound;
+            changed = true;
+          }
+        } else {
+          if (bound > lo[r] + kEps) {
+            lo[r] = bound;
+            changed = true;
+          }
+        }
+        if (lo[r] > up[r] + kEps) {
+          infeasible = true;
+          break;
+        }
+        if (!fixed[r] && up[r] - lo[r] <= kEps) fix_root(r, (lo[r] + up[r]) / 2);
+        row.alive = false;
+        ++stats.singleton_rows;
+        if (changed) again = true;
+        continue;
+      }
+
+      if (row.rel == Rel::kEq && row.terms.size() == 2 &&
+          std::abs(row.rhs) <= kEps &&
+          std::abs(row.terms[0].coeff + row.terms[1].coeff) <= kCoeffEps) {
+        // a*x - a*y == 0  =>  x == y: contract the two columns.
+        alias(row.terms[0].var, row.terms[1].var);
+        row.alive = false;
+        ++stats.aliased_vars;
+        again = true;
+        continue;
+      }
+
+      if (row.rel == Rel::kEq && row.terms.size() >= 2 &&
+          row.terms.size() <= kMaxSubstTerms + 1) {
+        // Implied-free substitution: find an x whose bounds the row itself
+        // implies, eliminate it by Gaussian substitution (the row dies with
+        // it, and no bound row comes back). Smallest eligible variable
+        // index wins, for determinism.
+        std::int32_t best = -1;
+        double best_coeff = 0.0;
+        for (const Term& t : row.terms) {
+          const std::int32_t r = t.var;
+          if (occ[r] > kMaxSubstOccurrences + 1) continue;  // occ counts this row
+          const bool is_free = std::isinf(lo[r]) && std::isinf(up[r]);
+          bool ok = is_free;
+          if (!ok && std::abs(lo[r]) <= kEps && std::isinf(up[r])) {
+            // x == (rhs - Σ a_j x_j) / a_x must be provably nonnegative:
+            // rhs/a_x >= 0 and every -a_j/a_x >= 0 over x_j >= 0.
+            ok = row.rhs / t.coeff >= -kEps;
+            for (const Term& o : row.terms) {
+              if (!ok) break;
+              if (o.var == r) continue;
+              if (-o.coeff / t.coeff < -kEps || lo[o.var] < -kEps) ok = false;
+            }
+          }
+          if (!ok) continue;
+          if (integer[r]) {
+            // Integer x must stay integral for every integral assignment of
+            // the definition: unimodular pivot coefficient, integral row,
+            // integer variables only.
+            if (std::abs(std::abs(t.coeff) - 1.0) > kIntTol ||
+                !integral(row.rhs))
+              continue;
+            bool ints = true;
+            for (const Term& o : row.terms) {
+              if (o.var == r) continue;
+              if (!integer[o.var] || !integral(o.coeff)) {
+                ints = false;
+                break;
+              }
+            }
+            if (!ints) continue;
+          }
+          if (best < 0 || r < best) {
+            best = r;
+            best_coeff = t.coeff;
+          }
+        }
+        if (best >= 0) {
+          Presolve::Substitution s;
+          s.var = best;
+          s.coeff = best_coeff;
+          s.rhs = row.rhs;
+          for (const Term& t : row.terms)
+            if (t.var != best) s.terms.push_back(t);
+          subst_index[best] = static_cast<std::int32_t>(substitutions.size());
+          substitutions.push_back(std::move(s));
+          row.alive = false;
+          ++stats.substituted_vars;
+          again = true;
+          continue;
+        }
+      }
+
+      // Activity bounds over the variable ranges (infinity-aware).
+      double min_act = 0.0, max_act = 0.0;
+      bool min_finite = true, max_finite = true;
+      for (const Term& t : row.terms) {
+        const double vlo = lo[t.var], vup = up[t.var];
+        const double at_min = t.coeff > 0 ? vlo : vup;
+        const double at_max = t.coeff > 0 ? vup : vlo;
+        if (std::isinf(at_min)) {
+          min_finite = false;
+        } else {
+          min_act += t.coeff * at_min;
+        }
+        if (std::isinf(at_max)) {
+          max_finite = false;
+        } else {
+          max_act += t.coeff * at_max;
+        }
+      }
+
+      if (min_finite && min_act > row.rhs + kEps) {
+        infeasible = true;  // even the loosest assignment violates the row
+        break;
+      }
+      if (row.rel == Rel::kEq && max_finite && max_act < row.rhs - kEps) {
+        infeasible = true;
+        break;
+      }
+
+      if (min_finite && min_act >= row.rhs - kEps) {
+        // Forcing: the row is only satisfiable with every variable at its
+        // activity-minimizing bound. (For kLe this needs min_act == rhs,
+        // which the infeasibility check above guarantees here.)
+        for (const Term& t : row.terms)
+          fix_root(t.var, t.coeff > 0 ? lo[t.var] : up[t.var]);
+        row.alive = false;
+        ++stats.forcing_rows;
+        again = true;
+        continue;
+      }
+      if (row.rel == Rel::kEq && max_finite && max_act <= row.rhs + kEps) {
+        for (const Term& t : row.terms)
+          fix_root(t.var, t.coeff > 0 ? up[t.var] : lo[t.var]);
+        row.alive = false;
+        ++stats.forcing_rows;
+        again = true;
+        continue;
+      }
+      if (row.rel == Rel::kLe && max_finite && max_act <= row.rhs + kEps) {
+        // Redundant: satisfied by every assignment within bounds.
+        row.alive = false;
+        ++stats.empty_rows;
+        again = true;
+        continue;
+      }
+
+      if (changed) again = true;  // a singleton tightened a shared bound
+    }
+  }
+
+  if (infeasible || nonintegral || blowup) return std::nullopt;
+
+  // Assemble the reduced model and the expansion maps.
+  Presolve p;
+  p.orig_vars_ = n;
+  p.col_of_.assign(n, -1);
+  p.is_fixed_.assign(n, 0);
+  p.fixed_value_.assign(n, 0.0);
+  p.subst_of_.assign(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t r = find(static_cast<std::int32_t>(v));
+    if (fixed[r]) {
+      p.is_fixed_[v] = 1;
+      p.fixed_value_[v] = fx[r];
+      continue;
+    }
+    if (subst_index[r] >= 0) {
+      p.subst_of_[v] = subst_index[r];
+      continue;
+    }
+    if (p.col_of_[r] < 0) {
+      const Model::Var& var = model.var(r);
+      p.col_of_[r] = p.reduced_.add_var(var.name, lo[r], up[r],
+                                        integer[r] != 0);
+    }
+    p.col_of_[v] = p.col_of_[r];
+  }
+  std::size_t alive_rows = 0;
+  for (WorkRow& row : rows) {
+    if (!row.alive) continue;
+    // The pass-cap exit can leave a row referencing a variable substituted
+    // in the final (uncompleted) round; one more canonicalize settles it.
+    canonicalize(row);
+    if (blowup) return std::nullopt;
+    if (row.terms.empty()) {
+      const bool consistent = row.rel == Rel::kEq ? std::abs(row.rhs) <= kEps
+                                                  : row.rhs >= -kEps;
+      if (!consistent) return std::nullopt;
+      continue;
+    }
+    ++alive_rows;
+    std::vector<Term> terms;
+    terms.reserve(row.terms.size());
+    for (const Term& t : row.terms)
+      terms.push_back(Term{p.col_of_[t.var], t.coeff});
+    p.reduced_.add_constraint(std::move(terms), row.rel, row.rhs);
+  }
+  p.subst_ = std::move(substitutions);
+
+  stats.removed_rows = model.num_constraints() - alive_rows;
+  stats.removed_cols = n - p.reduced_.num_vars();
+  for (std::size_t v = 0; v < n; ++v)
+    if (fixed[find(static_cast<std::int32_t>(v))]) ++stats.fixed_vars;
+  p.stats_ = stats;
+  if (stats.removed_rows == 0 && stats.removed_cols == 0) return std::nullopt;
+
+  if (obs::enabled()) {
+    static obs::Counter& c_runs = obs::registry().counter("ilp.presolve.runs");
+    static obs::Counter& c_rows =
+        obs::registry().counter("ilp.presolve.removed_rows");
+    static obs::Counter& c_cols =
+        obs::registry().counter("ilp.presolve.removed_cols");
+    c_runs.increment();
+    c_rows.add(stats.removed_rows);
+    c_cols.add(stats.removed_cols);
+  }
+  return p;
+}
+
+std::vector<double> Presolve::map_objective(
+    const std::vector<double>& objective, double& constant) const {
+  UCP_REQUIRE(objective.size() <= orig_vars_,
+              "objective longer than the presolved model's variable space");
+  std::vector<double> out(reduced_.num_vars(), 0.0);
+  constant = 0.0;
+  // Substituted variables forward their coefficient through their defining
+  // row (which may reference further-substituted variables — hence the
+  // worklist): c*x == (c/a_x)*rhs - Σ (c*a_j/a_x)*x_j.
+  std::vector<Term> pending;
+  for (std::size_t v = 0; v < objective.size(); ++v)
+    if (objective[v] != 0.0)
+      pending.push_back(Term{static_cast<VarId>(v), objective[v]});
+  while (!pending.empty()) {
+    const Term t = pending.back();
+    pending.pop_back();
+    if (is_fixed_[t.var]) {
+      constant += t.coeff * fixed_value_[t.var];
+    } else if (subst_of_[t.var] >= 0) {
+      const Substitution& s = subst_[subst_of_[t.var]];
+      const double scale = t.coeff / s.coeff;
+      constant += scale * s.rhs;
+      for (const Term& d : s.terms)
+        pending.push_back(Term{d.var, -scale * d.coeff});
+    } else {
+      out[static_cast<std::size_t>(col_of_[t.var])] += t.coeff;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Presolve::expand_values(
+    const std::vector<double>& reduced_values) const {
+  UCP_REQUIRE(reduced_values.size() >= reduced_.num_vars(),
+              "reduced solution vector too short");
+  // Resolve substituted variables in reverse elimination order: a
+  // definition only references variables alive when it was made — i.e.
+  // survivors, fixed variables, or variables substituted LATER — so by the
+  // time it replays, everything it needs is already resolved.
+  std::vector<double> subst_val(subst_.size(), 0.0);
+  const auto value_of = [&](std::int32_t v) {
+    if (is_fixed_[v]) return fixed_value_[v];
+    if (subst_of_[v] >= 0) return subst_val[static_cast<std::size_t>(subst_of_[v])];
+    return reduced_values[static_cast<std::size_t>(col_of_[v])];
+  };
+  for (std::size_t i = subst_.size(); i-- > 0;) {
+    const Substitution& s = subst_[i];
+    double acc = s.rhs;
+    for (const Term& t : s.terms) acc -= t.coeff * value_of(t.var);
+    subst_val[i] = acc / s.coeff;
+  }
+  std::vector<double> out(orig_vars_, 0.0);
+  for (std::size_t v = 0; v < orig_vars_; ++v)
+    out[v] = value_of(static_cast<std::int32_t>(v));
+  return out;
+}
+
+}  // namespace ucp::ilp

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace ucp::ilp {
+
+/// Work accounting of one presolve run (surfaces as the
+/// ilp.presolve.removed_{rows,cols} obs counters).
+struct PresolveStats {
+  std::size_t removed_rows = 0;   ///< constraints eliminated
+  std::size_t removed_cols = 0;   ///< vars eliminated (fixed/aliased/substituted)
+  std::size_t fixed_vars = 0;     ///< variables pinned to a constant
+  std::size_t aliased_vars = 0;   ///< variables merged via x == y chains
+  std::size_t empty_rows = 0;     ///< consistent 0 == 0 / 0 <= rhs rows
+  std::size_t singleton_rows = 0; ///< rows reduced to one variable
+  std::size_t forcing_rows = 0;   ///< rows whose activity bound pins all vars
+  std::size_t substituted_vars = 0;  ///< implied-free vars eliminated by a row
+  std::size_t passes = 0;         ///< fixpoint sweeps over the row set
+};
+
+/// Objective-independent exact presolve for the bounded-variable models the
+/// IPET encoding produces (DESIGN.md §14). Reductions, iterated to a
+/// fixpoint in deterministic index order:
+///
+///  - fixed-variable substitution: bounds with lower == upper (the IPET
+///    source variable's [1,1], plus everything fixing cascades onto) move
+///    into the right-hand sides;
+///  - empty-row elimination: rows whose variables are all fixed are checked
+///    for consistency and dropped;
+///  - singleton rows: `a*x == r` fixes x; `a*x <= r` tightens a bound (and
+///    fixes when the bounds close);
+///  - forcing rows: when a row's minimum (for <=, ==) or maximum (for ==)
+///    activity over the variable bounds equals the right-hand side, every
+///    participating variable is pinned at the achieving bound — this is
+///    what zeroes the back-edge variables of bound-2 loops via their
+///    factor-0 anti-circulation rows;
+///  - redundant rows: `<=` rows whose maximum activity cannot exceed the
+///    right-hand side are dropped;
+///  - doubleton aliases: `x - y == 0` contracts x and y into one column
+///    (union-find, smallest index canonical, bounds intersected, integrality
+///    OR-ed) — flow conservation over straight-line CFG chains collapses to
+///    one variable per chain, the reduction that keeps the dense
+///    basis-inverse of the sparse simplex small at thousands of blocks;
+///  - implied-free substitution: an equality row whose variable x has a
+///    coefficient of sign opposite to every other coefficient (and to the
+///    right-hand side) defines x as a *nonnegative* combination of the other
+///    variables, so x's `[0, inf)` bounds are implied and x can be
+///    eliminated by Gaussian substitution without re-adding a bound row.
+///    Flow-conservation rows of branch nodes (one in-arc, several out-arcs)
+///    and join nodes (several in, one out) all qualify, which is where the
+///    bulk of the IPET equality rows — and with them the sparse simplex's
+///    phase-1 construction pivots — go. Integrality is preserved by only
+///    substituting integer x through unimodular (|coeff| == 1, integral row)
+///    definitions over integer variables; fill-in is bounded by per-row term
+///    and occurrence caps.
+///
+/// Every reduction is exact (no relaxation, no rounding), so the reduced
+/// program has the same optimal objective value as the original for EVERY
+/// objective, and any optimal reduced solution expands to an optimal
+/// original one. Integrality is preserved: aliases only merge, fixes abort
+/// the whole presolve if they would pin an integer variable to a fractional
+/// value. Any detected infeasibility also aborts (callers then solve the
+/// original model, which reports the infeasibility through the usual path).
+class Presolve {
+ public:
+  /// Reduces the constraint system of `model` (the objective is mapped per
+  /// solve via map_objective). Returns disengaged if nothing was removed or
+  /// the reduction had to abort — callers then use the original model.
+  static std::optional<Presolve> reduce(const Model& model);
+
+  /// The reduced model (constraints + bounds; objective left empty).
+  const Model& reduced() const { return reduced_; }
+  const PresolveStats& stats() const { return stats_; }
+
+  /// Maps a dense original-space objective (indexed by original VarId) onto
+  /// the reduced columns. `constant` receives the fixed variables'
+  /// contribution, to be added to the reduced solve's objective value.
+  std::vector<double> map_objective(const std::vector<double>& objective,
+                                    double& constant) const;
+
+  /// Expands a reduced-space solution vector back to original variable
+  /// space: fixed variables take their pinned value, aliased variables
+  /// their representative's value, substituted variables replay their
+  /// defining rows in reverse elimination order.
+  std::vector<double> expand_values(
+      const std::vector<double>& reduced_values) const;
+
+ private:
+  Presolve() = default;
+
+  /// One implied-free elimination: var == (rhs - Σ terms) / coeff, with the
+  /// definition's variables canonicalized to their elimination-time roots.
+  /// Recorded in elimination order; a definition only ever references
+  /// variables that were still alive when it was made, i.e. variables that
+  /// are either surviving, fixed, aliased, or substituted *later* — so
+  /// expand_values resolves them by replaying the list in reverse.
+  struct Substitution {
+    std::int32_t var = -1;
+    double coeff = 0.0;
+    double rhs = 0.0;
+    std::vector<Term> terms;
+  };
+
+  Model reduced_;
+  PresolveStats stats_;
+  std::size_t orig_vars_ = 0;
+  std::vector<std::int32_t> col_of_;    ///< orig var -> reduced col (-1 = gone)
+  std::vector<std::uint8_t> is_fixed_;  ///< orig var (via root) pinned?
+  std::vector<double> fixed_value_;     ///< pinned value where is_fixed_
+  std::vector<std::int32_t> subst_of_;  ///< orig var -> subst_ index (-1 = no)
+  std::vector<Substitution> subst_;     ///< in elimination order
+};
+
+}  // namespace ucp::ilp

@@ -717,6 +717,20 @@ SparseLp::SparseLp(const Model& model) {
   canonical_status_ =
       w.phase1(SolveOptions{}.max_pivots, stats, /*with_fault=*/false);
   construction_pivots_ = stats.pivots;
+  if (obs::enabled()) {
+    // Live counterpart of IpetSystem::charge_construction: per-solve stats
+    // deliberately exclude this one-time work, so reconciling the
+    // row-derived exp.sweep.pivots against live ilp.solve.pivots needs the
+    // construction side published too (see DESIGN.md §14):
+    //   exp.sweep.pivots == ilp.solve.pivots + ilp.solve.construction_pivots
+    // on clean (single-attempt, no-retry) sweeps.
+    static obs::Counter& c_ctor =
+        obs::registry().counter("ilp.solve.constructions");
+    static obs::Counter& c_cpiv =
+        obs::registry().counter("ilp.solve.construction_pivots");
+    c_ctor.increment();
+    c_cpiv.add(construction_pivots_);
+  }
   if (canonical_status_ == SolveStatus::kOptimal) {
     w.refresh_basic_values();
     x_ = std::move(w.x);

@@ -120,11 +120,13 @@ ilp::Model IpetSystem::build_model(const ContextGraph& graph) {
   return model;
 }
 
-IpetSystem::IpetSystem(const ContextGraph& graph)
+IpetSystem::IpetSystem(const ContextGraph& graph, const IpetOptions& options)
     : graph_(&graph),
       model_(build_model(graph)),
       source_var_(static_cast<ilp::VarId>(graph.edges().size())),
-      lp_(model_) {}
+      presolve_(options.presolve ? ilp::Presolve::reduce(model_)
+                                 : std::nullopt),
+      lp_(presolve_ ? presolve_->reduced() : model_) {}
 
 namespace {
 
@@ -171,7 +173,22 @@ WcetResult IpetSystem::solve(
     result.status = ilp::SolveStatus::kIterationLimit;
     return result;
   }
-  const ilp::Solution solution = lp_.solve_ilp_with(obj);
+  ilp::Solution solution;
+  if (presolve_) {
+    // Solve in the reduced column space; postsolve restores the original
+    // objective value (fixed variables' contribution) and expands the
+    // solution vector so the edge-count extraction below is agnostic.
+    double constant = 0.0;
+    const std::vector<double> reduced_obj =
+        presolve_->map_objective(obj, constant);
+    solution = lp_.solve_ilp_with(reduced_obj);
+    if (solution.optimal()) {
+      solution.objective += constant;
+      solution.values = presolve_->expand_values(solution.values);
+    }
+  } else {
+    solution = lp_.solve_ilp_with(obj);
+  }
   result.status = solution.status;
   result.stats = solution.stats;
   if (!solution.optimal()) return result;

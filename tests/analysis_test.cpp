@@ -407,5 +407,132 @@ TEST(Persistence, BoundsChecked) {
   EXPECT_THROW(r.persistent(99, 0), InvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// SCC decomposition (the sparse fixpoint's driver structure)
+// ---------------------------------------------------------------------------
+
+// Nested loops give a graph with real (REST) cycles next to trivial nodes —
+// the shape every invariant below has to hold on.
+ir::Program nested_loop_program() {
+  IrBuilder b("scc");
+  b.for_range(R(1), 0, 5, [&] {
+    b.nops(2);
+    b.for_range(R(2), 0, 3, [&] { b.nop(); });
+  });
+  b.halt();
+  return b.take();
+}
+
+TEST(ContextGraph, SccNumberingIsCondensationTopological) {
+  const ContextGraph g(nested_loop_program());
+  ASSERT_GT(g.scc_count(), 0u);
+
+  // Every edge respects the condensation order; only back edges may close
+  // a cycle, and they must stay inside one SCC.
+  for (const CgEdge& e : g.edges()) {
+    EXPECT_LE(g.scc_of(e.from), g.scc_of(e.to));
+    if (e.back) EXPECT_EQ(g.scc_of(e.from), g.scc_of(e.to));
+  }
+
+  // scc_order/scc_begin partition the node set: each slice holds exactly
+  // the nodes of its SCC, sorted by topo position (the intra-SCC worklist
+  // priority), and every node appears exactly once.
+  ASSERT_EQ(g.scc_begin().size(), g.scc_count() + 1);
+  EXPECT_EQ(g.scc_begin().front(), 0u);
+  EXPECT_EQ(g.scc_begin().back(), g.num_nodes());
+  EXPECT_EQ(g.scc_order().size(), g.num_nodes());
+  std::set<NodeId> seen;
+  for (std::uint32_t s = 0; s < g.scc_count(); ++s) {
+    for (std::uint32_t i = g.scc_begin()[s]; i < g.scc_begin()[s + 1]; ++i) {
+      const NodeId v = g.scc_order()[i];
+      EXPECT_EQ(g.scc_of(v), s);
+      EXPECT_TRUE(seen.insert(v).second);
+      if (i > g.scc_begin()[s])
+        EXPECT_LT(g.topo_pos(g.scc_order()[i - 1]), g.topo_pos(v));
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes());
+
+  // scc_trivial iff single member without a self edge.
+  for (std::uint32_t s = 0; s < g.scc_count(); ++s) {
+    const std::uint32_t size = g.scc_begin()[s + 1] - g.scc_begin()[s];
+    if (g.scc_trivial(s)) EXPECT_EQ(size, 1u);
+  }
+
+  // A nested-bound-5/bound-3 loop nest must produce at least one
+  // non-trivial SCC (the REST instances), or the sparse driver would never
+  // exercise its local-iteration path here.
+  bool saw_cycle = false;
+  for (std::uint32_t s = 0; s < g.scc_count(); ++s)
+    saw_cycle |= !g.scc_trivial(s);
+  EXPECT_TRUE(saw_cycle);
+}
+
+TEST(ContextGraph, AcyclicGraphHasOnlyTrivialSccs) {
+  IrBuilder b("dag");
+  b.nops(2);
+  b.if_then_else(Cond::kEq, R(1), R(2), [&] { b.nop(); }, [&] { b.nops(2); });
+  b.halt();
+  const ContextGraph g(b.take());
+  EXPECT_EQ(g.scc_count(), g.num_nodes());
+  for (std::uint32_t s = 0; s < g.scc_count(); ++s)
+    EXPECT_TRUE(g.scc_trivial(s));
+  // With every SCC a singleton, condensation order degenerates to a strict
+  // topological order on nodes.
+  for (const CgEdge& e : g.edges())
+    EXPECT_LT(g.scc_of(e.from), g.scc_of(e.to));
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write abstract cache states (the hash-consing substrate)
+// ---------------------------------------------------------------------------
+
+TEST(AbstractCache, CopySharesStorageUntilFirstWrite) {
+  AbstractCache a(kConfig);
+  a.update_must(3);
+  a.update_may(7);
+
+  AbstractCache b = a;  // refcount bump, no clone
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+
+  b.update_must(11);  // detach: writer clones, reader keeps its payload
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_TRUE(b.must_contain(11));
+  EXPECT_FALSE(a.must_contain(11));
+  EXPECT_TRUE(a.must_contain(3));
+
+  // Divergent content shows up in the interner's key; re-equal content
+  // compares equal again even without shared storage.
+  EXPECT_NE(a, b);
+  AbstractCache c(kConfig);
+  c.update_must(3);
+  c.update_may(7);
+  EXPECT_FALSE(a.shares_storage_with(c));
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a.content_hash(), c.content_hash());
+}
+
+TEST(AbstractCache, SharedPayloadJoinIsIdentityFastPath) {
+  AbstractCache a(kConfig);
+  a.update_must(1);
+  a.update_must(2);
+  AbstractCache b = a;
+  // join(x, x) = x: the pointer fast path must report "unchanged" and must
+  // not detach either side.
+  EXPECT_FALSE(b.join_must_with(a));
+  EXPECT_FALSE(b.join_may_with(a));
+  EXPECT_TRUE(a.shares_storage_with(b));
+
+  // The same join through an equal-but-unshared state is still a no-op on
+  // content (lfp independence of sharing), just without the O(1) witness.
+  AbstractCache c(kConfig);
+  c.update_must(1);
+  c.update_must(2);
+  EXPECT_FALSE(b.join_must_with(c));
+  EXPECT_EQ(b, a);
+}
+
 }  // namespace
 }  // namespace ucp::analysis

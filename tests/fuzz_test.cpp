@@ -256,6 +256,46 @@ TEST(Campaign, DeterministicAcrossRunsAndTraceFlag) {
     EXPECT_EQ(a.verdicts[i].line(), b.verdicts[i].line()) << "case " << i;
 }
 
+TEST(Campaign, LargeScaleCaseIsLargeDeterministicAndClean) {
+  // The fuzz_smoke option: the final case's knobs are overridden to the
+  // scaling-bench recipe. It must dwarf every sampled-knob case, stay
+  // deterministic, and come back violation-free like any other case.
+  fault::disarm_all();
+  fuzz::CampaignOptions options = small_campaign();
+  options.large_scale = 10;
+  const fuzz::CampaignResult a = fuzz::run_campaign(options);
+  const fuzz::CampaignResult b = fuzz::run_campaign(options);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.unexplained, 0u);
+  ASSERT_EQ(a.verdicts.size(), options.cases);
+  const fuzz::CaseVerdict& large = a.verdicts.back();
+  EXPECT_FALSE(large.violated());
+  EXPECT_TRUE(large.pipeline_ok);
+
+  // Pin the override recipe by regenerating the designated case outside
+  // the campaign: same seed split, scaling-bench knobs. The program must
+  // be statically large — the sampled knobs never approach 240 blocks.
+  const std::uint64_t case_seed =
+      split_seed(options.seed, options.cases - 1);
+  Rng knob_rng(split_seed(case_seed, 0));
+  gen::GenKnobs knobs = gen::sample_knobs(knob_rng);
+  knobs.target_blocks = 24 * options.large_scale;
+  knobs.max_loop_depth = 2;
+  knobs.working_set_words = 1024;
+  const ir::Program large_program =
+      gen::generate_program(split_seed(case_seed, 1), knobs);
+  EXPECT_GE(large_program.num_blocks(), 150u);
+
+  // Only the designated case changes relative to a plain campaign: the
+  // override draws nothing from the sampled streams.
+  fuzz::CampaignOptions plain = small_campaign();
+  const fuzz::CampaignResult base = fuzz::run_campaign(plain);
+  ASSERT_EQ(base.verdicts.size(), a.verdicts.size());
+  for (std::size_t i = 0; i + 1 < a.verdicts.size(); ++i)
+    EXPECT_EQ(a.verdicts[i].line(), base.verdicts[i].line()) << "case " << i;
+  EXPECT_NE(large.line(), base.verdicts.back().line());
+}
+
 TEST(Campaign, VerdictLinesParseBack) {
   fault::disarm_all();
   const fuzz::CampaignResult r = fuzz::run_campaign(small_campaign());
