@@ -1,0 +1,345 @@
+// bench_serve_load: closed-loop load generator for the ucpd service layer.
+//
+// Starts an in-process Server (same code path as the ucpd binary, minus
+// fork/exec noise) and drives it from N concurrent client threads, each
+// looping over a fixed request mix — real suite programs across both paper
+// cache configurations and both technology nodes. Every level runs an
+// unmeasured warmup pass first (populates the response and IPET caches the
+// way a long-running daemon would be warm), then a timed phase; client-side
+// latency of every request lands in the percentile table.
+//
+// Sustained req/s and p50/p90/p99 latency per concurrency level go to
+// BENCH_serve.json. With --trace/--metrics the server's serve.* spans and
+// counters (serve.request, serve.request_us, serve.cache_hits, ...) are
+// written alongside — the bench doubles as the observability check for the
+// service layer.
+//
+//   --fast           1s per level, levels 1 and 4 only
+//   --levels=a,b,c   concurrency levels (default 1,2,4,8)
+//   --seconds=N      timed-phase length per level (default 3)
+//   --json=FILE      output path (default BENCH_serve.json)
+//   --trace=FILE / --metrics=FILE / --profile   as in every bench
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/config.hpp"
+#include "energy/model.hpp"
+#include "ir/text_codec.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "suite/suite.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  bool fast = false;
+  bool profile = false;
+  double seconds = 3.0;
+  std::vector<unsigned> levels{1, 2, 4, 8};
+  std::string json_path = "BENCH_serve.json";
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--fast") {
+      args.fast = true;
+    } else if (a == "--profile") {
+      args.profile = true;
+    } else if (a.rfind("--seconds=", 0) == 0) {
+      args.seconds = std::stod(a.substr(10));
+    } else if (a.rfind("--levels=", 0) == 0) {
+      args.levels.clear();
+      std::stringstream ss(a.substr(9));
+      std::string item;
+      while (std::getline(ss, item, ','))
+        args.levels.push_back(static_cast<unsigned>(std::stoul(item)));
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.json_path = a.substr(7);
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args.trace_path = a.substr(8);
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      args.metrics_path = a.substr(10);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n"
+                << "usage: " << argv[0]
+                << " [--fast] [--levels=1,2,4] [--seconds=N] [--json=FILE]"
+                   " [--trace=FILE] [--metrics=FILE] [--profile]\n";
+      std::exit(2);
+    }
+  }
+  if (args.fast) {
+    args.seconds = 1.0;
+    args.levels = {1, 4};
+  }
+  return args;
+}
+
+/// The request mix: a spread of suite programs across both paper cache
+/// configurations and both technology nodes. Small enough that the warm
+/// response cache converges within one warmup pass, varied enough that the
+/// IPET cache sees distinct topologies.
+std::vector<ucp::serve::Request> build_mix() {
+  using namespace ucp;
+  static const char* kPrograms[] = {"bs",     "fibcall", "crc",
+                                    "matmult", "fdct",    "jfdctint"};
+  std::vector<serve::Request> mix;
+  for (const char* name : kPrograms) {
+    const std::string text = ir::to_text(suite::build_benchmark(name));
+    for (const char* config : {"k1", "k2"}) {
+      serve::Request r;
+      r.config_id = config;
+      r.config = cache::paper_cache_config(config).config;
+      r.tech = config[1] == '1' ? energy::TechNode::k45nm
+                                : energy::TechNode::k32nm;
+      r.program_text = text;
+      mix.push_back(std::move(r));
+    }
+  }
+  return mix;
+}
+
+struct LevelResult {
+  unsigned concurrency = 0;
+  bool cold = false;  ///< unique fingerprints: every request runs the pipeline
+  std::uint64_t requests = 0;           ///< completed in the timed phase
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t errors = 0;             ///< served error responses
+  std::uint64_t transport_failures = 0; ///< no response at all
+  double elapsed_s = 0.0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  ucp::serve::ServerStats stats;        ///< server-side delta for the phase
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+ucp::serve::ServerStats stats_delta(const ucp::serve::ServerStats& a,
+                                    const ucp::serve::ServerStats& b) {
+  ucp::serve::ServerStats d;
+  d.accepted = b.accepted - a.accepted;
+  d.shed = b.shed - a.shed;
+  d.requests = b.requests - a.requests;
+  d.malformed = b.malformed - a.malformed;
+  d.dropped = b.dropped - a.dropped;
+  d.ok = b.ok - a.ok;
+  d.degraded = b.degraded - a.degraded;
+  d.errors = b.errors - a.errors;
+  d.cache_hits = b.cache_hits - a.cache_hits;
+  d.replayed = b.replayed - a.replayed;
+  d.retried = b.retried - a.retried;
+  return d;
+}
+
+/// One timed phase. Warm (`cold` false): the fixed mix, response-cache-hit
+/// dominated after warmup — the service-layer overhead floor. Cold (`cold`
+/// true): every request carries a unique deadline, so every fingerprint is
+/// fresh and every request runs the full analyze→optimize→audit pipeline
+/// (the IPET cache still shares topology work, as a warm daemon would).
+LevelResult run_level(ucp::serve::Server& server, unsigned concurrency,
+                      double seconds, bool cold,
+                      const std::vector<ucp::serve::Request>& mix,
+                      std::uint64_t& id_counter) {
+  using namespace ucp;
+  const std::uint16_t port = server.port();
+
+  // Warmup: one full pass over the mix, unmeasured, so the timed phase
+  // sees the caches a long-running daemon would have.
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    serve::Request r = mix[i];
+    r.id = "warm-" + std::to_string(id_counter++);
+    const auto response = serve::call(port, r);
+    if (!response.ok()) {
+      std::cerr << "[serve] warmup transport failure: "
+                << response.status().message() << "\n";
+      std::exit(1);
+    }
+    if (response->status == serve::ResponseStatus::kError) {
+      std::cerr << "[serve] warmup request " << i << " failed ("
+                << r.config_id << ", " << error_code_name(response->code)
+                << "): " << response->detail << "\n";
+      std::exit(1);
+    }
+  }
+
+  const serve::ServerStats before = server.stats();
+  std::atomic<std::uint64_t> next_id{id_counter};
+  std::atomic<bool> running{true};
+  std::vector<std::vector<double>> latencies(concurrency);
+  std::vector<std::uint64_t> oks(concurrency, 0), degradeds(concurrency, 0),
+      errors(concurrency, 0), transport(concurrency, 0);
+
+  auto client = [&](unsigned me) {
+    std::vector<double>& mine = latencies[me];
+    std::size_t cursor = me % mix.size();
+    while (running.load(std::memory_order_relaxed)) {
+      serve::Request r = mix[cursor];
+      cursor = (cursor + 1) % mix.size();
+      const std::uint64_t id =
+          next_id.fetch_add(1, std::memory_order_relaxed);
+      r.id = "load-" + std::to_string(id);
+      // A unique deadline is a semantic field: it forces a fresh
+      // fingerprint, so the response cache can never answer.
+      if (cold)
+        r.deadline_ms = static_cast<std::uint32_t>(60000 + id % 1000000);
+      const auto started = Clock::now();
+      const auto response = serve::call(port, r);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - started)
+              .count();
+      if (!response.ok()) {
+        ++transport[me];
+        continue;
+      }
+      mine.push_back(ms);
+      switch (response->status) {
+        case serve::ResponseStatus::kOk:
+          ++oks[me];
+          break;
+        case serve::ResponseStatus::kDegraded:
+          ++degradeds[me];
+          break;
+        case serve::ResponseStatus::kError:
+          ++errors[me];
+          break;
+      }
+    }
+  };
+
+  const auto phase_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(concurrency);
+  for (unsigned i = 0; i < concurrency; ++i) threads.emplace_back(client, i);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  running.store(false, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - phase_start).count();
+  id_counter = next_id.load();
+
+  LevelResult r;
+  r.concurrency = concurrency;
+  r.cold = cold;
+  r.elapsed_s = elapsed;
+  std::vector<double> all;
+  for (unsigned i = 0; i < concurrency; ++i) {
+    all.insert(all.end(), latencies[i].begin(), latencies[i].end());
+    r.ok += oks[i];
+    r.degraded += degradeds[i];
+    r.errors += errors[i];
+    r.transport_failures += transport[i];
+  }
+  std::sort(all.begin(), all.end());
+  r.requests = all.size();
+  r.rps = elapsed > 0 ? static_cast<double>(r.requests) / elapsed : 0.0;
+  r.p50_ms = percentile(all, 0.50);
+  r.p90_ms = percentile(all, 0.90);
+  r.p99_ms = percentile(all, 0.99);
+  r.max_ms = all.empty() ? 0.0 : all.back();
+  r.stats = stats_delta(before, server.stats());
+  return r;
+}
+
+void write_json(const std::string& path, double seconds,
+                const std::vector<LevelResult>& levels) {
+  std::ofstream os(path, std::ios::trunc);
+  os.precision(6);
+  os << "{\n  \"bench\": \"serve_load\",\n  \"seconds_per_level\": "
+     << seconds << ",\n  \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& r = levels[i];
+    os << "    {\"concurrency\": " << r.concurrency
+       << ", \"mode\": \"" << (r.cold ? "cold" : "warm") << "\""
+       << ", \"requests\": " << r.requests
+       << ", \"sustained_rps\": " << r.rps
+       << ", \"p50_ms\": " << r.p50_ms << ", \"p90_ms\": " << r.p90_ms
+       << ", \"p99_ms\": " << r.p99_ms << ", \"max_ms\": " << r.max_ms
+       << ",\n     \"ok\": " << r.ok << ", \"degraded\": " << r.degraded
+       << ", \"errors\": " << r.errors
+       << ", \"transport_failures\": " << r.transport_failures
+       << ", \"cache_hits\": " << r.stats.cache_hits
+       << ", \"shed\": " << r.stats.shed
+       << ", \"retried\": " << r.stats.retried << "}"
+       << (i + 1 < levels.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  if (!os) {
+    std::cerr << "[serve] failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::cerr << "[serve] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ucp;
+  const Args args = parse_args(argc, argv);
+  bench::ObsSession obs(args.trace_path, args.metrics_path, args.profile);
+
+  serve::ServerOptions options;
+  options.workers = *std::max_element(args.levels.begin(), args.levels.end());
+  options.queue_capacity = 2 * options.workers;
+  serve::Server server(options);
+  const Status started = server.start();
+  if (!started.ok()) {
+    std::cerr << "[serve] failed to start: " << started.message() << "\n";
+    return 1;
+  }
+
+  const std::vector<serve::Request> mix = build_mix();
+  std::uint64_t id_counter = 0;
+  std::vector<LevelResult> results;
+  std::printf("%-12s %5s %10s %10s %9s %9s %9s %9s\n", "concurrency",
+              "mode", "requests", "req/s", "p50 ms", "p90 ms", "p99 ms",
+              "max ms");
+  for (unsigned level : args.levels) {
+    for (const bool cold : {false, true}) {
+      LevelResult r =
+          run_level(server, level, args.seconds, cold, mix, id_counter);
+      std::printf("%-12u %5s %10llu %10.1f %9.3f %9.3f %9.3f %9.3f\n",
+                  r.concurrency, cold ? "cold" : "warm",
+                  static_cast<unsigned long long>(r.requests), r.rps,
+                  r.p50_ms, r.p90_ms, r.p99_ms, r.max_ms);
+      if (r.transport_failures > 0 || r.errors > 0 ||
+          r.stats.malformed > 0) {
+        std::cerr << "[serve] FAIL: level " << level << " saw "
+                  << r.transport_failures << " transport failures, "
+                  << r.errors << " error responses, " << r.stats.malformed
+                  << " malformed counts on a valid-only workload\n";
+        return 1;
+      }
+      results.push_back(std::move(r));
+    }
+  }
+  server.stop();
+
+  write_json(args.json_path, args.seconds, results);
+  return 0;
+}

@@ -331,10 +331,17 @@ int run_merge_mode(const Args& args) {
   Args unsharded = args;
   unsharded.shard_index = 0;
   unsharded.shard_count = 1;
-  Expected<exp::JournalMerge> merged = exp::merge_sweep_journals(
-      args.merge_inputs, sweep_options(unsharded), args.merge_out);
+  exp::MergeDiagnostic diagnostic;
+  Expected<exp::JournalMerge> merged =
+      exp::merge_sweep_journals(args.merge_inputs, sweep_options(unsharded),
+                                args.merge_out, &diagnostic);
   if (!merged.ok()) {
     std::cerr << "[merge] FAIL: " << merged.status().message() << "\n";
+    std::cerr << "[merge] reason=" << exp::merge_reason_name(diagnostic.reason);
+    if (!diagnostic.file.empty())
+      std::cerr << " file=" << diagnostic.file;
+    if (diagnostic.has_row) std::cerr << " row=" << diagnostic.row_index;
+    std::cerr << "\n";
     return 1;
   }
 

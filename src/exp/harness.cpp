@@ -222,7 +222,12 @@ std::vector<UseCaseResult> run_use_case_group(
     const cache::NamedCacheConfig& config,
     const std::vector<energy::TechNode>& techs,
     const core::OptimizerOptions& options, StageTimings* timings,
-    const wcet::IpetSystem* shared_ipet, bool audit_soundness) {
+    const wcet::IpetSystem* shared_ipet, bool audit_soundness,
+    ir::Program* optimized_out) {
+  // Identity transform until a group completes: every early-out path below
+  // (failed baseline, rejected optimization, audit demotion) vouches for
+  // the input program, which is trivially Theorem-1 sound.
+  if (optimized_out) *optimized_out = program;
   std::vector<UseCaseResult> out(techs.size());
   for (std::size_t i = 0; i < techs.size(); ++i) {
     out[i].program = program_name;
@@ -404,6 +409,10 @@ std::vector<UseCaseResult> run_use_case_group(
                               audit.detail);
       }
     }
+
+    if (optimized_out &&
+        out[members.front()].outcome == CaseOutcome::kCompleted)
+      *optimized_out = opt.program;
   }
   return out;
 }

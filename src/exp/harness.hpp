@@ -158,6 +158,12 @@ struct StageTimings {
 /// Rows are bit-identical to calling `run_use_case` per tech, because
 /// every shared quantity depends on the tech node only through the derived
 /// timing. Results are ordered like `techs`.
+///
+/// `optimized_out`, when non-null, receives the program this call vouches
+/// for: the optimizer's output when the case completed, the input program
+/// (identity transform) otherwise — per timing group, so single-tech
+/// callers (ucpd serves one (config, tech) per request) get exactly their
+/// case's binary. The sweep passes nullptr; rows never carry programs.
 std::vector<UseCaseResult> run_use_case_group(
     const ir::Program& program, const std::string& program_name,
     const cache::NamedCacheConfig& config,
@@ -165,7 +171,8 @@ std::vector<UseCaseResult> run_use_case_group(
     const core::OptimizerOptions& options = {},
     StageTimings* timings = nullptr,
     const wcet::IpetSystem* shared_ipet = nullptr,
-    bool audit_soundness = false);
+    bool audit_soundness = false,
+    ir::Program* optimized_out = nullptr);
 
 /// The full evaluation grid of the paper: every suite program × the 36
 /// configurations of Table 2 × {45nm, 32nm} = 2664 use cases (or a subset

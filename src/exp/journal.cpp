@@ -501,9 +501,31 @@ bool parse_merge_header(const std::string& line, std::string& grid_fp,
 
 }  // namespace
 
+const char* merge_reason_name(MergeDiagnostic::Reason reason) {
+  switch (reason) {
+    case MergeDiagnostic::Reason::kNone: return "none";
+    case MergeDiagnostic::Reason::kMissingFile: return "missing-file";
+    case MergeDiagnostic::Reason::kBadHeader: return "bad-header";
+    case MergeDiagnostic::Reason::kGridMismatch: return "grid-mismatch";
+    case MergeDiagnostic::Reason::kSelectionMismatch:
+      return "selection-mismatch";
+    case MergeDiagnostic::Reason::kShardCountMismatch:
+      return "shard-count-mismatch";
+    case MergeDiagnostic::Reason::kDuplicateShard: return "duplicate-shard";
+    case MergeDiagnostic::Reason::kChecksum: return "checksum";
+    case MergeDiagnostic::Reason::kForeignRow: return "foreign-row";
+    case MergeDiagnostic::Reason::kWrongShard: return "wrong-shard";
+    case MergeDiagnostic::Reason::kDivergent: return "divergent";
+    case MergeDiagnostic::Reason::kMissingShard: return "missing-shard";
+    case MergeDiagnostic::Reason::kGap: return "gap";
+  }
+  return "unknown";
+}
+
 Expected<JournalMerge> merge_sweep_journals(
     const std::vector<std::string>& inputs, const SweepOptions& options,
-    const std::string& output_path) {
+    const std::string& output_path, MergeDiagnostic* diagnostic) {
+  if (diagnostic) *diagnostic = MergeDiagnostic{};
   if (inputs.empty())
     return Status(ErrorCode::kInternal, "no journals to merge");
 
@@ -526,42 +548,81 @@ Expected<JournalMerge> merge_sweep_journals(
   std::vector<bool> have(plan.result_rows, false);
   std::vector<bool> shard_seen;
 
+  // Every rejection funnels through `fail`: the Status keeps the
+  // human-readable sentence, the optional MergeDiagnostic records the same
+  // rejection as (reason, file, row) so callers need not parse prose.
+  auto fail = [&](MergeDiagnostic::Reason reason, const std::string& file,
+                  const std::string& why, ErrorCode code =
+                      ErrorCode::kCorruptCache) {
+    const std::string message =
+        file.empty() ? why : "journal '" + file + "': " + why;
+    if (diagnostic) {
+      diagnostic->reason = reason;
+      diagnostic->file = file;
+      diagnostic->detail = message;
+    }
+    return Status(code, message);
+  };
+
   for (const std::string& path : inputs) {
     std::ifstream is(path, std::ios::binary);
-    if (!is)
-      return Status(ErrorCode::kNotFound, "cannot open journal '" + path +
-                                              "' for merge");
-    auto reject = [&](const std::string& why) {
-      return Status(ErrorCode::kCorruptCache,
-                    "journal '" + path + "': " + why);
+    if (!is) {
+      if (diagnostic) {
+        diagnostic->reason = MergeDiagnostic::Reason::kMissingFile;
+        diagnostic->file = path;
+        diagnostic->detail = "cannot open journal '" + path + "' for merge";
+      }
+      return Status(ErrorCode::kNotFound,
+                    "cannot open journal '" + path + "' for merge");
+    }
+    auto reject = [&](MergeDiagnostic::Reason reason, const std::string& why) {
+      return fail(reason, path, why);
     };
+    auto reject_row = [&](MergeDiagnostic::Reason reason, std::size_t index,
+                          const std::string& why) {
+      const Status status = fail(reason, path, why);
+      if (diagnostic) {
+        diagnostic->row_index = index;
+        diagnostic->has_row = true;
+      }
+      return status;
+    };
+    using Reason = MergeDiagnostic::Reason;
     std::string line;
-    if (!std::getline(is, line)) return reject("empty file");
+    if (!std::getline(is, line))
+      return reject(Reason::kBadHeader, "empty file");
     std::string got_grid, got_sel;
     std::uint64_t shard_index = 0, shard_count = 1;
     if (!parse_merge_header(line, got_grid, got_sel, shard_index,
                             shard_count))
-      return reject("not a v" + std::to_string(kJournalVersion) +
-                    " sweep journal header: '" + line + "'");
+      return reject(Reason::kBadHeader,
+                    "not a v" + std::to_string(kJournalVersion) +
+                        " sweep journal header: '" + line + "'");
     if (got_grid != grid_fp)
-      return reject("grid fingerprint mismatch (journal " + got_grid +
-                    ", sweep " + grid_fp + ")");
+      return reject(Reason::kGridMismatch,
+                    "grid fingerprint mismatch (journal " + got_grid +
+                        ", sweep " + grid_fp + ")");
     if (got_sel != sel_fp)
-      return reject("selection fingerprint mismatch (journal " + got_sel +
-                    ", sweep " + sel_fp + ")");
+      return reject(Reason::kSelectionMismatch,
+                    "selection fingerprint mismatch (journal " + got_sel +
+                        ", sweep " + sel_fp + ")");
     if (shard_seen.empty()) {
       merge.shard_count = static_cast<std::uint32_t>(shard_count);
       shard_seen.assign(static_cast<std::size_t>(shard_count), false);
     } else if (shard_count != shard_seen.size()) {
-      return reject("shard count mismatch (declares " +
-                    std::to_string(shard_count) + " shards, earlier input " +
-                    std::to_string(shard_seen.size()) + ")");
+      return reject(Reason::kShardCountMismatch,
+                    "shard count mismatch (declares " +
+                        std::to_string(shard_count) +
+                        " shards, earlier input " +
+                        std::to_string(shard_seen.size()) + ")");
     }
     if (shard_seen[static_cast<std::size_t>(shard_index)])
-      return reject("duplicate shard " + std::to_string(shard_index) + "/" +
-                    std::to_string(shard_count));
+      return reject(Reason::kDuplicateShard,
+                    "duplicate shard " + std::to_string(shard_index) + "/" +
+                        std::to_string(shard_count));
     shard_seen[static_cast<std::size_t>(shard_index)] = true;
 
+    std::size_t rows_read = 0;
     while (std::getline(is, line)) {
       if (line.empty() || line[0] == '#') continue;  // annotations
       std::size_t index = 0;
@@ -569,30 +630,39 @@ Expected<JournalMerge> merge_sweep_journals(
       if (!SweepJournal::parse_journal_row(line, index, r))
         // A torn tail is legal in a crashed journal, but a *merge* needs
         // every row; fail loudly rather than silently dropping the tail.
-        return reject("invalid or torn row (merge requires complete shard "
-                      "journals; re-run the shard to completion)");
+        // Report the 0-based position of the bad row within this file's
+        // data rows — its grid index is unknowable when the row is torn.
+        return reject_row(
+            Reason::kChecksum, rows_read,
+            "invalid or torn row (merge requires complete shard "
+            "journals; re-run the shard to completion)");
+      ++rows_read;
       if (index >= plan.result_rows)
-        return reject("row index " + std::to_string(index) +
-                      " outside the sweep grid");
+        return reject_row(Reason::kForeignRow, index,
+                          "row index " + std::to_string(index) +
+                              " outside the sweep grid");
       const std::size_t t = index / options.techs.size();
       const std::size_t k = index % options.techs.size();
       if (r.program != plan.names[plan.tasks[t].program] ||
           r.config_id != configs[plan.tasks[t].config].id ||
           r.tech != options.techs[k])
-        return reject("row " + std::to_string(index) +
-                      " does not match the sweep grid");
+        return reject_row(Reason::kForeignRow, index,
+                          "row " + std::to_string(index) +
+                              " does not match the sweep grid");
       if (SweepPlan::shard_of(schedule_pos[t], merge.shard_count) !=
           shard_index)
-        return reject("row " + std::to_string(index) +
-                      " is not owned by shard " +
-                      std::to_string(shard_index) + "/" +
-                      std::to_string(shard_count));
+        return reject_row(Reason::kWrongShard, index,
+                          "row " + std::to_string(index) +
+                              " is not owned by shard " +
+                              std::to_string(shard_index) + "/" +
+                              std::to_string(shard_count));
       if (have[index]) {
         // Within one shard a task may be re-appended after a torn tail;
         // identical content is harmless, divergence is corruption.
         if (row_line[index] != line)
-          return reject("row " + std::to_string(index) +
-                        " appears twice with divergent content");
+          return reject_row(Reason::kDivergent, index,
+                            "row " + std::to_string(index) +
+                                " appears twice with divergent content");
         continue;
       }
       merge.results[index] = std::move(r);
@@ -603,10 +673,10 @@ Expected<JournalMerge> merge_sweep_journals(
 
   for (std::size_t s = 0; s < shard_seen.size(); ++s)
     if (!shard_seen[s])
-      return Status(ErrorCode::kCorruptCache,
-                    "shard " + std::to_string(s) + "/" +
-                        std::to_string(shard_seen.size()) +
-                        " is missing from the merge inputs");
+      return fail(MergeDiagnostic::Reason::kMissingShard, "",
+                  "shard " + std::to_string(s) + "/" +
+                      std::to_string(shard_seen.size()) +
+                      " is missing from the merge inputs");
   std::size_t missing = 0;
   std::size_t first_missing = plan.result_rows;
   for (std::size_t i = 0; i < have.size(); ++i) {
@@ -614,12 +684,19 @@ Expected<JournalMerge> merge_sweep_journals(
     ++missing;
     first_missing = std::min(first_missing, i);
   }
-  if (missing > 0)
-    return Status(ErrorCode::kCorruptCache,
-                  std::to_string(missing) +
-                      " grid rows missing from the merge inputs (first: row " +
-                      std::to_string(first_missing) +
-                      ") — every shard must have run to completion");
+  if (missing > 0) {
+    const Status status =
+        fail(MergeDiagnostic::Reason::kGap, "",
+             std::to_string(missing) +
+                 " grid rows missing from the merge inputs (first: row " +
+                 std::to_string(first_missing) +
+                 ") — every shard must have run to completion");
+    if (diagnostic) {
+      diagnostic->row_index = first_missing;
+      diagnostic->has_row = true;
+    }
+    return status;
+  }
 
   merge.fingerprint = sweep_results_fingerprint(merge.results);
 

@@ -119,6 +119,36 @@ struct JournalMerge {
   std::string fingerprint;             ///< re-derived global sweep fingerprint
 };
 
+/// Structured report of why a journal merge was rejected. The Status message
+/// stays the human-readable sentence; this records the same rejection as
+/// machine-checkable fields so callers (and the `--merge-journals` CLI) can
+/// point at the offending file and row instead of re-parsing prose.
+struct MergeDiagnostic {
+  enum class Reason {
+    kNone = 0,        ///< merge succeeded (or failed before any input)
+    kMissingFile,     ///< input journal could not be opened
+    kBadHeader,       ///< empty file or unparseable/old-version header
+    kGridMismatch,    ///< header grid fingerprint != this build's grid
+    kSelectionMismatch,  ///< header selection fingerprint != sweep options
+    kShardCountMismatch,  ///< inputs disagree on the shard count N
+    kDuplicateShard,  ///< two inputs claim the same shard slot
+    kChecksum,        ///< invalid or torn row (checksum/format failure)
+    kForeignRow,      ///< row index outside the grid or content not matching it
+    kWrongShard,      ///< row not owned by the shard that journaled it
+    kDivergent,       ///< same row index appears twice with different bytes
+    kMissingShard,    ///< a shard slot has no input journal
+    kGap,             ///< grid rows missing after all inputs were consumed
+  };
+  Reason reason = Reason::kNone;
+  std::string file;        ///< offending input path ("" for kMissingShard/kGap)
+  std::size_t row_index = 0;  ///< grid row index for row-level reasons, else 0
+  bool has_row = false;    ///< whether row_index is meaningful
+  std::string detail;      ///< the human-readable sentence from the Status
+};
+
+/// Stable lowercase name for a MergeDiagnostic::Reason ("checksum", "gap", ...).
+const char* merge_reason_name(MergeDiagnostic::Reason reason);
+
 /// Merges the journals of a complete set of `--shard i/N` runs of the sweep
 /// described by `options` (shard fields ignored). Validates that every
 /// input carries the sweep's grid + selection fingerprints and a distinct
@@ -128,9 +158,11 @@ struct JournalMerge {
 /// success, when `output_path` is non-empty, writes a merged journal there
 /// (durably: temp + fsync + rename) that is byte-identical to the journal
 /// an unsharded run would have produced — same header, same rows, same
-/// deterministic schedule order.
+/// deterministic schedule order. On rejection, when `diagnostic` is
+/// non-null, it is filled with the structured reason alongside the Status.
 Expected<JournalMerge> merge_sweep_journals(
     const std::vector<std::string>& inputs, const SweepOptions& options,
-    const std::string& output_path);
+    const std::string& output_path,
+    MergeDiagnostic* diagnostic = nullptr);
 
 }  // namespace ucp::exp

@@ -191,10 +191,28 @@ std::uint8_t parse_reg(const std::string& w, std::size_t line_no) {
   for (std::size_t i = 1; i < w.size(); ++i)
     if (w[i] < '0' || w[i] > '9')
       parse_error(line_no, "expected register, got '" + w + "'");
+  // Length-capped before conversion: "r99999999999999999999" must be a
+  // parse error, not a std::out_of_range escaping from std::stol.
+  if (w.size() > 4)
+    parse_error(line_no, "register out of range '" + w + "'");
   const long v = std::stol(w.substr(1));
   if (v < 0 || v > 255)
     parse_error(line_no, "register out of range '" + w + "'");
   return static_cast<std::uint8_t>(v);
+}
+
+/// Strict digits-only uint32 parse: full consume, explicit range check, no
+/// exception can escape (std::stoul on a 30-digit string would throw
+/// std::out_of_range past the old catch handlers' expectations).
+std::uint32_t parse_index_word(const std::string& w, std::size_t line_no,
+                               const char* what) {
+  if (w.empty() || w.size() > 10 ||
+      w.find_first_not_of("0123456789") != std::string::npos)
+    parse_error(line_no, std::string("bad ") + what + " '" + w + "'");
+  const std::uint64_t v = std::stoull(w);
+  if (v > UINT32_MAX)
+    parse_error(line_no, std::string(what) + " out of range '" + w + "'");
+  return static_cast<std::uint32_t>(v);
 }
 
 Cond parse_cond(const std::string& w, std::size_t line_no) {
@@ -204,12 +222,18 @@ Cond parse_cond(const std::string& w, std::size_t line_no) {
   return it->second;
 }
 
-}  // namespace
-
-Program from_text(const std::string& text) {
+/// The parser proper. Throws InvalidArgument on malformed input; every
+/// count an attacker controls is checked against `limits` *before* it
+/// drives an allocation or a loop.
+Program parse_program(const std::string& text, const CodecLimits& limits) {
+  if (text.size() > limits.max_bytes)
+    throw InvalidArgument("program text: " + std::to_string(text.size()) +
+                          " bytes exceeds the " +
+                          std::to_string(limits.max_bytes) + "-byte limit");
   std::istringstream is(text);
   std::string line;
   std::size_t line_no = 0;
+  std::size_t instr_count = 0;
 
   Program program("");
   bool seen_program = false;
@@ -224,6 +248,10 @@ Program from_text(const std::string& text) {
 
   while (std::getline(is, line)) {
     ++line_no;
+    if (line_no > limits.max_lines)
+      parse_error(line_no, "input exceeds the " +
+                               std::to_string(limits.max_lines) +
+                               "-line limit");
     if (data_words_left > 0) {
       std::istringstream ws(line);
       std::string w;
@@ -243,11 +271,27 @@ Program from_text(const std::string& text) {
     std::istringstream head(line);
     std::string kw;
     if (!(head >> kw)) continue;  // blank line
-    if (kw[0] == '#') continue;   // comment
+    if (kw[0] == '#') {
+      // Comments are skipped — except the magic header, which is
+      // version-checked so a future-format program fails loudly here
+      // instead of half-parsing into something subtly wrong.
+      std::string comment = line.substr(line.find('#') + 1);
+      const std::size_t start = comment.find_first_not_of(" \t");
+      comment = start == std::string::npos ? "" : comment.substr(start);
+      if (comment.rfind("ucp-program", 0) == 0 && comment != kMagic)
+        parse_error(line_no, "unsupported program format '" + comment +
+                                 "' (this build reads '" +
+                                 std::string(kMagic) + "')");
+      continue;
+    }
 
     if (kw == "program") {
       std::string name;
       if (!(head >> name)) parse_error(line_no, "missing program name");
+      if (name.size() > limits.max_name_bytes)
+        parse_error(line_no, "program name exceeds " +
+                                 std::to_string(limits.max_name_bytes) +
+                                 " bytes");
       program = Program(name);
       seen_program = true;
     } else if (kw == "entry") {
@@ -259,11 +303,22 @@ Program from_text(const std::string& text) {
       const std::uint32_t header = t.index("loop header id");
       const std::uint32_t bound = t.index("loop bound");
       t.expect_done();
+      if (loop_bounds.size() >= limits.max_loop_bounds)
+        parse_error(line_no, "more than " +
+                                 std::to_string(limits.max_loop_bounds) +
+                                 " loop bounds");
       loop_bounds[header] = bound;
     } else if (kw == "data") {
       LineTokens t(line.substr(line.find(kw) + kw.size()), line_no);
       data_words_left = t.index("data word count");
       t.expect_done();
+      // Cap before the reserve: the declared count is attacker-chosen and
+      // must never size an allocation past the limit.
+      if (data_words_left > limits.max_data_words)
+        parse_error(line_no, "data section declares " +
+                                 std::to_string(data_words_left) +
+                                 " words (limit " +
+                                 std::to_string(limits.max_data_words) + ")");
       data.reserve(data_words_left);
     } else if (kw == "block") {
       if (!seen_program) parse_error(line_no, "block before program header");
@@ -271,6 +326,14 @@ Program from_text(const std::string& text) {
       const std::uint32_t id = t.index("block id");
       std::string label = t.word("block label");
       t.expect_done();
+      if (program.num_blocks() >= limits.max_blocks)
+        parse_error(line_no, "more than " +
+                                 std::to_string(limits.max_blocks) +
+                                 " blocks");
+      if (label.size() > limits.max_name_bytes)
+        parse_error(line_no, "block label exceeds " +
+                                 std::to_string(limits.max_name_bytes) +
+                                 " bytes");
       const BlockId got = program.add_block(label);
       if (got != id)
         parse_error(line_no, "block ids must be sequential: expected block " +
@@ -287,12 +350,12 @@ Program from_text(const std::string& text) {
       t >> skip;
       std::string w;
       while (t >> w) {
-        try {
-          program.block(current).succs.push_back(
-              static_cast<BlockId>(std::stoul(w)));
-        } catch (const std::exception&) {
-          parse_error(line_no, "bad successor id '" + w + "'");
-        }
+        if (program.block(current).succs.size() >= limits.max_succs)
+          parse_error(line_no, "more than " +
+                                   std::to_string(limits.max_succs) +
+                                   " successors");
+        program.block(current).succs.push_back(
+            parse_index_word(w, line_no, "successor id"));
       }
       current_has_succs = true;
     } else {
@@ -358,15 +421,17 @@ Program from_text(const std::string& text) {
           const std::string w = t.word("prefetch target");
           if (w.size() < 2 || w[0] != '#')
             parse_error(line_no, "expected #<instr>, got '" + w + "'");
-          try {
-            in.pf_target = static_cast<InstrId>(std::stoul(w.substr(1)));
-          } catch (const std::exception&) {
-            parse_error(line_no, "bad prefetch target '" + w + "'");
-          }
+          in.pf_target = static_cast<InstrId>(
+              parse_index_word(w.substr(1), line_no, "prefetch target"));
           break;
         }
       }
       t.expect_done();
+      if (instr_count >= limits.max_instructions)
+        parse_error(line_no, "more than " +
+                                 std::to_string(limits.max_instructions) +
+                                 " instructions");
+      ++instr_count;
       program.append(current, in);
     }
   }
@@ -390,6 +455,28 @@ Program from_text(const std::string& text) {
   }
   if (!data.empty()) program.set_data(std::move(data));
   return program;
+}
+
+}  // namespace
+
+Program from_text(const std::string& text) {
+  return parse_program(text, CodecLimits{});
+}
+
+Expected<Program> from_text_checked(const std::string& text,
+                                    const CodecLimits& limits) {
+  try {
+    return parse_program(text, limits);
+  } catch (const std::exception& e) {
+    // Every malformed-input path throws InvalidArgument with the line
+    // number baked in; the blanket catch is the containment backstop that
+    // turns *any* residual parser escape into a structured error instead
+    // of letting an untrusted payload unwind a daemon worker.
+    return Status(ErrorCode::kMalformedInput, e.what());
+  } catch (...) {
+    return Status(ErrorCode::kMalformedInput,
+                  "program text: non-standard parser exception");
+  }
 }
 
 }  // namespace ucp::ir

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "ir/program.hpp"
+#include "support/status.hpp"
 
 namespace ucp::ir {
 
@@ -20,5 +22,31 @@ std::string to_text(const Program& program);
 /// `ir::verify`; corpus loaders verify explicitly so a malformed repro is
 /// reported as a corpus problem, not a parse crash.
 Program from_text(const std::string& text);
+
+/// Resource ceilings for parsing *untrusted* codec text (a ucpd request, a
+/// foreign corpus file). Every limit bounds allocation or work the parser
+/// would otherwise perform on attacker-chosen counts — e.g. a `data
+/// 99999999999` header must fail the cap, not reserve gigabytes. The
+/// defaults accommodate every committed suite/corpus program and the 100x
+/// generated scaling programs with an order of magnitude to spare.
+struct CodecLimits {
+  std::size_t max_bytes = 8u << 20;        ///< whole-input byte cap
+  std::size_t max_lines = 300000;          ///< physical line cap
+  std::size_t max_blocks = 100000;         ///< basic blocks
+  std::size_t max_instructions = 1000000;  ///< instructions, program-wide
+  std::size_t max_data_words = 1000000;    ///< data-section words
+  std::size_t max_loop_bounds = 100000;    ///< loop_bound headers
+  std::size_t max_succs = 64;              ///< successors per block
+  std::size_t max_name_bytes = 512;        ///< program/block label length
+};
+
+/// Status-channel parser for untrusted input: malformed, truncated,
+/// oversized or limit-busting text comes back as a structured
+/// kMalformedInput Status with the offending line baked into the detail —
+/// never an exception, an abort, or unbounded allocation. `from_text` is
+/// this parser with default limits and the error rethrown as
+/// InvalidArgument (trusted-caller convenience).
+Expected<Program> from_text_checked(const std::string& text,
+                                    const CodecLimits& limits = {});
 
 }  // namespace ucp::ir

@@ -1,0 +1,17 @@
+#include "serve/client.hpp"
+
+#include "support/socket.hpp"
+
+namespace ucp::serve {
+
+Expected<Response> call(std::uint16_t port, const Request& request,
+                        int timeout_ms, const ProtocolLimits& limits) {
+  Expected<support::Socket> conn = support::tcp_connect(port, timeout_ms);
+  if (!conn.ok()) return conn.status();
+  Status sent = write_all(*conn, serialize_request(request));
+  if (!sent.ok()) return sent;
+  support::LineReader reader(*conn, limits.max_line_bytes, timeout_ms);
+  return read_response(reader, limits);
+}
+
+}  // namespace ucp::serve

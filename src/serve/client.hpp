@@ -1,0 +1,25 @@
+#pragma once
+
+// Client side of the ucpd protocol: one call = one connection, one request,
+// one response. Used by the load bench, the smoke/robustness tests, and
+// anything that wants a remote analyze->optimize->audit round trip without
+// linking the pipeline.
+
+#include <cstdint>
+
+#include "serve/protocol.hpp"
+#include "support/status.hpp"
+
+namespace ucp::serve {
+
+/// Connects to 127.0.0.1:`port`, sends `request`, reads the response.
+/// Transport failures (refused connection, dropped mid-response, timeout)
+/// come back as a Status; a *served* error (malformed input, overload shed,
+/// pipeline failure) comes back as an ok() Response whose status/code carry
+/// the verdict — the protocol distinguishes "the daemon answered badly
+/// news" from "the daemon did not answer".
+Expected<Response> call(std::uint16_t port, const Request& request,
+                        int timeout_ms = 30000,
+                        const ProtocolLimits& limits = {});
+
+}  // namespace ucp::serve

@@ -1,0 +1,114 @@
+#pragma once
+
+// The ucpd analysis daemon: a multi-threaded TCP server that accepts
+// optimization requests (serve/protocol.hpp), runs each through the
+// existing analyze -> optimize -> audit pipeline (exp::run_use_case_group),
+// and streams back the vouched-for program plus its metrics and audit
+// verdict. Robustness is the design center:
+//
+//  - bounded admission: a connection beyond the queue capacity is shed
+//    *before* any request bytes are read, with a structured kOverloaded
+//    response carrying an advisory retry_after_ms — never a hang, never an
+//    unbounded queue;
+//  - per-request watchdog deadlines: a worker slot arms a wall-clock
+//    deadline around the pipeline; the watchdog thread cooperatively
+//    cancels the slot's token, and the cancellation feeds the retry ladder
+//    like any other retryable failure;
+//  - retry-with-degradation ladder (mirrors exp::run_sweep's run_task rung
+//    for rung): configured budgets, then escalated budgets (2x evaluations,
+//    4x deadlines), then the Theorem-1 identity transform — a degraded
+//    response is still *sound*, never an error;
+//  - crash-safe idempotent replay: terminal responses are journaled
+//    (fsync'd, checksummed) before the client sees a byte, so kill -9 and
+//    restart answers re-sent ids byte-identically (serve/request_journal);
+//  - warm cross-request caches: a response cache keyed by the request
+//    fingerprint (program text + geometry + tech + budgets — any change
+//    misses by construction, which is the whole invalidation story) and an
+//    LRU of IPET constraint systems keyed by program text (prefetch
+//    insertion never alters the CFG, so a program-text hit shares the
+//    graph + canonical basis bit-identically, exactly like the sweep's
+//    per-program sharing);
+//  - graceful drain: stop accepting, finish queued requests, join every
+//    thread; pair with the request journal for SIGKILL coverage.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/optimizer.hpp"
+#include "serve/protocol.hpp"
+#include "support/status.hpp"
+
+namespace ucp::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;        ///< 0 = kernel-assigned (see Server::port)
+  std::uint32_t workers = 2;     ///< request worker threads
+  std::size_t queue_capacity = 16;  ///< accepted-but-unclaimed connections
+  /// Watchdog deadline applied when a request names none; 0 disables.
+  std::uint32_t default_deadline_ms = 10000;
+  /// Ladder depth applied when a request names none (1..3).
+  std::uint32_t default_attempts = 3;
+  /// Advisory client back-off carried by kOverloaded shed responses.
+  std::uint32_t retry_after_ms = 50;
+  /// Per-read/-write socket deadline; a peer that stalls longer is dropped.
+  int io_timeout_ms = 10000;
+  /// Idempotent-replay journal; empty = no journal (replay map only lives
+  /// for the process lifetime via the response cache).
+  std::string journal_path;
+  std::size_t response_cache_entries = 256;
+  std::size_t ipet_cache_entries = 16;
+  bool audit_soundness = true;
+  core::OptimizerOptions optimizer;
+  ProtocolLimits limits;
+  /// Test hook: while the pointee is true, workers idle before claiming
+  /// connections, so a test can fill the admission queue deterministically.
+  const std::atomic<bool>* hold_workers = nullptr;
+};
+
+/// Monotonic counters of one daemon's lifetime (stats() snapshot).
+struct ServerStats {
+  std::uint64_t accepted = 0;       ///< connections admitted to the queue
+  std::uint64_t shed = 0;           ///< connections rejected kOverloaded
+  std::uint64_t requests = 0;       ///< well-formed requests processed
+  std::uint64_t malformed = 0;      ///< structured kMalformedInput replies
+  std::uint64_t dropped = 0;        ///< connections dropped pre-response
+  std::uint64_t ok = 0;             ///< status ok responses
+  std::uint64_t degraded = 0;       ///< status degraded responses
+  std::uint64_t errors = 0;         ///< status error responses (non-shed)
+  std::uint64_t cache_hits = 0;     ///< served from the response cache
+  std::uint64_t replayed = 0;       ///< served from the request journal
+  std::uint64_t retried = 0;        ///< requests that took > 1 attempt
+  std::size_t queue_depth = 0;      ///< current admission-queue depth
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener, opens the journal, spawns accept/worker/watchdog
+  /// threads. After start() the daemon is serving.
+  Status start();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const;
+
+  /// Graceful drain: stop accepting, finish every queued request, join all
+  /// threads, close the journal. Idempotent; the destructor calls it.
+  void stop();
+
+  ServerStats stats() const;
+
+  /// What the request journal did at open ("restored N..." / "reset ...").
+  std::string journal_note() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ucp::serve

@@ -1,0 +1,146 @@
+// ucpd — the unlocked-cache-prefetch analysis daemon.
+//
+// Serves analyze -> optimize -> audit requests over loopback TCP (see
+// serve/protocol.hpp for the wire format and serve/server.hpp for the
+// robustness model). Runs until SIGINT/SIGTERM, then drains gracefully:
+// queued requests finish, threads join, the request journal closes clean.
+// A SIGKILL'd daemon restarted on the same --journal path replays
+// already-answered request ids byte-identically instead of recomputing.
+//
+//   ucpd [--port=N] [--workers=N] [--queue=N] [--deadline-ms=N]
+//        [--attempts=N] [--journal=FILE] [--io-timeout-ms=N] [--no-audit]
+//        [--trace=FILE] [--metrics=FILE]
+//
+// Prints exactly one "ucpd listening on 127.0.0.1:<port>" line to stdout
+// once serving (scripts and tests block on it), stats to stderr on exit.
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+std::uint32_t parse_u32_arg(const std::string& value, const char* what) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos ||
+      value.size() > 9) {
+    std::cerr << "ucpd: bad " << what << " '" << value << "'\n";
+    std::exit(2);
+  }
+  return static_cast<std::uint32_t>(std::stoul(value));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ucp;
+
+  serve::ServerOptions options;
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const std::size_t eq = a.find('=');
+    const std::string key = eq == std::string::npos ? a : a.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : a.substr(eq + 1);
+    if (key == "--port") {
+      const std::uint32_t port = parse_u32_arg(value, "--port");
+      if (port > 65535) {
+        std::cerr << "ucpd: --port out of range\n";
+        return 2;
+      }
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (key == "--workers") {
+      options.workers = parse_u32_arg(value, "--workers");
+    } else if (key == "--queue") {
+      options.queue_capacity = parse_u32_arg(value, "--queue");
+    } else if (key == "--deadline-ms") {
+      options.default_deadline_ms = parse_u32_arg(value, "--deadline-ms");
+    } else if (key == "--attempts") {
+      options.default_attempts = parse_u32_arg(value, "--attempts");
+      if (options.default_attempts < 1 || options.default_attempts > 3) {
+        std::cerr << "ucpd: --attempts must be 1..3\n";
+        return 2;
+      }
+    } else if (key == "--journal") {
+      options.journal_path = value;
+    } else if (key == "--io-timeout-ms") {
+      options.io_timeout_ms =
+          static_cast<int>(parse_u32_arg(value, "--io-timeout-ms"));
+    } else if (key == "--no-audit") {
+      options.audit_soundness = false;
+    } else if (key == "--trace") {
+      trace_path = value;
+    } else if (key == "--metrics") {
+      metrics_path = value;
+    } else {
+      std::cerr
+          << "ucpd: unknown argument '" << a << "'\n"
+          << "usage: ucpd [--port=N] [--workers=N] [--queue=N]"
+             " [--deadline-ms=N] [--attempts=N] [--journal=FILE]"
+             " [--io-timeout-ms=N] [--no-audit] [--trace=FILE]"
+             " [--metrics=FILE]\n";
+      return 2;
+    }
+  }
+
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::set_enabled(true);
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
+  }
+
+  serve::Server server(options);
+  const Status started = server.start();
+  if (!started.ok()) {
+    std::cerr << "ucpd: " << started.message() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::cerr << "ucpd: " << server.journal_note() << "\n";
+  std::cout << "ucpd listening on 127.0.0.1:" << server.port() << std::endl;
+
+  while (!g_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::cerr << "ucpd: draining...\n";
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  std::cerr << "ucpd: served " << stats.requests << " requests (" << stats.ok
+            << " ok, " << stats.degraded << " degraded, " << stats.errors
+            << " error), " << stats.malformed << " malformed, " << stats.shed
+            << " shed, " << stats.replayed << " replayed, "
+            << stats.cache_hits << " cache hits, " << stats.dropped
+            << " dropped connections\n";
+
+  if (!trace_path.empty()) {
+    const Status written =
+        obs::write_trace_file(trace_path, obs::drain_trace());
+    if (!written.ok())
+      std::cerr << "ucpd: warning: " << written.message() << "\n";
+  }
+  if (!metrics_path.empty()) {
+    const Status written =
+        obs::write_metrics_file(metrics_path, obs::registry().snapshot());
+    if (!written.ok())
+      std::cerr << "ucpd: warning: " << written.message() << "\n";
+  }
+  return 0;
+}

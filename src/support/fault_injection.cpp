@@ -1,5 +1,6 @@
 #include "support/fault_injection.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <unordered_map>
@@ -32,11 +33,18 @@ const char* const kSites[] = {
     "gen.build",          // synthetic generator program-construction boundary
     "fuzz.oracle",        // forced oracle violation (pins the triage path)
     "fuzz.shrink",        // shrink-step boundary (abandons minimization)
+    "serve.accept",        // daemon accept boundary (connection dropped)
+    "serve.read",          // request read boundary (connection dropped)
+    "serve.parse",         // request parse boundary (structured error reply)
+    "serve.process",       // per-request pipeline boundary (contained)
+    "serve.journal_write", // request-journal append (journaling disabled)
+    "serve.respond",       // response write boundary (connection dropped)
 };
 
 struct SiteState {
   bool armed = false;
   std::uint64_t countdown = 0;  ///< hits to let through before firing
+  std::uint64_t shots = 1;      ///< firings left before auto-disarm
   std::uint64_t hits = 0;
 };
 
@@ -72,13 +80,15 @@ const std::vector<std::string>& known_sites() {
   return names;
 }
 
-void arm(const std::string& site, std::uint64_t skip) {
+void arm(const std::string& site, std::uint64_t skip,
+         std::uint64_t shots) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   SiteState& s = r.state(site);
   if (!s.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
   s.armed = true;
   s.countdown = skip;
+  s.shots = std::max<std::uint64_t>(1, shots);
 }
 
 void disarm(const std::string& site) {
@@ -115,8 +125,10 @@ bool should_fail(const char* site) {
     --s.countdown;
     return false;
   }
-  s.armed = false;  // one-shot
-  g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  if (--s.shots == 0) {  // fires `shots` times, then auto-disarms
+    s.armed = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
   return true;
 }
 

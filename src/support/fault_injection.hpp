@@ -24,10 +24,13 @@ namespace ucp::fault {
 /// guaranteed to have a matching UCP_FAULT_POINT in the code.
 const std::vector<std::string>& known_sites();
 
-/// Arms `site`: its fault point returns true once, after `skip` additional
-/// hits are let through first (skip = 0 fires on the next hit). Arming an
-/// unknown site throws InvalidArgument. Re-arming resets the countdown.
-void arm(const std::string& site, std::uint64_t skip = 0);
+/// Arms `site`: its fault point returns true `shots` times (default once),
+/// after `skip` additional hits are let through first (skip = 0 fires on
+/// the next hit). `shots > 1` makes a retried operation fail on consecutive
+/// attempts — the retry-ladder suites use it to exhaust every rung. Arming
+/// an unknown site throws InvalidArgument. Re-arming resets the countdown.
+void arm(const std::string& site, std::uint64_t skip = 0,
+         std::uint64_t shots = 1);
 
 /// Disarms one site / every site. Safe to call for never-armed sites.
 void disarm(const std::string& site);
@@ -44,9 +47,10 @@ bool should_fail(const char* site);
 /// RAII arming for tests: disarms the site on scope exit.
 class ScopedFault {
  public:
-  explicit ScopedFault(std::string site, std::uint64_t skip = 0)
+  explicit ScopedFault(std::string site, std::uint64_t skip = 0,
+                       std::uint64_t shots = 1)
       : site_(std::move(site)) {
-    arm(site_, skip);
+    arm(site_, skip, shots);
   }
   ~ScopedFault() { disarm(site_); }
   ScopedFault(const ScopedFault&) = delete;

@@ -1,0 +1,187 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace ucp::support {
+
+namespace {
+
+Status sys_error(const std::string& what) {
+  return Status(ErrorCode::kInternal, what + ": " + ::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// poll(2) for readability/writability; 0 on timeout, 1 when ready.
+Expected<int> wait_ready(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno != EINTR) return sys_error("poll");
+  }
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<Socket> tcp_listen(std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return sys_error("socket");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = loopback(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return sys_error("bind 127.0.0.1:" + std::to_string(port));
+  if (::listen(s.fd(), backlog) != 0) return sys_error("listen");
+  return s;
+}
+
+Expected<std::uint16_t> local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0)
+    return sys_error("getsockname");
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Expected<Socket> tcp_accept(const Socket& listener, int timeout_ms) {
+  Expected<int> ready = wait_ready(listener.fd(), POLLIN, timeout_ms);
+  if (!ready.ok()) return ready.status();
+  if (*ready == 0) return Socket();  // timeout: caller polls its stop flag
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // Transient accept hiccups (peer reset before accept, signal) behave
+    // like a timeout so the accept loop just comes around again.
+    if (errno == ECONNABORTED || errno == EINTR || errno == EAGAIN ||
+        errno == EWOULDBLOCK)
+      return Socket();
+    return sys_error("accept");
+  }
+  return Socket(fd);
+}
+
+Expected<Socket> tcp_connect(std::uint16_t port, int timeout_ms) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return sys_error("socket");
+  const sockaddr_in addr = loopback(port);
+  // Blocking connect to loopback resolves immediately (accept-queue
+  // admission is the kernel's, not ours); the timeout guards reads.
+  (void)timeout_ms;
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    return sys_error("connect 127.0.0.1:" + std::to_string(port));
+  return s;
+}
+
+Status write_all(const Socket& socket, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(ErrorCode::kInternal,
+                    std::string("send: ") + ::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Expected<std::size_t> LineReader::fill() {
+  Expected<int> ready = wait_ready(fd_, POLLIN, timeout_ms_);
+  if (!ready.ok()) return ready.status();
+  if (*ready == 0)
+    return Status(ErrorCode::kMalformedInput,
+                  "read timed out after " + std::to_string(timeout_ms_) +
+                      "ms");
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n >= 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return static_cast<std::size_t>(n);
+    }
+    if (errno != EINTR)
+      return Status(ErrorCode::kMalformedInput,
+                    std::string("recv: ") + ::strerror(errno));
+  }
+}
+
+Expected<std::string> LineReader::read_line() {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      if (nl - pos_ > max_line_)
+        return Status(ErrorCode::kMalformedInput,
+                      "line exceeds " + std::to_string(max_line_) +
+                          " bytes");
+      std::string line = buffer_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates, keeping reads O(n).
+      if (pos_ > 65536 && pos_ > buffer_.size() / 2) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return line;
+    }
+    if (buffer_.size() - pos_ > max_line_)
+      return Status(ErrorCode::kMalformedInput,
+                    "line exceeds " + std::to_string(max_line_) + " bytes");
+    Expected<std::size_t> got = fill();
+    if (!got.ok()) return got.status();
+    if (*got == 0) {
+      if (pos_ == buffer_.size())
+        return Status(ErrorCode::kNotFound, "connection closed");
+      return Status(ErrorCode::kMalformedInput,
+                    "connection closed mid-line");
+    }
+  }
+}
+
+Expected<std::string> LineReader::read_exact(std::size_t n) {
+  while (buffer_.size() - pos_ < n) {
+    Expected<std::size_t> got = fill();
+    if (!got.ok()) return got.status();
+    if (*got == 0)
+      return Status(ErrorCode::kMalformedInput,
+                    "connection closed " +
+                        std::to_string(n - (buffer_.size() - pos_)) +
+                        " bytes short of the declared payload");
+  }
+  std::string out = buffer_.substr(pos_, n);
+  pos_ += n;
+  if (pos_ > 65536 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return out;
+}
+
+}  // namespace ucp::support

@@ -1,0 +1,98 @@
+#pragma once
+
+// Minimal POSIX TCP helpers for the ucpd service layer (src/serve) and its
+// load generator. Everything speaks the Status channel: a refused
+// connection, a peer that hangs up mid-request, or a line beyond the size
+// cap is a recoverable condition the daemon must survive, never an abort.
+//
+// Scope discipline: loopback service traffic only. No TLS, no name
+// resolution beyond numeric IPv4 — the daemon binds 127.0.0.1 and the
+// protocol layer (serve/protocol.hpp) enforces payload limits on top.
+
+#include <cstdint>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace ucp::support {
+
+/// Owning socket descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+/// port). SO_REUSEADDR is set so a drained daemon can restart immediately.
+Expected<Socket> tcp_listen(std::uint16_t port, int backlog);
+
+/// The local port a listening (or connected) socket is bound to — how a
+/// port-0 daemon learns and announces its actual port.
+Expected<std::uint16_t> local_port(const Socket& socket);
+
+/// Waits up to `timeout_ms` for a connection, then accepts it. Returns an
+/// invalid Socket (not an error) on timeout, so an accept loop can poll a
+/// shutdown flag between waits; transient accept failures (ECONNABORTED,
+/// EINTR) also come back as timeout-shaped "try again".
+Expected<Socket> tcp_accept(const Socket& listener, int timeout_ms);
+
+/// Connects to 127.0.0.1:`port`, waiting up to `timeout_ms`.
+Expected<Socket> tcp_connect(std::uint16_t port, int timeout_ms);
+
+/// Writes all of `data`, handling short writes and EINTR. SIGPIPE is
+/// suppressed (MSG_NOSIGNAL): a peer that hung up surfaces as a Status.
+Status write_all(const Socket& socket, const std::string& data);
+
+/// Buffered line/byte reader over a socket with hard limits: a line longer
+/// than `max_line` or a read beyond the deadline is a structured error, so
+/// a hostile peer cannot balloon memory or wedge a worker forever.
+class LineReader {
+ public:
+  LineReader(const Socket& socket, std::size_t max_line, int timeout_ms)
+      : fd_(socket.fd()), max_line_(max_line), timeout_ms_(timeout_ms) {}
+
+  /// Reads up to and including the next '\n'; returns the line without it.
+  /// EOF before any byte is kNotFound; EOF mid-line, an over-long line, a
+  /// timeout, or a socket error is kMalformedInput.
+  Expected<std::string> read_line();
+
+  /// Reads exactly `n` bytes (the framed payload after a header).
+  Expected<std::string> read_exact(std::size_t n);
+
+ private:
+  Expected<std::size_t> fill();
+
+  int fd_ = -1;
+  std::size_t max_line_ = 0;
+  int timeout_ms_ = 0;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ucp::support

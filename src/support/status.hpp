@@ -36,6 +36,8 @@ enum class ErrorCode : std::uint8_t {
   kInternal,             ///< unexpected exception contained at a boundary
   kCancelled,            ///< cooperatively cancelled (watchdog / SIGINT)
   kAuditFailed,          ///< soundness auditor contradicted the optimizer
+  kMalformedInput,       ///< untrusted input failed parsing/validation
+  kOverloaded,           ///< admission control shed the request (retry later)
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -70,6 +72,10 @@ inline const char* error_code_name(ErrorCode code) {
       return "cancelled";
     case ErrorCode::kAuditFailed:
       return "audit-failed";
+    case ErrorCode::kMalformedInput:
+      return "malformed-input";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

@@ -21,6 +21,9 @@
 #include "gen/generator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "ir/text_codec.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "suite/suite.hpp"
 #include "support/fault_injection.hpp"
 #include "support/rng.hpp"
@@ -168,6 +171,79 @@ TEST(FaultUseCase, MeasureFaultOnOptimizedBinaryDegrades) {
   EXPECT_DOUBLE_EQ(r.wcet_ratio(), 1.0);
 }
 
+TEST(FaultLadder, TransientFaultIsRecoveredByTheEscalatedRetry) {
+  // One-shot fault on the first attempt; the escalated second rung runs
+  // clean and completes. The row records the recovery: two attempts,
+  // degradation level 1, not quarantined.
+  fault::disarm_all();
+  SweepOptions options = small_sweep();
+  options.max_attempts = 3;
+  fault::arm("core.reanalyze");
+  const Sweep sweep = run_sweep(options);
+  fault::disarm_all();
+  EXPECT_TRUE(sweep.report.clean());
+  std::uint32_t recovered = 0;
+  for (const UseCaseResult& r : sweep.results) {
+    if (r.attempts == 1) {
+      EXPECT_EQ(r.degradation_level, 0u);
+      continue;
+    }
+    ++recovered;
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(r.degradation_level, 1u);
+    EXPECT_EQ(r.outcome, CaseOutcome::kCompleted);
+  }
+  EXPECT_EQ(recovered, 1u) << "exactly the faulted case retries";
+}
+
+TEST(FaultLadder, PersistentFaultExhaustsToIdentityFallback) {
+  // The fault fires on the first *and* the escalated attempt; the terminal
+  // rung ships the identity transform. The row is degraded — never failed —
+  // with three attempts, degradation level 2, the original cause, and the
+  // fallback marked in the detail. Theorem 1 holds trivially.
+  fault::disarm_all();
+  SweepOptions options = small_sweep();
+  options.max_attempts = 3;
+  fault::arm("core.reanalyze", /*skip=*/0, /*shots=*/2);
+  const Sweep sweep = run_sweep(options);
+  fault::disarm_all();
+  std::uint32_t fallbacks = 0;
+  for (const UseCaseResult& r : sweep.results) {
+    if (r.attempts <= 2) continue;
+    ++fallbacks;
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.degradation_level, 2u);
+    EXPECT_EQ(r.outcome, CaseOutcome::kDegraded);
+    EXPECT_EQ(r.fail_code, ErrorCode::kAnalysisFailed);
+    EXPECT_NE(r.fail_detail.find("identity-transform fallback"),
+              std::string::npos)
+        << r.fail_detail;
+    EXPECT_DOUBLE_EQ(r.wcet_ratio(), 1.0);
+    EXPECT_TRUE(r.report.insertions.empty());
+  }
+  EXPECT_EQ(fallbacks, 1u) << "exactly the faulted case walks the ladder";
+}
+
+TEST(FaultLadder, NonRetryableFaultFailsOnTheFirstAttempt) {
+  // kFaultInjected is not a retryable class: the ladder must not burn
+  // budget re-running a deterministic failure. One attempt, level 3.
+  fault::disarm_all();
+  SweepOptions options = small_sweep();
+  options.max_attempts = 3;
+  fault::arm("exp.measure");
+  const Sweep sweep = run_sweep(options);
+  fault::disarm_all();
+  std::uint32_t failed = 0;
+  for (const UseCaseResult& r : sweep.results) {
+    if (r.outcome != CaseOutcome::kFailed) continue;
+    ++failed;
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_EQ(r.degradation_level, 3u);
+    EXPECT_EQ(r.fail_code, ErrorCode::kFaultInjected);
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
 TEST(FaultRegistry, AllComputeSitesAreRegistered) {
   const auto& sites = fault::known_sites();
   for (const std::string& site : kComputeSites) {
@@ -237,6 +313,30 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
   const std::string sink = tmp + ".metrics.json";
   EXPECT_TRUE(obs::write_metrics_file(sink, obs::registry().snapshot()).ok());
   std::remove(sink.c_str());
+
+  // The serve.* sites sit on the daemon's request path: one journaled
+  // round trip through a live server passes accept, read, parse, process,
+  // journal_write and respond.
+  {
+    const std::string serve_journal = tmp + ".serve.journal";
+    std::remove(serve_journal.c_str());
+    serve::ServerOptions soptions;
+    soptions.workers = 1;
+    soptions.journal_path = serve_journal;
+    soptions.audit_soundness = false;  // keep the battery fast
+    serve::Server server(soptions);
+    ASSERT_TRUE(server.start().ok());
+    serve::Request request;
+    request.id = "battery.1";
+    request.config_id = "k1";
+    request.config = cache::paper_cache_config("k1").config;
+    request.program_text = ir::to_text(suite::build_benchmark("bs"));
+    const auto response = serve::call(server.port(), request);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    EXPECT_EQ(response->status, serve::ResponseStatus::kOk);
+    server.stop();
+    std::remove(serve_journal.c_str());
+  }
 
   for (std::size_t i = 0; i < sites.size(); ++i) {
     EXPECT_GT(fault::hit_count(sites[i]), before[i])

@@ -2,9 +2,11 @@
 // delta-debug shrinker, corpus round-tripping + committed-corpus replay,
 // and campaign determinism / resume / fault-crossing.
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <algorithm>
 #include <fstream>
 #include <string>
 
@@ -233,6 +235,69 @@ TEST(Corpus, CommittedCorpusReplays) {
   }
 }
 
+// Every file under tests/corpus/adversarial is a codec attack: malformed,
+// truncated, oversized or limit-busting IR text harvested from hardening
+// work. The checked parser must reject each with a structured
+// kMalformedInput Status — never an exception, abort, or hang. The plain
+// list_corpus_files glob skips these (they are .txt, not .ucp repros).
+TEST(Corpus, AdversarialCodecCorpusRejectsStructurally) {
+  const std::string dir = std::string(UCP_CORPUS_DIR) + "/adversarial";
+  std::vector<std::string> files;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".txt") == 0)
+        files.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "no adversarial corpus under " << dir;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path;
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const auto parsed = ir::from_text_checked(text);
+    EXPECT_FALSE(parsed.ok()) << path << " unexpectedly parsed";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), ErrorCode::kMalformedInput)
+          << path << ": " << parsed.status().message();
+      EXPECT_FALSE(parsed.status().message().empty()) << path;
+    }
+  }
+}
+
+// Tightened CodecLimits must trip as structured rejections on otherwise
+// valid programs — the daemon leans on these caps to bound per-request work.
+TEST(Corpus, CodecLimitsRejectStructurally) {
+  const ir::Program program = generated(0xc0dec);
+  const std::string text = ir::to_text(program);
+  ASSERT_TRUE(ir::from_text_checked(text).ok());
+
+  const auto expect_rejected = [&](const ir::CodecLimits& limits,
+                                   const char* what) {
+    const auto parsed = ir::from_text_checked(text, limits);
+    ASSERT_FALSE(parsed.ok()) << what;
+    EXPECT_EQ(parsed.status().code(), ErrorCode::kMalformedInput) << what;
+  };
+  ir::CodecLimits limits;
+  limits.max_bytes = 16;
+  expect_rejected(limits, "max_bytes");
+  limits = {};
+  limits.max_lines = 4;
+  expect_rejected(limits, "max_lines");
+  limits = {};
+  limits.max_blocks = 1;
+  expect_rejected(limits, "max_blocks");
+  limits = {};
+  limits.max_instructions = 2;
+  expect_rejected(limits, "max_instructions");
+  limits = {};
+  limits.max_name_bytes = 1;
+  expect_rejected(limits, "max_name_bytes");
+}
+
 // --- campaign --------------------------------------------------------------
 
 fuzz::CampaignOptions small_campaign() {
@@ -378,7 +443,9 @@ TEST(Campaign, ArmedFaultsNeverProduceUnexplainedViolations) {
   EXPECT_EQ(r.faulted, 8u);
   bool saw_injected = false;
   for (const fuzz::CaseVerdict& v : r.verdicts) {
-    if (v.violated()) EXPECT_FALSE(v.fault_site.empty()) << v.line();
+    if (v.violated()) {
+      EXPECT_FALSE(v.fault_site.empty()) << v.line();
+    }
     if (v.violation == Oracle::kInjected) saw_injected = true;
   }
   EXPECT_TRUE(saw_injected) << "fault rotation never hit fuzz.oracle";

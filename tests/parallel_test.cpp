@@ -158,6 +158,134 @@ TEST(Parallel, TwoShardMergeIsByteIdenticalToSingleProcess) {
   EXPECT_FALSE(duplicate.ok());
 }
 
+TEST(Parallel, MergeRejectionsCarryStructuredDiagnostics) {
+  // Every merge rejection must name the offending file and (for row-level
+  // corruption) the row, as machine-checkable fields — operators of a
+  // sharded fleet triage from the diagnostic, not by parsing prose.
+  obs::set_enabled(false);
+  fault::disarm_all();
+
+  TempFile shard0_journal("parallel_diag0_journal");
+  TempFile shard1_journal("parallel_diag1_journal");
+  SweepOptions shard0 = reduced_sweep(2, shard0_journal.path);
+  shard0.shard_index = 0;
+  shard0.shard_count = 2;
+  SweepOptions shard1 = reduced_sweep(2, shard1_journal.path);
+  shard1.shard_index = 1;
+  shard1.shard_count = 2;
+  ASSERT_TRUE(run_sweep(shard0).report.clean());
+  ASSERT_TRUE(run_sweep(shard1).report.clean());
+
+  auto read_lines = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  };
+  auto write_lines = [](const std::string& path,
+                        const std::vector<std::string>& lines) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+  };
+  const std::vector<std::string> shard0_lines = read_lines(shard0_journal.path);
+  ASSERT_GE(shard0_lines.size(), 3u);
+
+  using Reason = MergeDiagnostic::Reason;
+  MergeDiagnostic diagnostic;
+
+  // missing-file: a path that does not exist.
+  auto gone = merge_sweep_journals({"/nonexistent/journal"}, reduced_sweep(1),
+                                   "", &diagnostic);
+  EXPECT_FALSE(gone.ok());
+  EXPECT_EQ(diagnostic.reason, Reason::kMissingFile);
+  EXPECT_EQ(diagnostic.file, "/nonexistent/journal");
+  EXPECT_STREQ(merge_reason_name(diagnostic.reason), "missing-file");
+
+  // duplicate-shard: the same shard journal offered twice — the *second*
+  // occurrence is the offender.
+  auto duplicate = merge_sweep_journals(
+      {shard0_journal.path, shard0_journal.path}, reduced_sweep(1), "",
+      &diagnostic);
+  EXPECT_FALSE(duplicate.ok());
+  EXPECT_EQ(diagnostic.reason, Reason::kDuplicateShard);
+  EXPECT_EQ(diagnostic.file, shard0_journal.path);
+  EXPECT_STREQ(merge_reason_name(diagnostic.reason), "duplicate-shard");
+
+  // missing-shard: only half the fleet reported. No single file to blame.
+  auto missing = merge_sweep_journals({shard0_journal.path}, reduced_sweep(1),
+                                      "", &diagnostic);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(diagnostic.reason, Reason::kMissingShard);
+  EXPECT_TRUE(diagnostic.file.empty());
+  EXPECT_STREQ(merge_reason_name(diagnostic.reason), "missing-shard");
+
+  // checksum: flip the checksum field of shard 0's second data row. The
+  // diagnostic reports the 0-based data-row position within that file.
+  {
+    TempFile corrupt("parallel_diag_checksum");
+    std::vector<std::string> lines = shard0_lines;
+    std::string& row = lines[2];  // header + first row precede it
+    row.back() = row.back() == '0' ? '1' : '0';
+    write_lines(corrupt.path, lines);
+    auto torn = merge_sweep_journals({corrupt.path, shard1_journal.path},
+                                     reduced_sweep(1), "", &diagnostic);
+    EXPECT_FALSE(torn.ok());
+    EXPECT_EQ(diagnostic.reason, Reason::kChecksum);
+    EXPECT_EQ(diagnostic.file, corrupt.path);
+    EXPECT_TRUE(diagnostic.has_row);
+    EXPECT_EQ(diagnostic.row_index, 1u);
+    EXPECT_STREQ(merge_reason_name(diagnostic.reason), "checksum");
+  }
+
+  // divergent: re-serialize an existing row with altered content (valid
+  // checksum, same grid index, different bytes) and append it.
+  {
+    TempFile corrupt("parallel_diag_divergent");
+    std::vector<std::string> lines = shard0_lines;
+    std::size_t index = 0;
+    UseCaseResult r;
+    ASSERT_TRUE(SweepJournal::parse_journal_row(lines[1], index, r));
+    r.optimized.tau_wcet += 1;
+    lines.push_back(SweepJournal::journal_row(r, index));
+    write_lines(corrupt.path, lines);
+    auto divergent = merge_sweep_journals({corrupt.path, shard1_journal.path},
+                                          reduced_sweep(1), "", &diagnostic);
+    EXPECT_FALSE(divergent.ok());
+    EXPECT_EQ(diagnostic.reason, Reason::kDivergent);
+    EXPECT_EQ(diagnostic.file, corrupt.path);
+    EXPECT_TRUE(diagnostic.has_row);
+    EXPECT_EQ(diagnostic.row_index, index);
+    EXPECT_STREQ(merge_reason_name(diagnostic.reason), "divergent");
+  }
+
+  // gap: drop shard 0's last row cleanly — every file parses, but the grid
+  // has a hole; the diagnostic names the first missing grid row.
+  {
+    TempFile corrupt("parallel_diag_gap");
+    std::vector<std::string> lines = shard0_lines;
+    std::size_t dropped_index = 0;
+    UseCaseResult r;
+    ASSERT_TRUE(
+        SweepJournal::parse_journal_row(lines.back(), dropped_index, r));
+    lines.pop_back();
+    write_lines(corrupt.path, lines);
+    auto gap = merge_sweep_journals({corrupt.path, shard1_journal.path},
+                                    reduced_sweep(1), "", &diagnostic);
+    EXPECT_FALSE(gap.ok());
+    EXPECT_EQ(diagnostic.reason, Reason::kGap);
+    EXPECT_TRUE(diagnostic.has_row);
+    EXPECT_EQ(diagnostic.row_index, dropped_index);
+    EXPECT_STREQ(merge_reason_name(diagnostic.reason), "gap");
+  }
+
+  // A clean merge leaves the diagnostic at kNone.
+  auto clean = merge_sweep_journals({shard0_journal.path, shard1_journal.path},
+                                    reduced_sweep(1), "", &diagnostic);
+  ASSERT_TRUE(clean.ok()) << clean.status().message();
+  EXPECT_EQ(diagnostic.reason, Reason::kNone);
+}
+
 TEST(Parallel, KilledShardResumesAndMergesBitIdentical) {
   obs::set_enabled(false);
   fault::disarm_all();
