@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exp/harness.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
@@ -107,19 +108,22 @@ class ObsSession {
     if (!trace_path_.empty()) {
       const Status written = obs::write_trace_file(trace_path_, events);
       if (written.ok())
-        std::cerr << "[obs] wrote " << events.size() << " spans to "
-                  << trace_path_ << "\n";
+        obs::log(obs::LogLevel::kInfo, "obs", "wrote_trace", trace_path_,
+                 obs::LogFields().num(
+                     "spans", static_cast<std::uint64_t>(events.size())));
       else
-        std::cerr << "[obs] warning: " << written.message() << "\n";
+        obs::log(obs::LogLevel::kWarn, "obs", "trace_write_failed",
+                 written.message());
     }
     if (!metrics_path_.empty()) {
       const Status written =
           obs::write_metrics_file(metrics_path_, obs::registry().snapshot());
       if (written.ok())
-        std::cerr << "[obs] wrote metrics snapshot to " << metrics_path_
-                  << "\n";
+        obs::log(obs::LogLevel::kInfo, "obs", "wrote_metrics",
+                 metrics_path_);
       else
-        std::cerr << "[obs] warning: " << written.message() << "\n";
+        obs::log(obs::LogLevel::kWarn, "obs", "metrics_write_failed",
+                 written.message());
     }
     if (profile_) std::cout << "\n" << obs::profile_table(events);
   }

@@ -37,6 +37,7 @@
 #include "gen/generator.hpp"
 #include "ir/layout.hpp"
 #include "ir/program.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "wcet/ipet.hpp"
@@ -246,7 +247,8 @@ void print_stage_row(std::ostream& os, const char* label, const StageTimes& t) {
 void write_json(const std::string& path, const std::vector<TierResult>& tiers) {
   std::ofstream os(path, std::ios::trunc);
   os.precision(6);
-  os << "{\n  \"bench\": \"scaling\",\n  \"tiers\": [\n";
+  os << "{\n  \"bench\": \"scaling\",\n  \"build\": "
+     << ucp::obs::build_info_json() << ",\n  \"tiers\": [\n";
   for (std::size_t i = 0; i < tiers.size(); ++i) {
     const TierResult& r = tiers[i];
     auto stages = [&os](const char* key, const StageTimes& t) {

@@ -6,18 +6,27 @@
 // cache configurations and both technology nodes. Every level runs an
 // unmeasured warmup pass first (populates the response and IPET caches the
 // way a long-running daemon would be warm), then a timed phase; client-side
-// latency of every request lands in the percentile table.
+// latency of every request lands in a power-of-two obs::Histogram and the
+// reported p50/p90/p99 come from its quantile estimator — the same figures
+// a STATS scrape of a production daemon would report, instead of a
+// bench-only sorted-vector path.
 //
-// Sustained req/s and p50/p90/p99 latency per concurrency level go to
-// BENCH_serve.json. With --trace/--metrics the server's serve.* spans and
-// counters (serve.request, serve.request_us, serve.cache_hits, ...) are
-// written alongside — the bench doubles as the observability check for the
-// service layer.
+// Sustained req/s and latency quantiles per concurrency level go to
+// BENCH_serve.json, along with the server-side counter deltas for the
+// phase (shed / degraded / retried / watchdog fires / ...), the phase's
+// queue-depth high-water mark, and the build stamp. With --trace/--metrics
+// the server's serve.* spans and counters are written alongside — the
+// bench doubles as the observability check for the service layer.
 //
 //   --fast           1s per level, levels 1 and 4 only
 //   --levels=a,b,c   concurrency levels (default 1,2,4,8)
 //   --seconds=N      timed-phase length per level (default 3)
 //   --json=FILE      output path (default BENCH_serve.json)
+//   --ops-smoke      enable the admin plane + flight recorder and scrape
+//                    HEALTH/STATS/PROFILE concurrently with every timed
+//                    phase; fail unless every scrape answers and the final
+//                    STATS request counter reconciles with the
+//                    load-generator totals (the ops_smoke ctest gate)
 //   --trace=FILE / --metrics=FILE / --profile   as in every bench
 
 #include <algorithm>
@@ -27,6 +36,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -36,6 +46,10 @@
 #include "cache/config.hpp"
 #include "energy/model.hpp"
 #include "ir/text_codec.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -48,6 +62,7 @@ using Clock = std::chrono::steady_clock;
 struct Args {
   bool fast = false;
   bool profile = false;
+  bool ops_smoke = false;
   double seconds = 3.0;
   std::vector<unsigned> levels{1, 2, 4, 8};
   std::string json_path = "BENCH_serve.json";
@@ -63,6 +78,8 @@ Args parse_args(int argc, char** argv) {
       args.fast = true;
     } else if (a == "--profile") {
       args.profile = true;
+    } else if (a == "--ops-smoke") {
+      args.ops_smoke = true;
     } else if (a.rfind("--seconds=", 0) == 0) {
       args.seconds = std::stod(a.substr(10));
     } else if (a.rfind("--levels=", 0) == 0) {
@@ -81,7 +98,8 @@ Args parse_args(int argc, char** argv) {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: " << argv[0]
                 << " [--fast] [--levels=1,2,4] [--seconds=N] [--json=FILE]"
-                   " [--trace=FILE] [--metrics=FILE] [--profile]\n";
+                   " [--ops-smoke] [--trace=FILE] [--metrics=FILE]"
+                   " [--profile]\n";
       std::exit(2);
     }
   }
@@ -130,15 +148,10 @@ struct LevelResult {
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  std::int64_t queue_depth_peak = 0;    ///< serve.queue_depth_peak, this phase
+  std::uint64_t scrapes = 0;            ///< admin scrapes answered (ops-smoke)
   ucp::serve::ServerStats stats;        ///< server-side delta for the phase
 };
-
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 ucp::serve::ServerStats stats_delta(const ucp::serve::ServerStats& a,
                                     const ucp::serve::ServerStats& b) {
@@ -154,6 +167,11 @@ ucp::serve::ServerStats stats_delta(const ucp::serve::ServerStats& a,
   d.cache_hits = b.cache_hits - a.cache_hits;
   d.replayed = b.replayed - a.replayed;
   d.retried = b.retried - a.retried;
+  d.admin_scrapes = b.admin_scrapes - a.admin_scrapes;
+  d.admin_dropped = b.admin_dropped - a.admin_dropped;
+  d.flight_dumps = b.flight_dumps - a.flight_dumps;
+  d.watchdog_fires = b.watchdog_fires - a.watchdog_fires;
+  d.trace_dumps = b.trace_dumps - a.trace_dumps;
   return d;
 }
 
@@ -162,10 +180,15 @@ ucp::serve::ServerStats stats_delta(const ucp::serve::ServerStats& a,
 /// true): every request carries a unique deadline, so every fingerprint is
 /// fresh and every request runs the full analyze→optimize→audit pipeline
 /// (the IPET cache still shares topology work, as a warm daemon would).
+/// `admin_port` non-zero adds a scraper thread hitting HEALTH / STATS /
+/// "STATS prom" / PROFILE round-robin for the whole phase — the ops plane
+/// must answer *while* the workers are saturated, or it is not a live ops
+/// plane.
 LevelResult run_level(ucp::serve::Server& server, unsigned concurrency,
                       double seconds, bool cold,
                       const std::vector<ucp::serve::Request>& mix,
-                      std::uint64_t& id_counter) {
+                      std::uint64_t& id_counter, std::uint16_t admin_port,
+                      std::uint64_t& warmups) {
   using namespace ucp;
   const std::uint16_t port = server.port();
 
@@ -176,27 +199,39 @@ LevelResult run_level(ucp::serve::Server& server, unsigned concurrency,
     r.id = "warm-" + std::to_string(id_counter++);
     const auto response = serve::call(port, r);
     if (!response.ok()) {
-      std::cerr << "[serve] warmup transport failure: "
-                << response.status().message() << "\n";
+      obs::log(obs::LogLevel::kError, "bench", "warmup_transport_failure",
+               response.status().message());
       std::exit(1);
     }
+    ++warmups;
     if (response->status == serve::ResponseStatus::kError) {
-      std::cerr << "[serve] warmup request " << i << " failed ("
-                << r.config_id << ", " << error_code_name(response->code)
-                << "): " << response->detail << "\n";
+      obs::log(obs::LogLevel::kError, "bench", "warmup_request_failed",
+               response->detail,
+               obs::LogFields()
+                   .num("index", static_cast<std::uint64_t>(i))
+                   .str("config", r.config_id)
+                   .str("code", error_code_name(response->code)));
       std::exit(1);
     }
   }
 
+  // Per-phase high-water mark: the peak gauge is monotone, so it is reset
+  // at phase start and read at phase end.
+  obs::registry().gauge("serve.queue_depth_peak").set(0);
+
   const serve::ServerStats before = server.stats();
   std::atomic<std::uint64_t> next_id{id_counter};
   std::atomic<bool> running{true};
-  std::vector<std::vector<double>> latencies(concurrency);
+  // Latency lands in the same power-of-two histogram the daemon's own
+  // serve.request_us uses; the reported quantiles come from its estimator,
+  // not a bench-only sorted vector. (Heap-allocated: a Histogram is ~9KB of
+  // sharded cells.)
+  auto latency_us = std::make_unique<obs::Histogram>();
   std::vector<std::uint64_t> oks(concurrency, 0), degradeds(concurrency, 0),
       errors(concurrency, 0), transport(concurrency, 0);
+  std::vector<double> max_ms(concurrency, 0.0);
 
   auto client = [&](unsigned me) {
-    std::vector<double>& mine = latencies[me];
     std::size_t cursor = me % mix.size();
     while (running.load(std::memory_order_relaxed)) {
       serve::Request r = mix[cursor];
@@ -217,7 +252,8 @@ LevelResult run_level(ucp::serve::Server& server, unsigned concurrency,
         ++transport[me];
         continue;
       }
-      mine.push_back(ms);
+      latency_us->record(static_cast<std::uint64_t>(ms * 1000.0));
+      max_ms[me] = std::max(max_ms[me], ms);
       switch (response->status) {
         case serve::ResponseStatus::kOk:
           ++oks[me];
@@ -232,10 +268,32 @@ LevelResult run_level(ucp::serve::Server& server, unsigned concurrency,
     }
   };
 
+  std::uint64_t scrapes = 0;
+  std::atomic<bool> scrape_failed{false};
+  auto scraper = [&] {
+    static const char* kVerbs[] = {"HEALTH", "STATS", "STATS prom",
+                                   "PROFILE"};
+    std::size_t i = 0;
+    while (running.load(std::memory_order_relaxed)) {
+      const char* verb = kVerbs[i++ % 4];
+      const auto reply = serve::admin_call(admin_port, verb);
+      if (!reply.ok() || !reply->ok || reply->payload.empty()) {
+        obs::log(obs::LogLevel::kError, "bench", "scrape_failed",
+                 reply.ok() ? reply->payload : reply.status().message(),
+                 obs::LogFields().str("verb", verb));
+        scrape_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      ++scrapes;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+
   const auto phase_start = Clock::now();
   std::vector<std::thread> threads;
-  threads.reserve(concurrency);
+  threads.reserve(concurrency + 1);
   for (unsigned i = 0; i < concurrency; ++i) threads.emplace_back(client, i);
+  if (admin_port != 0) threads.emplace_back(scraper);
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   running.store(false, std::memory_order_relaxed);
   for (std::thread& t : threads) t.join();
@@ -243,25 +301,32 @@ LevelResult run_level(ucp::serve::Server& server, unsigned concurrency,
       std::chrono::duration<double>(Clock::now() - phase_start).count();
   id_counter = next_id.load();
 
+  if (admin_port != 0 &&
+      (scrape_failed.load() || scrapes == 0)) {
+    obs::log(obs::LogLevel::kError, "bench", "ops_smoke_failed",
+             "admin plane did not answer scrapes during load");
+    std::exit(1);
+  }
+
   LevelResult r;
   r.concurrency = concurrency;
   r.cold = cold;
   r.elapsed_s = elapsed;
-  std::vector<double> all;
   for (unsigned i = 0; i < concurrency; ++i) {
-    all.insert(all.end(), latencies[i].begin(), latencies[i].end());
     r.ok += oks[i];
     r.degraded += degradeds[i];
     r.errors += errors[i];
     r.transport_failures += transport[i];
+    r.max_ms = std::max(r.max_ms, max_ms[i]);
   }
-  std::sort(all.begin(), all.end());
-  r.requests = all.size();
+  r.requests = latency_us->count();
   r.rps = elapsed > 0 ? static_cast<double>(r.requests) / elapsed : 0.0;
-  r.p50_ms = percentile(all, 0.50);
-  r.p90_ms = percentile(all, 0.90);
-  r.p99_ms = percentile(all, 0.99);
-  r.max_ms = all.empty() ? 0.0 : all.back();
+  r.p50_ms = latency_us->p50() / 1000.0;
+  r.p90_ms = latency_us->p90() / 1000.0;
+  r.p99_ms = latency_us->p99() / 1000.0;
+  r.queue_depth_peak =
+      obs::registry().gauge("serve.queue_depth_peak").value();
+  r.scrapes = scrapes;
   r.stats = stats_delta(before, server.stats());
   return r;
 }
@@ -270,8 +335,9 @@ void write_json(const std::string& path, double seconds,
                 const std::vector<LevelResult>& levels) {
   std::ofstream os(path, std::ios::trunc);
   os.precision(6);
-  os << "{\n  \"bench\": \"serve_load\",\n  \"seconds_per_level\": "
-     << seconds << ",\n  \"levels\": [\n";
+  os << "{\n  \"bench\": \"serve_load\",\n  \"build\": "
+     << ucp::obs::build_info_json()
+     << ",\n  \"seconds_per_level\": " << seconds << ",\n  \"levels\": [\n";
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const LevelResult& r = levels[i];
     os << "    {\"concurrency\": " << r.concurrency
@@ -285,15 +351,39 @@ void write_json(const std::string& path, double seconds,
        << ", \"transport_failures\": " << r.transport_failures
        << ", \"cache_hits\": " << r.stats.cache_hits
        << ", \"shed\": " << r.stats.shed
-       << ", \"retried\": " << r.stats.retried << "}"
+       << ", \"retried\": " << r.stats.retried
+       << ",\n     \"queue_depth_peak\": " << r.queue_depth_peak
+       << ", \"watchdog_fires\": " << r.stats.watchdog_fires
+       << ", \"flight_dumps\": " << r.stats.flight_dumps
+       << ", \"admin_scrapes\": " << r.stats.admin_scrapes
+       << ", \"scrapes\": " << r.scrapes << "}"
        << (i + 1 < levels.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   if (!os) {
-    std::cerr << "[serve] failed to write " << path << "\n";
+    ucp::obs::log(ucp::obs::LogLevel::kError, "bench", "json_write_failed",
+                  path);
     std::exit(1);
   }
-  std::cerr << "[serve] wrote " << path << "\n";
+  ucp::obs::log(ucp::obs::LogLevel::kInfo, "bench", "wrote_json", path);
+}
+
+/// First `"requests": N` in an admin STATS payload — field order in the
+/// `server` object is deterministic (stats_json), so this is the daemon's
+/// well-formed-request counter.
+std::uint64_t parse_stats_requests(const std::string& payload) {
+  const std::string needle = "\"requests\":";
+  const std::size_t at = payload.find(needle);
+  if (at == std::string::npos) return ~0ull;
+  std::size_t i = at + needle.size();
+  std::uint64_t value = 0;
+  bool any = false;
+  while (i < payload.size() && payload[i] >= '0' && payload[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(payload[i] - '0');
+    ++i;
+    any = true;
+  }
+  return any ? value : ~0ull;
 }
 
 }  // namespace
@@ -301,42 +391,97 @@ void write_json(const std::string& path, double seconds,
 int main(int argc, char** argv) {
   using namespace ucp;
   const Args args = parse_args(argc, argv);
-  bench::ObsSession obs(args.trace_path, args.metrics_path, args.profile);
+  bench::ObsSession obs_session(args.trace_path, args.metrics_path,
+                                args.profile);
+  // The serve.* gauges and the latency histogram are the bench's product,
+  // not an opt-in: metrics are always on here.
+  obs::set_enabled(true);
 
   serve::ServerOptions options;
   options.workers = *std::max_element(args.levels.begin(), args.levels.end());
   options.queue_capacity = 2 * options.workers;
+  if (args.ops_smoke) {
+    options.admin_enabled = true;
+    obs::set_flight_enabled(true);
+  }
   serve::Server server(options);
   const Status started = server.start();
   if (!started.ok()) {
-    std::cerr << "[serve] failed to start: " << started.message() << "\n";
+    obs::log(obs::LogLevel::kError, "bench", "server_start_failed",
+             started.message());
     return 1;
   }
 
   const std::vector<serve::Request> mix = build_mix();
   std::uint64_t id_counter = 0;
+  std::uint64_t warmups = 0;
   std::vector<LevelResult> results;
   std::printf("%-12s %5s %10s %10s %9s %9s %9s %9s\n", "concurrency",
               "mode", "requests", "req/s", "p50 ms", "p90 ms", "p99 ms",
               "max ms");
   for (unsigned level : args.levels) {
     for (const bool cold : {false, true}) {
-      LevelResult r =
-          run_level(server, level, args.seconds, cold, mix, id_counter);
+      LevelResult r = run_level(server, level, args.seconds, cold, mix,
+                                id_counter, server.admin_port(), warmups);
       std::printf("%-12u %5s %10llu %10.1f %9.3f %9.3f %9.3f %9.3f\n",
                   r.concurrency, cold ? "cold" : "warm",
                   static_cast<unsigned long long>(r.requests), r.rps,
                   r.p50_ms, r.p90_ms, r.p99_ms, r.max_ms);
       if (r.transport_failures > 0 || r.errors > 0 ||
           r.stats.malformed > 0) {
-        std::cerr << "[serve] FAIL: level " << level << " saw "
-                  << r.transport_failures << " transport failures, "
-                  << r.errors << " error responses, " << r.stats.malformed
-                  << " malformed counts on a valid-only workload\n";
+        obs::log(obs::LogLevel::kError, "bench", "load_level_failed",
+                 "failures on a valid-only workload",
+                 obs::LogFields()
+                     .num("level", static_cast<std::uint64_t>(level))
+                     .num("transport_failures", r.transport_failures)
+                     .num("errors", r.errors)
+                     .num("malformed", r.stats.malformed));
         return 1;
       }
       results.push_back(std::move(r));
     }
+  }
+
+  if (args.ops_smoke) {
+    // Reconciliation: the daemon's well-formed-request counter must equal
+    // everything this generator got an answer for — timed-phase responses
+    // plus warmup passes. A live STATS scrape that cannot account for the
+    // load that produced it is an ops plane reporting fiction.
+    std::uint64_t client_total = warmups;
+    for (const LevelResult& r : results)
+      client_total += r.ok + r.degraded + r.errors;
+    const auto stats_reply = serve::admin_call(server.admin_port(), "STATS");
+    if (!stats_reply.ok() || !stats_reply->ok) {
+      obs::log(obs::LogLevel::kError, "bench", "ops_smoke_failed",
+               "final STATS scrape did not answer");
+      return 1;
+    }
+    const std::uint64_t served = parse_stats_requests(stats_reply->payload);
+    if (served != client_total) {
+      obs::log(obs::LogLevel::kError, "bench", "ops_smoke_failed",
+               "STATS request counter does not reconcile",
+               obs::LogFields()
+                   .num("served", served)
+                   .num("client_total", client_total));
+      return 1;
+    }
+    const auto flight_reply = serve::admin_call(server.admin_port(), "FLIGHT");
+    if (!flight_reply.ok() || !flight_reply->ok ||
+        flight_reply->payload.rfind("{\"kind\":\"header\"", 0) != 0) {
+      obs::log(obs::LogLevel::kError, "bench", "ops_smoke_failed",
+               "FLIGHT scrape did not return a flight dump");
+      return 1;
+    }
+    obs::log(obs::LogLevel::kInfo, "bench", "ops_smoke_ok", {},
+             obs::LogFields()
+                 .num("requests", served)
+                 .num("scrapes",
+                      [&] {
+                        std::uint64_t total = 0;
+                        for (const LevelResult& r : results)
+                          total += r.scrapes;
+                        return total;
+                      }()));
   }
   server.stop();
 

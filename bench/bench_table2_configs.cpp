@@ -24,6 +24,15 @@
 //                      off and on, fail on any fingerprint divergence,
 //                      missing pipeline layer in the trace, or slowdown
 //                      beyond the overhead budget
+//   --ops-smoke        ops-plane gate: run the same slice with the full
+//                      ops stack on (metrics + structured logging + flight
+//                      recorder) and with everything off; fail on any
+//                      fingerprint divergence, an empty flight ring, or
+//                      slowdown beyond the same 1%+floor overhead budget
+//   --expect-fingerprint=HEX
+//                      (sweep mode) fail unless the full-grid result
+//                      fingerprint equals HEX — the CI pin for "the ops
+//                      plane never changed a number"
 //   --shard i/N        run only shard i of N (deterministic round-robin
 //                      partition of the heaviest-first schedule); requires
 //                      --journal, prints the shard fingerprint, writes no
@@ -48,6 +57,8 @@
 // durable in the journal, the health report (with the quarantine summary)
 // is printed, and the bench exits with 128+signal.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <csignal>
 #include <cstdint>
@@ -65,6 +76,9 @@
 #include "energy/model.hpp"
 #include "exp/harness.hpp"
 #include "exp/journal.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
@@ -76,6 +90,8 @@ struct Args {
   bool sweep = false;
   bool perf_smoke = false;
   bool trace_smoke = false;
+  bool ops_smoke = false;
+  std::string expect_fingerprint;
   bool profile = false;
   std::string trace_path;
   std::string metrics_path;
@@ -117,6 +133,10 @@ Args parse(int argc, char** argv) {
       args.perf_smoke = true;
     } else if (a == "--trace-smoke") {
       args.trace_smoke = true;
+    } else if (a == "--ops-smoke") {
+      args.ops_smoke = true;
+    } else if (a.rfind("--expect-fingerprint=", 0) == 0) {
+      args.expect_fingerprint = a.substr(21);
     } else if (a.rfind("--trace=", 0) == 0) {
       args.trace_path = a.substr(8);
     } else if (a.rfind("--metrics=", 0) == 0) {
@@ -171,6 +191,7 @@ Args parse(int argc, char** argv) {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: " << argv[0]
                 << " [--sweep[=STRIDE]] [--perf-smoke] [--trace-smoke]"
+                   " [--ops-smoke] [--expect-fingerprint=HEX]"
                    " [--threads N] [--programs a,b,c] [--journal PATH]"
                    " [--attempts N] [--deadline-ms N] [--shard i/N]"
                    " [--merge-journals a,b,...] [--merge-out PATH]"
@@ -218,6 +239,7 @@ void write_bench_json(const ucp::exp::Sweep& sweep, const Args& args,
   os.precision(6);
   os << "{\n"
      << "  \"bench\": \"table2_sweep\",\n"
+     << "  \"build\": " << ucp::obs::build_info_json() << ",\n"
      << "  \"total_cases\": " << r.total << ",\n"
      << "  \"completed\": " << r.completed << ",\n"
      << "  \"degraded\": " << r.degraded << ",\n"
@@ -280,6 +302,11 @@ int run_sweep_mode(const Args& args) {
   bench::ObsSession obs_session(args.trace_path, args.metrics_path,
                                 args.profile);
   obs::set_enabled(true);
+  // The flight recorder flies here too, exactly as in ucpd: the full-grid
+  // fingerprint (and its --expect-fingerprint CI pin) is measured with the
+  // daemon's steady-state ops stack on, so "observability never changes a
+  // number" is proven in the configuration that actually ships.
+  obs::set_flight_enabled(true);
 
   // Cooperative shutdown: ^C / SIGTERM stop the sweep at the next task
   // boundary, the journal keeps every finished row, and the report below
@@ -318,6 +345,13 @@ int run_sweep_mode(const Args& args) {
     return 0;
   }
   std::cout << "[bench] result fingerprint " << fp << "\n";
+  if (!args.expect_fingerprint.empty() && fp != args.expect_fingerprint) {
+    std::cerr << "[bench] FAIL: result fingerprint " << fp
+              << " does not match the expected " << args.expect_fingerprint
+              << " — either the numbers changed (a correctness regression) "
+                 "or they changed on purpose and the pin needs updating\n";
+    return 1;
+  }
   write_bench_json(sweep, args, fp);
   return 0;
 }
@@ -552,6 +586,89 @@ int run_trace_smoke(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int run_ops_smoke(const Args& args) {
+  using namespace ucp;
+  // Same slice as --trace-smoke, but the instrumented configuration is the
+  // daemon's steady-state ops stack: metrics registry + structured JSON
+  // logging (rate-limited, to a file) + the always-on flight recorder.
+  // This is the configuration ucpd actually flies with, so this is the
+  // overhead number that matters for "observability is free enough to
+  // leave on".
+  Args smoke = args;
+  if (smoke.stride == 1) smoke.stride = 12;
+  if (smoke.programs.empty()) smoke.programs = {"bs", "fdct", "crc"};
+  const exp::SweepOptions options = sweep_options(smoke);
+
+  const std::string log_path =
+      "ucp_ops_smoke." + std::to_string(::getpid()) + ".log.jsonl";
+  std::remove(log_path.c_str());
+
+  auto timed = [&](bool ops, std::string& fp) {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (int rep = 0; rep < 2; ++rep) {
+      if (ops) {
+        obs::LogOptions log_options;
+        log_options.json = true;
+        log_options.file_path = log_path;
+        log_options.rate_limit = 100;
+        obs::configure_logging(log_options);
+        obs::set_enabled(true);
+        obs::set_flight_enabled(true);
+      }
+      const exp::Sweep sweep = exp::run_sweep(options);
+      obs::set_enabled(false);
+      obs::set_flight_enabled(false);
+      obs::configure_logging(obs::LogOptions{});
+      fp = exp::sweep_results_fingerprint(sweep.results);
+      best = std::min<std::uint64_t>(best, sweep.report.wall_ms);
+    }
+    return best;
+  };
+
+  obs::reset_flight();
+  std::string fp_off;
+  std::string fp_on;
+  const std::uint64_t ms_off = timed(false, fp_off);
+  const std::uint64_t ms_on = timed(true, fp_on);
+
+  int failures = 0;
+  if (fp_off != fp_on) {
+    std::cerr << "[ops-smoke] FAIL: the ops stack changed the results ("
+              << fp_off << " vs " << fp_on << ")\n";
+    ++failures;
+  }
+
+  // The flight recorder actually flew: the rings hold span records from
+  // the instrumented sweep.
+  const std::vector<obs::FlightRecord> records = obs::flight_snapshot();
+  const bool has_span =
+      std::any_of(records.begin(), records.end(),
+                  [](const obs::FlightRecord& r) { return r.kind == 'S'; });
+  if (!has_span) {
+    std::cerr << "[ops-smoke] FAIL: no span records in the flight rings — "
+                 "the recorder was not recording during the sweep\n";
+    ++failures;
+  }
+  obs::reset_flight();
+
+  // Same overhead budget as --trace-smoke: at most 1% plus an absolute
+  // floor that absorbs scheduler noise on a sub-second slice.
+  const double budget = static_cast<double>(ms_off) * 1.01 + 150.0;
+  if (static_cast<double>(ms_on) > budget) {
+    std::cerr << "[ops-smoke] FAIL: ops-enabled sweep took " << ms_on
+              << "ms vs " << ms_off << "ms baseline (budget " << budget
+              << "ms)\n";
+    ++failures;
+  }
+
+  std::cout << "[ops-smoke] " << (failures == 0 ? "OK" : "FAIL") << ": "
+            << records.size() << " flight records, baseline " << ms_off
+            << "ms, ops-enabled " << ms_on << "ms, fingerprint " << fp_off
+            << "\n";
+  std::remove(log_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -561,6 +678,7 @@ int main(int argc, char** argv) {
   if (args.scaling_smoke) return run_scaling(args, /*smoke=*/true);
   if (args.scaling) return run_scaling(args, /*smoke=*/false);
   if (args.trace_smoke) return run_trace_smoke(args);
+  if (args.ops_smoke) return run_ops_smoke(args);
   if (args.perf_smoke) return run_perf_smoke(args);
   if (args.sweep) return run_sweep_mode(args);
 

@@ -22,6 +22,7 @@
 #include "analysis/context_graph.hpp"
 #include "exp/journal.hpp"
 #include "ir/layout.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -876,8 +877,10 @@ Sweep run_sweep(const SweepOptions& options) {
           continue;
         filtered.push_back(std::move(r));
       }
-      std::cerr << "  [sweep] loaded " << filtered.size()
-                << " memoized use cases from " << options.cache_path << "\n";
+      obs::log(obs::LogLevel::kInfo, "sweep", "memo_loaded",
+               options.cache_path,
+               obs::LogFields().num(
+                   "cases", static_cast<std::uint64_t>(filtered.size())));
       sweep.report.cache_hit = true;
       sweep.report.cache_note = "served from " + options.cache_path;
       sweep.report.total = filtered.size();
@@ -889,7 +892,8 @@ Sweep run_sweep(const SweepOptions& options) {
       // Corrupt / stale cache: report it and recompute — never trust it.
       sweep.report.cache_note =
           cached.status().message() + " — recomputing";
-      std::cerr << "  [sweep] " << sweep.report.cache_note << "\n";
+      obs::log(obs::LogLevel::kWarn, "sweep", "memo_rejected",
+               sweep.report.cache_note);
     }
   }
 
@@ -977,7 +981,8 @@ Sweep run_sweep(const SweepOptions& options) {
       sweep.report.journal_note +=
           " — journaling disabled: " + opened.message();
     if (!opened.ok())
-      std::cerr << "  [sweep] " << sweep.report.journal_note << "\n";
+      obs::log(obs::LogLevel::kWarn, "sweep", "journal_disabled",
+               sweep.report.journal_note);
     else
       reporter.announce(sweep.report.journal_note);
   }
@@ -1498,7 +1503,8 @@ Sweep run_sweep(const SweepOptions& options) {
       sweep.report.clean()) {
     const Status saved = save_sweep_cache(options.cache_path, results);
     if (!saved.ok())
-      std::cerr << "  [sweep] memo not saved: " << saved.message() << "\n";
+      obs::log(obs::LogLevel::kWarn, "sweep", "memo_not_saved",
+               saved.message());
   }
   return sweep;
 }

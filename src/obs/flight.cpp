@@ -1,0 +1,240 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/build_info.hpp"
+#include "obs/trace.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ucp::obs {
+
+namespace {
+
+std::atomic<bool> g_flight_enabled{false};
+std::atomic<std::size_t> g_capacity{256};
+std::atomic<std::uint64_t> g_seq{0};
+
+void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// One thread's ring. Owned jointly by the thread (TLS shared_ptr) and the
+/// global list, exactly like the trace buffers, so a thread may exit while
+/// a dump still reads its recent records. The mutex is uncontended except
+/// while a dump copies the ring.
+struct Ring {
+  std::mutex mutex;
+  std::vector<FlightRecord> slots;  // preallocated, fixed size
+  std::size_t next = 0;             // next slot to overwrite
+  std::size_t filled = 0;           // min(records ever, slots.size())
+  std::uint32_t tid = 0;
+
+  explicit Ring(std::size_t capacity) {
+    slots.resize(capacity);
+  }
+
+  void push(const FlightRecord& record) {
+    std::lock_guard<std::mutex> lock(mutex);
+    slots[next] = record;
+    next = (next + 1) % slots.size();
+    filled = std::min(filled + 1, slots.size());
+  }
+};
+
+struct RingList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+};
+
+RingList& ring_list() {
+  static RingList* list = new RingList();  // leaked: outlives TLS teardown
+  return *list;
+}
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>(
+        g_capacity.load(std::memory_order_relaxed));
+    r->tid = this_thread_trace_tid();
+    RingList& list = ring_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    list.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void record(char kind, const char* name, std::string_view detail,
+            std::uint64_t start_ns, std::uint64_t dur_ns, std::uint64_t ctx) {
+  FlightRecord r;
+  r.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  r.ts_ns = start_ns;
+  r.ctx = ctx;
+  r.dur_ns = dur_ns;
+  r.kind = kind;
+  copy_truncated(r.name, FlightRecord::kNameBytes, name);
+  copy_truncated(r.detail, FlightRecord::kDetailBytes, detail);
+  Ring& ring = local_ring();
+  r.tid = ring.tid;
+  ring.push(r);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+        break;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool flight_enabled() {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void set_flight_enabled(bool on) {
+  g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_flight_capacity(std::size_t records) {
+  g_capacity.store(std::clamp<std::size_t>(records, 16, 65536),
+                   std::memory_order_relaxed);
+}
+
+std::size_t flight_capacity() {
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+void flight_note(const char* name, std::string_view detail) {
+  if (!flight_enabled()) return;
+  record('N', name, detail, trace_now_ns(), 0, trace_context());
+}
+
+void flight_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, std::uint64_t ctx) {
+  if (!flight_enabled()) return;
+  record('S', name, {}, start_ns, dur_ns, ctx);
+}
+
+void flight_log(const char* component, const char* event,
+                std::string_view detail) {
+  if (!flight_enabled()) return;
+  const std::string name = std::string(component) + "." + event;
+  record('L', name.c_str(), detail, trace_now_ns(), 0, trace_context());
+}
+
+std::vector<FlightRecord> flight_snapshot() {
+  std::vector<FlightRecord> all;
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    // Oldest-first within the ring: the slot at `next` is the oldest once
+    // the ring has wrapped.
+    const std::size_t n = ring->filled;
+    const std::size_t cap = ring->slots.size();
+    const std::size_t oldest = ring->filled < cap ? 0 : ring->next;
+    for (std::size_t i = 0; i < n; ++i)
+      all.push_back(ring->slots[(oldest + i) % cap]);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+std::string flight_dump_json(const std::string& reason) {
+  const std::vector<FlightRecord> records = flight_snapshot();
+  std::string out = "{\"kind\":\"header\",\"reason\":";
+  append_json_string(out, reason);
+  out += ",\"records\":";
+  out += std::to_string(records.size());
+  out += ",\"capacity_per_thread\":";
+  out += std::to_string(flight_capacity());
+  out += ",\"build\":";
+  out += build_info_json();
+  out += "}\n";
+  for (const FlightRecord& r : records) {
+    out += "{\"kind\":\"";
+    out += r.kind == 'S' ? "span" : r.kind == 'L' ? "log" : "note";
+    out += "\",\"seq\":";
+    out += std::to_string(r.seq);
+    out += ",\"ts_ns\":";
+    out += std::to_string(r.ts_ns);
+    out += ",\"tid\":";
+    out += std::to_string(r.tid);
+    out += ",\"name\":";
+    append_json_string(out, r.name);
+    if (r.detail[0] != '\0') {
+      out += ",\"detail\":";
+      append_json_string(out, r.detail);
+    }
+    if (r.kind == 'S') {
+      out += ",\"dur_ns\":";
+      out += std::to_string(r.dur_ns);
+    }
+    if (r.ctx != 0) {
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(r.ctx));
+      out += ",\"ctx\":\"";
+      out += buf;
+      out += '"';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Status write_flight_file(const std::string& path, const std::string& reason) {
+  const std::string body = flight_dump_json(reason);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr || UCP_FAULT_POINT("obs.flight_dump")) {
+    if (f != nullptr) std::fclose(f);
+    return Status(ErrorCode::kInternal,
+                  "cannot write flight-recorder dump " + path);
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !flushed || !closed)
+    return Status(ErrorCode::kInternal,
+                  "short write to flight-recorder dump " + path);
+  return Status::Ok();
+}
+
+void reset_flight() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->next = 0;
+    ring->filled = 0;
+  }
+}
+
+}  // namespace ucp::obs

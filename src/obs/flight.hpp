@@ -1,0 +1,90 @@
+#pragma once
+
+// Always-on crash flight recorder.
+//
+// A fixed-size per-thread ring buffer of recent span/log/note records.
+// Unlike the trace buffers (unbounded until drained, enabled only for
+// explicit profiling runs), the flight rings are bounded by construction
+// and meant to run for the whole life of a daemon: recording is an
+// allocation-free copy into a preallocated slot, and the only cost of a
+// quiet ring is the memory it pins (~kDefaultCapacity * sizeof(FlightRecord)
+// per thread).
+//
+// Dump triggers (ucpd): SIGQUIT, a watchdog fire, an audit violation, or an
+// admin-plane FLIGHT request. The dump is a merge of every thread's ring,
+// ordered by the global sequence number — the last N things the process did,
+// per thread, survive any failure mode that leaves the dumper runnable.
+// kill -9 leaves nothing runnable; for that the request journal (serve/
+// request_journal) carries the durable story, and the flight recorder
+// covers every softer ending.
+//
+// Record payloads are fixed-size char arrays (truncating copies), so a
+// record never allocates and the ring never touches the heap after
+// construction — a dump can run inside a fault path without compounding it.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace ucp::obs {
+
+/// One flight-recorder record. POD; strings are truncating copies.
+struct FlightRecord {
+  static constexpr std::size_t kNameBytes = 48;
+  static constexpr std::size_t kDetailBytes = 96;
+
+  std::uint64_t seq = 0;    ///< global emission order across threads
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since the trace epoch
+  std::uint64_t ctx = 0;    ///< trace context (request correlation), 0=none
+  std::uint64_t dur_ns = 0; ///< span records only
+  std::uint32_t tid = 0;    ///< dense thread index (same space as traces)
+  char kind = 'N';          ///< 'S' span, 'L' log line, 'N' note
+  char name[kNameBytes] = {};
+  char detail[kDetailBytes] = {};
+};
+
+/// Recorder switch, independent of metrics/tracing: a daemon flies with the
+/// recorder on and everything else off. Relaxed load.
+bool flight_enabled();
+void set_flight_enabled(bool on);
+
+/// Per-thread ring capacity for rings created *after* the call (existing
+/// rings keep their size). Clamped to [16, 65536]; default 256.
+void set_flight_capacity(std::size_t records);
+std::size_t flight_capacity();
+
+/// Records an explicit event ('N') on the calling thread's ring. No-op when
+/// the recorder is off.
+void flight_note(const char* name, std::string_view detail = {});
+
+/// Records a closed span ('S'). Called by obs::Span; public so subsystems
+/// with their own timing (e.g. the admin plane) can file span-shaped
+/// records without a Span object.
+void flight_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, std::uint64_t ctx);
+
+/// Internal hook for obs::log: records an emitted log line ('L').
+void flight_log(const char* component, const char* event,
+                std::string_view detail);
+
+/// Non-destructive merged copy of every thread's ring, ascending seq. Safe
+/// to call from any thread at any time (rings are locked one at a time).
+std::vector<FlightRecord> flight_snapshot();
+
+/// JSON-lines dump (docs/schemas/flight_record.schema.json): a header line
+/// carrying `reason`, the build stamp and the record count, then one line
+/// per record in seq order.
+std::string flight_dump_json(const std::string& reason);
+
+/// Writes `flight_dump_json(reason)` to `path` through the
+/// `obs.flight_dump` fault point. kInternal on I/O failure — callers must
+/// degrade to a warning, never fail the operation that triggered the dump.
+Status write_flight_file(const std::string& path, const std::string& reason);
+
+/// Clears every ring (tests).
+void reset_flight();
+
+}  // namespace ucp::obs

@@ -1,0 +1,271 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "obs/flight.hpp"
+
+namespace ucp::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+        break;
+    }
+  }
+  out += '"';
+}
+
+/// The sink. One mutex serializes configuration and emission: log volume is
+/// rate-limited by design, so the lock is never the bottleneck, and a torn
+/// line is worse than a brief wait.
+struct Sink {
+  std::mutex mutex;
+  LogOptions options;
+  std::FILE* file = nullptr;  ///< owned, from options.file_path
+
+  struct Channel {
+    std::int64_t window_start_ms = -1;
+    std::uint32_t in_window = 0;
+    std::uint64_t suppressed = 0;
+  };
+  std::map<std::string, Channel> channels;
+
+  ~Sink() = delete;  // leaked singleton
+};
+
+Sink& sink() {
+  static Sink* s = new Sink();  // leaked: outlives static teardown
+  return *s;
+}
+
+std::atomic<std::uint8_t> g_min_level{
+    static_cast<std::uint8_t>(LogLevel::kInfo)};
+std::atomic<std::uint64_t> g_emitted{0};
+std::atomic<std::uint64_t> g_suppressed{0};
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string render_json(std::int64_t ts_ms, LogLevel level,
+                        const char* component, const char* event,
+                        std::string_view detail, const LogFields& fields,
+                        std::uint64_t suppressed) {
+  std::string out = "{\"ts_ms\":";
+  out += std::to_string(ts_ms);
+  out += ",\"level\":\"";
+  out += log_level_name(level);
+  out += "\",\"component\":";
+  append_json_string(out, component);
+  out += ",\"event\":";
+  append_json_string(out, event);
+  if (!detail.empty()) {
+    out += ",\"detail\":";
+    append_json_string(out, detail);
+  }
+  if (suppressed != 0) {
+    out += ",\"suppressed\":";
+    out += std::to_string(suppressed);
+  }
+  for (const auto& [key, token] : fields.entries()) {
+    out += ',';
+    append_json_string(out, key);
+    out += ':';
+    out += token;
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string render_text(LogLevel level, const char* component,
+                        const char* event, std::string_view detail,
+                        const LogFields& fields, std::uint64_t suppressed) {
+  std::string out = "[";
+  out += component;
+  out += "] ";
+  if (level == LogLevel::kWarn) out += "warning: ";
+  if (level == LogLevel::kError) out += "error: ";
+  out += event;
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  for (const auto& [key, token] : fields.entries()) {
+    out += ' ';
+    out += key;
+    out += '=';
+    // Tokens are JSON-rendered; strings keep their quotes in text mode too,
+    // so a value containing spaces stays one field.
+    out += token;
+  }
+  if (suppressed != 0) {
+    out += " (+";
+    out += std::to_string(suppressed);
+    out += " suppressed)";
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+LogFields& LogFields::str(std::string_view key, std::string_view value) {
+  std::string token;
+  append_json_string(token, value);
+  entries_.emplace_back(std::string(key), std::move(token));
+  return *this;
+}
+
+LogFields& LogFields::num(std::string_view key, std::int64_t value) {
+  entries_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+LogFields& LogFields::num(std::string_view key, std::uint64_t value) {
+  entries_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+LogFields& LogFields::real(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  entries_.emplace_back(std::string(key), buf);
+  return *this;
+}
+
+LogFields& LogFields::boolean(std::string_view key, bool value) {
+  entries_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+void configure_logging(const LogOptions& options) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  s.options = options;
+  if (!options.file_path.empty()) {
+    s.file = std::fopen(options.file_path.c_str(), "ab");
+    if (s.file == nullptr) {
+      std::fprintf(stderr,
+                   "[obs] warning: cannot open log file %s; logging to "
+                   "stderr\n",
+                   options.file_path.c_str());
+      s.options.file_path.clear();
+    }
+  }
+  s.channels.clear();
+  g_min_level.store(static_cast<std::uint8_t>(options.min_level),
+                    std::memory_order_relaxed);
+}
+
+LogOptions logging_options() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.options;
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<std::uint8_t>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const char* component, const char* event,
+         std::string_view detail, const LogFields& fields) {
+  if (!log_enabled(level)) return;
+
+  Sink& s = sink();
+  std::uint64_t suppressed_to_report = 0;
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.options.rate_limit > 0) {
+      const std::int64_t now = wall_ms();
+      Sink::Channel& ch =
+          s.channels[std::string(component) + "\x1f" + event];
+      if (ch.window_start_ms < 0 ||
+          now - ch.window_start_ms >=
+              static_cast<std::int64_t>(s.options.rate_window_ms)) {
+        ch.window_start_ms = now;
+        ch.in_window = 0;
+      }
+      if (ch.in_window >= s.options.rate_limit) {
+        ++ch.suppressed;
+        g_suppressed.fetch_add(1, std::memory_order_relaxed);
+        // Suppressed lines still reach the flight recorder: the ring is
+        // bounded anyway, and a crash dump wants exactly the spammy tail
+        // the rate limiter kept off the operator's terminal.
+        flight_log(component, event, detail);
+        return;
+      }
+      ++ch.in_window;
+      suppressed_to_report = ch.suppressed;
+      ch.suppressed = 0;
+    }
+    line = s.options.json
+               ? render_json(wall_ms(), level, component, event, detail,
+                             fields, suppressed_to_report)
+               : render_text(level, component, event, detail, fields,
+                             suppressed_to_report);
+    std::FILE* out = s.file != nullptr
+                         ? s.file
+                         : (s.options.stream != nullptr ? s.options.stream
+                                                        : stderr);
+    // A failing sink is swallowed: logging must never take the caller down.
+    (void)std::fwrite(line.data(), 1, line.size(), out);
+    (void)std::fflush(out);
+  }
+  g_emitted.fetch_add(1, std::memory_order_relaxed);
+  flight_log(component, event, detail);
+}
+
+std::uint64_t log_lines_emitted() {
+  return g_emitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t log_lines_suppressed() {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
+
+void reset_log_stats() {
+  g_emitted.store(0, std::memory_order_relaxed);
+  g_suppressed.store(0, std::memory_order_relaxed);
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.channels.clear();
+}
+
+}  // namespace ucp::obs

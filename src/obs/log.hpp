@@ -1,0 +1,91 @@
+#pragma once
+
+// Structured leveled logging — the operator-facing half of ucp::obs.
+//
+// One line per event, in one of two renderings of the same record:
+//   text:  "[component] event detail k=v k=v"    (human, the default)
+//   json:  {"ts_ms":..,"level":"info","component":"serve","event":"..",
+//           "k":v,...}                            (machines; ucpd default)
+//
+// Contract (docs/schemas/log_line.schema.json):
+//  - deterministic field ordering: the four envelope keys first (ts_ms,
+//    level, component, event), then caller fields in *insertion order* —
+//    two runs of the same code emit keys in the same order, so log diffs
+//    and downstream parsers never chase map-ordering noise;
+//  - rate limiting per (component, event): at most `rate_limit` lines per
+//    window; the first line after a suppressed stretch carries a
+//    `suppressed` field, so silence is never silent data loss (same
+//    discipline as obs::ProgressReporter notices);
+//  - every emitted line is also recorded in the flight recorder (kind
+//    'L'), so a crash dump carries the most recent log tail even when the
+//    log stream itself was lost;
+//  - sink failures are swallowed: logging is an observer and may never
+//    take the serving path down with it.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ucp::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+const char* log_level_name(LogLevel level);
+
+/// Ordered field list for one log line. Values are pre-rendered to JSON
+/// tokens at append time, so emission is a deterministic concatenation.
+class LogFields {
+ public:
+  LogFields& str(std::string_view key, std::string_view value);
+  LogFields& num(std::string_view key, std::int64_t value);
+  LogFields& num(std::string_view key, std::uint64_t value);
+  LogFields& real(std::string_view key, double value);
+  LogFields& boolean(std::string_view key, bool value);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  /// key -> rendered JSON token ("\"quoted\"", "42", "1.5", "true").
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct LogOptions {
+  LogLevel min_level = LogLevel::kInfo;
+  bool json = false;        ///< false: human-readable text rendering
+  std::FILE* stream = nullptr;  ///< nullptr = stderr (ignored with a path)
+  std::string file_path;    ///< non-empty: append lines to this file
+  /// Max lines per (component, event) per window; 0 = unlimited.
+  std::uint32_t rate_limit = 0;
+  std::uint32_t rate_window_ms = 1000;
+};
+
+/// Installs the sink. Safe to call at any time; a failing `file_path` open
+/// degrades to the stream/stderr with a warning line.
+void configure_logging(const LogOptions& options);
+
+/// The active configuration (for tests and for flag plumbing).
+LogOptions logging_options();
+
+/// True iff a log(level, ...) call would emit — callers building expensive
+/// field sets guard on this.
+bool log_enabled(LogLevel level);
+
+/// Emits one structured line. `component` and `event` must be string
+/// literals or otherwise outlive the call; `detail` is a free-form human
+/// message (rendered as the `detail` field in json mode).
+void log(LogLevel level, const char* component, const char* event,
+         std::string_view detail = {}, const LogFields& fields = {});
+
+/// Lines emitted / suppressed-by-rate-limit since process start (or the
+/// last reset_log_stats()). Suppression accounting is per process, like
+/// the registry counters.
+std::uint64_t log_lines_emitted();
+std::uint64_t log_lines_suppressed();
+void reset_log_stats();
+
+}  // namespace ucp::obs

@@ -3,6 +3,8 @@
 #include <bit>
 #include <limits>
 
+#include "obs/build_info.hpp"
+
 namespace ucp::obs {
 
 namespace {
@@ -37,6 +39,55 @@ std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(int index) {
   const std::uint64_t hi = index >= 64 ? std::numeric_limits<std::uint64_t>::max()
                                        : (std::uint64_t{1} << index) - 1;
   return {lo, hi};
+}
+
+double histogram_quantile(
+    const std::vector<std::pair<int, std::uint64_t>>& buckets,
+    std::uint64_t count, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // 0-based target rank, interpolated: q=0 is the first record, q=1 the
+  // last, matching the nearest-rank convention of the old bench-side sort.
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t below = 0;
+  for (const auto& [index, n] : buckets) {
+    if (n == 0) continue;
+    const double lo_rank = static_cast<double>(below);
+    const double hi_rank = static_cast<double>(below + n - 1);
+    if (rank <= hi_rank) {
+      const auto [lo, hi] = Histogram::bucket_range(index);
+      if (n == 1 || hi == lo)
+        return static_cast<double>(lo) +
+               (static_cast<double>(hi) - static_cast<double>(lo)) / 2.0;
+      // Spread the bucket's n records evenly over [lo, hi] and pick the
+      // interpolated position of `rank` among them.
+      const double frac = (rank - lo_rank) / static_cast<double>(n - 1);
+      return static_cast<double>(lo) +
+             frac * (static_cast<double>(hi) - static_cast<double>(lo));
+    }
+    below += n;
+  }
+  // Numerically unreachable (rank < count), but stay total.
+  const auto [lo, hi] = Histogram::bucket_range(buckets.back().first);
+  (void)lo;
+  return static_cast<double>(hi);
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::pair<int, std::uint64_t>> filled;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = bucket(i);
+    if (n != 0) {
+      filled.emplace_back(i, n);
+      total += n;
+    }
+  }
+  return histogram_quantile(filled, total, q);
+}
+
+double Snapshot::HistogramValue::quantile(double q) const {
+  return histogram_quantile(buckets, count, q);
 }
 
 void Histogram::reset() {
@@ -129,7 +180,9 @@ void append_json_string(std::string& out, const std::string& s) {
 }  // namespace
 
 std::string snapshot_json(const Snapshot& snapshot) {
-  std::string out = "{\"counters\":{";
+  std::string out = "{\"build\":";
+  out += build_info_json();
+  out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
     if (!first) out += ',';

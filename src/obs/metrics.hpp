@@ -141,6 +141,19 @@ class Histogram {
       total += shard.buckets[index].load(std::memory_order_relaxed);
     return total;
   }
+
+  /// Estimated q-quantile (q in [0,1]) from the bucket counts: the target
+  /// rank is located in the cumulative bucket walk, then linearly
+  /// interpolated inside that bucket's [lo, hi] value range. The estimate
+  /// is exact for values that fill a bucket uniformly and off by at most
+  /// the bucket width otherwise — with power-of-two buckets that bounds
+  /// the relative error by 2x, which is the accepted trade for recording
+  /// in O(1) with no stored samples. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
   void reset();
 
  private:
@@ -162,6 +175,8 @@ struct Snapshot {
     std::uint64_t sum = 0;
     /// (bucket index, count) for the non-empty buckets, ascending index.
     std::vector<std::pair<int, std::uint64_t>> buckets;
+    /// Same estimator as Histogram::quantile, over the snapshot's counts.
+    double quantile(double q) const;
   };
   std::vector<HistogramValue> histograms;
 
@@ -170,10 +185,19 @@ struct Snapshot {
   }
 };
 
-/// Single-line JSON of a snapshot: {"counters":{...},"gauges":{...},
-/// "histograms":{name:{"count":..,"sum":..,"buckets":[[i,n],...]}}}.
-/// One code path feeds --metrics files, the BENCH_sweep.json "metrics"
-/// object and the journal annotation.
+/// Estimated q-quantile over (bucket index, count) pairs (ascending index)
+/// totalling `count` records — the shared core of Histogram::quantile and
+/// Snapshot::HistogramValue::quantile.
+double histogram_quantile(
+    const std::vector<std::pair<int, std::uint64_t>>& buckets,
+    std::uint64_t count, double q);
+
+/// Single-line JSON of a snapshot: {"build":{...},"counters":{...},
+/// "gauges":{...},"histograms":{name:{"count":..,"sum":..,
+/// "buckets":[[i,n],...]}}}. One code path feeds --metrics files, the
+/// BENCH_*.json "metrics" objects and the journal annotation. The build
+/// stamp (obs::build_info) rides in every snapshot so no metrics artifact
+/// is ever ambiguous about the binary that produced it.
 std::string snapshot_json(const Snapshot& snapshot);
 
 /// Central instrument registry. Lookup takes a mutex — call sites cache the

@@ -1,6 +1,7 @@
 #include "obs/sink.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -67,6 +68,17 @@ std::string trace_json(const std::vector<TraceEvent>& events) {
     out += std::to_string(ev.tid);
     out += ",\"args\":{\"excl_us\":";
     append_us(out, ev.excl_ns);
+    if (ev.ctx != 0) {
+      // Request correlation: every span a ucpd request triggered carries
+      // the request's context id, so Perfetto can filter one request out
+      // of a loaded daemon's trace.
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(ev.ctx));
+      out += ",\"ctx\":\"";
+      out += buf;
+      out += '"';
+    }
     out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
@@ -80,6 +92,47 @@ Status write_trace_file(const std::string& path,
 
 Status write_metrics_file(const std::string& path, const Snapshot& snapshot) {
   return write_text_file(path, snapshot_json(snapshot) + "\n");
+}
+
+namespace {
+
+/// `a.b.c` -> `ucp_a_b_c` (Prometheus metric names allow [a-zA-Z0-9_:]).
+std::string prom_name(const std::string& name) {
+  std::string out = "ucp_";
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const Snapshot::HistogramValue& h : snapshot.histograms) {
+    const std::string n = prom_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, count] : h.buckets) {
+      cumulative += count;
+      out += n + "_bucket{le=\"" +
+             std::to_string(Histogram::bucket_range(index).second) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 std::string profile_table(const std::vector<TraceEvent>& events,

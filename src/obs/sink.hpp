@@ -38,6 +38,14 @@ Status write_trace_file(const std::string& path,
 /// Writes `snapshot_json(snapshot)` (+ trailing newline) to `path`.
 Status write_metrics_file(const std::string& path, const Snapshot& snapshot);
 
+/// Prometheus text exposition (version 0.0.4) of a snapshot, for the ucpd
+/// admin plane's `STATS prom` verb. Names are mangled `a.b.c` ->
+/// `ucp_a_b_c`; counters become `counter`, gauges `gauge`, and the
+/// power-of-two histograms render as native Prometheus histograms with
+/// cumulative `_bucket{le="..."}` series (le = each non-empty bucket's
+/// upper value bound, plus "+Inf"), `_sum` and `_count`.
+std::string prometheus_text(const Snapshot& snapshot);
+
 /// Aggregates events by span name and renders the top `top_n` rows by
 /// inclusive time: calls, inclusive/exclusive totals and means, share of
 /// the busiest span. Empty string when there are no events.

@@ -6,11 +6,15 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/flight.hpp"
+
 namespace ucp::obs {
 
 namespace {
 
 std::atomic<bool> g_trace_enabled{false};
+
+thread_local std::uint64_t g_trace_context = 0;
 
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
@@ -77,17 +81,32 @@ void set_trace_enabled(bool on) {
   g_trace_enabled.store(on, std::memory_order_relaxed);
 }
 
-std::uint64_t trace_now_ns() { return steady_ns() - trace_epoch(); }
+std::uint64_t trace_now_ns() {
+  // Pin the epoch before sampling the clock: with unspecified evaluation
+  // order, `steady_ns() - trace_epoch()` can initialize the epoch *after*
+  // the minuend on the very first call and underflow.
+  const std::uint64_t epoch = trace_epoch();
+  return steady_ns() - epoch;
+}
+
+void set_trace_context(std::uint64_t ctx) { g_trace_context = ctx; }
+
+void clear_trace_context() { g_trace_context = 0; }
+
+std::uint64_t trace_context() { return g_trace_context; }
+
+std::uint32_t this_thread_trace_tid() { return local_buffer().tid; }
 
 Span::Span(const char* name) : name_(name) {
-  if (!trace_enabled()) return;
-  armed_ = true;
+  trace_armed_ = trace_enabled();
+  flight_armed_ = flight_enabled();
+  if (!trace_armed_ && !flight_armed_) return;
   start_ns_ = trace_now_ns();
   local_buffer().stack.push_back(Frame{name_, start_ns_, 0});
 }
 
 Span::~Span() {
-  if (!armed_) return;
+  if (!trace_armed_ && !flight_armed_) return;
   const std::uint64_t end_ns = trace_now_ns();
   ThreadBuffer& buf = local_buffer();
   // The matching frame is the top of this thread's stack by construction
@@ -96,15 +115,31 @@ Span::~Span() {
   buf.stack.pop_back();
   const std::uint64_t dur = end_ns - frame.start_ns;
   if (!buf.stack.empty()) buf.stack.back().child_ns += dur;
+  if (flight_armed_) flight_span(name_, frame.start_ns, dur, g_trace_context);
+  if (!trace_armed_) return;
   TraceEvent ev;
   ev.name = name_;
   ev.start_ns = frame.start_ns;
   ev.dur_ns = dur;
   ev.excl_ns = dur >= frame.child_ns ? dur - frame.child_ns : 0;
+  ev.ctx = g_trace_context;
   ev.tid = buf.tid;
   std::lock_guard<std::mutex> lock(buf.mutex);
   buf.events.push_back(ev);
 }
+
+namespace {
+
+void sort_events(std::vector<TraceEvent>& all) {
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns;  // parents before equal-start kids
+            });
+}
+
+}  // namespace
 
 std::vector<TraceEvent> drain_trace() {
   std::vector<TraceEvent> all;
@@ -115,12 +150,38 @@ std::vector<TraceEvent> drain_trace() {
     all.insert(all.end(), buf->events.begin(), buf->events.end());
     buf->events.clear();
   }
-  std::sort(all.begin(), all.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-              if (a.tid != b.tid) return a.tid < b.tid;
-              return a.dur_ns > b.dur_ns;  // parents before equal-start kids
-            });
+  sort_events(all);
+  return all;
+}
+
+std::vector<TraceEvent> drain_trace_context(std::uint64_t ctx) {
+  std::vector<TraceEvent> matched;
+  BufferList& list = buffer_list();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const auto& buf : list.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    auto keep = buf->events.begin();
+    for (TraceEvent& ev : buf->events) {
+      if (ev.ctx == ctx)
+        matched.push_back(ev);
+      else
+        *keep++ = ev;
+    }
+    buf->events.erase(keep, buf->events.end());
+  }
+  sort_events(matched);
+  return matched;
+}
+
+std::vector<TraceEvent> snapshot_trace() {
+  std::vector<TraceEvent> all;
+  BufferList& list = buffer_list();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const auto& buf : list.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  sort_events(all);
   return all;
 }
 

@@ -32,13 +32,40 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint64_t excl_ns = 0;  ///< dur_ns minus time in child spans
+  std::uint64_t ctx = 0;      ///< trace context at open (0 = uncorrelated)
   std::uint32_t tid = 0;      ///< dense per-process thread index, from 0
 };
 
-/// RAII span. Arms itself on construction iff tracing is enabled at that
-/// moment, and closes (recording one TraceEvent) on destruction iff it
-/// armed — so toggling tracing mid-span can lose that one span but never
-/// unbalances the thread's stack.
+// --- trace context (request correlation) -----------------------------------
+// A thread-local correlation id. While set, every span the thread opens
+// (and every flight record it files) carries it — so all the work one ucpd
+// request triggers (analysis, ILP, optimizer, audit) is attributable to
+// that request without threading an id through every call signature. The
+// pipeline runs a request on one worker thread, which is exactly what makes
+// this sufficient.
+void set_trace_context(std::uint64_t ctx);
+void clear_trace_context();
+std::uint64_t trace_context();
+
+/// RAII context scope for one request/task.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::uint64_t ctx) : prev_(trace_context()) {
+    set_trace_context(ctx);
+  }
+  ~TraceContextScope() { set_trace_context(prev_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// RAII span. Arms itself on construction iff tracing (or the flight
+/// recorder) is enabled at that moment, and closes on destruction iff it
+/// armed — recording a TraceEvent when tracing armed it and a flight
+/// record when the recorder armed it — so toggling either switch mid-span
+/// can lose that one span but never unbalances the thread's stack.
 class Span {
  public:
   explicit Span(const char* name);
@@ -49,13 +76,24 @@ class Span {
  private:
   const char* name_;
   std::uint64_t start_ns_ = 0;
-  bool armed_ = false;
+  bool trace_armed_ = false;
+  bool flight_armed_ = false;
 };
 
 /// Moves every thread's closed spans out of the per-thread buffers into one
 /// list sorted by (start_ns, tid). Safe to call at any time from any
 /// thread; spans still open stay with their threads.
 std::vector<TraceEvent> drain_trace();
+
+/// Moves only the spans carrying context `ctx` out of the buffers — how the
+/// daemon extracts (and bounds the memory of) one request's trace while
+/// other requests keep accumulating theirs. Sorted like drain_trace().
+std::vector<TraceEvent> drain_trace_context(std::uint64_t ctx);
+
+/// Non-destructive copy of every buffered span, sorted like drain_trace().
+/// The admin plane's PROFILE verb uses this to render a live top-spans
+/// table without stealing the spans from a --trace session.
+std::vector<TraceEvent> snapshot_trace();
 
 /// Discards all buffered spans (open spans on other threads still close
 /// into their buffers afterwards). Tests use this between runs.
@@ -67,5 +105,10 @@ std::size_t open_span_depth();
 /// Nanoseconds since the trace epoch, for callers that correlate their own
 /// timestamps with trace events.
 std::uint64_t trace_now_ns();
+
+/// The calling thread's dense trace thread index — the `tid` its spans (and
+/// flight records) carry. Assigned on first use, stable for the thread's
+/// lifetime.
+std::uint32_t this_thread_trace_tid();
 
 }  // namespace ucp::obs

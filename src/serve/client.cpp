@@ -14,4 +14,49 @@ Expected<Response> call(std::uint16_t port, const Request& request,
   return read_response(reader, limits);
 }
 
+Expected<AdminReply> admin_call(std::uint16_t admin_port,
+                                const std::string& verb, int timeout_ms) {
+  Expected<support::Socket> conn =
+      support::tcp_connect(admin_port, timeout_ms);
+  if (!conn.ok()) return conn.status();
+  Status sent = write_all(*conn, verb + "\n");
+  if (!sent.ok()) return sent;
+
+  support::LineReader reader(*conn, 4096, timeout_ms);
+  Expected<std::string> banner = reader.read_line();
+  if (!banner.ok()) return banner.status();
+  if (*banner != "ucp-admin v1")
+    return Status(ErrorCode::kMalformedInput,
+                  "bad admin banner '" + *banner + "'");
+  AdminReply reply;
+  Expected<std::string> echoed = reader.read_line();
+  if (!echoed.ok()) return echoed.status();
+  if (echoed->rfind("verb ", 0) != 0)
+    return Status(ErrorCode::kMalformedInput, "missing admin verb echo");
+  reply.verb = echoed->substr(5);
+  Expected<std::string> status_line = reader.read_line();
+  if (!status_line.ok()) return status_line.status();
+  if (*status_line == "status ok")
+    reply.ok = true;
+  else if (*status_line == "status error")
+    reply.ok = false;
+  else
+    return Status(ErrorCode::kMalformedInput,
+                  "bad admin status line '" + *status_line + "'");
+  Expected<std::string> header = reader.read_line();
+  if (!header.ok()) return header.status();
+  if (header->rfind("payload ", 0) != 0)
+    return Status(ErrorCode::kMalformedInput, "missing admin payload header");
+  const std::string size_text = header->substr(8);
+  if (size_text.empty() ||
+      size_text.find_first_not_of("0123456789") != std::string::npos ||
+      size_text.size() > 9)
+    return Status(ErrorCode::kMalformedInput,
+                  "bad admin payload size '" + size_text + "'");
+  Expected<std::string> payload = reader.read_exact(std::stoul(size_text));
+  if (!payload.ok()) return payload.status();
+  reply.payload = std::move(*payload);
+  return reply;
+}
+
 }  // namespace ucp::serve

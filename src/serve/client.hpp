@@ -6,6 +6,7 @@
 // linking the pipeline.
 
 #include <cstdint>
+#include <string>
 
 #include "serve/protocol.hpp"
 #include "support/status.hpp"
@@ -21,5 +22,23 @@ namespace ucp::serve {
 Expected<Response> call(std::uint16_t port, const Request& request,
                         int timeout_ms = 30000,
                         const ProtocolLimits& limits = {});
+
+/// One admin-plane reply: the echoed verb, the server's ok/error verdict,
+/// and the payload (JSON, Prometheus text, a profile table, a flight dump,
+/// or an error message).
+struct AdminReply {
+  bool ok = false;
+  std::string verb;
+  std::string payload;
+};
+
+/// Scrapes the ucpd admin plane: connects to 127.0.0.1:`admin_port`, sends
+/// `verb` (HEALTH | STATS | "STATS prom" | PROFILE | FLIGHT), parses the
+/// framed reply. Same split as call(): transport/framing trouble is a
+/// Status, a served error (unknown verb, flight recorder off) is an ok()
+/// AdminReply with `ok == false`.
+Expected<AdminReply> admin_call(std::uint16_t admin_port,
+                                const std::string& verb,
+                                int timeout_ms = 5000);
 
 }  // namespace ucp::serve

@@ -5,7 +5,6 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
-#include <iostream>
 #include <list>
 #include <mutex>
 #include <string_view>
@@ -18,7 +17,11 @@
 #include "exp/harness.hpp"
 #include "ir/text_codec.hpp"
 #include "ir/verify.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "serve/request_journal.hpp"
 #include "support/cancellation.hpp"
@@ -82,6 +85,86 @@ Response error_response(ErrorCode code, const std::string& detail) {
   return r;
 }
 
+/// Request ids are `[A-Za-z0-9_.:-]` — everything but ':' is already safe
+/// in a filename; keep the per-request trace paths shell-friendly.
+std::string trace_file_name(const std::string& id) {
+  std::string name = "req-";
+  for (const char c : id) name += c == ':' ? '_' : c;
+  name += ".trace.json";
+  return name;
+}
+
+/// Deterministic JSON rendering of a stats snapshot (admin STATS verb;
+/// docs/schemas/admin_stats.schema.json). Key order is the declaration
+/// order of ServerStats.
+std::string stats_json(const ucp::serve::ServerStats& s) {
+  std::string out = "{";
+  auto field = [&out](const char* key, std::uint64_t v) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("accepted", s.accepted);
+  field("shed", s.shed);
+  field("requests", s.requests);
+  field("malformed", s.malformed);
+  field("dropped", s.dropped);
+  field("ok", s.ok);
+  field("degraded", s.degraded);
+  field("errors", s.errors);
+  field("cache_hits", s.cache_hits);
+  field("replayed", s.replayed);
+  field("retried", s.retried);
+  field("admin_scrapes", s.admin_scrapes);
+  field("admin_dropped", s.admin_dropped);
+  field("flight_dumps", s.flight_dumps);
+  field("watchdog_fires", s.watchdog_fires);
+  field("trace_dumps", s.trace_dumps);
+  field("queue_depth", s.queue_depth);
+  field("inflight", s.inflight);
+  out += '}';
+  return out;
+}
+
+/// The daemon-lifetime counters in Prometheus text exposition, prefixed
+/// `ucp_ucpd_` so they never collide with the registry's `ucp_serve_*`
+/// series in the same scrape.
+std::string stats_prom(const ucp::serve::ServerStats& s) {
+  std::string out;
+  auto metric = [&out](const char* name, const char* type, std::uint64_t v) {
+    out += "# TYPE ucp_ucpd_";
+    out += name;
+    out += ' ';
+    out += type;
+    out += "\nucp_ucpd_";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  metric("accepted", "counter", s.accepted);
+  metric("shed", "counter", s.shed);
+  metric("requests", "counter", s.requests);
+  metric("malformed", "counter", s.malformed);
+  metric("dropped", "counter", s.dropped);
+  metric("ok", "counter", s.ok);
+  metric("degraded", "counter", s.degraded);
+  metric("errors", "counter", s.errors);
+  metric("cache_hits", "counter", s.cache_hits);
+  metric("replayed", "counter", s.replayed);
+  metric("retried", "counter", s.retried);
+  metric("admin_scrapes", "counter", s.admin_scrapes);
+  metric("admin_dropped", "counter", s.admin_dropped);
+  metric("flight_dumps", "counter", s.flight_dumps);
+  metric("watchdog_fires", "counter", s.watchdog_fires);
+  metric("trace_dumps", "counter", s.trace_dumps);
+  metric("queue_depth", "gauge", s.queue_depth);
+  metric("inflight", "gauge", s.inflight);
+  return out;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -91,6 +174,12 @@ struct Server::Impl {
   support::Socket listener;
   std::uint16_t port = 0;
   bool started = false;
+  std::int64_t start_at_ms = 0;  ///< steady-clock ms at start(), for uptime
+
+  // --- admin plane ---------------------------------------------------------
+  support::Socket admin_listener;
+  std::uint16_t admin_port = 0;
+  std::thread admin_thread;
 
   // --- admission queue -----------------------------------------------------
   std::mutex queue_mutex;
@@ -152,7 +241,11 @@ struct Server::Impl {
   // --- stats ---------------------------------------------------------------
   std::atomic<std::uint64_t> n_accepted{0}, n_shed{0}, n_requests{0},
       n_malformed{0}, n_dropped{0}, n_ok{0}, n_degraded{0}, n_errors{0},
-      n_cache_hits{0}, n_replayed{0}, n_retried{0};
+      n_cache_hits{0}, n_replayed{0}, n_retried{0}, n_admin_scrapes{0},
+      n_admin_dropped{0}, n_flight_dumps{0}, n_watchdog_fires{0},
+      n_trace_dumps{0};
+  std::atomic<std::int64_t> n_inflight{0};
+  std::atomic<std::int64_t> last_flight_dump_ms{-1};
 
   bool workers_held() const {
     return options.hold_workers &&
@@ -163,6 +256,13 @@ struct Server::Impl {
   void accept_loop();
   void worker_loop(WorkerSlot& slot);
   void watchdog_loop();
+  void admin_loop();
+  void handle_admin(support::Socket conn);
+  std::string admin_payload(const std::string& verb, bool& ok);
+  ServerStats collect_stats();
+  void dump_flight(const std::string& reason, bool force);
+  void maybe_dump_request_trace(const Request& request, std::uint64_t ctx,
+                                bool sampled);
   void shed_connection(support::Socket conn);
   void handle_connection(support::Socket conn, WorkerSlot& slot);
   Response process_request(const Request& request, WorkerSlot& slot);
@@ -205,10 +305,12 @@ void Server::Impl::accept_loop() {
     }
     if (admit) {
       n_accepted.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled())
-        obs::registry()
-            .gauge("serve.queue_depth")
+      if (obs::enabled()) {
+        obs::Registry& reg = obs::registry();
+        reg.gauge("serve.queue_depth").set(static_cast<std::int64_t>(depth));
+        reg.gauge("serve.queue_depth_peak")
             .set_max(static_cast<std::int64_t>(depth));
+      }
       queue_cv.notify_one();
     } else {
       shed_connection(std::move(*conn));
@@ -250,6 +352,10 @@ void Server::Impl::worker_loop(WorkerSlot& slot) {
       }
       conn = std::move(queue.front());
       queue.pop_front();
+      if (obs::enabled())
+        obs::registry()
+            .gauge("serve.queue_depth")
+            .set(static_cast<std::int64_t>(queue.size()));
     }
     handle_connection(std::move(conn), slot);
   }
@@ -264,6 +370,17 @@ void Server::Impl::watchdog_loop() {
       if (deadline >= 0 && now >= deadline) {
         s->token.cancel();
         s->cancel_at_ms.store(-1, std::memory_order_relaxed);
+        n_watchdog_fires.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled())
+          obs::registry().counter("serve.watchdog_fires").increment();
+        obs::log(obs::LogLevel::kWarn, "serve", "watchdog_fire",
+                 "wall-clock deadline enforced; cancelling the worker slot",
+                 obs::LogFields().num("overdue_ms",
+                                      static_cast<std::int64_t>(
+                                          now - deadline)));
+        // A fired deadline is exactly the "what was the daemon doing?"
+        // moment the flight recorder exists for.
+        dump_flight("watchdog_fire", /*force=*/false);
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -338,8 +455,30 @@ void Server::Impl::handle_connection(support::Socket conn, WorkerSlot& slot) {
                                     request.status().detail());
     response.id = "-";
   } else {
-    n_requests.fetch_add(1, std::memory_order_relaxed);
-    response = process_request(*request, slot);
+    const std::uint64_t seq =
+        n_requests.fetch_add(1, std::memory_order_relaxed);
+    // Correlation id for everything this request triggers: spans and
+    // flight records opened under the scope carry it, so one request's
+    // work is separable from a loaded daemon's interleaved trace. Zero
+    // means "uncorrelated", so an unlucky hash is nudged off it.
+    std::uint64_t ctx = fnv1a(request->id);
+    if (ctx == 0) ctx = 1;
+    const bool sampled = options.trace_sample_every > 0 &&
+                         obs::trace_enabled() &&
+                         seq % options.trace_sample_every == 0;
+    const std::int64_t inflight =
+        n_inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (obs::enabled()) obs::registry().gauge("serve.inflight").set(inflight);
+    {
+      obs::TraceContextScope ctx_scope(ctx);
+      response = process_request(*request, slot);
+    }
+    n_inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (obs::enabled())
+      obs::registry()
+          .gauge("serve.inflight")
+          .set(n_inflight.load(std::memory_order_relaxed));
+    maybe_dump_request_trace(*request, ctx, sampled);
     response.id = request->id;
     if (response.attempts > 1)
       n_retried.fetch_add(1, std::memory_order_relaxed);
@@ -569,6 +708,16 @@ Response Server::Impl::run_pipeline(const Request& request,
   else if (row.outcome == exp::CaseOutcome::kFailed)
     row.degradation_level = 3;
 
+  if (row.audit.performed && row.audit.violated) {
+    // A soundness-audit violation is the worst thing this daemon can
+    // observe about itself; capture the flight tail while the evidence is
+    // still in the rings.
+    obs::log(obs::LogLevel::kError, "serve", "audit_violation",
+             row.fail_detail,
+             obs::LogFields().str("request", request.id));
+    dump_flight("audit_violation", /*force=*/false);
+  }
+
   // --- row -> response -----------------------------------------------------
   Response response;
   response.attempts = row.attempts;
@@ -681,8 +830,198 @@ void Server::Impl::journal_terminal(const std::string& id,
   Status appended =
       journal.append(id, fingerprint, serialize_response(stored));
   if (!appended.ok())
-    std::cerr << "ucpd: request journal disabled: " << appended.message()
-              << "\n";
+    obs::log(obs::LogLevel::kWarn, "serve", "journal_disabled",
+             appended.message(), obs::LogFields().str("request", id));
+}
+
+// --- ops plane -------------------------------------------------------------
+
+void Server::Impl::admin_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (draining) return;
+    }
+    Expected<support::Socket> conn = tcp_accept(admin_listener, 100);
+    if (!conn.ok()) continue;
+    if (!conn->valid()) continue;  // timeout: re-check the drain flag
+    // Scrapes are served inline on the admin thread: one small read, one
+    // framed write, never touching the worker pool — an operator can
+    // always get HEALTH out of a daemon whose workers are saturated.
+    handle_admin(std::move(*conn));
+  }
+}
+
+void Server::Impl::handle_admin(support::Socket conn) {
+  obs::Span span("serve.admin");
+  support::LineReader reader(conn, 256, 2000);
+  Expected<std::string> line = reader.read_line();
+  if (!line.ok()) {
+    n_admin_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool ok = true;
+  const std::string payload = admin_payload(*line, ok);
+  std::string reply = "ucp-admin v1\nverb " + *line + "\nstatus " +
+                      (ok ? "ok" : "error") + "\npayload " +
+                      std::to_string(payload.size()) + "\n" + payload;
+  if (UCP_FAULT_POINT("serve.admin_write")) {
+    // Injected scrape-write failure: the admin connection is dropped on
+    // the floor — and nothing else happens. The containment property the
+    // battery pins: a failed scrape never perturbs an in-flight request.
+    n_admin_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Status written = write_all(conn, reply);
+  if (!written.ok()) {
+    n_admin_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  n_admin_scrapes.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled())
+    obs::registry().counter("serve.admin_scrapes").increment();
+}
+
+std::string Server::Impl::admin_payload(const std::string& verb, bool& ok) {
+  const std::int64_t uptime_ms = now_ms() - start_at_ms;
+  if (verb == "HEALTH") {
+    bool drain;
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      drain = draining;
+      depth = queue.size();
+    }
+    std::string out = "{\"status\":\"";
+    out += drain ? "draining" : "serving";
+    out += "\",\"uptime_ms\":" + std::to_string(uptime_ms);
+    out += ",\"queue_depth\":" + std::to_string(depth);
+    out += ",\"inflight\":" +
+           std::to_string(n_inflight.load(std::memory_order_relaxed));
+    out += ",\"workers\":" + std::to_string(slots.size());
+    out += ",\"build\":" + obs::build_info_json();
+    out += "}\n";
+    return out;
+  }
+  if (verb == "STATS") {
+    return "{\"server\":" + stats_json(collect_stats()) +
+           ",\"uptime_ms\":" + std::to_string(uptime_ms) +
+           ",\"metrics\":" + obs::snapshot_json(obs::registry().snapshot()) +
+           "}\n";
+  }
+  if (verb == "STATS prom") {
+    return stats_prom(collect_stats()) +
+           obs::prometheus_text(obs::registry().snapshot());
+  }
+  if (verb == "PROFILE") {
+    std::string table = obs::profile_table(obs::snapshot_trace());
+    if (table.empty()) table = "no spans recorded (tracing disabled?)\n";
+    return table;
+  }
+  if (verb == "FLIGHT") {
+    if (!obs::flight_enabled()) {
+      ok = false;
+      return "flight recorder disabled\n";
+    }
+    n_flight_dumps.fetch_add(1, std::memory_order_relaxed);
+    return obs::flight_dump_json("admin_scrape");
+  }
+  ok = false;
+  return "unknown admin verb '" + verb +
+         "' (expected HEALTH | STATS [prom] | PROFILE | FLIGHT)\n";
+}
+
+ServerStats Server::Impl::collect_stats() {
+  ServerStats s;
+  s.accepted = n_accepted.load(std::memory_order_relaxed);
+  s.shed = n_shed.load(std::memory_order_relaxed);
+  s.requests = n_requests.load(std::memory_order_relaxed);
+  s.malformed = n_malformed.load(std::memory_order_relaxed);
+  s.dropped = n_dropped.load(std::memory_order_relaxed);
+  s.ok = n_ok.load(std::memory_order_relaxed);
+  s.degraded = n_degraded.load(std::memory_order_relaxed);
+  s.errors = n_errors.load(std::memory_order_relaxed);
+  s.cache_hits = n_cache_hits.load(std::memory_order_relaxed);
+  s.replayed = n_replayed.load(std::memory_order_relaxed);
+  s.retried = n_retried.load(std::memory_order_relaxed);
+  s.admin_scrapes = n_admin_scrapes.load(std::memory_order_relaxed);
+  s.admin_dropped = n_admin_dropped.load(std::memory_order_relaxed);
+  s.flight_dumps = n_flight_dumps.load(std::memory_order_relaxed);
+  s.watchdog_fires = n_watchdog_fires.load(std::memory_order_relaxed);
+  s.trace_dumps = n_trace_dumps.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    s.queue_depth = queue.size();
+  }
+  s.inflight = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, n_inflight.load(std::memory_order_relaxed)));
+  return s;
+}
+
+void Server::Impl::dump_flight(const std::string& reason, bool force) {
+  if (!obs::flight_enabled()) return;
+  if (!force) {
+    // Trigger-initiated dumps are rate limited: a watchdog storm must not
+    // turn the recorder into an I/O amplifier. (Benign race on the stamp:
+    // two concurrent triggers can both dump, never more.)
+    const std::int64_t now = now_ms();
+    const std::int64_t last =
+        last_flight_dump_ms.load(std::memory_order_relaxed);
+    if (last >= 0 &&
+        now - last <
+            static_cast<std::int64_t>(options.flight_dump_min_gap_ms))
+      return;
+    last_flight_dump_ms.store(now, std::memory_order_relaxed);
+  }
+  n_flight_dumps.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t records = obs::flight_snapshot().size();
+  if (!options.flight_path.empty()) {
+    Status written = obs::write_flight_file(options.flight_path, reason);
+    if (written.ok()) {
+      obs::log(obs::LogLevel::kInfo, "serve", "flight_dump",
+               options.flight_path,
+               obs::LogFields()
+                   .str("reason", reason)
+                   .num(
+                       "records",
+                       static_cast<std::uint64_t>(records)));
+    } else {
+      // Observer discipline: a failed dump degrades to a warning; it may
+      // never compound the failure that triggered it.
+      obs::log(obs::LogLevel::kWarn, "serve", "flight_dump_failed",
+               written.message(), obs::LogFields().str("reason", reason));
+    }
+  } else {
+    obs::log(obs::LogLevel::kWarn, "serve", "flight_dump",
+             "no flight_path configured; recorder tail stays in memory",
+             obs::LogFields()
+                 .str("reason", reason)
+                 .num("records", static_cast<std::uint64_t>(records)));
+  }
+}
+
+void Server::Impl::maybe_dump_request_trace(const Request& request,
+                                            std::uint64_t ctx, bool sampled) {
+  if (options.trace_sample_every == 0 || !obs::trace_enabled()) return;
+  // Every request's spans are drained per request — the sampled ones
+  // written, the rest discarded — so a long-lived daemon's trace memory is
+  // bounded by requests in flight, not requests ever served.
+  std::vector<obs::TraceEvent> events = obs::drain_trace_context(ctx);
+  if (!sampled || events.empty()) return;
+  const std::string path =
+      options.trace_dir + "/" + trace_file_name(request.id);
+  Status written = obs::write_trace_file(path, events);
+  if (written.ok()) {
+    n_trace_dumps.fetch_add(1, std::memory_order_relaxed);
+    obs::log(obs::LogLevel::kInfo, "serve", "trace_sampled", path,
+             obs::LogFields()
+                 .str("request", request.id)
+                 .str("ctx", to_hex(ctx))
+                 .num("spans", static_cast<std::uint64_t>(events.size())));
+  } else {
+    obs::log(obs::LogLevel::kWarn, "serve", "trace_write_failed",
+             written.message(), obs::LogFields().str("request", request.id));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -704,6 +1043,18 @@ Status Server::start() {
   Expected<std::uint16_t> port = support::local_port(impl.listener);
   if (!port.ok()) return port.status();
   impl.port = *port;
+  impl.start_at_ms = now_ms();
+
+  if (impl.options.admin_enabled) {
+    Expected<support::Socket> admin =
+        support::tcp_listen(impl.options.admin_port, 8);
+    if (!admin.ok()) return admin.status();
+    impl.admin_listener = std::move(admin).value();
+    Expected<std::uint16_t> admin_port =
+        support::local_port(impl.admin_listener);
+    if (!admin_port.ok()) return admin_port.status();
+    impl.admin_port = *admin_port;
+  }
 
   if (!impl.options.journal_path.empty()) {
     Status opened = impl.journal.open(impl.options.journal_path);
@@ -722,10 +1073,23 @@ Status Server::start() {
     impl.worker_threads.emplace_back(
         [&impl, w] { impl.worker_loop(*impl.slots[w]); });
   impl.watchdog_thread = std::thread([&impl] { impl.watchdog_loop(); });
+  if (impl.options.admin_enabled)
+    impl.admin_thread = std::thread([&impl] { impl.admin_loop(); });
+  obs::log(obs::LogLevel::kInfo, "serve", "started", impl.journal_note,
+           obs::LogFields()
+               .num("port", static_cast<std::uint64_t>(impl.port))
+               .num("admin_port", static_cast<std::uint64_t>(impl.admin_port))
+               .num("workers", static_cast<std::uint64_t>(workers)));
   return Status::Ok();
 }
 
 std::uint16_t Server::port() const { return impl_->port; }
+
+std::uint16_t Server::admin_port() const { return impl_->admin_port; }
+
+void Server::dump_flight(const std::string& reason, bool force) {
+  impl_->dump_flight(reason, force);
+}
 
 void Server::stop() {
   Impl& impl = *impl_;
@@ -741,34 +1105,21 @@ void Server::stop() {
   impl.worker_threads.clear();
   impl.watchdog_stop.store(true, std::memory_order_relaxed);
   if (impl.watchdog_thread.joinable()) impl.watchdog_thread.join();
+  if (impl.admin_thread.joinable()) impl.admin_thread.join();
   impl.listener.close();
+  impl.admin_listener.close();
   {
     std::lock_guard<std::mutex> lock(impl.journal_mutex);
     impl.journal.close();
   }
   impl.started = false;
+  obs::log(obs::LogLevel::kInfo, "serve", "stopped", {},
+           obs::LogFields().num(
+               "requests",
+               impl.n_requests.load(std::memory_order_relaxed)));
 }
 
-ServerStats Server::stats() const {
-  Impl& impl = *impl_;
-  ServerStats s;
-  s.accepted = impl.n_accepted.load(std::memory_order_relaxed);
-  s.shed = impl.n_shed.load(std::memory_order_relaxed);
-  s.requests = impl.n_requests.load(std::memory_order_relaxed);
-  s.malformed = impl.n_malformed.load(std::memory_order_relaxed);
-  s.dropped = impl.n_dropped.load(std::memory_order_relaxed);
-  s.ok = impl.n_ok.load(std::memory_order_relaxed);
-  s.degraded = impl.n_degraded.load(std::memory_order_relaxed);
-  s.errors = impl.n_errors.load(std::memory_order_relaxed);
-  s.cache_hits = impl.n_cache_hits.load(std::memory_order_relaxed);
-  s.replayed = impl.n_replayed.load(std::memory_order_relaxed);
-  s.retried = impl.n_retried.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(impl.queue_mutex);
-    s.queue_depth = impl.queue.size();
-  }
-  return s;
-}
+ServerStats Server::stats() const { return impl_->collect_stats(); }
 
 std::string Server::journal_note() const { return impl_->journal_note; }
 

@@ -65,6 +65,28 @@ struct ServerOptions {
   /// Test hook: while the pointee is true, workers idle before claiming
   /// connections, so a test can fill the admission queue deterministically.
   const std::atomic<bool>* hold_workers = nullptr;
+
+  // --- ops plane -----------------------------------------------------------
+  /// Second loopback listener serving HEALTH / STATS [prom] / PROFILE /
+  /// FLIGHT scrapes (see serve/admin in DESIGN.md §16). Off by default so
+  /// embedded Server instances (tests, the load bench's data-path floor)
+  /// opt in; the ucpd binary turns it on unless --no-admin.
+  bool admin_enabled = false;
+  std::uint16_t admin_port = 0;  ///< 0 = kernel-assigned (Server::admin_port)
+  /// Dump every Nth well-formed request's spans as a standalone Chrome
+  /// trace (requires tracing enabled); 0 disables sampling. While active,
+  /// every request's spans are drained per request — sampled ones written,
+  /// the rest discarded — so a long-lived daemon's trace memory stays
+  /// bounded by requests in flight, not requests ever served.
+  std::uint32_t trace_sample_every = 0;
+  std::string trace_dir = ".";  ///< where req-<id>.trace.json files land
+  /// Flight-recorder dump file for watchdog-fire / audit-violation / admin
+  /// FLIGHT triggers; empty = dumps are logged to the structured log only.
+  std::string flight_path;
+  /// Minimum gap between trigger-initiated flight dumps (an admin FLIGHT
+  /// scrape always answers): a watchdog storm must not turn the recorder
+  /// into an I/O amplifier.
+  std::uint32_t flight_dump_min_gap_ms = 5000;
 };
 
 /// Monotonic counters of one daemon's lifetime (stats() snapshot).
@@ -80,7 +102,13 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;     ///< served from the response cache
   std::uint64_t replayed = 0;       ///< served from the request journal
   std::uint64_t retried = 0;        ///< requests that took > 1 attempt
+  std::uint64_t admin_scrapes = 0;  ///< admin-plane requests answered
+  std::uint64_t admin_dropped = 0;  ///< admin connections dropped pre-reply
+  std::uint64_t flight_dumps = 0;   ///< flight-recorder dumps triggered
+  std::uint64_t watchdog_fires = 0; ///< per-request deadlines enforced
+  std::uint64_t trace_dumps = 0;    ///< sampled per-request traces written
   std::size_t queue_depth = 0;      ///< current admission-queue depth
+  std::size_t inflight = 0;         ///< requests currently in the pipeline
 };
 
 class Server {
@@ -96,6 +124,16 @@ class Server {
 
   /// The bound port (after start()).
   std::uint16_t port() const;
+
+  /// The admin-plane port (after start(); 0 when admin_enabled is false).
+  std::uint16_t admin_port() const;
+
+  /// Triggers a flight-recorder dump (to options.flight_path when set,
+  /// otherwise into the structured log as a summary): the SIGQUIT path of
+  /// the ucpd binary, also used internally on watchdog fires and audit
+  /// violations. `force` bypasses the rate limit (operator-initiated
+  /// dumps always run).
+  void dump_flight(const std::string& reason, bool force = false);
 
   /// Graceful drain: stop accepting, finish every queued request, join all
   /// threads, close the journal. Idempotent; the destructor calls it.

@@ -7,12 +7,23 @@
 // A SIGKILL'd daemon restarted on the same --journal path replays
 // already-answered request ids byte-identically instead of recomputing.
 //
+// Ops plane (DESIGN.md §16): a second loopback listener answers HEALTH /
+// STATS [prom] / PROFILE / FLIGHT scrapes; the flight recorder is always
+// on (SIGQUIT dumps it); logging is structured JSON lines on stderr by
+// default; --trace-sample=N writes every Nth request's spans as a
+// standalone Chrome trace.
+//
 //   ucpd [--port=N] [--workers=N] [--queue=N] [--deadline-ms=N]
 //        [--attempts=N] [--journal=FILE] [--io-timeout-ms=N] [--no-audit]
 //        [--trace=FILE] [--metrics=FILE]
+//        [--admin-port=N] [--no-admin] [--flight=FILE]
+//        [--trace-sample=N] [--trace-dir=DIR]
+//        [--log=json|text] [--log-level=debug|info|warn|error]
+//        [--log-file=FILE] [--log-rate=N]
 //
 // Prints exactly one "ucpd listening on 127.0.0.1:<port>" line to stdout
-// once serving (scripts and tests block on it), stats to stderr on exit.
+// once serving (scripts and tests block on it), then — unless --no-admin —
+// one "ucpd admin on 127.0.0.1:<port>" line.
 
 #include <chrono>
 #include <csignal>
@@ -22,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
@@ -30,8 +43,10 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_quit = 0;
 
 void handle_stop_signal(int) { g_stop = 1; }
+void handle_quit_signal(int) { g_quit = 1; }
 
 std::uint32_t parse_u32_arg(const std::string& value, const char* what) {
   if (value.empty() ||
@@ -49,8 +64,11 @@ int main(int argc, char** argv) {
   using namespace ucp;
 
   serve::ServerOptions options;
+  options.admin_enabled = true;  // the daemon flies with its ops plane on
   std::string trace_path;
   std::string metrics_path;
+  obs::LogOptions log_options;
+  log_options.json = true;  // machines read daemon logs; humans use --log=text
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const std::size_t eq = a.find('=');
@@ -87,60 +105,130 @@ int main(int argc, char** argv) {
       trace_path = value;
     } else if (key == "--metrics") {
       metrics_path = value;
+    } else if (key == "--admin-port") {
+      const std::uint32_t port = parse_u32_arg(value, "--admin-port");
+      if (port > 65535) {
+        std::cerr << "ucpd: --admin-port out of range\n";
+        return 2;
+      }
+      options.admin_port = static_cast<std::uint16_t>(port);
+    } else if (key == "--no-admin") {
+      options.admin_enabled = false;
+    } else if (key == "--flight") {
+      options.flight_path = value;
+    } else if (key == "--trace-sample") {
+      options.trace_sample_every = parse_u32_arg(value, "--trace-sample");
+    } else if (key == "--trace-dir") {
+      options.trace_dir = value;
+    } else if (key == "--log") {
+      if (value == "json")
+        log_options.json = true;
+      else if (value == "text")
+        log_options.json = false;
+      else {
+        std::cerr << "ucpd: --log must be json or text\n";
+        return 2;
+      }
+    } else if (key == "--log-level") {
+      if (value == "debug")
+        log_options.min_level = obs::LogLevel::kDebug;
+      else if (value == "info")
+        log_options.min_level = obs::LogLevel::kInfo;
+      else if (value == "warn")
+        log_options.min_level = obs::LogLevel::kWarn;
+      else if (value == "error")
+        log_options.min_level = obs::LogLevel::kError;
+      else {
+        std::cerr << "ucpd: --log-level must be debug|info|warn|error\n";
+        return 2;
+      }
+    } else if (key == "--log-file") {
+      log_options.file_path = value;
+    } else if (key == "--log-rate") {
+      log_options.rate_limit = parse_u32_arg(value, "--log-rate");
     } else {
       std::cerr
           << "ucpd: unknown argument '" << a << "'\n"
           << "usage: ucpd [--port=N] [--workers=N] [--queue=N]"
              " [--deadline-ms=N] [--attempts=N] [--journal=FILE]"
              " [--io-timeout-ms=N] [--no-audit] [--trace=FILE]"
-             " [--metrics=FILE]\n";
+             " [--metrics=FILE] [--admin-port=N] [--no-admin]"
+             " [--flight=FILE] [--trace-sample=N] [--trace-dir=DIR]"
+             " [--log=json|text] [--log-level=debug|info|warn|error]"
+             " [--log-file=FILE] [--log-rate=N]\n";
       return 2;
     }
   }
 
-  if (!trace_path.empty() || !metrics_path.empty()) {
-    obs::set_enabled(true);
-    if (!trace_path.empty()) obs::set_trace_enabled(true);
-  }
+  obs::configure_logging(log_options);
+  // Metrics and the flight recorder are always on in the daemon: STATS
+  // scrapes and crash dumps must work on any ucpd, not just profiled ones.
+  // Tracing stays opt-in (clock reads on every span are the costly part).
+  obs::set_enabled(true);
+  obs::set_flight_enabled(true);
+  if (!trace_path.empty() || options.trace_sample_every > 0)
+    obs::set_trace_enabled(true);
 
   serve::Server server(options);
   const Status started = server.start();
   if (!started.ok()) {
-    std::cerr << "ucpd: " << started.message() << "\n";
+    obs::log(obs::LogLevel::kError, "ucpd", "start_failed",
+             started.message());
     return 1;
   }
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGQUIT, handle_quit_signal);
 
-  std::cerr << "ucpd: " << server.journal_note() << "\n";
   std::cout << "ucpd listening on 127.0.0.1:" << server.port() << std::endl;
+  if (options.admin_enabled)
+    std::cout << "ucpd admin on 127.0.0.1:" << server.admin_port()
+              << std::endl;
 
-  while (!g_stop)
+  while (!g_stop) {
+    if (g_quit) {
+      // SIGQUIT = "tell me what you were just doing", not "die": dump the
+      // flight rings and keep serving.
+      g_quit = 0;
+      server.dump_flight("sigquit", /*force=*/true);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 
-  std::cerr << "ucpd: draining...\n";
+  obs::log(obs::LogLevel::kInfo, "ucpd", "draining");
   server.stop();
 
   const serve::ServerStats stats = server.stats();
-  std::cerr << "ucpd: served " << stats.requests << " requests (" << stats.ok
-            << " ok, " << stats.degraded << " degraded, " << stats.errors
-            << " error), " << stats.malformed << " malformed, " << stats.shed
-            << " shed, " << stats.replayed << " replayed, "
-            << stats.cache_hits << " cache hits, " << stats.dropped
-            << " dropped connections\n";
+  obs::log(obs::LogLevel::kInfo, "ucpd", "exit", {},
+           obs::LogFields()
+               .num("requests", stats.requests)
+               .num("ok", stats.ok)
+               .num("degraded", stats.degraded)
+               .num("errors", stats.errors)
+               .num("malformed", stats.malformed)
+               .num("shed", stats.shed)
+               .num("replayed", stats.replayed)
+               .num("cache_hits", stats.cache_hits)
+               .num("dropped", stats.dropped)
+               .num("admin_scrapes", stats.admin_scrapes)
+               .num("flight_dumps", stats.flight_dumps)
+               .num("watchdog_fires", stats.watchdog_fires)
+               .num("trace_dumps", stats.trace_dumps));
 
   if (!trace_path.empty()) {
     const Status written =
         obs::write_trace_file(trace_path, obs::drain_trace());
     if (!written.ok())
-      std::cerr << "ucpd: warning: " << written.message() << "\n";
+      obs::log(obs::LogLevel::kWarn, "ucpd", "trace_write_failed",
+               written.message());
   }
   if (!metrics_path.empty()) {
     const Status written =
         obs::write_metrics_file(metrics_path, obs::registry().snapshot());
     if (!written.ok())
-      std::cerr << "ucpd: warning: " << written.message() << "\n";
+      obs::log(obs::LogLevel::kWarn, "ucpd", "metrics_write_failed",
+               written.message());
   }
   return 0;
 }

@@ -30,6 +30,7 @@ const char* const kSites[] = {
     "supervisor.cancel",  // watchdog cancellation at task registration
     "audit.mismatch",     // soundness auditor forced to report a violation
     "obs.sink_write",     // trace/metrics sink I/O (degrades to a warning)
+    "obs.flight_dump",    // flight-recorder dump I/O (degrades to a warning)
     "gen.build",          // synthetic generator program-construction boundary
     "fuzz.oracle",        // forced oracle violation (pins the triage path)
     "fuzz.shrink",        // shrink-step boundary (abandons minimization)
@@ -39,6 +40,7 @@ const char* const kSites[] = {
     "serve.process",       // per-request pipeline boundary (contained)
     "serve.journal_write", // request-journal append (journaling disabled)
     "serve.respond",       // response write boundary (connection dropped)
+    "serve.admin_write",   // admin-plane scrape write (connection dropped)
 };
 
 struct SiteState {

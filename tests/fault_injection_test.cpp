@@ -19,6 +19,7 @@
 #include "fuzz/oracles.hpp"
 #include "fuzz/shrink.hpp"
 #include "gen/generator.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "ir/text_codec.hpp"
@@ -309,14 +310,24 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
   }
 
   // The observability sinks sit on the same battery: one metrics-snapshot
-  // write passes the obs.sink_write fault point.
+  // write passes the obs.sink_write fault point, and one flight-recorder
+  // dump passes obs.flight_dump.
   const std::string sink = tmp + ".metrics.json";
   EXPECT_TRUE(obs::write_metrics_file(sink, obs::registry().snapshot()).ok());
   std::remove(sink.c_str());
+  {
+    const bool flight_was_on = obs::flight_enabled();
+    obs::set_flight_enabled(true);
+    obs::flight_note("fault.battery", "coverage dump");
+    const std::string flight = tmp + ".flight.jsonl";
+    EXPECT_TRUE(obs::write_flight_file(flight, "battery").ok());
+    std::remove(flight.c_str());
+    obs::set_flight_enabled(flight_was_on);
+  }
 
   // The serve.* sites sit on the daemon's request path: one journaled
   // round trip through a live server passes accept, read, parse, process,
-  // journal_write and respond.
+  // journal_write and respond, and one admin scrape passes admin_write.
   {
     const std::string serve_journal = tmp + ".serve.journal";
     std::remove(serve_journal.c_str());
@@ -324,6 +335,7 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
     soptions.workers = 1;
     soptions.journal_path = serve_journal;
     soptions.audit_soundness = false;  // keep the battery fast
+    soptions.admin_enabled = true;
     serve::Server server(soptions);
     ASSERT_TRUE(server.start().ok());
     serve::Request request;
@@ -334,6 +346,9 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
     const auto response = serve::call(server.port(), request);
     ASSERT_TRUE(response.ok()) << response.status().message();
     EXPECT_EQ(response->status, serve::ResponseStatus::kOk);
+    const auto health = serve::admin_call(server.admin_port(), "HEALTH");
+    ASSERT_TRUE(health.ok()) << health.status().message();
+    EXPECT_TRUE(health->ok);
     server.stop();
     std::remove(serve_journal.c_str());
   }
@@ -346,6 +361,77 @@ TEST(FaultRegistry, EveryKnownSiteIsExercisedByTheBattery) {
   fault::disarm_all();
   std::remove(journal.c_str());
   std::remove(cache.c_str());
+}
+
+TEST(FaultOps, AdminWriteFaultDropsScrapeNotTheResponse) {
+  // The ops plane is best-effort: a fault on the admin reply path costs the
+  // scraper its answer (dropped connection, counted in admin_dropped) but
+  // must never touch an in-flight optimization response.
+  fault::disarm_all();
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.audit_soundness = false;
+  options.admin_enabled = true;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  fault::arm("serve.admin_write");
+  const auto dropped = serve::admin_call(server.admin_port(), "STATS");
+  EXPECT_FALSE(dropped.ok()) << "faulted admin scrape produced a reply";
+
+  serve::Request request;
+  request.id = "ops.1";
+  request.config_id = "k1";
+  request.config = cache::paper_cache_config("k1").config;
+  request.program_text = ir::to_text(suite::build_benchmark("bs"));
+  const auto response = serve::call(server.port(), request);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, serve::ResponseStatus::kOk);
+  EXPECT_GT(response->tau_original, 0u);
+  fault::disarm_all();
+
+  // With the fault gone the next scrape works and shows the drop.
+  const auto stats = serve::admin_call(server.admin_port(), "STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_TRUE(stats->ok);
+  EXPECT_NE(stats->payload.find("\"admin_dropped\":1"), std::string::npos)
+      << stats->payload;
+  const serve::ServerStats after = server.stats();
+  EXPECT_EQ(after.admin_dropped, 1u);
+  EXPECT_EQ(after.ok, 1u);
+  server.stop();
+}
+
+TEST(FaultOps, FlightDumpFaultDegradesToWarningNotFailure) {
+  // A failing flight dump degrades to a warning: the dump write reports
+  // kInternal, the triggering operation is unharmed, and once the fault is
+  // gone the same dump succeeds and parses.
+  fault::disarm_all();
+  const bool flight_was_on = obs::flight_enabled();
+  obs::set_flight_enabled(true);
+  obs::flight_note("fault.ops", "pre-fault record");
+
+  const std::string path = testing::TempDir() + "fault_ops_flight." +
+                           std::to_string(::getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  fault::arm("obs.flight_dump");
+  const Status faulted = obs::write_flight_file(path, "test");
+  EXPECT_FALSE(faulted.ok());
+  fault::disarm_all();
+
+  // The rings are intact: the retried dump carries the earlier record.
+  ASSERT_TRUE(obs::write_flight_file(path, "test").ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(contents.rfind("{\"kind\":\"header\"", 0), 0u) << contents;
+  EXPECT_NE(contents.find("fault.ops"), std::string::npos);
+  std::remove(path.c_str());
+  obs::set_flight_enabled(flight_was_on);
 }
 
 }  // namespace

@@ -20,8 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "energy/model.hpp"
 #include "exp/harness.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/sink.hpp"
@@ -177,8 +182,9 @@ TEST_F(ObsTest, TraceJsonIsWellFormedAndExact) {
   // Synthetic events pin the serialization exactly: ns -> µs with three
   // decimals, cat = segment before the first '.', excl_us in args.
   std::vector<TraceEvent> events;
-  events.push_back(TraceEvent{"analysis.cache.fixpoint", 1500, 2500, 1000, 0});
-  events.push_back(TraceEvent{"exp.task.run", 2000000, 3000000, 500, 3});
+  events.push_back(
+      TraceEvent{"analysis.cache.fixpoint", 1500, 2500, 1000, 0, 0});
+  events.push_back(TraceEvent{"exp.task.run", 2000000, 3000000, 500, 0, 3});
   const std::string json = trace_json(events);
 
   EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
@@ -278,6 +284,304 @@ TEST_F(ObsTest, DisabledReporterIsSilent) {
   EXPECT_EQ(std::ftell(out), 0L);
   std::fclose(out);
   EXPECT_EQ(reporter.done_cases(), 2u);  // accounting still works
+}
+
+TEST_F(ObsTest, HistogramQuantilesAreBoundedAndConsistent) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // The zero bucket is a point range, so all-zero data is estimated exactly.
+  Histogram zeros;
+  for (int i = 0; i < 100; ++i) zeros.record(0);
+  EXPECT_EQ(zeros.p50(), 0.0);
+  EXPECT_EQ(zeros.p99(), 0.0);
+
+  // Uniform 1..1000: true p50 = 500.5, p90 = 900.1, p99 = 990.01. The
+  // estimator interpolates inside power-of-two buckets, so each estimate
+  // stays within the documented 2x relative-error bound and inside the
+  // value range of the data.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.p50();
+  const double p90 = h.p90();
+  const double p99 = h.p99();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 500.5 / 2.0);
+  EXPECT_LE(p50, 500.5 * 2.0);
+  EXPECT_GE(p90, 900.1 / 2.0);
+  EXPECT_LE(p90, 1023.0);  // hi edge of the bucket holding the maximum
+  EXPECT_GE(p99, 990.01 / 2.0);
+  EXPECT_LE(p99, 1023.0);
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 1023.0);
+
+  // All three estimator entry points agree on the same data: the live
+  // registry histogram, its snapshot value, and the free-function core.
+  Histogram& reg = registry().histogram("test.quantile.h");
+  for (std::uint64_t v = 1; v <= 1000; ++v) reg.record(v);
+  const Snapshot snapshot = registry().snapshot();
+  const Snapshot::HistogramValue* hv = nullptr;
+  for (const auto& value : snapshot.histograms)
+    if (value.name == "test.quantile.h") hv = &value;
+  ASSERT_NE(hv, nullptr);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(reg.quantile(q), hv->quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(hv->quantile(q),
+                     histogram_quantile(hv->buckets, hv->count, q))
+        << "q=" << q;
+    EXPECT_DOUBLE_EQ(reg.quantile(q), h.quantile(q)) << "q=" << q;
+  }
+}
+
+// Restores the default logging configuration on scope exit, so a failing
+// assertion can't leave a tmpfile sink installed for later tests.
+class ScopedLogConfig {
+ public:
+  explicit ScopedLogConfig(const LogOptions& options) {
+    configure_logging(options);
+  }
+  ~ScopedLogConfig() { configure_logging(LogOptions{}); }
+};
+
+std::string read_all(std::FILE* f) {
+  std::fflush(f);
+  std::rewind(f);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  return text;
+}
+
+TEST_F(ObsTest, LogJsonFieldOrderIsDeterministic) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  LogOptions options;
+  options.json = true;
+  options.stream = out;
+  std::string text;
+  {
+    ScopedLogConfig scoped(options);
+    log(LogLevel::kInfo, "test", "ordering", "hello world",
+        LogFields()
+            .num("zeta", std::uint64_t{7})
+            .str("alpha", "a \"b\"")
+            .boolean("flag", true)
+            .real("ratio", 0.5));
+    text = read_all(out);
+  }
+  std::fclose(out);
+  // Envelope keys first, then caller fields in insertion order — zeta
+  // before alpha, despite the alphabet.
+  EXPECT_EQ(text.rfind("{\"ts_ms\":", 0), 0u) << text;
+  EXPECT_NE(
+      text.find("\"level\":\"info\",\"component\":\"test\","
+                "\"event\":\"ordering\",\"detail\":\"hello world\","
+                "\"zeta\":7,\"alpha\":\"a \\\"b\\\"\",\"flag\":true,"
+                "\"ratio\":0.5}"),
+      std::string::npos)
+      << text;
+}
+
+TEST_F(ObsTest, LogLevelFilterAndTextRendering) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  LogOptions options;
+  options.min_level = LogLevel::kWarn;
+  options.stream = out;
+  std::string text;
+  {
+    ScopedLogConfig scoped(options);
+    EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+    EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+    EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+    EXPECT_TRUE(log_enabled(LogLevel::kError));
+    log(LogLevel::kInfo, "test", "filtered_out");
+    log(LogLevel::kError, "test", "kept", "disk full",
+        LogFields().str("path", "/tmp/x"));
+    text = read_all(out);
+  }
+  std::fclose(out);
+  EXPECT_EQ(text.find("filtered_out"), std::string::npos);
+  EXPECT_NE(text.find("[test] error: kept: disk full path=\"/tmp/x\""),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ObsTest, LogRateLimitSuppressesPerChannelAndReportsOnResume) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  LogOptions options;
+  options.json = true;
+  options.stream = out;
+  options.rate_limit = 2;
+  options.rate_window_ms = 50;
+  std::string text;
+  {
+    ScopedLogConfig scoped(options);
+    reset_log_stats();
+    for (int i = 0; i < 5; ++i)
+      log(LogLevel::kInfo, "test", "spam", "n=" + std::to_string(i));
+    EXPECT_EQ(log_lines_emitted(), 2u);
+    EXPECT_EQ(log_lines_suppressed(), 3u);
+    // A different (component, event) channel has its own budget.
+    log(LogLevel::kInfo, "test", "other_event");
+    EXPECT_EQ(log_lines_emitted(), 3u);
+    // After the window rolls, the first line through reports what the
+    // limiter swallowed — silence is never silent data loss.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    log(LogLevel::kInfo, "test", "spam", "n=5");
+    EXPECT_EQ(log_lines_emitted(), 4u);
+    text = read_all(out);
+  }
+  std::fclose(out);
+  EXPECT_NE(text.find("\"detail\":\"n=0\""), std::string::npos);
+  EXPECT_NE(text.find("\"detail\":\"n=1\""), std::string::npos);
+  EXPECT_EQ(text.find("\"detail\":\"n=2\""), std::string::npos);
+  EXPECT_EQ(text.find("\"detail\":\"n=4\""), std::string::npos);
+  EXPECT_NE(text.find("\"detail\":\"n=5\",\"suppressed\":3"),
+            std::string::npos)
+      << text;
+  reset_log_stats();
+}
+
+TEST_F(ObsTest, FlightRingWrapsAndDumpParses) {
+  const bool was_on = flight_enabled();
+  reset_flight();
+  set_flight_enabled(true);
+  set_flight_capacity(16);
+  // A fresh thread gets a fresh ring at the new capacity; 100 notes into a
+  // 16-slot ring keep exactly the last 16.
+  std::thread([] {
+    for (int i = 0; i < 100; ++i)
+      flight_note("test.flight.note", "n=" + std::to_string(i));
+  }).join();
+  const std::vector<FlightRecord> records = flight_snapshot();
+  std::vector<const FlightRecord*> notes;
+  for (const FlightRecord& r : records)
+    if (std::string(r.name) == "test.flight.note") notes.push_back(&r);
+  ASSERT_EQ(notes.size(), 16u);
+  EXPECT_EQ(std::string(notes.front()->detail), "n=84");
+  EXPECT_EQ(std::string(notes.back()->detail), "n=99");
+  for (std::size_t i = 1; i < notes.size(); ++i)
+    EXPECT_LT(notes[i - 1]->seq, notes[i]->seq);
+
+  const std::string dump = flight_dump_json("unit-test");
+  EXPECT_EQ(dump.rfind("{\"kind\":\"header\",\"reason\":\"unit-test\"", 0),
+            0u)
+      << dump.substr(0, 120);
+  EXPECT_NE(dump.find("\"capacity_per_thread\":16"), std::string::npos);
+  EXPECT_NE(dump.find("\"build\":{\"git_sha\":"), std::string::npos);
+  EXPECT_NE(dump.find("{\"kind\":\"note\""), std::string::npos);
+  EXPECT_NE(dump.find("\"detail\":\"n=99\""), std::string::npos);
+  // Every line is one JSON object: braces balance per line.
+  std::istringstream lines(dump);
+  std::string line;
+  std::size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    ++line_count;
+    int depth = 0;
+    for (const char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      ASSERT_GE(depth, 0) << line;
+    }
+    EXPECT_EQ(depth, 0) << line;
+  }
+  EXPECT_EQ(line_count, 1u + records.size());
+
+  // Capacity requests clamp to [16, 65536].
+  set_flight_capacity(1);
+  EXPECT_EQ(flight_capacity(), 16u);
+  set_flight_capacity(std::size_t{1} << 20);
+  EXPECT_EQ(flight_capacity(), 65536u);
+  set_flight_capacity(256);
+  set_flight_enabled(was_on);
+  reset_flight();
+}
+
+TEST_F(ObsTest, TraceContextCorrelatesSpansAndDrainsSelectively) {
+  set_trace_enabled(true);
+  {
+    TraceContextScope scope(0x42);
+    EXPECT_EQ(trace_context(), 0x42u);
+    { Span inner("test.ctx.tagged"); }
+    {
+      TraceContextScope nested(7);
+      Span span("test.ctx.nested");
+    }
+    EXPECT_EQ(trace_context(), 0x42u);  // nested scope restored the outer
+  }
+  EXPECT_EQ(trace_context(), 0u);
+  { Span outer("test.ctx.untagged"); }
+
+  // Selective drain takes only the 0x42 spans and leaves the rest buffered.
+  const std::vector<TraceEvent> tagged = drain_trace_context(0x42);
+  ASSERT_EQ(tagged.size(), 1u);
+  EXPECT_EQ(std::string(tagged[0].name), "test.ctx.tagged");
+  EXPECT_EQ(tagged[0].ctx, 0x42u);
+  const std::vector<TraceEvent> rest = drain_trace();
+  ASSERT_EQ(rest.size(), 2u);
+  for (const TraceEvent& e : rest)
+    EXPECT_NE(std::string(e.name), "test.ctx.tagged");
+
+  // The sink renders a nonzero context as a fixed-width hex arg so
+  // Perfetto can filter one request out of a loaded daemon's trace.
+  const std::string json = trace_json(tagged);
+  EXPECT_NE(json.find("\"ctx\":\"0000000000000042\""), std::string::npos);
+  set_trace_enabled(false);
+}
+
+TEST_F(ObsTest, PrometheusTextExposition) {
+  registry().counter("test.prom.count").add(5);
+  registry().gauge("test.prom.depth").set(3);
+  Histogram& h = registry().histogram("test.prom.lat");
+  h.record(0);
+  h.record(6);
+  const std::string text = prometheus_text(registry().snapshot());
+  EXPECT_NE(
+      text.find("# TYPE ucp_test_prom_count counter\nucp_test_prom_count 5\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("# TYPE ucp_test_prom_depth gauge\nucp_test_prom_depth 3\n"),
+      std::string::npos);
+  // Histogram buckets render as a cumulative `le` series ending in +Inf.
+  EXPECT_NE(text.find("# TYPE ucp_test_prom_lat histogram\n"
+                      "ucp_test_prom_lat_bucket{le=\"0\"} 1\n"
+                      "ucp_test_prom_lat_bucket{le=\"7\"} 2\n"
+                      "ucp_test_prom_lat_bucket{le=\"+Inf\"} 2\n"
+                      "ucp_test_prom_lat_sum 6\n"
+                      "ucp_test_prom_lat_count 2\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ObsTest, BuildInfoIsStampedIntoEveryArtifact) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  EXPECT_FALSE(info.sanitizer.empty());
+  EXPECT_EQ(info.hardware_concurrency, std::thread::hardware_concurrency());
+
+  const std::string& json = build_info_json();
+  EXPECT_EQ(json.rfind("{\"git_sha\":", 0), 0u) << json;
+  const std::size_t keys[] = {
+      json.find("\"git_sha\":"),      json.find("\"compiler\":"),
+      json.find("\"flags\":"),        json.find("\"build_type\":"),
+      json.find("\"sanitizer\":"),    json.find("\"hardware_concurrency\":"),
+  };
+  for (std::size_t i = 1; i < std::size(keys); ++i) {
+    ASSERT_NE(keys[i], std::string::npos) << json;
+    EXPECT_LT(keys[i - 1], keys[i]) << json;
+  }
+  // The stamp is cached: one rendering per process.
+  EXPECT_EQ(&build_info_json(), &json);
+  // Every metrics snapshot leads with the same stamp verbatim.
+  const std::string snapshot = snapshot_json(registry().snapshot());
+  EXPECT_EQ(snapshot.rfind("{\"build\":" + json, 0), 0u)
+      << snapshot.substr(0, 200);
 }
 
 exp::SweepOptions tiny_sweep() {

@@ -24,6 +24,7 @@
 
 #include "cache/config.hpp"
 #include "energy/model.hpp"
+#include "obs/flight.hpp"
 #include "ir/text_codec.hpp"
 #include "ir/verify.hpp"
 #include "serve/client.hpp"
@@ -611,6 +612,124 @@ TEST(Server, RespondFaultAfterJournalingIsRecoveredByClientRetry) {
   server.stop();
 }
 
+// --- admin plane -----------------------------------------------------------
+
+TEST(Admin, DisabledByDefaultInProcess) {
+  Server server(quick_options());
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(server.admin_port(), 0);
+  server.stop();
+}
+
+TEST(Admin, HealthStatsProfileFlightAndUnknownVerb) {
+  const bool flight_was_on = obs::flight_enabled();
+  obs::set_flight_enabled(false);
+  ServerOptions options = quick_options();
+  options.admin_enabled = true;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_NE(server.admin_port(), 0);
+  ASSERT_NE(server.admin_port(), server.port());
+
+  // HEALTH answers before any request: serving, idle, build-stamped.
+  const auto health = admin_call(server.admin_port(), "HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status().message();
+  EXPECT_TRUE(health->ok);
+  EXPECT_EQ(health->verb, "HEALTH");
+  EXPECT_EQ(health->payload.rfind("{\"status\":\"serving\"", 0), 0u)
+      << health->payload;
+  EXPECT_NE(health->payload.find("\"workers\":1"), std::string::npos);
+  EXPECT_NE(health->payload.find("\"build\":{\"git_sha\":"),
+            std::string::npos);
+
+  // Two served requests and one malformed probe, then STATS reconciles
+  // with what the clients saw.
+  for (const char* id : {"admin-1", "admin-2"}) {
+    const auto response = call(server.port(), bs_request(id));
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    EXPECT_EQ(response->status, ResponseStatus::kOk);
+  }
+  {
+    const auto malformed = raw_call(server.port(), "junk\n");
+    ASSERT_TRUE(malformed.ok());
+    EXPECT_EQ(malformed->code, ErrorCode::kMalformedInput);
+  }
+  const auto stats = admin_call(server.admin_port(), "STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_TRUE(stats->ok);
+  EXPECT_EQ(stats->payload.rfind("{\"server\":{\"accepted\":", 0), 0u)
+      << stats->payload;
+  EXPECT_NE(stats->payload.find("\"requests\":2"), std::string::npos)
+      << stats->payload;
+  EXPECT_NE(stats->payload.find("\"ok\":2"), std::string::npos);
+  EXPECT_NE(stats->payload.find("\"malformed\":1"), std::string::npos);
+  EXPECT_NE(stats->payload.find("\"uptime_ms\":"), std::string::npos);
+  EXPECT_NE(stats->payload.find("\"metrics\":{\"build\":"),
+            std::string::npos);
+
+  // The same counters in Prometheus text exposition, under the ucp_ucpd_
+  // namespace (the registry owns ucp_serve_*, so one scrape never emits a
+  // duplicate metric name).
+  const auto prom = admin_call(server.admin_port(), "STATS prom");
+  ASSERT_TRUE(prom.ok()) << prom.status().message();
+  EXPECT_TRUE(prom->ok);
+  EXPECT_NE(prom->payload.find("# TYPE ucp_ucpd_requests counter\n"
+                               "ucp_ucpd_requests 2\n"),
+            std::string::npos)
+      << prom->payload;
+  EXPECT_NE(prom->payload.find("ucp_ucpd_malformed 1\n"), std::string::npos);
+  EXPECT_EQ(prom->payload.find("ucp_serve_requests "), std::string::npos);
+
+  // PROFILE with tracing off explains itself instead of dumping nothing.
+  const auto profile = admin_call(server.admin_port(), "PROFILE");
+  ASSERT_TRUE(profile.ok()) << profile.status().message();
+  EXPECT_TRUE(profile->ok);
+  EXPECT_NE(profile->payload.find("no spans recorded"), std::string::npos);
+
+  // FLIGHT is a served error while the recorder is off, and a parseable
+  // JSON-lines dump once it is on.
+  const auto off = admin_call(server.admin_port(), "FLIGHT");
+  ASSERT_TRUE(off.ok()) << off.status().message();
+  EXPECT_FALSE(off->ok);
+  EXPECT_EQ(off->payload, "flight recorder disabled\n");
+  obs::set_flight_enabled(true);
+  obs::flight_note("test.admin", "flight on");
+  const auto flight = admin_call(server.admin_port(), "FLIGHT");
+  ASSERT_TRUE(flight.ok()) << flight.status().message();
+  EXPECT_TRUE(flight->ok);
+  EXPECT_EQ(
+      flight->payload.rfind("{\"kind\":\"header\",\"reason\":\"admin_scrape\"",
+                            0),
+      0u)
+      << flight->payload.substr(0, 120);
+  obs::set_flight_enabled(flight_was_on);
+
+  // Unknown verbs get a served error that names the verb and the menu.
+  const auto bogus = admin_call(server.admin_port(), "BOGUS");
+  ASSERT_TRUE(bogus.ok()) << bogus.status().message();
+  EXPECT_FALSE(bogus->ok);
+  EXPECT_NE(bogus->payload.find("unknown admin verb 'BOGUS'"),
+            std::string::npos);
+
+  // Every successful scrape above was counted (the failed FLIGHT and the
+  // unknown verb still produced framed replies, so they count too). The
+  // counter is bumped after the reply write, so give the admin thread a
+  // beat to get there.
+  ServerStats after = server.stats();
+  for (int i = 0; i < 100 && after.admin_scrapes < 7u; ++i) {
+    ::usleep(10000);
+    after = server.stats();
+  }
+  EXPECT_EQ(after.admin_scrapes, 7u);
+  EXPECT_EQ(after.admin_dropped, 0u);
+  EXPECT_EQ(after.flight_dumps, 1u);
+  server.stop();
+
+  // Draining flips the HEALTH status for scrapes that race the shutdown;
+  // after stop() the listener is gone entirely.
+  EXPECT_FALSE(admin_call(server.admin_port(), "HEALTH").ok());
+}
+
 // --- the real daemon binary ------------------------------------------------
 
 struct DaemonProcess {
@@ -731,6 +850,93 @@ TEST(Daemon, SigkillAndRestartReplaysJournaledIdsThenDrainsClean) {
     EXPECT_EQ(WEXITSTATUS(status), 0);
     daemon.pid = -1;
   }
+}
+
+/// Reads the next '\n'-terminated line from the daemon's stdout pipe.
+bool read_stdout_line(DaemonProcess& daemon, std::string& line) {
+  line.clear();
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(daemon.stdout_fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    line.push_back(c);
+  }
+}
+
+TEST(Daemon, AdminPlaneAnnouncesScrapesAndSigquitDumpsFlight) {
+  TempFile flight("ucpd_flight");
+  DaemonProcess daemon;
+  ASSERT_TRUE(spawn_daemon({"--flight=" + flight.path}, daemon));
+
+  // The second stdout line announces the admin plane (the first line is
+  // the listening announce, parsed byte-by-byte by spawn_daemon — the
+  // ordering is part of the stdout contract).
+  std::string admin_line;
+  ASSERT_TRUE(read_stdout_line(daemon, admin_line));
+  const std::string needle = "ucpd admin on 127.0.0.1:";
+  ASSERT_EQ(admin_line.rfind(needle, 0), 0u) << admin_line;
+  const auto admin_port =
+      static_cast<std::uint16_t>(std::stoul(admin_line.substr(needle.size())));
+  ASSERT_NE(admin_port, 0);
+
+  const auto response = call(daemon.port, bs_request("ops-1"), 60000);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, ResponseStatus::kOk);
+
+  const auto health = admin_call(admin_port, "HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status().message();
+  EXPECT_TRUE(health->ok);
+  EXPECT_NE(health->payload.find("\"status\":\"serving\""),
+            std::string::npos);
+  const auto stats = admin_call(admin_port, "STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_NE(stats->payload.find("\"requests\":1"), std::string::npos)
+      << stats->payload;
+
+  // SIGQUIT: a forced flight dump to --flight=FILE, and the daemon keeps
+  // serving afterwards — the dump is an operator snapshot, not a shutdown.
+  ASSERT_EQ(::kill(daemon.pid, SIGQUIT), 0);
+  std::string dump;
+  for (int i = 0; i < 200 && dump.empty(); ++i) {
+    std::FILE* f = std::fopen(flight.path.c_str(), "rb");
+    if (f != nullptr) {
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) dump.append(buf, n);
+      std::fclose(f);
+    }
+    if (dump.empty()) ::usleep(20000);
+  }
+  ASSERT_FALSE(dump.empty()) << "no flight dump after SIGQUIT";
+  EXPECT_EQ(dump.rfind("{\"kind\":\"header\",\"reason\":\"sigquit\"", 0), 0u)
+      << dump.substr(0, 120);
+  EXPECT_NE(dump.find("\"build\":{\"git_sha\":"), std::string::npos);
+
+  const auto after = call(daemon.port, bs_request("ops-2"), 60000);
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  EXPECT_EQ(after->status, ResponseStatus::kOk);
+
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  daemon.pid = -1;
+}
+
+TEST(Daemon, NoAdminFlagKeepsTheOpsPlaneOff) {
+  DaemonProcess daemon;
+  ASSERT_TRUE(spawn_daemon({"--no-admin"}, daemon));
+  const auto response = call(daemon.port, bs_request("noadmin-1"), 60000);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, ResponseStatus::kOk);
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  daemon.pid = -1;
 }
 
 TEST(Daemon, RejectsBadArgumentsWithUsage) {
